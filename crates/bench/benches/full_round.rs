@@ -1,0 +1,31 @@
+//! Criterion bench: one full simulated round (both phases, packet-level)
+//! for each Fig. 3 protocol — the end-to-end cost a user of the library
+//! pays per round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qlec_bench::{ProtocolKind, RunSpec};
+use qlec_net::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_round");
+    group.sample_size(20);
+    for kind in ProtocolKind::FIG3 {
+        group.bench_function(BenchmarkId::new("paper_n100", kind.label()), |b| {
+            b.iter(|| {
+                let mut spec = RunSpec::paper(5.0);
+                spec.sim.rounds = 1;
+                let net = spec.network(1);
+                let mut protocol = kind.build(spec.k, 20);
+                let mut rng = StdRng::seed_from_u64(2);
+                let report = Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng);
+                black_box(report.totals.generated)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

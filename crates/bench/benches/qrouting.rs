@@ -1,0 +1,32 @@
+//! Criterion bench for the Q-learning `Send-Data` decision (Algorithm 4)
+//! — the Lemma 3 `O(k)` per-packet kernel — across cluster counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qlec_core::params::QlecParams;
+use qlec_core::qrouting::QRouter;
+use qlec_net::{NetworkBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_send_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qrouting_send_data");
+    for &k in &[5usize, 16, 64, 272] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = (k * 12).max(100);
+        let net = NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0);
+        let heads: Vec<NodeId> = (0..k as u32).map(NodeId).collect();
+        group.bench_function(BenchmarkId::new("k", k), |b| {
+            let mut router = QRouter::new(&net, QlecParams::paper());
+            let mut src = k as u32;
+            b.iter(|| {
+                let t = router.send_data(&net, NodeId(src), black_box(&heads));
+                src = if (src + 1) as usize >= n { k as u32 } else { src + 1 };
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_send_data);
+criterion_main!(benches);

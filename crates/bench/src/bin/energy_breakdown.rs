@@ -1,0 +1,35 @@
+//! Diagnostic: per-category energy breakdown across protocols, retry
+//! budgets, and congestion levels. Not a paper artifact — this is the
+//! instrument used to attribute the Fig. 3(b) energy deviations analyzed
+//! in EXPERIMENTS.md (member transmissions vs head receptions vs fusion
+//! vs aggregate forwarding vs control traffic).
+//!
+//! Usage: `cargo run --release -p qlec-bench --bin energy_breakdown`
+
+use qlec_bench::{ProtocolKind, RunSpec};
+use qlec_net::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    for retries in [0u32, 1] {
+        for lambda in [1.0, 3.0, 5.0, 10.0] {
+            for kind in ProtocolKind::FIG3 {
+                let mut spec = RunSpec::paper(lambda);
+                spec.seeds = vec![1];
+                spec.sim.member_retries = retries;
+                let net = spec.network(1);
+                let mut p = kind.build(spec.k, 20);
+                let mut rng = StdRng::seed_from_u64(2);
+                let rep = Simulator::new(net, spec.sim).run(p.as_mut(), &mut rng);
+                let t = &rep.totals;
+                println!(
+                    "retries={retries} λ={lambda:>3} {:<8} pdr={:.4} E={:7.2} qfull={:6} dl={:5} link={:5} agg={:5} min_resid_last={:.3}",
+                    kind.label(), rep.pdr(), rep.total_energy(),
+                    t.dropped_queue_full, t.dropped_deadline, t.dropped_link, t.dropped_aggregate,
+                    rep.rounds.last().map(|r| r.min_residual).unwrap_or(0.0)
+                );
+            }
+        }
+    }
+}

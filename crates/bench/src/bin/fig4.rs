@@ -1,0 +1,193 @@
+//! Regenerates **Figure 4** — the §5.3 large-scale experiment: QLEC on a
+//! 2 896-node power-plant network (synthetic Global Power Plant Database
+//! substitute; see DESIGN.md), plotting the per-node energy-consumption
+//! *rate* and checking the paper's claim that "nodes with high energy
+//! consumption rate … are evenly distributed in the network, which means
+//! QLEC tends to make energy equally dissipated among nodes".
+//!
+//! Evenness is quantified three ways (the paper only eyeballs a map):
+//! a coarse ASCII heat map, the coefficient of variation of per-node
+//! rates, and the spatial autocorrelation of the high-consumption set
+//! (correlation between consumption rate and position / BS distance —
+//! near zero means "evenly spread").
+//!
+//! Usage: `cargo run --release -p qlec-bench --bin fig4 [--quick]`
+
+use qlec_bench::write_json;
+use qlec_core::kopt;
+use qlec_core::params::QlecParams;
+use qlec_core::QlecProtocol;
+use qlec_dataset::{generate_china, to_network, DeployConfig, GeneratorConfig};
+use qlec_geom::stats::{pearson, Summary};
+use qlec_net::{NetworkBuilder, SimConfig, Simulator};
+use qlec_radio::link::{AnyLink, DistanceLossLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Output {
+    description: &'static str,
+    n_nodes: usize,
+    k_used: usize,
+    kopt_theorem1: usize,
+    pdr: f64,
+    consumption_rate_summary: Summary,
+    coeff_of_variation: f64,
+    corr_rate_vs_bs_distance: Option<f64>,
+    corr_rate_vs_x: Option<f64>,
+    corr_rate_vs_y: Option<f64>,
+    high_consumer_quadrant_share: [f64; 4],
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // ---- Build the dataset deployment ----------------------------------
+    let mut rng = StdRng::seed_from_u64(0xF164);
+    let gen_cfg = GeneratorConfig {
+        count: if quick { 600 } else { qlec_dataset::CHINA_PLANT_COUNT },
+        ..Default::default()
+    };
+    let plants = generate_china(&mut rng, &gen_cfg);
+    let deploy = DeployConfig::default();
+    let net = to_network(
+        &mut rng,
+        &plants,
+        &deploy,
+        NetworkBuilder::new().link(AnyLink::DistanceLoss(DistanceLossLink::new(
+            200.0, 4.0, 0.05,
+        ))),
+    );
+    let n = net.len();
+    println!("deployment: {n} plant-nodes, bounds {:?}", net.bounds().extent());
+
+    // ---- Theorem 1 k_opt on this deployment ----------------------------
+    let k_theorem = kopt::kopt(n, net.side_length(), net.mean_dist_to_bs(), &net.radio);
+    // The paper reports k_opt = 272 for its 2 896-node network; ours
+    // depends on the projected geometry. Use the paper's ratio when full
+    // scale, print both.
+    let k_used = if quick { k_theorem.min(60) } else { k_theorem };
+    println!(
+        "Theorem 1 k_opt = {k_theorem} (paper reports 272 for its deployment); using k = {k_used}"
+    );
+
+    // ---- Run QLEC --------------------------------------------------------
+    let params = QlecParams { k_override: Some(k_used), ..QlecParams::paper() };
+    let mut protocol = QlecProtocol::new(params);
+    let mut cfg = SimConfig::paper(5.0);
+    cfg.rounds = 20;
+    let positions = net.positions();
+    let bs = net.bs_pos();
+    let bounds = net.bounds();
+    let mut rng2 = StdRng::seed_from_u64(0xF165);
+    let report = Simulator::new(net, cfg).run(&mut protocol, &mut rng2);
+    println!(
+        "run: PDR {:.4}, total energy {:.2} J, mean heads {:.1}",
+        report.pdr(),
+        report.total_energy(),
+        report.mean_head_count()
+    );
+
+    // ---- Evenness analysis ----------------------------------------------
+    let rates = &report.consumption_rates;
+    let summary = Summary::of(rates).expect("rates are finite");
+    let cv = summary.coeff_of_variation().unwrap_or(f64::INFINITY);
+    let bs_dist: Vec<f64> = positions.iter().map(|p| p.dist(bs)).collect();
+    let xs: Vec<f64> = positions.iter().map(|p| p.x).collect();
+    let ys: Vec<f64> = positions.iter().map(|p| p.y).collect();
+    let corr_bs = pearson(rates, &bs_dist);
+    let corr_x = pearson(rates, &xs);
+    let corr_y = pearson(rates, &ys);
+
+    // High-consumption nodes (top quartile) per geographic quadrant: an
+    // even spread puts ≈ the same share of high consumers in each
+    // quadrant as that quadrant's share of all nodes.
+    let mut sorted = rates.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q3 = sorted[(sorted.len() * 3) / 4];
+    let c = bounds.center();
+    let mut quad_all = [0usize; 4];
+    let mut quad_high = [0usize; 4];
+    for (p, &r) in positions.iter().zip(rates) {
+        let q = ((p.x > c.x) as usize) | (((p.y > c.y) as usize) << 1);
+        quad_all[q] += 1;
+        if r >= q3 {
+            quad_high[q] += 1;
+        }
+    }
+    let share: [f64; 4] = std::array::from_fn(|i| {
+        if quad_all[i] == 0 {
+            0.0
+        } else {
+            quad_high[i] as f64 / quad_all[i] as f64
+        }
+    });
+
+    println!("\nper-node energy-consumption rate (consumed / initial):");
+    println!(
+        "  mean {:.4}  sd {:.4}  median {:.4}  p95 {:.4}  max {:.4}",
+        summary.mean, summary.std_dev, summary.median, summary.p95, summary.max
+    );
+    println!("  coefficient of variation: {cv:.3}");
+    println!(
+        "  corr(rate, dist-to-BS) = {:?}, corr(rate, x) = {:?}, corr(rate, y) = {:?}",
+        corr_bs, corr_x, corr_y
+    );
+    println!("  top-quartile consumer share per geographic quadrant: {share:?}");
+
+    // ---- ASCII heat map (the Fig. 4 visual, terminal edition) -----------
+    println!("\nFig. 4 heat map (x–y plane, '.'=low … '#'=top-quartile consumption):");
+    let (w, h) = (64usize, 24usize);
+    let mut grid_sum = vec![0.0f64; w * h];
+    let mut grid_cnt = vec![0u32; w * h];
+    let ext = bounds.extent();
+    for (p, &r) in positions.iter().zip(rates) {
+        let gx = (((p.x - bounds.min().x) / ext.x.max(1e-9)) * (w as f64 - 1.0)) as usize;
+        let gy = (((p.y - bounds.min().y) / ext.y.max(1e-9)) * (h as f64 - 1.0)) as usize;
+        grid_sum[gy * w + gx] += r;
+        grid_cnt[gy * w + gx] += 1;
+    }
+    let glyphs = [b'.', b':', b'+', b'*', b'#'];
+    for gy in (0..h).rev() {
+        let mut line = Vec::with_capacity(w);
+        for gx in 0..w {
+            let i = gy * w + gx;
+            if grid_cnt[i] == 0 {
+                line.push(b' ');
+            } else {
+                let mean_rate = grid_sum[i] / grid_cnt[i] as f64;
+                let level = ((mean_rate / summary.p95.max(1e-12)) * 4.0).min(4.0) as usize;
+                line.push(glyphs[level]);
+            }
+        }
+        println!("{}", String::from_utf8(line).unwrap());
+    }
+
+    // ---- Verdict ----------------------------------------------------------
+    let even = corr_bs.is_none_or(|c| c.abs() < 0.35)
+        && corr_x.is_none_or(|c| c.abs() < 0.25)
+        && corr_y.is_none_or(|c| c.abs() < 0.25);
+    println!(
+        "\nEvenness verdict: {} (|corr| thresholds 0.35/0.25; paper claims high-rate nodes are evenly distributed)",
+        if even { "PASS" } else { "MIXED — see correlations above" }
+    );
+
+    write_json(
+        "fig4_results.json",
+        &Fig4Output {
+            description:
+                "QLEC reproduction of ICPP'19 Fig. 4 (consumption-rate evenness on the power-plant dataset)",
+            n_nodes: n,
+            k_used,
+            kopt_theorem1: k_theorem,
+            pdr: report.pdr(),
+            consumption_rate_summary: summary,
+            coeff_of_variation: cv,
+            corr_rate_vs_bs_distance: corr_bs,
+            corr_rate_vs_x: corr_x,
+            corr_rate_vs_y: corr_y,
+            high_consumer_quadrant_share: share,
+        },
+    );
+}

@@ -1,0 +1,283 @@
+//! Experiment harness shared by the figure/table binaries.
+
+use qlec_clustering::{FcmProtocol, KMeansProtocol};
+use qlec_clustering::deec::DeecProtocol;
+use qlec_clustering::leach::LeachProtocol;
+use qlec_core::ablation::Ablation;
+use qlec_core::params::QlecParams;
+use qlec_geom::stats::Welford;
+use qlec_net::{Network, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
+use qlec_radio::link::{AnyLink, DistanceLossLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// The protocols the paper's figures compare (plus the extra baselines
+/// this reproduction adds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// QLEC (the paper's algorithm; Fig. 3 uses the §5.1 `k = 5`).
+    Qlec,
+    /// The FCM-based scheme of \[14\].
+    Fcm,
+    /// Classic k-means clustering.
+    KMeans,
+    /// Classic LEACH (extra baseline).
+    Leach,
+    /// Plain DEEC (extra baseline).
+    Deec,
+    /// A QLEC ablation variant.
+    QlecAblation(Ablation),
+}
+
+impl ProtocolKind {
+    /// The Fig. 3 comparison set, in the paper's order.
+    pub const FIG3: [ProtocolKind; 3] =
+        [ProtocolKind::Qlec, ProtocolKind::Fcm, ProtocolKind::KMeans];
+
+    /// All five base protocols.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Qlec,
+        ProtocolKind::Fcm,
+        ProtocolKind::KMeans,
+        ProtocolKind::Leach,
+        ProtocolKind::Deec,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolKind::Qlec => "qlec".into(),
+            ProtocolKind::Fcm => "fcm".into(),
+            ProtocolKind::KMeans => "k-means".into(),
+            ProtocolKind::Leach => "leach".into(),
+            ProtocolKind::Deec => "deec".into(),
+            ProtocolKind::QlecAblation(a) => a.label().into(),
+        }
+    }
+
+    /// Instantiate a fresh protocol for one run.
+    pub fn build(&self, k: usize, total_rounds: u32) -> Box<dyn Protocol + Send> {
+        match self {
+            ProtocolKind::Qlec => {
+                let params =
+                    QlecParams { total_rounds, ..QlecParams::paper_with_k(k) };
+                Box::new(qlec_core::QlecProtocol::new(params))
+            }
+            ProtocolKind::Fcm => Box::new(FcmProtocol::new(k)),
+            ProtocolKind::KMeans => Box::new(KMeansProtocol::new(k)),
+            ProtocolKind::Leach => Box::new(LeachProtocol::new(k)),
+            ProtocolKind::Deec => Box::new(DeecProtocol::new(k, total_rounds)),
+            ProtocolKind::QlecAblation(a) => {
+                let params =
+                    QlecParams { total_rounds, ..QlecParams::paper_with_k(k) };
+                Box::new(a.protocol(params))
+            }
+        }
+    }
+}
+
+/// One experiment cell: a protocol on a deployment/traffic configuration,
+/// averaged over seeds.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Node count `N` (paper: 100).
+    pub n: usize,
+    /// Cube side `M` (paper: 200).
+    pub m: f64,
+    /// Initial energy per node, J (paper: 5).
+    pub initial_energy: f64,
+    /// Cluster count `k` (paper §5.1: ≈ 5).
+    pub k: usize,
+    /// Simulator configuration (λ, rounds, queues, death line, …).
+    pub sim: SimConfig,
+    /// Deployment + protocol seeds; each entry is one independent run.
+    pub seeds: Vec<u64>,
+    /// Radio link model.
+    pub link: AnyLink,
+}
+
+impl RunSpec {
+    /// The §5.1 configuration at congestion level λ.
+    pub fn paper(lambda: f64) -> Self {
+        RunSpec {
+            n: 100,
+            m: 200.0,
+            initial_energy: 5.0,
+            k: 5,
+            sim: SimConfig::paper(lambda),
+            seeds: (0..5).map(|i| 0xC0FFEE + i).collect(),
+            link: AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)),
+        }
+    }
+
+    /// Build the deployment for one seed.
+    pub fn network(&self, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new()
+            .link(self.link)
+            .uniform_cube(&mut rng, self.n, self.m, self.initial_energy)
+    }
+}
+
+/// Seed-aggregated metrics for one experiment cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    pub protocol: String,
+    pub lambda: f64,
+    pub runs: usize,
+    pub pdr_mean: f64,
+    pub pdr_std: f64,
+    pub energy_mean_j: f64,
+    pub energy_std_j: f64,
+    pub latency_mean_slots: f64,
+    pub lifespan_mean_rounds: f64,
+    pub head_count_mean: f64,
+}
+
+/// Run one protocol over every seed of a spec (in parallel) and
+/// aggregate.
+pub fn run_cell(kind: ProtocolKind, spec: &RunSpec) -> CellResult {
+    let reports: Vec<SimReport> = spec
+        .seeds
+        .par_iter()
+        .map(|&seed| {
+            let net = spec.network(seed);
+            let mut protocol = kind.build(spec.k, spec.sim.rounds);
+            // Offset the protocol RNG from the deployment RNG.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+            Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng)
+        })
+        .collect();
+    aggregate(kind.label(), spec.sim.mean_interarrival, &reports)
+}
+
+/// Aggregate a set of per-seed reports into one cell.
+pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellResult {
+    let mut pdr = Welford::new();
+    let mut energy = Welford::new();
+    let mut latency = Welford::new();
+    let mut lifespan = Welford::new();
+    let mut heads = Welford::new();
+    for r in reports {
+        pdr.push(r.pdr());
+        energy.push(r.total_energy());
+        if let Some(l) = r.mean_latency() {
+            latency.push(l);
+        }
+        lifespan.push(r.lifespan_rounds() as f64);
+        heads.push(r.mean_head_count());
+    }
+    CellResult {
+        protocol,
+        lambda,
+        runs: reports.len(),
+        pdr_mean: pdr.mean().unwrap_or(0.0),
+        pdr_std: pdr.std_dev().unwrap_or(0.0),
+        energy_mean_j: energy.mean().unwrap_or(0.0),
+        energy_std_j: energy.std_dev().unwrap_or(0.0),
+        latency_mean_slots: latency.mean().unwrap_or(0.0),
+        lifespan_mean_rounds: lifespan.mean().unwrap_or(0.0),
+        head_count_mean: heads.mean().unwrap_or(0.0),
+    }
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Write a JSON artifact next to the human-readable output.
+pub fn write_json<T: Serialize>(path: &str, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("\n[json written to {path}]");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(lambda: f64) -> RunSpec {
+        let mut spec = RunSpec::paper(lambda);
+        spec.n = 30;
+        spec.sim.rounds = 3;
+        spec.seeds = vec![1, 2];
+        spec
+    }
+
+    #[test]
+    fn run_cell_produces_sane_aggregates() {
+        let spec = tiny_spec(5.0);
+        for kind in [ProtocolKind::Qlec, ProtocolKind::KMeans, ProtocolKind::Fcm] {
+            let cell = run_cell(kind, &spec);
+            assert_eq!(cell.runs, 2);
+            assert!((0.0..=1.0).contains(&cell.pdr_mean), "{kind:?} pdr {}", cell.pdr_mean);
+            assert!(cell.energy_mean_j > 0.0, "{kind:?}");
+            assert!(cell.head_count_mean > 0.0, "{kind:?}");
+            assert_eq!(cell.protocol, kind.label());
+        }
+    }
+
+    #[test]
+    fn all_protocol_kinds_build() {
+        for kind in ProtocolKind::ALL {
+            let p = kind.build(3, 10);
+            assert!(!p.name().is_empty());
+        }
+        for ab in Ablation::ALL_VARIANTS {
+            let p = ProtocolKind::QlecAblation(ab).build(3, 10);
+            assert_eq!(p.name(), ab.label());
+        }
+    }
+
+    #[test]
+    fn deployments_are_seed_deterministic() {
+        let spec = tiny_spec(5.0);
+        let a = spec.network(7);
+        let b = spec.network(7);
+        let c = spec.network(8);
+        assert_eq!(a.positions(), b.positions());
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    fn table_printer_does_not_panic_on_ragged_rows() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
+    }
+}

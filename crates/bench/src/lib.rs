@@ -1,0 +1,11 @@
+//! Shared experiment harness for the per-figure/table binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's §5
+//! (see DESIGN.md §3 for the index). The harness here factors out what
+//! they share: building seeded paper-shaped deployments, running a
+//! protocol across seeds in parallel (rayon), aggregating the Fig. 3
+//! metrics, and emitting both a human-readable table and a JSON record.
+
+pub mod harness;
+
+pub use harness::*;

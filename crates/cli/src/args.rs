@@ -1,0 +1,157 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! Grammar: a leading subcommand word, then any number of `--key value`
+//! pairs and bare `--flag`s (a `--key` followed by another `--…` or by
+//! nothing is a flag). Unknown keys are rejected by the command layer,
+//! not here, so `ParsedArgs` can be reused across subcommands.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand plus key→value options (flags map to
+/// an empty string).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedArgs {
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parse raw arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<ParsedArgs, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = args.into_iter().map(Into::into).peekable();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c,
+            Some(c) => return Err(format!("expected a subcommand, got option {c:?}")),
+            None => String::new(),
+        };
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {tok:?}"))?
+                .to_string();
+            if key.is_empty() {
+                return Err("empty option name '--'".into());
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => String::new(),
+            };
+            if options.insert(key.clone(), value).is_some() {
+                return Err(format!("option --{key} given twice"));
+            }
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// Whether a flag/option is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Raw string value of an option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed value with a default; errors carry the offending key.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("--{key}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// All option keys (for unknown-key validation).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+
+    /// Reject any option not in `allowed`.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.keys() {
+            if !allowed.contains(&k) {
+                return Err(format!(
+                    "unknown option --{k} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_pairs() {
+        let a = ParsedArgs::parse(["run", "--n", "100", "--lambda", "2.5", "--json"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("n"), Some("100"));
+        assert_eq!(a.get_parsed("n", 0usize).unwrap(), 100);
+        assert_eq!(a.get_parsed("lambda", 0.0f64).unwrap(), 2.5);
+        assert!(a.has("json"));
+        assert_eq!(a.get("json"), Some(""));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = ParsedArgs::parse(["run"]).unwrap();
+        assert_eq!(a.get_parsed("rounds", 20u32).unwrap(), 20);
+        assert!(!a.has("json"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_command() {
+        let a = ParsedArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn rejects_option_before_subcommand() {
+        assert!(ParsedArgs::parse(["--n", "5"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_options() {
+        let err = ParsedArgs::parse(["run", "--n", "1", "--n", "2"]).unwrap_err();
+        assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn rejects_bad_values_on_typed_get() {
+        let a = ParsedArgs::parse(["run", "--n", "many"]).unwrap();
+        assert!(a.get_parsed("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option_is_a_flag() {
+        let a = ParsedArgs::parse(["run", "--json", "--n", "7"]).unwrap();
+        assert!(a.has("json"));
+        assert_eq!(a.get_parsed("n", 0usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_key_validation() {
+        let a = ParsedArgs::parse(["run", "--frobnicate", "1"]).unwrap();
+        assert!(a.ensure_known(&["n", "m"]).unwrap_err().contains("frobnicate"));
+        assert!(a.ensure_known(&["frobnicate"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bare_double_dash() {
+        assert!(ParsedArgs::parse(["run", "--"]).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Subcommand implementations. Each takes [`ParsedArgs`] and returns the
+//! text to print (testable without spawning the binary).
+
+use crate::args::ParsedArgs;
+use qlec_clustering::deec::DeecProtocol;
+use qlec_clustering::heed::HeedProtocol;
+use qlec_clustering::leach::LeachProtocol;
+use qlec_clustering::{FcmProtocol, KMeansProtocol};
+use qlec_core::params::QlecParams;
+use qlec_core::{kopt, QlecProtocol};
+use qlec_dataset::{generate_china, records, GeneratorConfig};
+use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
+use qlec_net::trace::TraceRecorder;
+use qlec_net::{NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
+use qlec_radio::link::{AnyLink, DistanceLossLink};
+use qlec_radio::RadioModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+qlec-sim — QLEC (ICPP 2019) reproduction CLI
+
+USAGE:
+  qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
+                    [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
+                    [--seed 42] [--death-line 0] [--json] [--trace FILE]
+                    [--svg FILE] [--chart FILE]
+  qlec-sim compare  [--n 100] [--m 200] [--k 5] [--lambda 5] [--rounds 20]
+                    [--seeds 3]
+  qlec-sim dataset  [--count 2896] [--seed 42] [--out FILE]
+  qlec-sim kopt     [--n 100] [--m 200] [--d-to-bs <auto>]
+  qlec-sim help
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
+    match args.command.as_str() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "dataset" => cmd_dataset(args),
+        "kopt" => cmd_kopt(args),
+        "" | "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn build_protocol(name: &str, k: usize, rounds: u32) -> Result<Box<dyn Protocol>, String> {
+    Ok(match name {
+        "qlec" => Box::new(QlecProtocol::new(QlecParams {
+            total_rounds: rounds,
+            ..QlecParams::paper_with_k(k)
+        })),
+        "fcm" => Box::new(FcmProtocol::new(k)),
+        "kmeans" | "k-means" => Box::new(KMeansProtocol::new(k)),
+        "leach" => Box::new(LeachProtocol::new(k)),
+        "deec" => Box::new(DeecProtocol::new(k, rounds)),
+        "heed" => Box::new(HeedProtocol::with_target_k(200.0, k)),
+        other => return Err(format!("unknown protocol {other:?}")),
+    })
+}
+
+struct RunSetup {
+    n: usize,
+    m: f64,
+    energy: f64,
+    k: usize,
+    lambda: f64,
+    rounds: u32,
+    seed: u64,
+    death_line: f64,
+}
+
+impl RunSetup {
+    fn from_args(args: &ParsedArgs) -> Result<RunSetup, String> {
+        Ok(RunSetup {
+            n: args.get_parsed("n", 100usize)?,
+            m: args.get_parsed("m", 200.0f64)?,
+            energy: args.get_parsed("energy", 5.0f64)?,
+            k: args.get_parsed("k", 5usize)?,
+            lambda: args.get_parsed("lambda", 5.0f64)?,
+            rounds: args.get_parsed("rounds", 20u32)?,
+            seed: args.get_parsed("seed", 42u64)?,
+            death_line: args.get_parsed("death-line", 0.0f64)?,
+        })
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("--n must be positive".into());
+        }
+        if self.k == 0 || self.k > self.n {
+            return Err("--k must be in 1..=n".into());
+        }
+        if self.m <= 0.0 || self.m.is_nan() {
+            return Err("--m must be positive".into());
+        }
+        if self.lambda <= 0.0 || self.lambda.is_nan() {
+            return Err("--lambda must be positive".into());
+        }
+        if self.rounds == 0 {
+            return Err("--rounds must be positive".into());
+        }
+        Ok(())
+    }
+
+    fn execute(&self, protocol: &mut dyn Protocol) -> SimReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let net = NetworkBuilder::new()
+            .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(self.m)))
+            .uniform_cube(&mut rng, self.n, self.m, self.energy);
+        let mut cfg = SimConfig::paper(self.lambda);
+        cfg.rounds = self.rounds;
+        cfg.death_line = self.death_line;
+        cfg.stop_when_dead = self.death_line > 0.0;
+        Simulator::new(net, cfg).run(protocol, &mut rng)
+    }
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
+    args.ensure_known(&[
+        "protocol", "n", "m", "energy", "k", "lambda", "rounds", "seed", "death-line",
+        "json", "trace", "svg", "chart",
+    ])?;
+    let setup = RunSetup::from_args(args)?;
+    setup.validate()?;
+    let name = args.get("protocol").unwrap_or("qlec").to_string();
+
+    let needs_trace = args.has("trace") || args.has("chart");
+    let (report, trace) = if needs_trace {
+        let inner = build_protocol(&name, setup.k, setup.rounds)?;
+        let mut recorder = TraceRecorder::new(inner);
+        let report = setup.execute(&mut recorder);
+        let (_, trace) = recorder.into_parts();
+        (report, Some(trace))
+    } else {
+        let mut protocol = build_protocol(&name, setup.k, setup.rounds)?;
+        (setup.execute(protocol.as_mut()), None)
+    };
+
+    let write_artifact = |key: &str, content: &str| -> Result<(), String> {
+        match args.get(key) {
+            None => Ok(()),
+            Some("") => Err(format!("--{key} needs a file path")),
+            Some(path) => {
+                std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+            }
+        }
+    };
+    if let Some(t) = &trace {
+        if args.has("trace") {
+            write_artifact("trace", &t.to_json()?)?;
+        }
+        if args.has("chart") {
+            let style = qlec_viz::trace_view::ChartStyle {
+                death_line: (setup.death_line > 0.0).then_some(setup.death_line),
+                ..Default::default()
+            };
+            write_artifact("chart", &qlec_viz::render_energy_chart(t, &style))?;
+        }
+    }
+    if args.has("svg") {
+        // Re-derive the deployment (same seed) for node positions.
+        let mut rng = StdRng::seed_from_u64(setup.seed);
+        let net = NetworkBuilder::new()
+            .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(setup.m)))
+            .uniform_cube(&mut rng, setup.n, setup.m, setup.energy);
+        let style = qlec_viz::network_view::MapStyle {
+            title: format!("{} — consumption rate after {} rounds", report.protocol, report.rounds.len()),
+            ..Default::default()
+        };
+        write_artifact(
+            "svg",
+            &qlec_viz::render_consumption_map(&net, &report.consumption_rates, &style),
+        )?;
+    }
+
+    if args.has("json") {
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+    } else {
+        let mut out = String::new();
+        let b = report.energy_breakdown();
+        let _ = writeln!(out, "protocol        : {}", report.protocol);
+        let _ = writeln!(out, "rounds          : {}", report.rounds.len());
+        let _ = writeln!(out, "packets         : {} generated", report.totals.generated);
+        let _ = writeln!(out, "delivery rate   : {:.4}", report.pdr());
+        let _ = writeln!(out, "total energy    : {:.3} J", report.total_energy());
+        let _ = writeln!(
+            out,
+            "  member tx {:.3} | head rx {:.3} | fusion {:.3} | aggregates {:.3} | control {:.3}",
+            b.member_tx, b.head_rx, b.aggregation, b.aggregate_tx, b.other
+        );
+        let _ = writeln!(
+            out,
+            "mean latency    : {:.2} slots",
+            report.mean_latency().unwrap_or(0.0)
+        );
+        let _ = writeln!(out, "mean heads/round: {:.1}", report.mean_head_count());
+        if setup.death_line > 0.0 {
+            let _ = writeln!(out, "lifespan        : {} rounds", report.lifespan_rounds());
+        }
+        Ok(out)
+    }
+}
+
+fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
+    args.ensure_known(&["n", "m", "energy", "k", "lambda", "rounds", "seeds"])?;
+    let setup = RunSetup::from_args(args)?;
+    setup.validate()?;
+    let seeds = args.get_parsed("seeds", 3u64)?;
+    if seeds == 0 {
+        return Err("--seeds must be positive".into());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8}  {:>8}  {:>11}  {:>13}  {:>17}",
+        "protocol", "PDR", "energy (J)", "latency (sl)", "min residual (J)"
+    );
+    for name in ["qlec", "fcm", "kmeans", "leach", "deec", "heed"] {
+        let mut pdr = 0.0;
+        let mut energy = 0.0;
+        let mut latency = 0.0;
+        let mut min_res = 0.0;
+        for s in 0..seeds {
+            let mut setup_s = RunSetup { seed: setup.seed + s, ..setup };
+            setup_s.death_line = 0.0;
+            let mut protocol = build_protocol(name, setup.k, setup.rounds)?;
+            let report = setup_s.execute(protocol.as_mut());
+            pdr += report.pdr();
+            energy += report.total_energy();
+            latency += report.mean_latency().unwrap_or(0.0);
+            min_res += report.rounds.last().map(|r| r.min_residual).unwrap_or(0.0);
+        }
+        let n = seeds as f64;
+        let _ = writeln!(
+            out,
+            "{:<8}  {:>8.4}  {:>11.3}  {:>13.2}  {:>17.3}",
+            name,
+            pdr / n,
+            energy / n,
+            latency / n,
+            min_res / n
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_dataset(args: &ParsedArgs) -> Result<String, String> {
+    args.ensure_known(&["count", "seed", "out"])?;
+    let count = args.get_parsed("count", qlec_dataset::CHINA_PLANT_COUNT)?;
+    if count == 0 {
+        return Err("--count must be positive".into());
+    }
+    let seed = args.get_parsed("seed", 42u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plants = generate_china(&mut rng, &GeneratorConfig { count, ..Default::default() });
+    let csv = records::to_csv(&plants);
+    match args.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("wrote {count} plants to {path}\n"))
+        }
+        _ => Ok(csv),
+    }
+}
+
+fn cmd_kopt(args: &ParsedArgs) -> Result<String, String> {
+    args.ensure_known(&["n", "m", "d-to-bs"])?;
+    let n = args.get_parsed("n", 100usize)?;
+    let m = args.get_parsed("m", 200.0f64)?;
+    if n == 0 || m <= 0.0 || m.is_nan() {
+        return Err("--n and --m must be positive".into());
+    }
+    let d_default = MEAN_DIST_TO_CENTER_UNIT_CUBE * m;
+    let d = args.get_parsed("d-to-bs", d_default)?;
+    if d <= 0.0 || d.is_nan() {
+        return Err("--d-to-bs must be positive".into());
+    }
+    let radio = RadioModel::paper();
+    let real = kopt::kopt_real(n, m, d, &radio);
+    let rounded = kopt::kopt(n, m, d, &radio);
+    let dc = kopt::coverage_radius(m, rounded);
+    Ok(format!(
+        "Theorem 1: N = {n}, M = {m} m, d_toBS = {d:.1} m\n\
+         k_opt = {real:.2} (use k = {rounded}); coverage radius d_c = {dc:.1} m\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<String, String> {
+        dispatch(&ParsedArgs::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&[]).is_err() || !run(&[]).unwrap().is_empty());
+        assert!(run(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_small_simulation_text() {
+        let out = run(&[
+            "run", "--protocol", "qlec", "--n", "20", "--rounds", "2", "--lambda", "8",
+        ])
+        .unwrap();
+        assert!(out.contains("protocol        : qlec"), "{out}");
+        assert!(out.contains("delivery rate"));
+    }
+
+    #[test]
+    fn run_json_output_parses() {
+        let out = run(&[
+            "run", "--protocol", "kmeans", "--n", "15", "--rounds", "2", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["protocol"], "k-means");
+    }
+
+    #[test]
+    fn run_rejects_bad_arguments() {
+        assert!(run(&["run", "--protocol", "nope"]).is_err());
+        assert!(run(&["run", "--n", "0"]).is_err());
+        assert!(run(&["run", "--k", "50", "--n", "10"]).is_err());
+        assert!(run(&["run", "--frobnicate", "1"]).is_err());
+        assert!(run(&["run", "--lambda", "-3"]).is_err());
+    }
+
+    #[test]
+    fn compare_lists_all_protocols() {
+        let out = run(&[
+            "compare", "--n", "20", "--rounds", "2", "--seeds", "1", "--lambda", "8",
+        ])
+        .unwrap();
+        for name in ["qlec", "fcm", "kmeans", "leach", "deec", "heed"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn dataset_to_stdout_and_roundtrip() {
+        let out = run(&["dataset", "--count", "25", "--seed", "7"]).unwrap();
+        let plants = records::from_csv(&out).unwrap();
+        assert_eq!(plants.len(), 25);
+    }
+
+    #[test]
+    fn kopt_defaults_match_theorem() {
+        let out = run(&["kopt"]).unwrap();
+        assert!(out.contains("k_opt = 11.15"), "{out}");
+        let out = run(&["kopt", "--d-to-bs", "133"]).unwrap();
+        assert!(out.contains("use k = 5"), "{out}");
+    }
+
+    #[test]
+    fn trace_requires_path() {
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--trace"]).unwrap_err();
+        assert!(err.contains("file path"));
+    }
+}
+
+#[cfg(test)]
+mod artifact_tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<String, String> {
+        dispatch(&ParsedArgs::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn svg_and_chart_artifacts_are_written() {
+        let dir = std::env::temp_dir();
+        let svg_path = dir.join("qlec_test_map.svg");
+        let chart_path = dir.join("qlec_test_chart.svg");
+        let svg_s = svg_path.to_str().unwrap();
+        let chart_s = chart_path.to_str().unwrap();
+        let out = run(&[
+            "run", "--n", "15", "--rounds", "2", "--lambda", "8",
+            "--svg", svg_s, "--chart", chart_s,
+        ])
+        .unwrap();
+        assert!(out.contains("delivery rate"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("consumption rate"));
+        let chart = std::fs::read_to_string(&chart_path).unwrap();
+        assert!(chart.contains("<polyline"));
+        let _ = std::fs::remove_file(svg_path);
+        let _ = std::fs::remove_file(chart_path);
+    }
+
+    #[test]
+    fn svg_requires_path() {
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--svg"]).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+    }
+}

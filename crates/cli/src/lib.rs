@@ -1,0 +1,16 @@
+//! `qlec-sim` — command-line front end for the QLEC reproduction.
+//!
+//! Argument parsing is hand-rolled (`--key value` / `--flag` pairs into
+//! [`args::ParsedArgs`]) to keep the dependency set at the workspace
+//! baseline; the command implementations live in [`commands`] so they
+//! are unit-testable without spawning the binary.
+//!
+//! ```text
+//! qlec-sim run      --protocol qlec --n 100 --m 200 --lambda 5 --rounds 20
+//! qlec-sim compare  --lambda 3 --seeds 3
+//! qlec-sim dataset  --count 2896 --out plants.csv
+//! qlec-sim kopt     --n 100 --m 200
+//! ```
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,282 @@
+//! Fuzzy C-means (FCM) clustering.
+//!
+//! §2 of the paper: "Fuzzy C-Means (FCM) clustering algorithm employs the
+//! concept of maximizing residual energy when choosing cluster heads as
+//! well. An FCM-based scheme in \[14\] divides the WSN into different
+//! hierarchies based on the distance to the BS and a dynamic multi-hop
+//! routing algorithm is designed." This module is the clustering core
+//! (Bezdek's alternating optimization); the hierarchy/multi-hop parts live
+//! in [`crate::hierarchy`] and [`crate::protocols::FcmProtocol`].
+//!
+//! Standard updates with fuzzifier `m > 1`:
+//!
+//! ```text
+//! u_ij = 1 / Σ_l (‖x_i − c_j‖ / ‖x_i − c_l‖)^{2/(m−1)}
+//! c_j  = Σ_i u_ij^m · x_i / Σ_i u_ij^m
+//! ```
+
+use qlec_geom::Vec3;
+use rand::Rng;
+
+/// Configuration for [`fcm`].
+#[derive(Debug, Clone, Copy)]
+pub struct FcmConfig {
+    /// Fuzzifier `m` (> 1; 2.0 is the conventional default).
+    pub fuzzifier: f64,
+    /// Maximum alternating-optimization iterations.
+    pub max_iterations: usize,
+    /// Stop when the largest membership change falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for FcmConfig {
+    fn default() -> Self {
+        FcmConfig { fuzzifier: 2.0, max_iterations: 100, tolerance: 1e-5 }
+    }
+}
+
+/// Result of an FCM run.
+#[derive(Debug, Clone)]
+pub struct FcmResult {
+    /// Cluster centers (`c` of them).
+    pub centers: Vec<Vec3>,
+    /// Row-major membership matrix `u[i * c + j]` = membership of point
+    /// `i` in cluster `j`. Every row sums to 1.
+    pub memberships: Vec<f64>,
+    /// Number of clusters.
+    pub c: usize,
+    /// The FCM objective `Σ_ij u_ij^m ‖x_i − c_j‖²` at termination.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl FcmResult {
+    /// Membership of point `i` in cluster `j`.
+    #[inline]
+    pub fn membership(&self, i: usize, j: usize) -> f64 {
+        self.memberships[i * self.c + j]
+    }
+
+    /// Hard assignment: the cluster with the largest membership.
+    pub fn hard_assignment(&self) -> Vec<usize> {
+        let n = self.memberships.len() / self.c.max(1);
+        (0..n)
+            .map(|i| {
+                (0..self.c)
+                    .max_by(|&a, &b| {
+                        self.membership(i, a)
+                            .partial_cmp(&self.membership(i, b))
+                            .unwrap()
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Run fuzzy C-means on `points` with `c` clusters.
+///
+/// Centers are initialized from distinct random points (k-means++-style
+/// D² seeding reuses [`crate::kmeans::kmeans_pp_init`]).
+///
+/// # Panics
+/// Panics on an empty point set, `c == 0`, or `fuzzifier <= 1`.
+pub fn fcm<R: Rng + ?Sized>(rng: &mut R, points: &[Vec3], c: usize, cfg: &FcmConfig) -> FcmResult {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    assert!(c >= 1, "c must be at least 1");
+    assert!(cfg.fuzzifier > 1.0, "fuzzifier must exceed 1");
+    let c = c.min(points.len());
+    let n = points.len();
+    let mut centers = crate::kmeans::kmeans_pp_init(rng, points, c);
+    let mut u = vec![0.0f64; n * c];
+    let exponent = 2.0 / (cfg.fuzzifier - 1.0);
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iterations {
+        iterations = it + 1;
+        // Membership update.
+        let mut max_change = 0.0f64;
+        for (i, p) in points.iter().enumerate() {
+            let dists: Vec<f64> = centers.iter().map(|ce| ce.dist(*p)).collect();
+            // A point coinciding with a center gets crisp membership there.
+            if let Some(hit) = dists.iter().position(|&d| d < 1e-12) {
+                for j in 0..c {
+                    let nu = if j == hit { 1.0 } else { 0.0 };
+                    max_change = max_change.max((u[i * c + j] - nu).abs());
+                    u[i * c + j] = nu;
+                }
+                continue;
+            }
+            for j in 0..c {
+                let denom: f64 = dists
+                    .iter()
+                    .map(|&dl| (dists[j] / dl).powf(exponent))
+                    .sum();
+                let nu = 1.0 / denom;
+                max_change = max_change.max((u[i * c + j] - nu).abs());
+                u[i * c + j] = nu;
+            }
+        }
+        // Center update.
+        for j in 0..c {
+            let mut num = Vec3::ZERO;
+            let mut den = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let w = u[i * c + j].powf(cfg.fuzzifier);
+                num += *p * w;
+                den += w;
+            }
+            if den > f64::EPSILON {
+                centers[j] = num / den;
+            }
+        }
+        if max_change < cfg.tolerance {
+            break;
+        }
+    }
+
+    let objective = (0..n)
+        .map(|i| {
+            (0..c)
+                .map(|j| u[i * c + j].powf(cfg.fuzzifier) * points[i].dist_sq(centers[j]))
+                .sum::<f64>()
+        })
+        .sum();
+
+    FcmResult { centers, memberships: u, c, objective, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qlec_geom::sample::uniform_in_ball;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng, centers: &[Vec3], per: usize, radius: f64) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for &c in centers {
+            for _ in 0..per {
+                pts.push(uniform_in_ball(rng, c, radius));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn memberships_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = blobs(&mut rng, &[Vec3::ZERO, Vec3::splat(60.0)], 40, 10.0);
+        let res = fcm(&mut rng, &pts, 3, &FcmConfig::default());
+        for i in 0..pts.len() {
+            let s: f64 = (0..res.c).map(|j| res.membership(i, j)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+            for j in 0..res.c {
+                assert!((0.0..=1.0 + 1e-12).contains(&res.membership(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let true_centers = [Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
+        let pts = blobs(&mut rng, &true_centers, 60, 5.0);
+        let res = fcm(&mut rng, &pts, 2, &FcmConfig::default());
+        for c in true_centers {
+            let d = res.centers.iter().map(|f| f.dist(c)).fold(f64::INFINITY, f64::min);
+            assert!(d < 5.0, "no FCM center near {c:?}");
+        }
+        // Hard assignments split the blobs.
+        let hard = res.hard_assignment();
+        let first = hard[0];
+        assert!(hard[..60].iter().all(|&a| a == first));
+        assert!(hard[60..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn point_on_center_gets_crisp_membership() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two well-separated singleton blobs: centers converge onto the
+        // points, which must then be crisply assigned.
+        let pts = vec![Vec3::ZERO, Vec3::splat(100.0)];
+        let res = fcm(&mut rng, &pts, 2, &FcmConfig::default());
+        for i in 0..2 {
+            let m = (0..2).map(|j| res.membership(i, j)).fold(0.0, f64::max);
+            assert!(m > 0.999, "point {i} max membership {m}");
+        }
+    }
+
+    #[test]
+    fn higher_fuzzifier_softens_memberships() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = blobs(&mut rng, &[Vec3::ZERO, Vec3::splat(40.0)], 50, 15.0);
+        let crisp = fcm(&mut rng, &pts, 2, &FcmConfig { fuzzifier: 1.5, ..Default::default() });
+        let soft = fcm(&mut rng, &pts, 2, &FcmConfig { fuzzifier: 4.0, ..Default::default() });
+        let mean_max = |r: &FcmResult| -> f64 {
+            let n = pts.len();
+            (0..n)
+                .map(|i| (0..r.c).map(|j| r.membership(i, j)).fold(0.0, f64::max))
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(
+            mean_max(&soft) < mean_max(&crisp),
+            "soft {} should be below crisp {}",
+            mean_max(&soft),
+            mean_max(&crisp)
+        );
+    }
+
+    #[test]
+    fn single_cluster_center_is_weighted_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = vec![Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0)];
+        let res = fcm(&mut rng, &pts, 1, &FcmConfig::default());
+        // With one cluster all memberships are 1, so the center is the
+        // plain mean.
+        assert!(res.centers[0].dist(Vec3::new(2.0, 0.0, 0.0)) < 1e-9);
+        assert_eq!(res.hard_assignment(), vec![0, 0]);
+    }
+
+    #[test]
+    fn c_larger_than_n_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = vec![Vec3::ZERO, Vec3::ONE];
+        let res = fcm(&mut rng, &pts, 5, &FcmConfig::default());
+        assert_eq!(res.c, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fuzzifier_of_one_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        fcm(
+            &mut rng,
+            &[Vec3::ZERO],
+            1,
+            &FcmConfig { fuzzifier: 1.0, ..Default::default() },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Membership rows always sum to 1 and the objective is finite and
+        /// non-negative, for random point clouds and cluster counts.
+        #[test]
+        fn membership_invariant(seed in 0u64..1000, n in 2usize..40, c in 1usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Vec3> = (0..n)
+                .map(|_| uniform_in_ball(&mut rng, Vec3::ZERO, 50.0))
+                .collect();
+            let res = fcm(&mut rng, &pts, c, &FcmConfig::default());
+            prop_assert!(res.objective.is_finite() && res.objective >= 0.0);
+            for i in 0..n {
+                let s: f64 = (0..res.c).map(|j| res.membership(i, j)).sum();
+                prop_assert!((s - 1.0).abs() < 1e-6, "row {} sums to {}", i, s);
+            }
+        }
+    }
+}

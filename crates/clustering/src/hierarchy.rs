@@ -1,0 +1,129 @@
+//! Distance-band hierarchies for the FCM baseline.
+//!
+//! The FCM-based scheme of \[14\] "divides the WSN into different
+//! hierarchies based on the distance to the BS and a dynamic multi-hop
+//! routing algorithm is designed": a head in band `h` forwards its
+//! aggregate to a head in band `h−1` (closer to the BS), and only band-0
+//! heads talk to the BS directly. §5.2 attributes the FCM baseline's
+//! congested-packet losses to exactly this multi-hop behaviour ("it takes
+//! multi-hops to transmit a packet to the BS under this model").
+
+use qlec_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Equal-width distance bands around the base station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    /// Number of bands (≥ 1).
+    pub levels: usize,
+    /// Outer radius of the farthest band (everything beyond is clamped
+    /// into the last band).
+    pub max_radius: f64,
+}
+
+impl Hierarchy {
+    /// Construct with validation.
+    pub fn new(levels: usize, max_radius: f64) -> Self {
+        assert!(levels >= 1, "hierarchy needs at least one level");
+        assert!(max_radius > 0.0 && max_radius.is_finite(), "max_radius must be positive");
+        Hierarchy { levels, max_radius }
+    }
+
+    /// Band index of a point at distance `d` from the BS: band 0 is the
+    /// innermost (closest to the BS), `levels − 1` the outermost.
+    pub fn level_of_distance(&self, d: f64) -> usize {
+        debug_assert!(d >= 0.0);
+        let width = self.max_radius / self.levels as f64;
+        ((d / width) as usize).min(self.levels - 1)
+    }
+
+    /// Band index of a position relative to `bs`.
+    pub fn level_of(&self, pos: Vec3, bs: Vec3) -> usize {
+        self.level_of_distance(pos.dist(bs))
+    }
+
+    /// Among `candidates` (position per candidate), find the index of the
+    /// best next-hop relay for a sender in `from_level` at `from_pos`:
+    /// the nearest candidate in a strictly lower band. `None` when the
+    /// sender is already in band 0 or no lower-band candidate exists (the
+    /// caller then goes direct to the BS).
+    pub fn next_hop(
+        &self,
+        from_pos: Vec3,
+        from_level: usize,
+        bs: Vec3,
+        candidates: &[(usize, Vec3)],
+    ) -> Option<usize> {
+        if from_level == 0 {
+            return None;
+        }
+        candidates
+            .iter()
+            .filter(|(_, p)| self.level_of(*p, bs) < from_level)
+            .min_by(|(_, a), (_, b)| {
+                a.dist_sq(from_pos).partial_cmp(&b.dist_sq(from_pos)).unwrap()
+            })
+            .map(|&(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_partition_distance() {
+        let h = Hierarchy::new(3, 90.0);
+        assert_eq!(h.level_of_distance(0.0), 0);
+        assert_eq!(h.level_of_distance(29.9), 0);
+        assert_eq!(h.level_of_distance(30.0), 1);
+        assert_eq!(h.level_of_distance(59.9), 1);
+        assert_eq!(h.level_of_distance(60.0), 2);
+        // Beyond the max radius clamps into the outermost band.
+        assert_eq!(h.level_of_distance(500.0), 2);
+    }
+
+    #[test]
+    fn level_of_position() {
+        let h = Hierarchy::new(2, 100.0);
+        let bs = Vec3::splat(50.0);
+        assert_eq!(h.level_of(Vec3::splat(50.0), bs), 0);
+        assert_eq!(h.level_of(Vec3::new(140.0, 50.0, 50.0), bs), 1);
+    }
+
+    #[test]
+    fn next_hop_picks_nearest_lower_band() {
+        let h = Hierarchy::new(3, 90.0);
+        let bs = Vec3::ZERO;
+        // Sender in band 2 (d = 80), candidates in bands 0, 1, 1.
+        let from = Vec3::new(80.0, 0.0, 0.0);
+        let candidates = vec![
+            (7usize, Vec3::new(10.0, 0.0, 0.0)),  // band 0, far from sender
+            (8, Vec3::new(45.0, 0.0, 0.0)),       // band 1, nearest
+            (9, Vec3::new(0.0, 45.0, 0.0)),       // band 1, farther
+        ];
+        assert_eq!(h.next_hop(from, 2, bs, &candidates), Some(8));
+    }
+
+    #[test]
+    fn band_zero_goes_direct() {
+        let h = Hierarchy::new(3, 90.0);
+        assert_eq!(h.next_hop(Vec3::ZERO, 0, Vec3::ZERO, &[(1, Vec3::ONE)]), None);
+    }
+
+    #[test]
+    fn no_lower_band_candidate_goes_direct() {
+        let h = Hierarchy::new(3, 90.0);
+        let bs = Vec3::ZERO;
+        let from = Vec3::new(80.0, 0.0, 0.0); // band 2
+        // Only candidates in the same band.
+        let candidates = vec![(1usize, Vec3::new(0.0, 80.0, 0.0))];
+        assert_eq!(h.next_hop(from, 2, bs, &candidates), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_levels_rejected() {
+        Hierarchy::new(0, 10.0);
+    }
+}

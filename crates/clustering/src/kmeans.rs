@@ -1,0 +1,301 @@
+//! k-means clustering (k-means++ seeding + Lloyd iterations).
+//!
+//! The paper's second comparator is "classic k-means clustering" and its
+//! Definition 2 reduction argument rests on the k-means problem: "divide
+//! \[the network\] into k subspaces and minimize the average distance to
+//! the nearest center". This is the textbook algorithm over node
+//! positions:
+//!
+//! * seeding by k-means++ (D² sampling) for robustness,
+//! * Lloyd iterations until the relative inertia improvement drops below
+//!   a tolerance or the iteration cap is hit,
+//! * empty clusters are re-seeded from the point currently farthest from
+//!   its centroid (keeps exactly `k` clusters alive).
+
+use qlec_geom::Vec3;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster centroids (`k` of them).
+    pub centroids: Vec<Vec3>,
+    /// Cluster index of every input point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids (the k-means
+    /// objective; the paper's `d_toCH` criterion in aggregate).
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Stop when inertia improves by less than this relative amount.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { max_iterations: 100, tolerance: 1e-6 }
+    }
+}
+
+/// k-means++ seeding: the first centroid uniform, each next one sampled
+/// with probability proportional to the squared distance to the nearest
+/// centroid chosen so far.
+pub fn kmeans_pp_init<R: Rng + ?Sized>(rng: &mut R, points: &[Vec3], k: usize) -> Vec<Vec3> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!points.is_empty(), "cannot seed on an empty point set");
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+    let mut d2: Vec<f64> = points.iter().map(|p| p.dist_sq(centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids: any point works.
+            points[rng.gen_range(0..points.len())]
+        } else {
+            let mut t = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if t < w {
+                    chosen = i;
+                    break;
+                }
+                t -= w;
+            }
+            points[chosen]
+        };
+        centroids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.dist_sq(next));
+        }
+    }
+    centroids
+}
+
+/// Index of the centroid nearest to `p` (ties to the lowest index).
+pub fn nearest_centroid(centroids: &[Vec3], p: Vec3) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = c.dist_sq(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Run k-means on `points` with `k` clusters.
+///
+/// ```
+/// use qlec_clustering::kmeans::{kmeans, KMeansConfig};
+/// use qlec_geom::Vec3;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let pts = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0),
+///                Vec3::new(100.0, 0.0, 0.0), Vec3::new(101.0, 0.0, 0.0)];
+/// let res = kmeans(&mut rng, &pts, 2, &KMeansConfig::default());
+/// assert_eq!(res.assignment[0], res.assignment[1]);
+/// assert_ne!(res.assignment[0], res.assignment[2]);
+/// ```
+///
+/// # Panics
+/// Panics when `points` is empty or `k == 0`. When `k >= points.len()`
+/// every point becomes its own centroid (inertia 0).
+pub fn kmeans<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &[Vec3],
+    k: usize,
+    cfg: &KMeansConfig,
+) -> KMeansResult {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let k = k.min(points.len());
+    let mut centroids = kmeans_pp_init(rng, points, k);
+    let mut assignment = vec![0usize; points.len()];
+    let mut prev_inertia = f64::INFINITY;
+    let mut iterations = 0;
+    let mut inertia = 0.0;
+
+    for it in 0..cfg.max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let c = nearest_centroid(&centroids, *p);
+            assignment[i] = c;
+            inertia += p.dist_sq(centroids[c]);
+        }
+        // Update step.
+        let mut sums = vec![Vec3::ZERO; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            sums[assignment[i]] += *p;
+            counts[assignment[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            } else {
+                // Empty cluster: re-seed from the worst-served point.
+                let (worst, _) = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        a.dist_sq(centroids[nearest_centroid(&centroids, **a)])
+                            .partial_cmp(
+                                &b.dist_sq(centroids[nearest_centroid(&centroids, **b)]),
+                            )
+                            .unwrap()
+                    })
+                    .expect("points is non-empty");
+                centroids[c] = points[worst];
+            }
+        }
+        // Convergence on relative inertia improvement.
+        if prev_inertia.is_finite() {
+            let denom = prev_inertia.max(f64::EPSILON);
+            if (prev_inertia - inertia) / denom < cfg.tolerance {
+                break;
+            }
+        }
+        prev_inertia = inertia;
+    }
+
+    // Final assignment against the last centroids.
+    let mut final_inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let c = nearest_centroid(&centroids, *p);
+        assignment[i] = c;
+        final_inertia += p.dist_sq(centroids[c]);
+    }
+    let _ = inertia;
+
+    KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlec_geom::sample::uniform_in_ball;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng, centers: &[Vec3], per: usize, radius: f64) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for &c in centers {
+            for _ in 0..per {
+                pts.push(uniform_in_ball(rng, c, radius));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(100.0, 0.0, 0.0),
+            Vec3::new(0.0, 100.0, 100.0),
+        ];
+        let pts = blobs(&mut rng, &centers, 50, 5.0);
+        let res = kmeans(&mut rng, &pts, 3, &KMeansConfig::default());
+        // Each true center must have a found centroid within the blob
+        // radius.
+        for c in centers {
+            let d = res
+                .centroids
+                .iter()
+                .map(|f| f.dist(c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 5.0, "no centroid near {c:?} (nearest at {d})");
+        }
+        // Points of a blob share an assignment.
+        for b in 0..3 {
+            let first = res.assignment[b * 50];
+            assert!(res.assignment[b * 50..(b + 1) * 50].iter().all(|&a| a == first));
+        }
+    }
+
+    #[test]
+    fn inertia_nonincreasing_with_more_clusters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = blobs(&mut rng, &[Vec3::ZERO, Vec3::splat(50.0)], 100, 20.0);
+        // Best of a few restarts to dodge local minima flakiness.
+        let best = |k: usize, rng: &mut StdRng| {
+            (0..5)
+                .map(|_| kmeans(rng, &pts, k, &KMeansConfig::default()).inertia)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let i2 = best(2, &mut rng);
+        let i4 = best(4, &mut rng);
+        let i8 = best(8, &mut rng);
+        assert!(i4 <= i2 + 1e-9, "i4 {i4} > i2 {i2}");
+        assert!(i8 <= i4 + 1e-9, "i8 {i8} > i4 {i4}");
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_inertia() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Vec3> = (0..10).map(|i| Vec3::splat(i as f64 * 7.0)).collect();
+        let res = kmeans(&mut rng, &pts, 10, &KMeansConfig::default());
+        assert!(res.inertia < 1e-9, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = vec![Vec3::ZERO, Vec3::ONE];
+        let res = kmeans(&mut rng, &pts, 10, &KMeansConfig::default());
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(4.0, 0.0, 0.0)];
+        let res = kmeans(&mut rng, &pts, 1, &KMeansConfig::default());
+        assert!(res.centroids[0].dist(Vec3::new(2.0, 0.0, 0.0)) < 1e-9);
+        assert_eq!(res.assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = vec![Vec3::ONE; 20];
+        let res = kmeans(&mut rng, &pts, 3, &KMeansConfig::default());
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = blobs(&mut rng, &[Vec3::ZERO, Vec3::splat(80.0)], 40, 10.0);
+        let res = kmeans(&mut rng, &pts, 2, &KMeansConfig::default());
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(res.assignment[i], nearest_centroid(&res.centroids, *p));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        kmeans(&mut rng, &[], 2, &KMeansConfig::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        kmeans(&mut rng, &[Vec3::ZERO], 0, &KMeansConfig::default());
+    }
+}

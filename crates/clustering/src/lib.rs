@@ -1,0 +1,34 @@
+//! Baseline clustering algorithms for the QLEC reproduction.
+//!
+//! §5 of the paper compares QLEC against "a newly proposed FCM-based
+//! algorithm \[14\] and classic k-means clustering"; §2 grounds both in the
+//! LEACH/DEEC lineage. This crate implements all four as raw algorithms
+//! *and* as [`qlec_net::Protocol`]s the simulator can drive:
+//!
+//! * [`kmeans`] — k-means++ seeding + Lloyd iterations
+//!   ([`protocols::KMeansProtocol`]: cluster head = the alive node nearest
+//!   each centroid; members single-hop to their cluster's head; heads
+//!   direct to the BS),
+//! * [`fcm`] — fuzzy C-means with the standard membership/center updates
+//!   ([`protocols::FcmProtocol`]: energy-weighted head choice within each
+//!   fuzzy cluster, plus the distance-band *hierarchy* of \[14\] with
+//!   multi-hop aggregate routing toward the BS),
+//! * [`leach`] — classic LEACH randomized rotation \[5\] (no energy
+//!   awareness — the weakness DEEC fixes),
+//! * [`heed`] — HEED \[17\], the hybrid distributed approach §2 cites
+//!   (iterative probability-doubling candidacy with an AMRP-style cost),
+//! * [`deec`] — plain DEEC \[11\]: residual-energy-weighted election
+//!   probabilities, nearest-head membership (no energy threshold, no
+//!   redundancy reduction, no Q-routing — the improvements QLEC adds live
+//!   in `qlec-core`).
+
+pub mod deec;
+pub mod fcm;
+pub mod heed;
+pub mod hierarchy;
+pub mod kmeans;
+pub mod leach;
+pub mod protocols;
+
+pub use heed::HeedProtocol;
+pub use protocols::{FcmProtocol, KMeansProtocol};

@@ -1,0 +1,396 @@
+//! Extension: energy-optimal multi-hop aggregate routing.
+//!
+//! The paper's QLEC sends every head's fused aggregate *directly* to the
+//! BS (Algorithm 1 line 14). Its own related work (QELAR \[6\],
+//! HyDRO \[2\]) routes multi-hop, and with a *remote* base station the
+//! first-order radio model makes direct transmission ruinous: the d⁴
+//! multi-path term dominates, while two half-length hops cost
+//! `2·(d/2)⁴ = d⁴/8` in amplifier energy (plus one extra
+//! reception/forwarding overhead). This module adds that capability as an
+//! explicitly-marked extension:
+//!
+//! * [`cheapest_route`] — exact minimum-energy path from a head to the BS
+//!   through the current head set (Dijkstra on the complete head graph;
+//!   edge weight = per-bit transmit energy + reception cost at the relay,
+//!   BS reception free),
+//! * [`MultiHopQlec`] — QLEC with `aggregate_route` overridden to the
+//!   Dijkstra path; everything else (selection, Q-routing) identical.
+//!
+//! The `multihop` experiment binary quantifies when this wins: never with
+//! the paper's centre BS (hops are short already), decisively with a
+//! surface/remote BS.
+
+use crate::params::QlecParams;
+use crate::qlec::QlecProtocol;
+use qlec_net::{Network, NodeId, Protocol, Target};
+use rand::RngCore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Per-bit cost of one hop of the aggregate path: transmit energy over
+/// distance `d` plus the relay's reception electronics (`to_bs` skips the
+/// reception — the BS is mains-powered).
+fn hop_cost(net: &Network, d: f64, to_bs: bool) -> f64 {
+    let tx = net.radio.tx_energy(1, d);
+    if to_bs {
+        tx
+    } else {
+        tx + net.radio.rx_energy(1)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties by node index for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact minimum-energy route from `from` to the BS through alive members
+/// of `heads` (Dijkstra over the complete graph of heads + BS).
+///
+/// Returns the hop sequence in simulator form (relays as
+/// [`Target::Head`], final [`Target::Bs`]) and its per-bit energy cost.
+/// A head with no alive relays simply gets the direct route.
+pub fn cheapest_route(net: &Network, from: NodeId, heads: &[NodeId]) -> (Vec<Target>, f64) {
+    // Node indexing: 0..h = alive heads (including `from` if present),
+    // h = the source (if not a listed head), last = BS.
+    let mut nodes: Vec<NodeId> = heads
+        .iter()
+        .copied()
+        .filter(|&h| h != from && net.node(h).is_alive())
+        .collect();
+    nodes.push(from);
+    let src = nodes.len() - 1;
+    let bs = nodes.len(); // virtual index
+
+    let n = nodes.len() + 1;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: src });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node] {
+            continue;
+        }
+        if node == bs {
+            break;
+        }
+        let pos = net.node(nodes[node]).pos;
+        // Edge to the BS.
+        let c_bs = cost + hop_cost(net, pos.dist(net.bs_pos()), true);
+        if c_bs < dist[bs] {
+            dist[bs] = c_bs;
+            prev[bs] = node;
+            heap.push(HeapEntry { cost: c_bs, node: bs });
+        }
+        // Edges to the other heads.
+        for (j, &other) in nodes.iter().enumerate() {
+            if j == node || j == src {
+                continue;
+            }
+            let c = cost + hop_cost(net, pos.dist(net.node(other).pos), false);
+            if c < dist[j] {
+                dist[j] = c;
+                prev[j] = node;
+                heap.push(HeapEntry { cost: c, node: j });
+            }
+        }
+    }
+
+    // Reconstruct src → … → BS.
+    let mut route = Vec::new();
+    let mut cur = bs;
+    while cur != src {
+        route.push(cur);
+        cur = prev[cur];
+        debug_assert!(cur != usize::MAX, "BS must be reachable (direct edge exists)");
+    }
+    route.reverse();
+    let targets = route
+        .into_iter()
+        .map(|i| if i == bs { Target::Bs } else { Target::Head(nodes[i]) })
+        .collect();
+    (targets, dist[bs])
+}
+
+/// QLEC with multi-hop aggregate routing (everything else verbatim).
+pub struct MultiHopQlec {
+    inner: QlecProtocol,
+}
+
+impl MultiHopQlec {
+    /// Multi-hop QLEC with the given parameters.
+    pub fn new(params: QlecParams) -> Self {
+        MultiHopQlec { inner: QlecProtocol::new(params).named("qlec-multihop") }
+    }
+
+    /// Paper parameters with a fixed cluster count.
+    pub fn paper_with_k(k: usize) -> Self {
+        Self::new(QlecParams::paper_with_k(k))
+    }
+
+    /// Access the wrapped protocol (diagnostics).
+    pub fn inner(&self) -> &QlecProtocol {
+        &self.inner
+    }
+}
+
+impl Protocol for MultiHopQlec {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_round_start(
+        &mut self,
+        net: &mut Network,
+        round: u32,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        self.inner.on_round_start(net, round, rng)
+    }
+
+    fn on_packet_start(&mut self, src: NodeId) {
+        self.inner.on_packet_start(src);
+    }
+
+    fn choose_target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target {
+        self.inner.choose_target(net, src, heads, rng)
+    }
+
+    fn on_hop_result(&mut self, src: NodeId, target: Target, success: bool) {
+        self.inner.on_hop_result(src, target, success);
+    }
+
+    fn aggregate_route(&mut self, net: &Network, head: NodeId, heads: &[NodeId]) -> Vec<Target> {
+        cheapest_route(net, head, heads).0
+    }
+
+    fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
+        self.inner.on_round_end(net, round, heads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlec_geom::Vec3;
+    use qlec_net::{NetworkBuilder, SimConfig, Simulator};
+    use qlec_radio::link::{AnyLink, IdealLink};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Heads on a line toward a remote BS: 0 at x=0, 1 at x=200, 2 at
+    /// x=400; BS at x=600. Direct from 0 costs ~600⁴·ε_mp; the relay
+    /// chain costs 3·(200⁴·ε_mp) + overheads — far cheaper.
+    fn line_net() -> Network {
+        NetworkBuilder::new()
+            .bs_at(Vec3::new(600.0, 0.0, 0.0))
+            .from_nodes(&[
+                (Vec3::new(0.0, 0.0, 0.0), 5.0),
+                (Vec3::new(200.0, 0.0, 0.0), 5.0),
+                (Vec3::new(400.0, 0.0, 0.0), 5.0),
+            ])
+    }
+
+    #[test]
+    fn relays_along_the_line() {
+        let net = line_net();
+        let heads = [NodeId(0), NodeId(1), NodeId(2)];
+        let (route, cost) = cheapest_route(&net, NodeId(0), &heads);
+        assert_eq!(
+            route,
+            vec![
+                Target::Head(NodeId(1)),
+                Target::Head(NodeId(2)),
+                Target::Bs
+            ]
+        );
+        // Cost must beat the direct shot.
+        let direct = net.radio.tx_energy(1, 600.0);
+        assert!(cost < direct, "relayed {cost} vs direct {direct}");
+    }
+
+    #[test]
+    fn near_bs_head_goes_direct() {
+        let net = line_net();
+        let heads = [NodeId(0), NodeId(1), NodeId(2)];
+        // Head 2 is 200 m from the BS; any relay would be a detour.
+        let (route, _) = cheapest_route(&net, NodeId(2), &heads);
+        assert_eq!(route, vec![Target::Bs]);
+    }
+
+    #[test]
+    fn no_heads_means_direct() {
+        let net = line_net();
+        let (route, cost) = cheapest_route(&net, NodeId(0), &[]);
+        assert_eq!(route, vec![Target::Bs]);
+        assert!((cost - net.radio.tx_energy(1, 600.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dead_relays_are_skipped() {
+        let mut net = line_net();
+        net.node_mut(NodeId(1)).battery.consume(10.0);
+        let heads = [NodeId(0), NodeId(1), NodeId(2)];
+        let (route, _) = cheapest_route(&net, NodeId(0), &heads);
+        // Only head 2 can relay now.
+        assert_eq!(route, vec![Target::Head(NodeId(2)), Target::Bs]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_head_sets() {
+        // Enumerate all simple paths over ≤ 4 heads and compare.
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..30 {
+            let net = {
+                let mut r2 = StdRng::seed_from_u64(100 + trial);
+                NetworkBuilder::new()
+                    .bs_at(Vec3::new(500.0, 250.0, 0.0))
+                    .uniform_cube(&mut r2, 5, 400.0, 5.0)
+            };
+            let heads: Vec<NodeId> = (1..5).map(NodeId).collect();
+            let (_, got) = cheapest_route(&net, NodeId(0), &heads);
+
+            // Brute force over permutations of head subsets.
+            let mut best = f64::INFINITY;
+            let ids: Vec<NodeId> = heads.clone();
+            let subsets = 1usize << ids.len();
+            for mask in 0..subsets {
+                let subset: Vec<NodeId> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id)
+                    .collect();
+                // All orderings of the subset.
+                let mut perm = subset.clone();
+                permutohedron_heap(&mut perm, &mut |order: &[NodeId]| {
+                    let mut cost = 0.0;
+                    let mut cur = NodeId(0);
+                    for &h in order {
+                        cost += hop_cost(&net, net.distance(cur, h), false);
+                        cur = h;
+                    }
+                    cost += hop_cost(&net, net.dist_to_bs(cur), true);
+                    if cost < best {
+                        best = cost;
+                    }
+                });
+            }
+            assert!(
+                (got - best).abs() < 1e-15 + best * 1e-12,
+                "trial {trial}: dijkstra {got} vs brute force {best}"
+            );
+            let _ = &mut rng;
+        }
+    }
+
+    /// Tiny Heap's-algorithm permutation visitor (test-only helper).
+    fn permutohedron_heap<T: Clone, F: FnMut(&[T])>(items: &mut [T], visit: &mut F) {
+        fn rec<T: Clone, F: FnMut(&[T])>(k: usize, items: &mut [T], visit: &mut F) {
+            if k <= 1 {
+                visit(items);
+                return;
+            }
+            for i in 0..k {
+                rec(k - 1, items, visit);
+                if k.is_multiple_of(2) {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        rec(items.len(), items, visit);
+    }
+
+    #[test]
+    fn multihop_beats_direct_with_remote_bs() {
+        let mk_net = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Batteries sized for the scenario: a 600 m multi-path shot
+            // costs ~20 J per fused aggregate, so 50 J nodes would die
+            // mid-duty and both variants would collapse to aggregate
+            // losses instead of measuring routing.
+            NetworkBuilder::new()
+                .link(AnyLink::Ideal(IdealLink))
+                .bs_at(Vec3::new(100.0, 100.0, 700.0)) // far above the cube
+                .uniform_cube(&mut rng, 60, 200.0, 500.0)
+        };
+        // Light traffic: with a remote BS every member chases the
+        // BS-nearest head (its V dominates), so heavy load would measure
+        // queue herding rather than aggregate routing.
+        let mut cfg = SimConfig::paper(20.0);
+        cfg.rounds = 8;
+        let mut rng = StdRng::seed_from_u64(2);
+        let direct = Simulator::new(mk_net(1), cfg)
+            .run(&mut QlecProtocol::paper_with_k(5), &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let multi = Simulator::new(mk_net(1), cfg)
+            .run(&mut MultiHopQlec::paper_with_k(5), &mut rng);
+        assert!(multi.totals.is_conserved());
+        // The last ~500 m to the BS is unavoidable for any route, so the
+        // saving comes only from replacing each head's own long shot with
+        // a relay chain to the best-placed head — a reliable double-digit
+        // percentage, not an order of magnitude.
+        assert!(
+            multi.total_energy() < 0.9 * direct.total_energy(),
+            "multi-hop {} J should clearly beat direct {} J with a remote BS",
+            multi.total_energy(),
+            direct.total_energy()
+        );
+        assert!(multi.pdr() > 0.9, "multi-hop PDR {}", multi.pdr());
+    }
+
+    #[test]
+    fn multihop_is_harmless_with_centre_bs() {
+        // With the paper's centre BS every head is close; Dijkstra should
+        // (almost always) return the direct route and match plain QLEC.
+        let mk_net = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            NetworkBuilder::new()
+                .link(AnyLink::Ideal(IdealLink))
+                .uniform_cube(&mut rng, 60, 200.0, 5.0)
+        };
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 6;
+        let mut rng = StdRng::seed_from_u64(3);
+        let direct = Simulator::new(mk_net(4), cfg)
+            .run(&mut QlecProtocol::paper_with_k(5), &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let multi = Simulator::new(mk_net(4), cfg)
+            .run(&mut MultiHopQlec::paper_with_k(5), &mut rng);
+        let ratio = multi.total_energy() / direct.total_energy();
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "centre-BS energy ratio {ratio} should be ≈ 1"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests on QLEC's cluster-head selection and Q-routing.
+
+use proptest::prelude::*;
+use qlec_core::deec_improved::{select_heads, SelectionFeatures};
+use qlec_core::kopt::coverage_radius;
+use qlec_core::params::QlecParams;
+use qlec_core::qrouting::QRouter;
+use qlec_geom::UniformGrid;
+use qlec_net::{NetworkBuilder, NodeId, Target};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Selection invariants across random deployments, rounds, and k:
+    /// heads are alive, unique, at most N, exactly k when enough alive
+    /// candidates exist, and pairwise separated when redundancy
+    /// reduction + top-up are on.
+    #[test]
+    fn selection_invariants(
+        seed in 0u64..1000,
+        n in 10usize..120,
+        k in 1usize..8,
+        round in 0u32..20,
+        drained in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0);
+        // Drain a few nodes completely.
+        for i in 0..drained.min(n) {
+            net.node_mut(NodeId(i as u32)).battery.consume(10.0);
+        }
+        let grid = UniformGrid::build(net.positions(), 8);
+        let params = QlecParams::paper();
+        let out = select_heads(
+            &mut net,
+            &grid,
+            round,
+            k,
+            &params,
+            SelectionFeatures::default(),
+            &mut rng,
+        );
+
+        let alive = net.alive_count();
+        // Exactly k heads whenever enough alive nodes exist; never more.
+        prop_assert!(out.heads.len() <= k);
+        if alive >= k {
+            prop_assert_eq!(out.heads.len(), k);
+        } else {
+            prop_assert!(out.heads.len() <= alive);
+        }
+        // Unique and alive.
+        let mut sorted = out.heads.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.heads.len());
+        for &h in &out.heads {
+            prop_assert!(net.node(h).is_alive(), "dead head {h}");
+            prop_assert_eq!(net.node(h).last_head_round, Some(round));
+        }
+        // Diagnostics are consistent.
+        prop_assert!(out.withdrawn <= out.elected);
+    }
+
+    /// With redundancy reduction and no top-up, surviving elected heads
+    /// are pairwise separated by more than d_c.
+    #[test]
+    fn redundancy_reduction_separation(
+        seed in 0u64..500,
+        n in 30usize..150,
+        k in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0);
+        let grid = UniformGrid::build(net.positions(), 8);
+        let features = SelectionFeatures { top_up: false, ..Default::default() };
+        let out = select_heads(
+            &mut net,
+            &grid,
+            0,
+            k,
+            &QlecParams::paper(),
+            features,
+            &mut rng,
+        );
+        let dc = coverage_radius(200.0, k);
+        // With simultaneous-HELLO semantics, two surviving heads within
+        // d_c would each have had to out-rank the other — impossible.
+        // (The top-up's trim can break this only via its own separation
+        // rule, hence top_up: false here; the singleton fallback head is
+        // trivially separated.)
+        for (i, &a) in out.heads.iter().enumerate() {
+            for &b in &out.heads[i + 1..] {
+                prop_assert!(
+                    net.distance(a, b) > dc,
+                    "heads {a} and {b} within d_c = {dc}"
+                );
+            }
+        }
+    }
+
+    /// Q-router outputs are always valid actions, and V values stay
+    /// bounded by r_max/(1−γ) under arbitrary interleavings of routing
+    /// decisions and ACK feedback.
+    #[test]
+    fn qrouter_bounded_and_valid(
+        seed in 0u64..500,
+        n in 5usize..40,
+        k in 1usize..6,
+        steps in 1usize..80,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0);
+        let params = QlecParams::paper();
+        let mut router = QRouter::new(&net, params);
+        let heads: Vec<NodeId> = (0..k.min(n) as u32).map(NodeId).collect();
+        use rand::Rng;
+        for step in 0..steps {
+            let src = NodeId((step % n) as u32);
+            let t = router.send_data(&net, src, &heads);
+            match t {
+                Target::Bs => {}
+                Target::Head(h) => prop_assert!(heads.contains(&h), "invalid head {h}"),
+            }
+            router.on_hop_result(src, t, rng.gen::<bool>());
+            if step % 5 == 0 {
+                for &h in &heads {
+                    router.head_update(&net, h, 0.5);
+                }
+            }
+        }
+        // Generous reward bound: |r| ≤ g + 2α₁ + α₂·y_max + l with
+        // y normalized so y ≤ diag³·…; use a loose constant.
+        let r_max = params.g + 2.0 * params.alpha1 + params.alpha2 * 16.0 + params.l;
+        let bound = r_max / (1.0 - params.gamma);
+        for i in 0..n as u32 {
+            let v = router.v_of(NodeId(i));
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() <= bound, "V({i}) = {v} exceeds {bound}");
+        }
+    }
+
+    /// The link estimator stays a probability under any feedback
+    /// sequence and converges toward all-success / all-failure extremes.
+    #[test]
+    fn link_estimator_stays_probability(
+        outcomes in prop::collection::vec(any::<bool>(), 1..300),
+        weight in 0.01f64..1.0,
+        prior in 0.0f64..1.0,
+    ) {
+        use qlec_core::qrouting::LinkEstimator;
+        let mut est = LinkEstimator::new(weight, prior);
+        let src = NodeId(0);
+        let t = Target::Head(NodeId(1));
+        for &ok in &outcomes {
+            est.record(src, t, ok);
+            let p = est.probability(src, t);
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Dataset analysis utilities: filtering, per-fuel summaries, and
+//! capacity histograms — the slice-and-dice a user performs before
+//! deploying a subset of the database as a sensor network (§5.3 uses the
+//! whole China subset; studies on top of this reproduction will not).
+
+use crate::records::{FuelType, PowerPlant};
+use qlec_geom::stats::Summary;
+
+/// Per-fuel aggregate of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuelSummary {
+    pub fuel: FuelType,
+    pub count: usize,
+    pub total_capacity_mw: f64,
+    pub mean_capacity_mw: f64,
+    pub max_capacity_mw: f64,
+}
+
+/// Summarize plant counts and capacities per fuel type (only fuels that
+/// occur are returned, ordered as in [`FuelType::ALL`]).
+pub fn fuel_breakdown(plants: &[PowerPlant]) -> Vec<FuelSummary> {
+    FuelType::ALL
+        .iter()
+        .filter_map(|&fuel| {
+            let caps: Vec<f64> = plants
+                .iter()
+                .filter(|p| p.fuel == fuel)
+                .map(|p| p.capacity_mw)
+                .collect();
+            if caps.is_empty() {
+                return None;
+            }
+            let total: f64 = caps.iter().sum();
+            Some(FuelSummary {
+                fuel,
+                count: caps.len(),
+                total_capacity_mw: total,
+                mean_capacity_mw: total / caps.len() as f64,
+                max_capacity_mw: caps.iter().copied().fold(0.0, f64::max),
+            })
+        })
+        .collect()
+}
+
+/// Plants with capacity in `[min_mw, max_mw]`.
+pub fn filter_by_capacity(plants: &[PowerPlant], min_mw: f64, max_mw: f64) -> Vec<PowerPlant> {
+    assert!(min_mw <= max_mw, "capacity range must be ordered");
+    plants
+        .iter()
+        .filter(|p| p.capacity_mw >= min_mw && p.capacity_mw <= max_mw)
+        .cloned()
+        .collect()
+}
+
+/// Plants of the given fuels.
+pub fn filter_by_fuel(plants: &[PowerPlant], fuels: &[FuelType]) -> Vec<PowerPlant> {
+    plants.iter().filter(|p| fuels.contains(&p.fuel)).cloned().collect()
+}
+
+/// Plants inside a longitude/latitude window (inclusive).
+pub fn filter_by_bbox(
+    plants: &[PowerPlant],
+    lon: (f64, f64),
+    lat: (f64, f64),
+) -> Vec<PowerPlant> {
+    assert!(lon.0 <= lon.1 && lat.0 <= lat.1, "bbox must be ordered");
+    plants
+        .iter()
+        .filter(|p| {
+            p.longitude >= lon.0
+                && p.longitude <= lon.1
+                && p.latitude >= lat.0
+                && p.latitude <= lat.1
+        })
+        .cloned()
+        .collect()
+}
+
+/// Log₁₀-binned capacity histogram: bucket `i` counts plants with
+/// `10^i ≤ capacity < 10^(i+1)` MW, starting at 1 MW. Returns
+/// `(bucket_lower_bounds_mw, counts)`.
+pub fn capacity_histogram(plants: &[PowerPlant]) -> (Vec<f64>, Vec<usize>) {
+    if plants.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let max = plants.iter().map(|p| p.capacity_mw).fold(0.0f64, f64::max);
+    let buckets = (max.log10().floor() as usize) + 1;
+    let mut counts = vec![0usize; buckets];
+    for p in plants {
+        let b = (p.capacity_mw.log10().floor().max(0.0) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    let bounds = (0..buckets).map(|i| 10f64.powi(i as i32)).collect();
+    (bounds, counts)
+}
+
+/// Capacity summary of the whole dataset (None when empty).
+pub fn capacity_summary(plants: &[PowerPlant]) -> Option<Summary> {
+    let caps: Vec<f64> = plants.iter().map(|p| p.capacity_mw).collect();
+    Summary::of(&caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_china, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plants() -> Vec<PowerPlant> {
+        let mut rng = StdRng::seed_from_u64(1);
+        generate_china(&mut rng, &GeneratorConfig { count: 800, ..Default::default() })
+    }
+
+    #[test]
+    fn breakdown_counts_add_up() {
+        let plants = plants();
+        let breakdown = fuel_breakdown(&plants);
+        let total: usize = breakdown.iter().map(|f| f.count).sum();
+        assert_eq!(total, plants.len());
+        for f in &breakdown {
+            assert!(f.mean_capacity_mw > 0.0);
+            assert!(f.max_capacity_mw >= f.mean_capacity_mw);
+            assert!(
+                (f.total_capacity_mw / f.count as f64 - f.mean_capacity_mw).abs() < 1e-9
+            );
+        }
+        // Coal dominates the synthetic mix, as in the real subset.
+        let coal = breakdown.iter().find(|f| f.fuel == FuelType::Coal).unwrap();
+        assert!(coal.count * 2 > plants.len() / 2);
+    }
+
+    #[test]
+    fn capacity_filter_is_tight() {
+        let plants = plants();
+        let mid = filter_by_capacity(&plants, 50.0, 500.0);
+        assert!(!mid.is_empty());
+        assert!(mid.iter().all(|p| (50.0..=500.0).contains(&p.capacity_mw)));
+        assert!(mid.len() < plants.len());
+        assert_eq!(filter_by_capacity(&plants, 1e9, 2e9).len(), 0);
+    }
+
+    #[test]
+    fn fuel_filter() {
+        let plants = plants();
+        let renewables = filter_by_fuel(&plants, &[FuelType::Hydro, FuelType::Wind, FuelType::Solar]);
+        assert!(!renewables.is_empty());
+        assert!(renewables
+            .iter()
+            .all(|p| matches!(p.fuel, FuelType::Hydro | FuelType::Wind | FuelType::Solar)));
+        assert!(filter_by_fuel(&plants, &[]).is_empty());
+    }
+
+    #[test]
+    fn bbox_filter_matches_manual_count() {
+        let plants = plants();
+        // Eastern China window.
+        let east = filter_by_bbox(&plants, (110.0, 135.0), (18.0, 54.0));
+        let manual = plants.iter().filter(|p| p.longitude >= 110.0).count();
+        assert_eq!(east.len(), manual);
+    }
+
+    #[test]
+    fn histogram_partitions_everything() {
+        let plants = plants();
+        let (bounds, counts) = capacity_histogram(&plants);
+        assert_eq!(bounds.len(), counts.len());
+        assert_eq!(counts.iter().sum::<usize>(), plants.len());
+        assert_eq!(bounds[0], 1.0);
+        // The log-normal mix spans several decades.
+        assert!(bounds.len() >= 3, "bounds: {bounds:?}");
+        // Empty input.
+        let (b, c) = capacity_histogram(&[]);
+        assert!(b.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn summary_exists_and_is_sane() {
+        let plants = plants();
+        let s = capacity_summary(&plants).unwrap();
+        assert!(s.min >= 1.0);
+        assert!(s.max <= 22_500.0);
+        assert!(s.median < s.mean, "log-normal capacities are right-skewed");
+        assert!(capacity_summary(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unordered_capacity_range_rejected() {
+        filter_by_capacity(&[], 10.0, 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthetic China power-plant generator.
+//!
+//! Produces a dataset statistically shaped like the real Global Power
+//! Plant Database's China subset (see DESIGN.md): plants cluster around
+//! province/population centres with a diffuse background, capacities are
+//! log-normal per fuel type spanning ~1 MW to ~22 500 MW, and everything
+//! stays inside the China bounding box. Deterministic given a seed.
+
+use crate::records::{FuelType, PowerPlant};
+use qlec_geom::randx;
+use rand::Rng;
+
+/// China bounding box (degrees): longitude 73–135 E, latitude 18–54 N.
+pub const CHINA_LON: (f64, f64) = (73.0, 135.0);
+/// See [`CHINA_LON`].
+pub const CHINA_LAT: (f64, f64) = (18.0, 54.0);
+
+/// Anchor cities the synthetic plants cluster around (approximate
+/// lon/lat of major load centres, east-heavy like the real grid).
+const ANCHORS: [(f64, f64, f64); 12] = [
+    // (lon, lat, relative weight)
+    (116.4, 39.9, 1.6),  // Beijing / Hebei
+    (121.5, 31.2, 1.8),  // Shanghai / Yangtze delta
+    (113.3, 23.1, 1.7),  // Guangzhou / Pearl delta
+    (104.1, 30.7, 1.0),  // Chengdu / Sichuan
+    (114.3, 30.6, 1.2),  // Wuhan
+    (108.9, 34.3, 0.9),  // Xi'an
+    (126.6, 45.8, 0.7),  // Harbin
+    (103.8, 36.1, 0.6),  // Lanzhou
+    (87.6, 43.8, 0.5),   // Ürümqi
+    (102.7, 25.0, 0.8),  // Kunming (hydro country)
+    (111.0, 30.8, 0.9),  // Yichang / Three Gorges
+    (117.0, 36.7, 1.3),  // Jinan / Shandong
+];
+
+/// Fuel mix: (fuel, share, log-normal μ of MW, σ). Shares roughly follow
+/// the real China subset (coal-heavy, lots of small hydro, growing
+/// wind/solar).
+const FUEL_MIX: [(FuelType, f64, f64, f64); 8] = [
+    (FuelType::Coal, 0.32, 5.5, 1.1),    // median ≈ 245 MW
+    (FuelType::Hydro, 0.30, 3.4, 1.5),   // median ≈ 30 MW, heavy tail
+    (FuelType::Wind, 0.16, 4.0, 0.8),    // median ≈ 55 MW
+    (FuelType::Solar, 0.12, 3.3, 0.9),   // median ≈ 27 MW
+    (FuelType::Gas, 0.05, 5.0, 1.0),
+    (FuelType::Biomass, 0.03, 3.0, 0.6),
+    (FuelType::Nuclear, 0.01, 7.3, 0.5), // median ≈ 1 500 MW
+    (FuelType::Oil, 0.01, 3.5, 0.8),
+];
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of plants (the paper's China subset: 2 896).
+    pub count: usize,
+    /// Fraction drawn from the diffuse background instead of an anchor
+    /// cluster.
+    pub background_fraction: f64,
+    /// Standard deviation (degrees) of the Gaussian scatter around an
+    /// anchor.
+    pub cluster_spread_deg: f64,
+    /// Capacity cap in MW (the Three Gorges scale).
+    pub max_capacity_mw: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            count: crate::CHINA_PLANT_COUNT,
+            background_fraction: 0.25,
+            cluster_spread_deg: 2.2,
+            max_capacity_mw: 22_500.0,
+        }
+    }
+}
+
+/// Generate a synthetic China dataset.
+pub fn generate_china<R: Rng + ?Sized>(rng: &mut R, cfg: &GeneratorConfig) -> Vec<PowerPlant> {
+    assert!(cfg.count > 0, "count must be positive");
+    assert!((0.0..=1.0).contains(&cfg.background_fraction));
+    let anchor_weights: Vec<f64> = ANCHORS.iter().map(|a| a.2).collect();
+    let fuel_weights: Vec<f64> = FUEL_MIX.iter().map(|f| f.1).collect();
+    let mut plants = Vec::with_capacity(cfg.count);
+    for i in 0..cfg.count {
+        // Location: anchored cluster or diffuse background.
+        let (lon, lat) = if rng.gen::<f64>() < cfg.background_fraction {
+            (
+                rng.gen_range(CHINA_LON.0..=CHINA_LON.1),
+                rng.gen_range(CHINA_LAT.0..=CHINA_LAT.1),
+            )
+        } else {
+            let a = ANCHORS[randx::weighted_index(rng, &anchor_weights).expect("weights > 0")];
+            (
+                randx::normal(rng, a.0, cfg.cluster_spread_deg),
+                randx::normal(rng, a.1, cfg.cluster_spread_deg),
+            )
+        };
+        let lon = lon.clamp(CHINA_LON.0, CHINA_LON.1);
+        let lat = lat.clamp(CHINA_LAT.0, CHINA_LAT.1);
+
+        // Fuel and capacity.
+        let (fuel, _, mu, sigma) =
+            FUEL_MIX[randx::weighted_index(rng, &fuel_weights).expect("weights > 0")];
+        let capacity = randx::log_normal(rng, mu, sigma)
+            .clamp(1.0, cfg.max_capacity_mw);
+
+        plants.push(PowerPlant {
+            name: format!("CN-{}-{:04}", fuel.as_str(), i),
+            fuel,
+            capacity_mw: capacity,
+            longitude: lon,
+            latitude: lat,
+        });
+    }
+    plants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn dataset(seed: u64) -> Vec<PowerPlant> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_china(&mut rng, &GeneratorConfig::default())
+    }
+
+    #[test]
+    fn generates_paper_count_inside_bbox() {
+        let plants = dataset(1);
+        assert_eq!(plants.len(), crate::CHINA_PLANT_COUNT);
+        for p in &plants {
+            assert!((CHINA_LON.0..=CHINA_LON.1).contains(&p.longitude), "{p:?}");
+            assert!((CHINA_LAT.0..=CHINA_LAT.1).contains(&p.latitude), "{p:?}");
+            assert!(p.capacity_mw >= 1.0 && p.capacity_mw <= 22_500.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(dataset(7), dataset(7));
+        assert_ne!(dataset(7), dataset(8));
+    }
+
+    #[test]
+    fn names_are_unique_and_csv_safe() {
+        let plants = dataset(2);
+        let mut names: Vec<&str> = plants.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), plants.len());
+        assert!(plants.iter().all(|p| !p.name.contains(',')));
+    }
+
+    #[test]
+    fn fuel_mix_roughly_matches_shares() {
+        let plants = dataset(3);
+        let mut counts: HashMap<FuelType, usize> = HashMap::new();
+        for p in &plants {
+            *counts.entry(p.fuel).or_default() += 1;
+        }
+        let n = plants.len() as f64;
+        let coal = counts[&FuelType::Coal] as f64 / n;
+        let hydro = counts[&FuelType::Hydro] as f64 / n;
+        assert!((coal - 0.32).abs() < 0.05, "coal share {coal}");
+        assert!((hydro - 0.30).abs() < 0.05, "hydro share {hydro}");
+    }
+
+    #[test]
+    fn capacities_span_orders_of_magnitude() {
+        let plants = dataset(4);
+        let min = plants.iter().map(|p| p.capacity_mw).fold(f64::INFINITY, f64::min);
+        let max = plants.iter().map(|p| p.capacity_mw).fold(0.0f64, f64::max);
+        assert!(min < 20.0, "min capacity {min}");
+        assert!(max > 3_000.0, "max capacity {max}");
+    }
+
+    #[test]
+    fn plants_cluster_in_the_east() {
+        // The anchor weighting is east-heavy, like the real grid: more
+        // than half the plants are east of 105 °E.
+        let plants = dataset(5);
+        let east = plants.iter().filter(|p| p.longitude > 105.0).count();
+        assert!(
+            east * 2 > plants.len(),
+            "only {east}/{} plants east of 105°E",
+            plants.len()
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip_of_generated_data() {
+        let plants = dataset(6);
+        let csv = crate::records::to_csv(&plants);
+        let parsed = crate::records::from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), plants.len());
+        // Floats survive the decimal round-trip to full precision via
+        // Rust's shortest-roundtrip formatting.
+        assert_eq!(parsed, plants);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic Global Power Plant Database substitute.
+//!
+//! §5.3 of the paper evaluates QLEC "based on a large-scale dataset of
+//! nodes with given energy in China from Global Power Plant Database
+//! \[3\]": 2 896 plants, each plant treated as a sensor whose initial
+//! energy derives from its capacity, with "a height value randomly
+//! assigned to each node to convert the 2-dimensional network … into a
+//! 3-dimensional one".
+//!
+//! The real database is a CSV on the WRI website; this crate generates a
+//! *synthetic* dataset with the same schema and the statistics the
+//! experiment actually exercises (see DESIGN.md §1, substitutions):
+//!
+//! * exactly [`CHINA_PLANT_COUNT`] plants inside the China bounding box,
+//! * spatial *clustering* (plants concentrate around province/population
+//!   centres, with a diffuse background),
+//! * log-normal capacities spanning the real database's range
+//!   (~1 MW to ~22 500 MW, the Three Gorges outlier included),
+//! * a realistic fuel-type mix.
+//!
+//! [`analysis`] offers filtering and per-fuel summaries, 
+//! [`records::PowerPlant`] round-trips through CSV, and
+//! [`deploy::to_network`] converts a dataset into a `qlec_net::Network`
+//! (projected coordinates, random height, capacity→energy mapping) ready
+//! for the Fig. 4 experiment.
+
+pub mod analysis;
+pub mod deploy;
+pub mod generator;
+pub mod records;
+
+pub use deploy::{to_network, DeployConfig};
+pub use generator::{generate_china, GeneratorConfig};
+pub use records::{FuelType, PowerPlant};
+
+/// Number of plants in the paper's China subset: "we have 2896 nodes in
+/// China in total, not counting the base station".
+pub const CHINA_PLANT_COUNT: usize = 2_896;

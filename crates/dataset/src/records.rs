@@ -1,0 +1,210 @@
+//! Power-plant records and CSV round-tripping.
+//!
+//! The schema mirrors the columns of the real Global Power Plant
+//! Database that the experiment touches: name, fuel, capacity (MW), and
+//! WGS-84 coordinates. CSV parsing is hand-rolled (the format here is
+//! plain comma-separated with no embedded commas in generated names —
+//! validated on write).
+
+use serde::{Deserialize, Serialize};
+
+/// Primary fuel of a plant (the real database's `primary_fuel` column,
+/// reduced to the major categories of the China subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuelType {
+    Coal,
+    Hydro,
+    Wind,
+    Solar,
+    Gas,
+    Nuclear,
+    Biomass,
+    Oil,
+}
+
+impl FuelType {
+    /// All fuel types, for iteration.
+    pub const ALL: [FuelType; 8] = [
+        FuelType::Coal,
+        FuelType::Hydro,
+        FuelType::Wind,
+        FuelType::Solar,
+        FuelType::Gas,
+        FuelType::Nuclear,
+        FuelType::Biomass,
+        FuelType::Oil,
+    ];
+
+    /// CSV label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FuelType::Coal => "Coal",
+            FuelType::Hydro => "Hydro",
+            FuelType::Wind => "Wind",
+            FuelType::Solar => "Solar",
+            FuelType::Gas => "Gas",
+            FuelType::Nuclear => "Nuclear",
+            FuelType::Biomass => "Biomass",
+            FuelType::Oil => "Oil",
+        }
+    }
+
+    /// Parse a CSV label.
+    pub fn parse(s: &str) -> Option<FuelType> {
+        FuelType::ALL.iter().copied().find(|f| f.as_str() == s)
+    }
+}
+
+/// One plant record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerPlant {
+    /// Synthetic plant name (no commas — enforced on CSV write).
+    pub name: String,
+    /// Primary fuel.
+    pub fuel: FuelType,
+    /// Installed capacity in megawatts.
+    pub capacity_mw: f64,
+    /// WGS-84 longitude, degrees east.
+    pub longitude: f64,
+    /// WGS-84 latitude, degrees north.
+    pub latitude: f64,
+}
+
+/// CSV header line.
+pub const CSV_HEADER: &str = "name,primary_fuel,capacity_mw,longitude,latitude";
+
+/// Serialize records to CSV (header + one line per plant).
+///
+/// # Panics
+/// Panics if a name contains a comma or newline (generated names never
+/// do; foreign data should be sanitized first).
+pub fn to_csv(plants: &[PowerPlant]) -> String {
+    let mut out = String::with_capacity(64 * (plants.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for p in plants {
+        assert!(
+            !p.name.contains(',') && !p.name.contains('\n'),
+            "plant name {:?} cannot be CSV-serialized",
+            p.name
+        );
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.name, p.fuel.as_str(), p.capacity_mw, p.longitude, p.latitude
+        ));
+    }
+    out
+}
+
+/// Parse the CSV produced by [`to_csv`]. Returns a descriptive error on
+/// the first malformed line.
+pub fn from_csv(text: &str) -> Result<Vec<PowerPlant>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == CSV_HEADER => {}
+        Some(h) => return Err(format!("unexpected header {h:?}")),
+        None => return Err("empty input".into()),
+    }
+    let mut plants = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("line {}: expected 5 fields, got {}", i + 2, fields.len()));
+        }
+        let fuel = FuelType::parse(fields[1])
+            .ok_or_else(|| format!("line {}: unknown fuel {:?}", i + 2, fields[1]))?;
+        let parse_f = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|e| format!("line {}: bad {what}: {e}", i + 2))
+        };
+        let capacity_mw = parse_f(fields[2], "capacity")?;
+        let longitude = parse_f(fields[3], "longitude")?;
+        let latitude = parse_f(fields[4], "latitude")?;
+        if capacity_mw <= 0.0 {
+            return Err(format!("line {}: non-positive capacity", i + 2));
+        }
+        plants.push(PowerPlant {
+            name: fields[0].to_string(),
+            fuel,
+            capacity_mw,
+            longitude,
+            latitude,
+        });
+    }
+    Ok(plants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PowerPlant> {
+        vec![
+            PowerPlant {
+                name: "CN-Coal-0001".into(),
+                fuel: FuelType::Coal,
+                capacity_mw: 1320.0,
+                longitude: 116.4,
+                latitude: 39.9,
+            },
+            PowerPlant {
+                name: "CN-Hydro-0002".into(),
+                fuel: FuelType::Hydro,
+                capacity_mw: 22500.0,
+                longitude: 111.0,
+                latitude: 30.8,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let plants = sample();
+        let csv = to_csv(&plants);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed, plants);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        assert!(from_csv("nope\nx").is_err());
+        assert!(from_csv("").is_err());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        let bad_fields = format!("{CSV_HEADER}\na,b,c\n");
+        assert!(from_csv(&bad_fields).unwrap_err().contains("5 fields"));
+        let bad_fuel = format!("{CSV_HEADER}\nX,Plasma,1,2,3\n");
+        assert!(from_csv(&bad_fuel).unwrap_err().contains("unknown fuel"));
+        let bad_cap = format!("{CSV_HEADER}\nX,Coal,zero,2,3\n");
+        assert!(from_csv(&bad_cap).unwrap_err().contains("bad capacity"));
+        let neg_cap = format!("{CSV_HEADER}\nX,Coal,-5,2,3\n");
+        assert!(from_csv(&neg_cap).unwrap_err().contains("non-positive"));
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let csv = format!("{}\n\n{}", CSV_HEADER, "X,Coal,10,100,30\n\n");
+        assert_eq!(from_csv(&csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fuel_labels_roundtrip() {
+        for f in FuelType::ALL {
+            assert_eq!(FuelType::parse(f.as_str()), Some(f));
+        }
+        assert_eq!(FuelType::parse("Plasma"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn comma_in_name_rejected() {
+        let mut plants = sample();
+        plants[0].name = "a,b".into();
+        to_csv(&plants);
+    }
+}

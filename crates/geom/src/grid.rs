@@ -1,0 +1,290 @@
+//! Uniform-grid spatial index for fixed point sets.
+//!
+//! Algorithm 3 of the paper (redundancy reduction) requires, for every
+//! freshly elected cluster head, the set of nodes within the cluster
+//! coverage radius `d_c` — a classic fixed-radius neighbour query. With
+//! `N = 2 896` nodes (§5.3) and up to `k = 272` heads per round, a naive
+//! `O(N·k)` scan per round is affordable but wasteful; the grid makes each
+//! query touch only the cells overlapping the query ball.
+//!
+//! The index is built once per deployment (node positions are static in the
+//! paper's model) and queried many times per round.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// A uniform spatial hash over a fixed set of points.
+///
+/// ```
+/// use qlec_geom::{UniformGrid, Vec3};
+/// let points = vec![Vec3::ZERO, Vec3::splat(10.0), Vec3::splat(100.0)];
+/// let grid = UniformGrid::build(points, 4);
+/// let near_origin = grid.within_radius(Vec3::ZERO, 20.0);
+/// assert_eq!(near_origin.len(), 2); // the origin and (10,10,10)
+/// assert_eq!(grid.nearest(Vec3::splat(90.0)), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    bounds: Aabb,
+    /// Number of cells along each axis (at least 1).
+    dims: [usize; 3],
+    /// Side lengths of one cell.
+    cell: Vec3,
+    /// CSR-style layout: `starts[c]..starts[c+1]` indexes into `entries`
+    /// for cell `c`. Avoids one `Vec` allocation per cell.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+    points: Vec<Vec3>,
+}
+
+impl UniformGrid {
+    /// Build a grid over `points` with roughly `target_per_cell` points per
+    /// cell on average. An empty point set yields a valid, empty index.
+    pub fn build(points: Vec<Vec3>, target_per_cell: usize) -> Self {
+        assert!(target_per_cell > 0, "target_per_cell must be positive");
+        let bounds = Aabb::enclosing(&points)
+            .unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
+        let n = points.len().max(1);
+        // Cube-root heuristic: total cells ≈ n / target_per_cell, split
+        // evenly across the three axes.
+        let cells_total = (n / target_per_cell).max(1);
+        let per_axis = (cells_total as f64).cbrt().ceil().max(1.0) as usize;
+        Self::build_with_dims(points, bounds, [per_axis; 3])
+    }
+
+    /// Build with explicit cell counts per axis (mainly for tests).
+    pub fn build_with_dims(points: Vec<Vec3>, bounds: Aabb, dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "grid dims must be positive");
+        let ext = bounds.extent();
+        let cell = Vec3::new(
+            if ext.x > 0.0 { ext.x / dims[0] as f64 } else { 1.0 },
+            if ext.y > 0.0 { ext.y / dims[1] as f64 } else { 1.0 },
+            if ext.z > 0.0 { ext.z / dims[2] as f64 } else { 1.0 },
+        );
+        let ncells = dims[0] * dims[1] * dims[2];
+
+        // Counting sort of points into cells.
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: Vec3| -> usize {
+            let rel = p - bounds.min();
+            let ix = ((rel.x / cell.x) as usize).min(dims[0] - 1);
+            let iy = ((rel.y / cell.y) as usize).min(dims[1] - 1);
+            let iz = ((rel.z / cell.z) as usize).min(dims[2] - 1);
+            (iz * dims[1] + iy) * dims[0] + ix
+        };
+        for &p in &points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        UniformGrid { bounds, dims, cell, starts, entries, points }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in the order indices refer to.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    #[inline]
+    fn axis_range(&self, lo: f64, hi: f64, axis: usize) -> (usize, usize) {
+        let min = self.bounds.min()[axis];
+        let c = self.cell[axis];
+        let a = (((lo - min) / c).floor().max(0.0)) as usize;
+        let b = (((hi - min) / c).floor().max(0.0)) as usize;
+        (a.min(self.dims[axis] - 1), b.min(self.dims[axis] - 1))
+    }
+
+    /// Indices of all points within `radius` of `center` (inclusive),
+    /// appended to `out` in unspecified order. `out` is cleared first.
+    ///
+    /// This is the HELLO-broadcast primitive of Algorithm 3.
+    pub fn within_radius_into(&self, center: Vec3, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.points.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let (x0, x1) = self.axis_range(center.x - radius, center.x + radius, 0);
+        let (y0, y1) = self.axis_range(center.y - radius, center.y + radius, 1);
+        let (z0, z1) = self.axis_range(center.z - radius, center.z + radius, 2);
+        for iz in z0..=z1 {
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    let c = (iz * self.dims[1] + iy) * self.dims[0] + ix;
+                    let s = self.starts[c] as usize;
+                    let e = self.starts[c + 1] as usize;
+                    for &idx in &self.entries[s..e] {
+                        if self.points[idx as usize].dist_sq(center) <= r_sq {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh `Vec`.
+    pub fn within_radius(&self, center: Vec3, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.within_radius_into(center, radius, &mut out);
+        out
+    }
+
+    /// Index of the point nearest to `q`, or `None` if empty.
+    ///
+    /// Expanding-ring search over grid shells; falls back to a full scan
+    /// once the ring covers the whole grid (worst case, still correct).
+    pub fn nearest(&self, q: Vec3) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Simple and robust: expanding radius doubling from one cell size.
+        let mut radius = self.cell.x.max(self.cell.y).max(self.cell.z);
+        let max_radius = self.bounds.diagonal() + radius + q.dist(self.bounds.closest_point(q));
+        let mut buf = Vec::new();
+        loop {
+            self.within_radius_into(q, radius, &mut buf);
+            if let Some(&best) = buf.iter().min_by(|&&a, &&b| {
+                self.points[a as usize]
+                    .dist_sq(q)
+                    .partial_cmp(&self.points[b as usize].dist_sq(q))
+                    .unwrap()
+            }) {
+                // A point found at distance d is only guaranteed nearest if
+                // d <= radius (all closer candidates were inside the ball).
+                let d = self.points[best as usize].dist(q);
+                if d <= radius {
+                    return Some(best);
+                }
+            }
+            if radius > max_radius {
+                // Exhaustive fallback (ring already covered everything).
+                return (0..self.points.len() as u32).min_by(|&a, &b| {
+                    self.points[a as usize]
+                        .dist_sq(q)
+                        .partial_cmp(&self.points[b as usize].dist_sq(q))
+                        .unwrap()
+                });
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::uniform_points_in_aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn brute_within(points: &[Vec3], c: Vec3, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist_sq(c) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let g = UniformGrid::build(Vec::new(), 4);
+        assert!(g.is_empty());
+        assert!(g.within_radius(Vec3::ZERO, 10.0).is_empty());
+        assert!(g.nearest(Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let g = UniformGrid::build(vec![Vec3::splat(5.0)], 4);
+        assert_eq!(g.nearest(Vec3::ZERO), Some(0));
+        assert_eq!(g.within_radius(Vec3::splat(5.0), 0.0), vec![0]);
+        assert!(g.within_radius(Vec3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = Aabb::cube(200.0);
+        let pts = uniform_points_in_aabb(&mut rng, &b, 800);
+        let g = UniformGrid::build(pts.clone(), 8);
+        for center in uniform_points_in_aabb(&mut rng, &b, 50) {
+            for &r in &[0.0, 5.0, 30.0, 77.2, 250.0] {
+                let mut got = g.within_radius(center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, center, r), "center {center:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = Aabb::cube(100.0);
+        let pts = uniform_points_in_aabb(&mut rng, &b, 500);
+        let g = UniformGrid::build(pts.clone(), 8);
+        // Include query points outside the bounds.
+        let mut queries = uniform_points_in_aabb(&mut rng, &b, 40);
+        queries.push(Vec3::splat(-50.0));
+        queries.push(Vec3::splat(500.0));
+        for q in queries {
+            let got = g.nearest(q).unwrap();
+            let best = pts
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.dist_sq(q).partial_cmp(&b.dist_sq(q)).unwrap())
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            assert_eq!(
+                pts[got as usize].dist(q),
+                pts[best as usize].dist(q),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_coplanar_points() {
+        // All points on a plane (zero extent along z): grid must not panic
+        // and queries must stay correct.
+        let pts: Vec<Vec3> = (0..100)
+            .map(|i| Vec3::new(i as f64, (i * 7 % 13) as f64, 0.0))
+            .collect();
+        let g = UniformGrid::build(pts.clone(), 4);
+        let got = g.within_radius(Vec3::new(50.0, 5.0, 0.0), 10.0);
+        let want = brute_within(&pts, Vec3::new(50.0, 5.0, 0.0), 10.0);
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let pts = vec![Vec3::ONE; 10];
+        let g = UniformGrid::build(pts, 2);
+        assert_eq!(g.within_radius(Vec3::ONE, 0.5).len(), 10);
+    }
+}

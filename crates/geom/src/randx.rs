@@ -1,0 +1,199 @@
+//! Distribution sampling on top of `rand`.
+//!
+//! The simulator needs three non-uniform distributions:
+//!
+//! * **Exponential** — Poisson packet inter-arrival times (§5.2: "the packet
+//!   generation time in the network follows the poisson distribution" with
+//!   mean inter-arrival λ),
+//! * **Normal** — log-normal capacities and noise terms (Box–Muller),
+//! * **Log-normal** — synthetic power-plant capacities (§5.3 substitute) and
+//!   the optional shadowing link model.
+//!
+//! They are implemented here (a few lines each, inverse-CDF / Box–Muller)
+//! rather than adding a `rand_distr` dependency; see DESIGN.md §5.
+
+use rand::Rng;
+
+/// Sample an exponential random variable with the given **mean** (scale
+/// parameter, i.e. `1/rate`).
+///
+/// Inverse-CDF method: `-mean · ln(1-U)` with `U ~ Uniform[0,1)`; `1-U` is
+/// in `(0,1]` so the logarithm is finite.
+///
+/// # Panics
+/// Panics if `mean` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive, got {mean}");
+    let u: f64 = rng.gen::<f64>(); // in [0, 1)
+    -mean * (1.0 - u).ln()
+}
+
+/// Sample a standard normal random variable via Box–Muller.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 from (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a normal random variable with the given mean and standard
+/// deviation.
+///
+/// # Panics
+/// Panics if `std_dev` is negative or either parameter is non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite());
+    mean + std_dev * std_normal(rng)
+}
+
+/// Sample a log-normal random variable: `exp(N(mu, sigma))` where `mu` and
+/// `sigma` are the mean and standard deviation *of the underlying normal*.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a Poisson-distributed count with the given mean (Knuth's method
+/// for small means, normal approximation above 30).
+///
+/// Used to decide how many packets a node generates in a fixed window when
+/// an event-level arrival sequence is not required.
+pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "poisson mean must be non-negative, got {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction; clamped at 0.
+        let x = normal(rng, mean, mean.sqrt()) + 0.5;
+        return x.max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Sample an index in `0..weights.len()` with probability proportional to
+/// `weights[i]`. Returns `None` when the total weight is not positive.
+///
+/// The DEEC/LEACH election is threshold-based rather than roulette-based,
+/// but the dataset generator and some tests use weighted choices.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+    if total <= 0.0 || total.is_nan() {
+        return None;
+    }
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if t < w {
+            return Some(i);
+        }
+        t -= w;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9E37_79B9)
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean = 2.5;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exponential(&mut r, mean);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() < 0.03, "empirical mean {emp} far from {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_zero_mean() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let (mu, sd) = (3.0, 2.0);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = normal(&mut r, mu, sd);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - mu).abs() < 0.03, "mean {mean}");
+        assert!((var - sd * sd).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_correct_median() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut vals: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 1.0, 0.75)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[n / 2];
+        // Median of LogNormal(mu, sigma) is e^mu.
+        assert!((median - 1f64.exp()).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for &mean in &[0.5, 4.0, 80.0] {
+            let n = 50_000;
+            let total: u64 = (0..n).map(|_| poisson_count(&mut r, mean)).sum();
+            let emp = total as f64 / n as f64;
+            assert!((emp - mean).abs() < 0.05 * mean.max(1.0), "mean {mean} emp {emp}");
+        }
+        assert_eq!(poisson_count(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 5.0]), Some(1));
+    }
+}

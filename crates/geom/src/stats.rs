@@ -1,0 +1,295 @@
+//! Streaming and batch statistics.
+//!
+//! The evaluation section reports means (packet delivery rate, energy,
+//! latency) and the large-scale experiment reasons about the *spread* of
+//! per-node energy-consumption rates (Fig. 4: "nodes with high energy
+//! consumption rate … are evenly distributed"). [`Welford`] provides a
+//! numerically-stable one-pass mean/variance; [`Summary`] computes batch
+//! percentiles; [`pearson`] quantifies spatial evenness for the Fig. 4
+//! harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable under long accumulation (millions of packet latencies
+/// in the congestion sweeps) — naive sum-of-squares cancels catastrophically
+/// there.
+///
+/// ```
+/// use qlec_geom::stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0] { w.push(x); }
+/// assert_eq!(w.mean(), Some(2.0));
+/// assert_eq!(w.variance(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`None` with fewer than two observations).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel reduction — the
+    /// λ-sweep harness folds per-thread accumulators with this).
+    pub fn merge(&mut self, o: &Welford) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = o.n as f64;
+        let delta = o.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += o.m2 + delta * delta * n1 * n2 / n;
+        self.n += o.n;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// Batch summary with percentiles (sorts a copy of the data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty slice; `None` when empty or containing
+    /// non-finite values.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut w = Welford::new();
+        for &x in data {
+            w.push(x);
+        }
+        Some(Summary {
+            count: data.len(),
+            mean: w.mean().unwrap(),
+            std_dev: w.std_dev().unwrap_or(0.0),
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.5),
+            p75: percentile_sorted(&sorted, 0.75),
+            p95: percentile_sorted(&sorted, 0.95),
+            max: *sorted.last().unwrap(),
+        })
+    }
+
+    /// Coefficient of variation (σ/μ); `None` when the mean is ~zero.
+    /// Fig. 4's "evenly dissipated" claim is asserted as a low CV of
+    /// per-node consumption rates.
+    pub fn coeff_of_variation(&self) -> Option<f64> {
+        (self.mean.abs() > f64::EPSILON).then(|| self.std_dev / self.mean)
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice, `q ∈ [0,1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Pearson correlation coefficient of two equal-length samples; `None` when
+/// either side has (near-)zero variance or lengths differ / are < 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Arithmetic mean of a slice; `None` when empty.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Population variance is 4; unbiased sample variance is 32/7.
+        assert!((w.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min().unwrap(), 2.0);
+        assert_eq!(w.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance(), None);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), Some(3.0));
+        assert_eq!(w1.variance(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = Welford::new();
+        for &x in &data {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-9);
+        // Merging an empty accumulator is a no-op.
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), before.count());
+    }
+
+    #[test]
+    fn percentiles() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_sorted(&sorted, 0.25), 2.0);
+        // Interpolation between ranks.
+        assert!((percentile_sorted(&[0.0, 10.0], 0.3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        let cv = s.coeff_of_variation().unwrap();
+        assert!((cv - s.std_dev / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+        // Zero variance on one side.
+        assert!(pearson(&xs, &[5.0; 4]).is_none());
+        // Length mismatch.
+        assert!(pearson(&xs, &ys[..3]).is_none());
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,359 @@
+//! A minimal `f64` 3-vector.
+//!
+//! Positions, displacements, and centroids in the simulator are all `Vec3`.
+//! The type is `Copy` (24 bytes) so it is passed by value everywhere; the
+//! paper's distance quantities (`d_toCH`, `d_toBS`, `d_c`) are plain
+//! Euclidean norms of differences of these vectors.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A point or displacement in 3-D Euclidean space.
+///
+/// ```
+/// use qlec_geom::Vec3;
+/// let a = Vec3::new(3.0, 4.0, 0.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a.dist(Vec3::ZERO), 5.0);
+/// assert_eq!((a + Vec3::ONE) - Vec3::ONE, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Create a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A vector with all three components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to `o`.
+    ///
+    /// Preferred in hot paths (candidate filtering, nearest-neighbour
+    /// pruning) because it avoids the square root; the radio energy model's
+    /// free-space term is itself proportional to `d²` (Eq. 18), so many
+    /// callers never need the root at all.
+    #[inline]
+    pub fn dist_sq(self, o: Vec3) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Euclidean distance to `o`.
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.dist_sq(o).sqrt()
+    }
+
+    /// Unit vector in the direction of `self`; `None` for (near-)zero input.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > f64::EPSILON {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `o` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Clamp every component into `[lo, hi]` (component-wise bounds).
+    #[inline]
+    pub fn clamp(self, lo: Vec3, hi: Vec3) -> Vec3 {
+        self.max(lo).min(hi)
+    }
+
+    /// `true` iff all three components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    fn from(t: (f64, f64, f64)) -> Self {
+        Vec3::new(t.0, t.1, t.2)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+/// Arithmetic mean of a non-empty slice of points (cluster centroid).
+pub fn centroid(points: &[Vec3]) -> Option<Vec3> {
+    if points.is_empty() {
+        return None;
+    }
+    Some(points.iter().copied().sum::<Vec3>() / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        // Cross product is anti-commutative.
+        assert_eq!(b.cross(a), Vec3::new(0.0, 0.0, -1.0));
+        // Cross product is orthogonal to both operands.
+        let u = Vec3::new(1.5, -2.0, 0.25);
+        let v = Vec3::new(-0.5, 3.0, 7.0);
+        let w = u.cross(v);
+        assert!(w.dot(u).abs() < 1e-12);
+        assert!(w.dot(v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let b = Vec3::new(3.0, 4.0, 12.0);
+        assert_eq!(a.dist(b), 12.0);
+        assert_eq!(a.dist_sq(b), 144.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let a = Vec3::new(0.0, 0.0, 9.0);
+        assert_eq!(a.normalized().unwrap(), Vec3::new(0.0, 0.0, 1.0));
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Vec3::new(1.0, 5.0, -3.0);
+        let b = Vec3::new(2.0, 4.0, -4.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, -4.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -3.0));
+        let c = a.clamp(Vec3::ZERO, Vec3::splat(2.0));
+        assert_eq!(c, Vec3::new(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn indexing_and_conversions() {
+        let a = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(a[0], 7.0);
+        assert_eq!(a[1], 8.0);
+        assert_eq!(a[2], 9.0);
+        assert_eq!(Vec3::from([7.0, 8.0, 9.0]), a);
+        assert_eq!(Vec3::from((7.0, 8.0, 9.0)), a);
+        assert_eq!(a.to_array(), [7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ONE[3];
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        assert!(centroid(&[]).is_none());
+        let pts = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 2.0, 2.0)];
+        assert_eq!(centroid(&pts).unwrap(), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let pts = [Vec3::splat(1.0), Vec3::splat(2.0), Vec3::splat(3.0)];
+        let s: Vec3 = pts.iter().copied().sum();
+        assert_eq!(s, Vec3::splat(6.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

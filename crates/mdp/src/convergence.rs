@@ -1,0 +1,174 @@
+//! Update counting and convergence detection.
+//!
+//! Lemma 3 of the paper: "Q-learning algorithm runs in `O(kX)` time until
+//! it converges, where … `X` is the times of calculations to make V values
+//! converge." [`UpdateCounter`] measures exactly that `X`;
+//! [`ConvergenceTracker`] decides when a sweep's value deltas have fallen
+//! below a tolerance. The `complexity` experiment binary uses both to
+//! verify the claimed running-time shape empirically.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts individual Q/V updates — the paper's `X`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct UpdateCounter {
+    updates: u64,
+}
+
+impl UpdateCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` elementary updates.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.updates += n;
+    }
+
+    /// Record one elementary update.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.updates += 1;
+    }
+
+    /// Total updates so far.
+    pub fn total(&self) -> u64 {
+        self.updates
+    }
+
+    /// Merge another counter (parallel reductions).
+    pub fn merge(&mut self, o: &UpdateCounter) {
+        self.updates += o.updates;
+    }
+}
+
+/// Tracks the largest per-sweep value change and reports convergence when
+/// it drops below a tolerance for a required number of consecutive sweeps.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConvergenceTracker {
+    tolerance: f64,
+    /// Consecutive sub-tolerance sweeps required (≥ 1). Requiring more
+    /// than one guards against a coincidentally quiet sweep in stochastic
+    /// settings.
+    patience: u32,
+    current_max_delta: f64,
+    quiet_sweeps: u32,
+    sweeps: u64,
+}
+
+impl ConvergenceTracker {
+    /// Create a tracker with the given tolerance and a patience of 1.
+    pub fn new(tolerance: f64) -> Self {
+        Self::with_patience(tolerance, 1)
+    }
+
+    /// Create a tracker requiring `patience` consecutive quiet sweeps.
+    pub fn with_patience(tolerance: f64, patience: u32) -> Self {
+        assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be non-negative");
+        assert!(patience >= 1, "patience must be at least 1");
+        ConvergenceTracker {
+            tolerance,
+            patience,
+            current_max_delta: 0.0,
+            quiet_sweeps: 0,
+            sweeps: 0,
+        }
+    }
+
+    /// Record one value update's absolute delta within the current sweep.
+    #[inline]
+    pub fn observe(&mut self, delta: f64) {
+        debug_assert!(delta >= 0.0, "delta must be an absolute value");
+        if delta > self.current_max_delta {
+            self.current_max_delta = delta;
+        }
+    }
+
+    /// Close the current sweep; returns `true` if converged.
+    pub fn end_sweep(&mut self) -> bool {
+        self.sweeps += 1;
+        if self.current_max_delta <= self.tolerance {
+            self.quiet_sweeps += 1;
+        } else {
+            self.quiet_sweeps = 0;
+        }
+        self.current_max_delta = 0.0;
+        self.converged()
+    }
+
+    /// Whether the required number of consecutive quiet sweeps has been
+    /// reached.
+    pub fn converged(&self) -> bool {
+        self.quiet_sweeps >= self.patience
+    }
+
+    /// Number of completed sweeps.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let mut c = UpdateCounter::new();
+        c.bump();
+        c.add(10);
+        assert_eq!(c.total(), 11);
+        let mut d = UpdateCounter::new();
+        d.add(5);
+        c.merge(&d);
+        assert_eq!(c.total(), 16);
+    }
+
+    #[test]
+    fn tracker_converges_on_quiet_sweep() {
+        let mut t = ConvergenceTracker::new(1e-6);
+        t.observe(0.5);
+        assert!(!t.end_sweep());
+        t.observe(1e-9);
+        assert!(t.end_sweep());
+        assert!(t.converged());
+        assert_eq!(t.sweeps(), 2);
+    }
+
+    #[test]
+    fn tracker_empty_sweep_counts_as_quiet() {
+        let mut t = ConvergenceTracker::new(1e-6);
+        assert!(t.end_sweep(), "a sweep with no updates has max delta 0");
+    }
+
+    #[test]
+    fn patience_requires_consecutive_quiet() {
+        let mut t = ConvergenceTracker::with_patience(1e-3, 2);
+        t.observe(1e-6);
+        assert!(!t.end_sweep(), "one quiet sweep is not enough");
+        t.observe(0.5); // noisy again — resets the streak
+        assert!(!t.end_sweep());
+        t.observe(1e-6);
+        assert!(!t.end_sweep());
+        t.observe(1e-6);
+        assert!(t.end_sweep());
+    }
+
+    #[test]
+    fn max_delta_is_per_sweep() {
+        let mut t = ConvergenceTracker::new(0.1);
+        t.observe(5.0);
+        assert!(!t.end_sweep());
+        // The 5.0 from the previous sweep must not leak into this one.
+        t.observe(0.05);
+        assert!(t.end_sweep());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_patience_rejected() {
+        ConvergenceTracker::with_patience(1e-3, 0);
+    }
+}

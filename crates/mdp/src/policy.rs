@@ -1,0 +1,178 @@
+//! Action-selection policies over a Q-row.
+//!
+//! QLEC itself acts greedily (Algorithm 4 line 3:
+//! `j_opt = argmax_a Q*(b_i, a_j)`), but ε-greedy and softmax selectors are
+//! provided for the exploration-variant ablation (`qlec-core::ablation`)
+//! and for the sample-based learner in [`crate::qlearning`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How to pick an action given the Q-values of the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Always the argmax (ties to the lowest index).
+    Greedy,
+    /// With probability ε a uniform random action, else greedy.
+    EpsilonGreedy { epsilon: f64 },
+    /// Boltzmann exploration with the given temperature (> 0).
+    Softmax { temperature: f64 },
+}
+
+impl Policy {
+    /// Select an action index from `q_row`. `None` when the row is empty.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R, q_row: &[f64]) -> Option<usize> {
+        if q_row.is_empty() {
+            return None;
+        }
+        match *self {
+            Policy::Greedy => greedy(q_row),
+            Policy::EpsilonGreedy { epsilon } => {
+                debug_assert!((0.0..=1.0).contains(&epsilon));
+                if rng.gen::<f64>() < epsilon {
+                    Some(rng.gen_range(0..q_row.len()))
+                } else {
+                    greedy(q_row)
+                }
+            }
+            Policy::Softmax { temperature } => {
+                assert!(temperature > 0.0, "softmax temperature must be positive");
+                // Subtract the max for numerical stability before exp.
+                let m = q_row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let weights: Vec<f64> =
+                    q_row.iter().map(|&q| ((q - m) / temperature).exp()).collect();
+                let total: f64 = weights.iter().sum();
+                let mut t = rng.gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    if t < *w {
+                        return Some(i);
+                    }
+                    t -= w;
+                }
+                Some(q_row.len() - 1)
+            }
+        }
+    }
+}
+
+fn greedy(q_row: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (a, &q) in q_row.iter().enumerate() {
+        match best {
+            Some((_, bq)) if q <= bq => {}
+            _ => best = Some((a, q)),
+        }
+    }
+    best.map(|(a, _)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut r = rng();
+        let row = [1.0, 5.0, 3.0];
+        for _ in 0..100 {
+            assert_eq!(Policy::Greedy.select(&mut r, &row), Some(1));
+        }
+    }
+
+    #[test]
+    fn greedy_tie_breaks_low_index() {
+        let mut r = rng();
+        assert_eq!(Policy::Greedy.select(&mut r, &[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn empty_row_returns_none() {
+        let mut r = rng();
+        for p in [
+            Policy::Greedy,
+            Policy::EpsilonGreedy { epsilon: 0.5 },
+            Policy::Softmax { temperature: 1.0 },
+        ] {
+            assert_eq!(p.select(&mut r, &[]), None);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let mut r = rng();
+        let row = [0.0, 9.0, 1.0];
+        let p = Policy::EpsilonGreedy { epsilon: 0.0 };
+        for _ in 0..200 {
+            assert_eq!(p.select(&mut r, &row), Some(1));
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let mut r = rng();
+        let row = [0.0, 9.0, 1.0];
+        let p = Policy::EpsilonGreedy { epsilon: 1.0 };
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[p.select(&mut r, &row).unwrap()] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn epsilon_mixes_exploration_and_exploitation() {
+        let mut r = rng();
+        let row = [0.0, 9.0];
+        let p = Policy::EpsilonGreedy { epsilon: 0.2 };
+        let n = 50_000;
+        let greedy_picks = (0..n).filter(|_| p.select(&mut r, &row) == Some(1)).count();
+        // P(pick 1) = 0.8 + 0.2·0.5 = 0.9.
+        let frac = greedy_picks as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn softmax_low_temperature_approaches_greedy() {
+        let mut r = rng();
+        let row = [0.0, 5.0, 1.0];
+        let p = Policy::Softmax { temperature: 0.01 };
+        let n = 5_000;
+        let best = (0..n).filter(|_| p.select(&mut r, &row) == Some(1)).count();
+        assert!(best as f64 / n as f64 > 0.999);
+    }
+
+    #[test]
+    fn softmax_high_temperature_approaches_uniform() {
+        let mut r = rng();
+        let row = [0.0, 5.0, 1.0];
+        let p = Policy::Softmax { temperature: 1e6 };
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[p.select(&mut r, &row).unwrap()] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values_without_overflow() {
+        let mut r = rng();
+        let row = [1e308, -1e308, 0.0];
+        let p = Policy::Softmax { temperature: 1.0 };
+        // Must not panic or return NaN-driven nonsense.
+        assert_eq!(p.select(&mut r, &row), Some(0));
+    }
+}

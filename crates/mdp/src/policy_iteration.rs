@@ -1,0 +1,163 @@
+//! Policy iteration — a second exact solver used to cross-validate
+//! [`crate::solver::value_iteration`].
+//!
+//! Howard's classic scheme: evaluate the current deterministic policy to
+//! (near-)convergence, then greedify; repeat until the policy is stable.
+//! For finite MDPs with γ < 1 both solvers converge to the same optimal
+//! values, which the tests assert — a strong internal-consistency check
+//! on the transition/reward plumbing the QLEC routing MDP relies on.
+
+use crate::mdp::FiniteMdp;
+use crate::solver::expected_q;
+
+/// Result of a [`policy_iteration`] run.
+#[derive(Debug, Clone)]
+pub struct PolicyIterationResult {
+    /// Optimal deterministic policy (action per state).
+    pub policy: Vec<usize>,
+    /// Value of that policy.
+    pub v: Vec<f64>,
+    /// Outer (improvement) iterations performed.
+    pub improvements: u64,
+    /// Whether the policy stabilized before the iteration cap.
+    pub converged: bool,
+}
+
+/// Evaluate a fixed deterministic policy by iterative backup until the
+/// largest value change falls below `tolerance`.
+pub fn evaluate_policy<M: FiniteMdp>(
+    mdp: &M,
+    policy: &[usize],
+    gamma: f64,
+    tolerance: f64,
+    max_sweeps: u64,
+) -> Vec<f64> {
+    assert_eq!(policy.len(), mdp.n_states(), "policy must cover every state");
+    assert!((0.0..1.0).contains(&gamma));
+    let mut v = vec![0.0; mdp.n_states()];
+    for _ in 0..max_sweeps {
+        let mut max_delta = 0.0f64;
+        for s in 0..mdp.n_states() {
+            if mdp.is_terminal(s) {
+                continue;
+            }
+            let nv = expected_q(mdp, s, policy[s], gamma, &v);
+            max_delta = max_delta.max((nv - v[s]).abs());
+            v[s] = nv;
+        }
+        if max_delta < tolerance {
+            break;
+        }
+    }
+    v
+}
+
+/// Run policy iteration starting from the all-zeros policy.
+pub fn policy_iteration<M: FiniteMdp>(
+    mdp: &M,
+    gamma: f64,
+    tolerance: f64,
+    max_improvements: u64,
+) -> PolicyIterationResult {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1)");
+    assert!(mdp.n_actions() > 0, "MDP needs at least one action");
+    let ns = mdp.n_states();
+    let mut policy = vec![0usize; ns];
+    let mut v = vec![0.0; ns];
+    let mut converged = false;
+    let mut improvements = 0;
+
+    for _ in 0..max_improvements {
+        improvements += 1;
+        v = evaluate_policy(mdp, &policy, gamma, tolerance, 100_000);
+        // Improvement step: greedify against the evaluated values.
+        let mut stable = true;
+        #[allow(clippy::needless_range_loop)] // indexes two arrays in lockstep
+        for s in 0..ns {
+            if mdp.is_terminal(s) {
+                continue;
+            }
+            let mut best = policy[s];
+            let mut best_q = expected_q(mdp, s, best, gamma, &v);
+            for a in 0..mdp.n_actions() {
+                let q = expected_q(mdp, s, a, gamma, &v);
+                if q > best_q + 1e-12 {
+                    best_q = q;
+                    best = a;
+                }
+            }
+            if best != policy[s] {
+                policy[s] = best;
+                stable = false;
+            }
+        }
+        if stable {
+            converged = true;
+            break;
+        }
+    }
+
+    PolicyIterationResult { policy, v, improvements, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::fixtures::{chain, lossy_hop};
+    use crate::solver::value_iteration;
+
+    #[test]
+    fn agrees_with_value_iteration_on_chain() {
+        let m = chain(8);
+        let gamma = 0.97;
+        let pi = policy_iteration(&m, gamma, 1e-12, 100);
+        let vi = value_iteration(&m, gamma, 1e-12, 100_000);
+        assert!(pi.converged && vi.converged);
+        for s in 0..m.n_states {
+            assert!(
+                (pi.v[s] - vi.v[s]).abs() < 1e-6,
+                "state {s}: PI {} vs VI {}",
+                pi.v[s],
+                vi.v[s]
+            );
+        }
+        assert_eq!(pi.policy[..7], vi.policy()[..7]);
+    }
+
+    #[test]
+    fn agrees_on_lossy_hop() {
+        let m = lossy_hop(0.4, 3.0, -0.5);
+        let pi = policy_iteration(&m, 0.9, 1e-12, 100);
+        let vi = value_iteration(&m, 0.9, 1e-12, 100_000);
+        assert!((pi.v[0] - vi.v[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn policy_evaluation_matches_closed_form() {
+        // lossy_hop with its single action: V = (p·r_ok + (1-p)·r_fail)
+        // / (1 - γ(1-p)).
+        let (p, gamma) = (0.7, 0.95);
+        let m = lossy_hop(p, 2.0, -1.0);
+        let v = evaluate_policy(&m, &[0, 0], gamma, 1e-13, 1_000_000);
+        let want = (p * 2.0 + -(1.0 - p)) / (1.0 - gamma * (1.0 - p));
+        assert!((v[0] - want).abs() < 1e-9, "got {} want {want}", v[0]);
+        assert_eq!(v[1], 0.0, "terminal state value");
+    }
+
+    #[test]
+    fn converges_in_few_improvements() {
+        // Policy iteration is famously fast in iterations: a chain of 20
+        // states needs far fewer improvement steps than states.
+        let m = chain(20);
+        let pi = policy_iteration(&m, 0.95, 1e-10, 50);
+        assert!(pi.converged);
+        assert!(pi.improvements <= 5, "took {} improvements", pi.improvements);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_policy_length_rejected() {
+        let m = chain(4);
+        evaluate_policy(&m, &[0, 0], 0.9, 1e-9, 100);
+    }
+}

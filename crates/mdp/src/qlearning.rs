@@ -1,0 +1,204 @@
+//! Classic sample-based Q-learning.
+//!
+//! QLEC's own update is the *expected* (model-based) form in
+//! [`crate::solver`]; this module implements the textbook off-policy
+//! temporal-difference learner (§3.3 cites it as the underlying method):
+//!
+//! ```text
+//! Q(s,a) ← Q(s,a) + α·(r + γ·max_a' Q(s',a') − Q(s,a))
+//! ```
+//!
+//! It exists (a) to validate that the model-based update converges to the
+//! same fixed point the sample-based learner finds, and (b) to power the
+//! `qlearning-vs-expected` ablation bench, which quantifies how much faster
+//! the paper's expected update converges (fewer updates `X`).
+
+use crate::mdp::FiniteMdp;
+use crate::policy::Policy;
+use crate::qtable::QTable;
+use rand::Rng;
+
+/// Hyper-parameters of the sample-based learner.
+#[derive(Debug, Clone, Copy)]
+pub struct QLearningConfig {
+    /// Discount rate γ (paper default 0.95).
+    pub gamma: f64,
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Behaviour policy used while learning.
+    pub policy: Policy,
+    /// Episodes to run.
+    pub episodes: u64,
+    /// Step cap per episode (guards against non-absorbing chains).
+    pub max_steps_per_episode: u64,
+}
+
+impl Default for QLearningConfig {
+    fn default() -> Self {
+        QLearningConfig {
+            gamma: 0.95,
+            alpha: 0.1,
+            policy: Policy::EpsilonGreedy { epsilon: 0.1 },
+            episodes: 2_000,
+            max_steps_per_episode: 1_000,
+        }
+    }
+}
+
+/// Outcome of a learning run.
+#[derive(Debug, Clone)]
+pub struct QLearningResult {
+    pub q: QTable,
+    /// Total elementary updates performed (the paper's `X` for this
+    /// learner).
+    pub updates: u64,
+}
+
+/// Sample one transition of `(s, a)` from the MDP's distribution.
+fn sample_transition<M: FiniteMdp, R: Rng + ?Sized>(
+    mdp: &M,
+    rng: &mut R,
+    s: usize,
+    a: usize,
+) -> (usize, f64) {
+    let ts = mdp.transitions(s, a);
+    debug_assert!(!ts.is_empty(), "no transitions for ({s},{a})");
+    let mut t = rng.gen::<f64>();
+    for tr in &ts {
+        if t < tr.probability {
+            return (tr.next, tr.reward);
+        }
+        t -= tr.probability;
+    }
+    let last = ts.last().unwrap();
+    (last.next, last.reward)
+}
+
+/// Run tabular Q-learning on an explicit MDP, starting each episode from
+/// `start_state` and ending at terminal states.
+pub fn q_learning<M: FiniteMdp, R: Rng + ?Sized>(
+    mdp: &M,
+    rng: &mut R,
+    start_state: usize,
+    cfg: &QLearningConfig,
+) -> QLearningResult {
+    assert!((0.0..1.0).contains(&cfg.gamma), "gamma must be in [0,1)");
+    assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0,1]");
+    let mut q = QTable::zeros(mdp.n_states(), mdp.n_actions());
+    let mut updates = 0u64;
+
+    for _ in 0..cfg.episodes {
+        let mut s = start_state;
+        for _ in 0..cfg.max_steps_per_episode {
+            if mdp.is_terminal(s) {
+                break;
+            }
+            let a = cfg
+                .policy
+                .select(rng, q.row(s))
+                .expect("MDP must have at least one action");
+            let (next, reward) = sample_transition(mdp, rng, s, a);
+            let target = if mdp.is_terminal(next) {
+                reward
+            } else {
+                reward + cfg.gamma * q.v(next).unwrap_or(0.0)
+            };
+            let old = q.get(s, a);
+            q.set(s, a, old + cfg.alpha * (target - old));
+            updates += 1;
+            s = next;
+        }
+    }
+
+    QLearningResult { q, updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::fixtures::{chain, lossy_hop};
+    use crate::solver::value_iteration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_chain_policy() {
+        let m = chain(5);
+        let mut rng = StdRng::seed_from_u64(10);
+        let res = q_learning(&m, &mut rng, 0, &QLearningConfig::default());
+        // Greedy policy must be "move right" in every non-terminal state.
+        for s in 0..4 {
+            assert_eq!(res.q.greedy(s), Some(0), "state {s}: row {:?}", res.q.row(s));
+        }
+        assert!(res.updates > 0);
+    }
+
+    #[test]
+    fn converges_to_value_iteration_fixed_point() {
+        let (p, gamma) = (0.6, 0.9);
+        let m = lossy_hop(p, 2.0, -1.0);
+        let reference = value_iteration(&m, gamma, 1e-12, 100_000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = QLearningConfig {
+            gamma,
+            alpha: 0.05,
+            policy: Policy::EpsilonGreedy { epsilon: 0.3 },
+            episodes: 30_000,
+            max_steps_per_episode: 200,
+        };
+        let res = q_learning(&m, &mut rng, 0, &cfg);
+        let got = res.q.get(0, 0);
+        let want = reference.q.get(0, 0);
+        assert!(
+            (got - want).abs() < 0.15 * want.abs().max(1.0),
+            "sampled Q {got} vs model-based {want}"
+        );
+    }
+
+    #[test]
+    fn expected_update_needs_fewer_updates_than_sampling() {
+        // The paper's motivation for the expected update: the same fixed
+        // point with (much) smaller X.
+        let m = lossy_hop(0.6, 2.0, -1.0);
+        let model_based = value_iteration(&m, 0.9, 1e-6, 100_000);
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = QLearningConfig {
+            gamma: 0.9,
+            alpha: 0.05,
+            policy: Policy::EpsilonGreedy { epsilon: 0.3 },
+            episodes: 30_000,
+            max_steps_per_episode: 200,
+        };
+        let sampled = q_learning(&m, &mut rng, 0, &cfg);
+        assert!(
+            model_based.updates < sampled.updates / 10,
+            "model-based X = {} should be far below sampled X = {}",
+            model_based.updates,
+            sampled.updates
+        );
+    }
+
+    #[test]
+    fn zero_alpha_never_changes_q() {
+        let m = chain(3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = QLearningConfig { alpha: 0.0, episodes: 100, ..Default::default() };
+        let res = q_learning(&m, &mut rng, 0, &cfg);
+        assert_eq!(res.q.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn episodes_terminate_at_terminal_state() {
+        // Deterministic single-action hop to a terminal state: every
+        // episode is exactly one update.
+        let m = lossy_hop(1.0, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        let cfg = QLearningConfig {
+            policy: Policy::Greedy,
+            episodes: 50,
+            ..Default::default()
+        };
+        let res = q_learning(&m, &mut rng, 0, &cfg);
+        assert_eq!(res.updates, 50);
+    }
+}

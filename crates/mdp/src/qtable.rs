@@ -1,0 +1,197 @@
+//! Dense action-value tables.
+//!
+//! Algorithm 4 of the paper keeps, per node, Q-values for every action
+//! (forward to each cluster head, or to the BS) and a V-value per state
+//! (`V*(b_i) = max_a Q*(b_i, a)`, Eq. 14). [`QTable`] is that storage in
+//! row-major `states × actions` layout — one contiguous allocation, cache
+//! friendly for the per-round full-row recomputation QLEC performs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `states × actions` table of action values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    n_states: usize,
+    n_actions: usize,
+    q: Vec<f64>,
+}
+
+impl QTable {
+    /// All-zero table — the paper initializes "all the V values and Q
+    /// values … to 0" (§4.2).
+    pub fn zeros(n_states: usize, n_actions: usize) -> Self {
+        QTable { n_states, n_actions, q: vec![0.0; n_states * n_actions] }
+    }
+
+    /// Number of states (rows).
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions (columns).
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    #[inline]
+    fn idx(&self, s: usize, a: usize) -> usize {
+        debug_assert!(s < self.n_states && a < self.n_actions, "({s},{a}) out of range");
+        s * self.n_actions + a
+    }
+
+    /// Read `Q(s, a)`.
+    #[inline]
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        self.q[self.idx(s, a)]
+    }
+
+    /// Write `Q(s, a)`; returns the absolute change (used by convergence
+    /// tracking — the paper's `X` counts updates until these deltas die
+    /// out).
+    #[inline]
+    pub fn set(&mut self, s: usize, a: usize, value: f64) -> f64 {
+        debug_assert!(value.is_finite(), "Q value must be finite, got {value}");
+        let i = self.idx(s, a);
+        let delta = (value - self.q[i]).abs();
+        self.q[i] = value;
+        delta
+    }
+
+    /// The whole row `Q(s, ·)`.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[f64] {
+        let start = s * self.n_actions;
+        &self.q[start..start + self.n_actions]
+    }
+
+    /// `V(s) = max_a Q(s, a)` (Eq. 14). `None` for a zero-action table.
+    pub fn v(&self, s: usize) -> Option<f64> {
+        self.row(s).iter().copied().reduce(f64::max)
+    }
+
+    /// Greedy action `argmax_a Q(s, a)`, lowest index wins ties
+    /// (deterministic, so seeded runs are reproducible). `None` for a
+    /// zero-action table.
+    pub fn greedy(&self, s: usize) -> Option<usize> {
+        let row = self.row(s);
+        let mut best: Option<(usize, f64)> = None;
+        for (a, &q) in row.iter().enumerate() {
+            match best {
+                Some((_, bq)) if q <= bq => {}
+                _ => best = Some((a, q)),
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Greedy action restricted to a subset of permitted actions (QLEC
+    /// restricts to the current round's head set `H ∪ {BS}`). `None` when
+    /// `allowed` selects nothing.
+    pub fn greedy_among(&self, s: usize, allowed: impl Iterator<Item = usize>) -> Option<usize> {
+        let row = self.row(s);
+        let mut best: Option<(usize, f64)> = None;
+        for a in allowed {
+            let q = row[a];
+            match best {
+                Some((_, bq)) if q <= bq => {}
+                _ => best = Some((a, q)),
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Extract `V(s)` for all states.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.n_states).map(|s| self.v(s).unwrap_or(0.0)).collect()
+    }
+
+    /// Largest absolute Q-value (tests bound this by `r_max / (1 - γ)`).
+    pub fn max_abs(&self) -> f64 {
+        self.q.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Fill every entry with `value` (used to reset between rounds when a
+    /// protocol chooses not to carry learning across epochs).
+    pub fn fill(&mut self, value: f64) {
+        self.q.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = QTable::zeros(3, 4);
+        assert_eq!(t.n_states(), 3);
+        assert_eq!(t.n_actions(), 4);
+        assert_eq!(t.get(2, 3), 0.0);
+        assert_eq!(t.v(0), Some(0.0));
+        assert_eq!(t.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn set_get_and_delta() {
+        let mut t = QTable::zeros(2, 2);
+        assert_eq!(t.set(0, 1, 5.0), 5.0);
+        assert_eq!(t.get(0, 1), 5.0);
+        assert_eq!(t.set(0, 1, 3.0), 2.0);
+        assert_eq!(t.get(0, 1), 3.0);
+        // Other cells untouched.
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn v_is_row_max() {
+        let mut t = QTable::zeros(1, 3);
+        t.set(0, 0, -1.0);
+        t.set(0, 1, 4.0);
+        t.set(0, 2, 2.0);
+        assert_eq!(t.v(0), Some(4.0));
+        assert_eq!(t.values(), vec![4.0]);
+    }
+
+    #[test]
+    fn greedy_ties_break_low() {
+        let mut t = QTable::zeros(1, 3);
+        t.set(0, 1, 7.0);
+        t.set(0, 2, 7.0);
+        assert_eq!(t.greedy(0), Some(1));
+    }
+
+    #[test]
+    fn greedy_among_subset() {
+        let mut t = QTable::zeros(1, 4);
+        t.set(0, 0, 10.0); // best overall but not allowed
+        t.set(0, 2, 3.0);
+        t.set(0, 3, 5.0);
+        assert_eq!(t.greedy_among(0, [2, 3].into_iter()), Some(3));
+        assert_eq!(t.greedy_among(0, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn zero_action_table() {
+        let t = QTable::zeros(2, 0);
+        assert_eq!(t.v(0), None);
+        assert_eq!(t.greedy(0), None);
+    }
+
+    #[test]
+    fn fill_resets() {
+        let mut t = QTable::zeros(2, 2);
+        t.set(1, 1, 9.0);
+        t.fill(0.0);
+        assert_eq!(t.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn row_layout() {
+        let mut t = QTable::zeros(2, 3);
+        t.set(1, 0, 1.0);
+        t.set(1, 2, 2.0);
+        assert_eq!(t.row(1), &[1.0, 0.0, 2.0]);
+        assert_eq!(t.row(0), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! SARSA — the *on-policy* temporal-difference learner.
+//!
+//! §3.3 of the paper emphasizes that Q-learning is an **off-policy**
+//! method; SARSA is its on-policy sibling and is included as the natural
+//! contrast for the `qlearning-vs-expected` comparison benches:
+//!
+//! ```text
+//! Q(s,a) ← Q(s,a) + α·(r + γ·Q(s',a') − Q(s,a))
+//! ```
+//!
+//! where `a'` is the action the behaviour policy *actually* takes in
+//! `s'` (not the greedy max). Under a GLIE-style schedule SARSA also
+//! converges to the optimal values; under a fixed ε it converges to the
+//! ε-greedy-optimal ones — the tests exercise both regimes on the
+//! reference problems.
+
+use crate::mdp::FiniteMdp;
+use crate::qlearning::QLearningConfig;
+use crate::qtable::QTable;
+use rand::Rng;
+
+/// Outcome of a SARSA run.
+#[derive(Debug, Clone)]
+pub struct SarsaResult {
+    pub q: QTable,
+    /// Total TD updates performed.
+    pub updates: u64,
+}
+
+fn sample_transition<M: FiniteMdp, R: Rng + ?Sized>(
+    mdp: &M,
+    rng: &mut R,
+    s: usize,
+    a: usize,
+) -> (usize, f64) {
+    let ts = mdp.transitions(s, a);
+    debug_assert!(!ts.is_empty(), "no transitions for ({s},{a})");
+    let mut t = rng.gen::<f64>();
+    for tr in &ts {
+        if t < tr.probability {
+            return (tr.next, tr.reward);
+        }
+        t -= tr.probability;
+    }
+    let last = ts.last().unwrap();
+    (last.next, last.reward)
+}
+
+/// Run tabular SARSA on an explicit MDP (episodes start at `start_state`
+/// and end at terminal states). Reuses [`QLearningConfig`] — the `policy`
+/// field is the behaviour *and* target policy here.
+pub fn sarsa<M: FiniteMdp, R: Rng + ?Sized>(
+    mdp: &M,
+    rng: &mut R,
+    start_state: usize,
+    cfg: &QLearningConfig,
+) -> SarsaResult {
+    assert!((0.0..1.0).contains(&cfg.gamma), "gamma must be in [0,1)");
+    assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0,1]");
+    let mut q = QTable::zeros(mdp.n_states(), mdp.n_actions());
+    let mut updates = 0u64;
+
+    for _ in 0..cfg.episodes {
+        let mut s = start_state;
+        if mdp.is_terminal(s) {
+            continue;
+        }
+        let mut a = cfg
+            .policy
+            .select(rng, q.row(s))
+            .expect("MDP must have at least one action");
+        for _ in 0..cfg.max_steps_per_episode {
+            let (next, reward) = sample_transition(mdp, rng, s, a);
+            let (target, next_action) = if mdp.is_terminal(next) {
+                (reward, None)
+            } else {
+                let a_next = cfg
+                    .policy
+                    .select(rng, q.row(next))
+                    .expect("MDP must have at least one action");
+                (reward + cfg.gamma * q.get(next, a_next), Some(a_next))
+            };
+            let old = q.get(s, a);
+            q.set(s, a, old + cfg.alpha * (target - old));
+            updates += 1;
+            match next_action {
+                None => break,
+                Some(a_next) => {
+                    s = next;
+                    a = a_next;
+                }
+            }
+        }
+    }
+
+    SarsaResult { q, updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::mdp::fixtures::{chain, lossy_hop};
+    use crate::solver::value_iteration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_chain_policy() {
+        let m = chain(5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = QLearningConfig {
+            episodes: 5_000,
+            policy: Policy::EpsilonGreedy { epsilon: 0.2 },
+            ..Default::default()
+        };
+        let res = sarsa(&m, &mut rng, 0, &cfg);
+        for s in 0..4 {
+            assert_eq!(res.q.greedy(s), Some(0), "state {s}: {:?}", res.q.row(s));
+        }
+    }
+
+    #[test]
+    fn near_greedy_sarsa_approaches_optimal_values() {
+        // With small ε the on-policy values approach the optimal ones.
+        let (p, gamma) = (0.6, 0.9);
+        let m = lossy_hop(p, 2.0, -1.0);
+        let reference = value_iteration(&m, gamma, 1e-12, 100_000);
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = QLearningConfig {
+            gamma,
+            alpha: 0.01,
+            policy: Policy::EpsilonGreedy { epsilon: 0.02 },
+            episodes: 60_000,
+            max_steps_per_episode: 300,
+        };
+        let res = sarsa(&m, &mut rng, 0, &cfg);
+        let got = res.q.get(0, 0);
+        let want = reference.q.get(0, 0);
+        assert!(
+            (got - want).abs() < 0.25 * want.abs().max(1.0),
+            "SARSA Q {got} vs optimal {want}"
+        );
+    }
+
+    #[test]
+    fn on_policy_values_are_more_conservative_under_exploration() {
+        // The cliff-walking intuition in miniature: with a risky action
+        // present, heavily-exploring SARSA values the safe action no
+        // worse (relative to Q-learning's optimistic off-policy values).
+        // Chain action 1 ("stay", -2) is strictly worse, so both agree
+        // on the policy; we just assert SARSA's value estimate under
+        // ε = 0.5 is below the optimal V (it prices in exploration).
+        let m = chain(6);
+        let gamma = 0.95;
+        let reference = value_iteration(&m, gamma, 1e-12, 100_000);
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = QLearningConfig {
+            gamma,
+            alpha: 0.05,
+            policy: Policy::EpsilonGreedy { epsilon: 0.5 },
+            episodes: 20_000,
+            max_steps_per_episode: 200,
+        };
+        let res = sarsa(&m, &mut rng, 0, &cfg);
+        assert!(
+            res.q.v(0).unwrap() < reference.v[0] + 0.05,
+            "on-policy V {} should not exceed optimal V {}",
+            res.q.v(0).unwrap(),
+            reference.v[0]
+        );
+    }
+
+    #[test]
+    fn terminal_start_is_a_noop() {
+        let m = chain(3);
+        let mut rng = StdRng::seed_from_u64(24);
+        let res = sarsa(&m, &mut rng, 2, &QLearningConfig::default());
+        assert_eq!(res.updates, 0);
+        assert_eq!(res.q.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn update_count_bounded_by_episode_budget() {
+        let m = chain(4);
+        let mut rng = StdRng::seed_from_u64(25);
+        let cfg = QLearningConfig {
+            episodes: 100,
+            max_steps_per_episode: 50,
+            ..Default::default()
+        };
+        let res = sarsa(&m, &mut rng, 0, &cfg);
+        assert!(res.updates <= 100 * 50);
+        assert!(res.updates >= 100, "at least one update per episode from state 0");
+    }
+}

@@ -1,0 +1,46 @@
+//! Packet-level 3-D wireless sensor network simulator.
+//!
+//! This crate is the experimental substrate of §5 of the QLEC paper: `N`
+//! battery-powered nodes in an `M × M × M` cube, a base station at the
+//! centre, Poisson packet generation ("the packet generation time in the
+//! network follows the poisson distribution", §5.2), bounded queues at
+//! cluster heads ("the long queue at cluster heads leads to discarding more
+//! packets"), data fusion with a 50 % compression ratio (Table 2), and the
+//! death-line lifespan rule of §5.1.
+//!
+//! The simulator is *protocol-agnostic*: QLEC and every baseline implement
+//! the [`protocol::Protocol`] trait (head election, per-packet routing,
+//! aggregate routing, ACK feedback), and [`sim::Simulator`] runs any of
+//! them over successive rounds, producing a [`metrics::SimReport`] with the
+//! exact quantities Fig. 3 plots — packet delivery rate, total energy
+//! consumption, network lifespan — plus per-packet latency and per-node
+//! energy-consumption rates (Fig. 4).
+//!
+//! Module map:
+//!
+//! * [`node`] — node identity, role, position, battery,
+//! * [`network`] — the deployment (nodes + BS + radio/link models),
+//! * [`packet`] — packets and routing targets,
+//! * [`traffic`] — Poisson arrival-time generation,
+//! * [`queue`] — the bounded FIFO cluster-head queue with service times,
+//! * [`protocol`] — the protocol trait and simple reference protocols,
+//! * [`metrics`] — round metrics, lifespan tracking, report aggregation,
+//! * [`sim`] — the round engine tying everything together,
+//! * [`trace`] — opt-in per-round JSON traces for external plotting.
+
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod packet;
+pub mod protocol;
+pub mod queue;
+pub mod sim;
+pub mod trace;
+pub mod traffic;
+
+pub use metrics::{RoundMetrics, SimReport};
+pub use network::{Network, NetworkBuilder};
+pub use node::{Node, NodeId, Role};
+pub use packet::{Packet, Target};
+pub use protocol::Protocol;
+pub use sim::{SimConfig, Simulator};

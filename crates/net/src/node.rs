@@ -1,0 +1,189 @@
+//! Sensor nodes.
+//!
+//! Each node `b_i` carries the state the paper's algorithms read: its 3-D
+//! position, residual energy (via [`Battery`]), its current role, and the
+//! rotation bookkeeping DEEC needs — the round it last served as a cluster
+//! head, which drives the "has not been selected as the cluster head in the
+//! recent `n_i` rounds" candidacy condition of Algorithm 2.
+
+use qlec_geom::Vec3;
+use qlec_radio::Battery;
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier (index into [`crate::network::Network`] storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A node's role in the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Role {
+    /// Ordinary sensing node (sends to a cluster head).
+    #[default]
+    Member,
+    /// Cluster head for this round (aggregates and forwards to the BS).
+    ClusterHead,
+}
+
+/// One sensor node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub pos: Vec3,
+    pub battery: Battery,
+    pub role: Role,
+    /// Round at which this node last became a cluster head (`None` if
+    /// never). DEEC's rotating-epoch rule compares the gap against `n_i`.
+    pub last_head_round: Option<u32>,
+    /// How many times the node has served as a cluster head (diagnostics
+    /// and rotation-fairness tests).
+    pub head_count: u32,
+}
+
+impl Node {
+    /// A fresh member node.
+    pub fn new(id: NodeId, pos: Vec3, initial_energy: f64) -> Self {
+        Node {
+            id,
+            pos,
+            battery: Battery::new(initial_energy),
+            role: Role::Member,
+            last_head_round: None,
+            head_count: 0,
+        }
+    }
+
+    /// Residual energy `E_i(r)`.
+    #[inline]
+    pub fn residual(&self) -> f64 {
+        self.battery.residual()
+    }
+
+    /// Whether the node can still participate (non-empty battery).
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        !self.battery.is_empty()
+    }
+
+    /// Whether the node is below the §5.1 death line.
+    #[inline]
+    pub fn below_death_line(&self, death_line: f64) -> bool {
+        self.battery.depleted(death_line)
+    }
+
+    /// Whether the node has served as head within the last `n_i` rounds
+    /// before (and including) round `r` — the DEEC candidacy exclusion.
+    pub fn was_head_recently(&self, r: u32, n_i: u32) -> bool {
+        match self.last_head_round {
+            None => false,
+            Some(last) => r.saturating_sub(last) < n_i,
+        }
+    }
+
+    /// Mark the node as this round's cluster head.
+    pub fn promote_to_head(&mut self, round: u32) {
+        self.role = Role::ClusterHead;
+        self.last_head_round = Some(round);
+        self.head_count += 1;
+    }
+
+    /// Demote back to member (does not erase rotation bookkeeping). Used
+    /// both between rounds and by Algorithm 3 when a redundant head
+    /// withdraws; a withdrawal also takes back the head-count increment.
+    pub fn demote_to_member(&mut self, withdraw: bool) {
+        self.role = Role::Member;
+        if withdraw {
+            self.head_count = self.head_count.saturating_sub(1);
+            // A withdrawn head did not actually serve: restore eligibility
+            // bookkeeping only if this round was its only service. We keep
+            // `last_head_round` — the paper is silent, and keeping it is
+            // the conservative choice (slightly fewer repeat candidacies).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId(3), Vec3::splat(1.0), 5.0)
+    }
+
+    #[test]
+    fn fresh_node_state() {
+        let n = node();
+        assert_eq!(n.id.index(), 3);
+        assert_eq!(n.role, Role::Member);
+        assert_eq!(n.residual(), 5.0);
+        assert!(n.is_alive());
+        assert_eq!(n.last_head_round, None);
+        assert_eq!(n.head_count, 0);
+        assert_eq!(format!("{}", n.id), "b3");
+    }
+
+    #[test]
+    fn death_line_vs_alive() {
+        let mut n = node();
+        n.battery.consume(4.95);
+        assert!(n.is_alive());
+        assert!(n.below_death_line(0.1));
+        assert!(!n.below_death_line(0.01));
+        n.battery.consume(1.0);
+        assert!(!n.is_alive());
+    }
+
+    #[test]
+    fn promotion_bookkeeping() {
+        let mut n = node();
+        n.promote_to_head(7);
+        assert_eq!(n.role, Role::ClusterHead);
+        assert_eq!(n.last_head_round, Some(7));
+        assert_eq!(n.head_count, 1);
+        n.demote_to_member(false);
+        assert_eq!(n.role, Role::Member);
+        assert_eq!(n.head_count, 1);
+    }
+
+    #[test]
+    fn withdrawal_reverses_head_count() {
+        let mut n = node();
+        n.promote_to_head(2);
+        n.demote_to_member(true);
+        assert_eq!(n.head_count, 0);
+        assert_eq!(n.last_head_round, Some(2));
+    }
+
+    #[test]
+    fn recent_head_exclusion_window() {
+        let mut n = node();
+        assert!(!n.was_head_recently(10, 5), "never a head");
+        n.promote_to_head(10);
+        assert!(n.was_head_recently(10, 1), "same round counts");
+        assert!(n.was_head_recently(13, 5));
+        assert!(!n.was_head_recently(15, 5), "window of 5 expired at r=15");
+        assert!(!n.was_head_recently(100, 5));
+    }
+
+    #[test]
+    fn recent_head_never_underflows() {
+        let mut n = node();
+        n.promote_to_head(10);
+        // Query at an earlier round than the promotion (protocol replays)
+        // must not panic on underflow.
+        assert!(n.was_head_recently(5, 3));
+    }
+}

@@ -1,0 +1,57 @@
+//! Packets and routing targets.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a transmission is aimed: a cluster head or the base station.
+///
+/// These are exactly the actions of the paper's per-node MDP — the action
+/// set `A(b_i)` contains one action per cluster head `h_j` plus direct
+/// communication with `h_BS` (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Forward to cluster head `h_j`.
+    Head(NodeId),
+    /// Transmit directly to the base station.
+    Bs,
+}
+
+/// One application packet of `L` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id within a simulation run.
+    pub id: u64,
+    /// Originating node.
+    pub src: NodeId,
+    /// Creation time, in slots from the start of the simulation.
+    pub created_at: f64,
+    /// Payload size in bits (the paper's `L`).
+    pub bits: u64,
+}
+
+impl Packet {
+    /// Latency if delivered at `time`.
+    #[inline]
+    pub fn latency_at(&self, time: f64) -> f64 {
+        time - self.created_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_delivery_minus_creation() {
+        let p = Packet { id: 1, src: NodeId(0), created_at: 10.0, bits: 2000 };
+        assert_eq!(p.latency_at(14.5), 4.5);
+        assert_eq!(p.latency_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn target_equality() {
+        assert_eq!(Target::Head(NodeId(3)), Target::Head(NodeId(3)));
+        assert_ne!(Target::Head(NodeId(3)), Target::Head(NodeId(4)));
+        assert_ne!(Target::Head(NodeId(3)), Target::Bs);
+    }
+}

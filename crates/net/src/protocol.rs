@@ -1,0 +1,303 @@
+//! The clustering-protocol interface, plus simple reference protocols.
+//!
+//! QLEC (in `qlec-core`) and every baseline (in `qlec-clustering`)
+//! implement [`Protocol`]; the round engine in [`crate::sim`] drives any of
+//! them identically, so measured differences are attributable to the
+//! algorithms alone. The hooks mirror the paper's structure:
+//!
+//! * [`Protocol::on_round_start`] — the *Cluster Head Selection Phase*
+//!   (Algorithm 1 lines 5–9). The protocol receives `&mut Network` so it
+//!   can charge control-message energy (HELLO broadcasts of Algorithm 3)
+//!   and must install roles/rotation bookkeeping itself (helpers below).
+//! * [`Protocol::choose_target`] — the per-packet decision of the *Data
+//!   Transmission Phase* (`Send-Data`, Algorithm 4).
+//! * [`Protocol::on_hop_result`] — the ACK feedback of §4.2 ("an ACK
+//!   message will be delivered … indicating that the packet … is
+//!   successfully received and processed"), from which QLEC estimates the
+//!   link probabilities.
+//! * [`Protocol::aggregate_route`] — how a head's fused data reaches the
+//!   BS (direct for QLEC/k-means; hierarchy multi-hop for the FCM
+//!   baseline).
+//! * [`Protocol::on_round_end`] — Algorithm 1 line 15 (heads update their
+//!   own V values) and any other per-round bookkeeping.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use crate::packet::Target;
+use rand::RngCore;
+
+/// A clustering/routing protocol under test.
+pub trait Protocol {
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> &str;
+
+    /// Cluster-head selection for `round`. Returns the ids of the heads
+    /// that will serve; must also promote them in the network (see
+    /// [`install_heads`]). An empty return means no clustering this round
+    /// (members will be asked to route anyway and should pick
+    /// [`Target::Bs`]).
+    fn on_round_start(
+        &mut self,
+        net: &mut Network,
+        round: u32,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId>;
+
+    /// Called once when member `src` starts trying to send a fresh packet
+    /// (before the first `choose_target` for it). Lets learning protocols
+    /// reset per-packet state such as the set of targets already NACKed
+    /// for this packet.
+    fn on_packet_start(&mut self, src: NodeId) {
+        let _ = src;
+    }
+
+    /// Routing decision for one packet originated by member `src`.
+    fn choose_target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target;
+
+    /// ACK feedback for the member-hop attempt (`success == false` covers
+    /// link loss, queue refusal, and deadline misses — the paper's ACK
+    /// semantics is "received *and processed*").
+    fn on_hop_result(&mut self, src: NodeId, target: Target, success: bool) {
+        let _ = (src, target, success);
+    }
+
+    /// Hop sequence for `head`'s fused aggregate. The last element must be
+    /// [`Target::Bs`]; intermediate [`Target::Head`] entries are relay
+    /// heads (the FCM baseline's hierarchy routing). Default: direct.
+    fn aggregate_route(&mut self, net: &Network, head: NodeId, heads: &[NodeId]) -> Vec<Target> {
+        let _ = (net, head, heads);
+        vec![Target::Bs]
+    }
+
+    /// End-of-round hook (after aggregates are sent).
+    fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
+        let _ = (net, round, heads);
+    }
+}
+
+/// Boxed protocols are protocols (lets `Box<dyn Protocol>` flow through
+/// generic wrappers like `TraceRecorder`).
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_round_start(
+        &mut self,
+        net: &mut Network,
+        round: u32,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        (**self).on_round_start(net, round, rng)
+    }
+
+    fn on_packet_start(&mut self, src: NodeId) {
+        (**self).on_packet_start(src)
+    }
+
+    fn choose_target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target {
+        (**self).choose_target(net, src, heads, rng)
+    }
+
+    fn on_hop_result(&mut self, src: NodeId, target: Target, success: bool) {
+        (**self).on_hop_result(src, target, success)
+    }
+
+    fn aggregate_route(&mut self, net: &Network, head: NodeId, heads: &[NodeId]) -> Vec<Target> {
+        (**self).aggregate_route(net, head, heads)
+    }
+
+    fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
+        (**self).on_round_end(net, round, heads)
+    }
+}
+
+/// Promote `heads` in the network for `round` (role + rotation
+/// bookkeeping). Call from `on_round_start` implementations.
+pub fn install_heads(net: &mut Network, round: u32, heads: &[NodeId]) {
+    for &h in heads {
+        net.node_mut(h).promote_to_head(round);
+    }
+}
+
+/// Members pick the geometrically nearest alive head; heads are the `k`
+/// alive nodes with the highest residual energy (ties to lower id). A
+/// deterministic, energy-greedy reference protocol used by the engine's
+/// own tests and as an extra comparison point.
+#[derive(Debug, Clone)]
+pub struct GreedyEnergyProtocol {
+    /// Number of heads to elect.
+    pub k: usize,
+}
+
+impl GreedyEnergyProtocol {
+    /// Create with the given head count.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "head count must be positive");
+        GreedyEnergyProtocol { k }
+    }
+}
+
+impl Protocol for GreedyEnergyProtocol {
+    fn name(&self) -> &str {
+        "greedy-energy"
+    }
+
+    fn on_round_start(
+        &mut self,
+        net: &mut Network,
+        round: u32,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut alive: Vec<NodeId> = net.alive_ids().collect();
+        alive.sort_by(|&a, &b| {
+            net.node(b)
+                .residual()
+                .partial_cmp(&net.node(a).residual())
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        alive.truncate(self.k);
+        install_heads(net, round, &alive);
+        alive
+    }
+
+    fn choose_target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        _rng: &mut dyn RngCore,
+    ) -> Target {
+        nearest_head(net, src, heads).map_or(Target::Bs, Target::Head)
+    }
+}
+
+/// Every node transmits straight to the base station — the no-clustering
+/// strawman that clustering protocols are supposed to beat.
+#[derive(Debug, Clone, Default)]
+pub struct DirectToBsProtocol;
+
+impl Protocol for DirectToBsProtocol {
+    fn name(&self) -> &str {
+        "direct-to-bs"
+    }
+
+    fn on_round_start(
+        &mut self,
+        _net: &mut Network,
+        _round: u32,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    fn choose_target(
+        &mut self,
+        _net: &Network,
+        _src: NodeId,
+        _heads: &[NodeId],
+        _rng: &mut dyn RngCore,
+    ) -> Target {
+        Target::Bs
+    }
+}
+
+/// The geometrically nearest *alive* head to `src`, if any.
+pub fn nearest_head(net: &Network, src: NodeId, heads: &[NodeId]) -> Option<NodeId> {
+    heads
+        .iter()
+        .copied()
+        .filter(|&h| net.node(h).is_alive())
+        .min_by(|&a, &b| {
+            net.distance(src, a)
+                .partial_cmp(&net.distance(src, b))
+                .unwrap()
+                .then(a.cmp(&b))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::node::Role;
+    use qlec_geom::Vec3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_network() -> Network {
+        // Nodes at x = 0, 10, 20, 30 with distinct energies.
+        let spec: Vec<(Vec3, f64)> = (0..4)
+            .map(|i| (Vec3::new(i as f64 * 10.0, 0.0, 0.0), 1.0 + i as f64))
+            .collect();
+        NetworkBuilder::new().from_nodes(&spec)
+    }
+
+    #[test]
+    fn greedy_energy_picks_highest_residual() {
+        let mut net = line_network();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = GreedyEnergyProtocol::new(2);
+        let heads = p.on_round_start(&mut net, 0, &mut rng);
+        // Energies are 1,2,3,4 → heads are nodes 3 and 2.
+        assert_eq!(heads, vec![NodeId(3), NodeId(2)]);
+        assert_eq!(net.node(NodeId(3)).role, Role::ClusterHead);
+        assert_eq!(net.node(NodeId(3)).last_head_round, Some(0));
+    }
+
+    #[test]
+    fn greedy_energy_skips_dead_nodes() {
+        let mut net = line_network();
+        net.node_mut(NodeId(3)).battery.consume(10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = GreedyEnergyProtocol::new(2);
+        let heads = p.on_round_start(&mut net, 0, &mut rng);
+        assert_eq!(heads, vec![NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn members_choose_nearest_head() {
+        let net = line_network();
+        let heads = [NodeId(0), NodeId(3)];
+        assert_eq!(nearest_head(&net, NodeId(1), &heads), Some(NodeId(0)));
+        assert_eq!(nearest_head(&net, NodeId(2), &heads), Some(NodeId(3)));
+        assert_eq!(nearest_head(&net, NodeId(1), &[]), None);
+    }
+
+    #[test]
+    fn nearest_head_ignores_dead_heads() {
+        let mut net = line_network();
+        net.node_mut(NodeId(0)).battery.consume(10.0);
+        let heads = [NodeId(0), NodeId(3)];
+        assert_eq!(nearest_head(&net, NodeId(1), &heads), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn direct_protocol_never_clusters() {
+        let mut net = line_network();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = DirectToBsProtocol;
+        assert!(p.on_round_start(&mut net, 0, &mut rng).is_empty());
+        assert_eq!(p.choose_target(&net, NodeId(1), &[], &mut rng), Target::Bs);
+    }
+
+    #[test]
+    fn default_aggregate_route_is_direct() {
+        let net = line_network();
+        let mut p = GreedyEnergyProtocol::new(1);
+        assert_eq!(p.aggregate_route(&net, NodeId(0), &[NodeId(0)]), vec![Target::Bs]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Bounded FIFO cluster-head queue with deterministic service times.
+//!
+//! §4.2 motivates lossy links partly by "limited storage caches of cluster
+//! heads", and §5.2 explains congestion loss as "the long queue at cluster
+//! heads leads to discarding more packets". This module models each head
+//! as an M/D/1/B queue over one round: packets arrive at Poisson times,
+//! one server processes them FIFO at a fixed `service_time`, and a packet
+//! is dropped when the system already holds `capacity` packets
+//! (waiting + in service). Packets whose processing would not finish by
+//! the round end miss the round's data-fusion deadline and are dropped
+//! too — both mechanisms grow with offered load, which is what bends the
+//! Fig. 3(a) curves downward as λ shrinks.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Why the queue refused or lost a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDrop {
+    /// System full on arrival (capacity drop).
+    Full,
+    /// Accepted but service would complete after the fusion deadline.
+    Deadline,
+}
+
+/// Outcome of offering a packet to the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Offer {
+    /// Accepted; service will complete at the contained time.
+    Accepted { completes_at: f64 },
+    /// Dropped for the contained reason.
+    Dropped(QueueDrop),
+}
+
+/// A cluster head's packet queue for one round.
+#[derive(Debug, Clone)]
+pub struct ChQueue {
+    capacity: usize,
+    service_time: f64,
+    deadline: f64,
+    /// Departure times of packets still in the system, ascending.
+    in_system: VecDeque<f64>,
+    /// Packets successfully processed this round with completion times.
+    processed: Vec<(Packet, f64)>,
+    drops_full: u64,
+    drops_deadline: u64,
+    peak_occupancy: usize,
+}
+
+impl ChQueue {
+    /// A queue for one round ending at `deadline`.
+    ///
+    /// # Panics
+    /// Panics on zero capacity or non-positive service time.
+    pub fn new(capacity: usize, service_time: f64, deadline: f64) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(
+            service_time > 0.0 && service_time.is_finite(),
+            "service time must be positive, got {service_time}"
+        );
+        ChQueue {
+            capacity,
+            service_time,
+            deadline,
+            in_system: VecDeque::new(),
+            processed: Vec::new(),
+            drops_full: 0,
+            drops_deadline: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Offer a packet arriving at `time` (must be non-decreasing across
+    /// calls — the round engine processes events in time order).
+    pub fn offer(&mut self, packet: Packet, time: f64) -> Offer {
+        // Packets that have departed by `time` free their slots.
+        while let Some(&dep) = self.in_system.front() {
+            if dep <= time {
+                self.in_system.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.in_system.len() >= self.capacity {
+            self.drops_full += 1;
+            return Offer::Dropped(QueueDrop::Full);
+        }
+        // FIFO with deterministic service: start when the previous packet
+        // departs (or immediately if the server is idle).
+        let start = self.in_system.back().copied().unwrap_or(time).max(time);
+        let completes_at = start + self.service_time;
+        if completes_at > self.deadline {
+            self.drops_deadline += 1;
+            return Offer::Dropped(QueueDrop::Deadline);
+        }
+        self.in_system.push_back(completes_at);
+        self.peak_occupancy = self.peak_occupancy.max(self.in_system.len());
+        self.processed.push((packet, completes_at));
+        Offer::Accepted { completes_at }
+    }
+
+    /// Packets processed this round (in completion order) — the inputs to
+    /// the end-of-round data fusion.
+    pub fn processed(&self) -> &[(Packet, f64)] {
+        &self.processed
+    }
+
+    /// Total payload bits processed this round (pre-compression).
+    pub fn processed_bits(&self) -> u64 {
+        self.processed.iter().map(|(p, _)| p.bits).sum()
+    }
+
+    /// Number of capacity drops.
+    pub fn drops_full(&self) -> u64 {
+        self.drops_full
+    }
+
+    /// Number of deadline drops.
+    pub fn drops_deadline(&self) -> u64 {
+        self.drops_deadline
+    }
+
+    /// Packets currently in the system (waiting or in service) at the last
+    /// offered time.
+    pub fn occupancy(&self) -> usize {
+        self.in_system.len()
+    }
+
+    /// Largest number of packets simultaneously in the system this round.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn pkt(id: u64, t: f64) -> Packet {
+        Packet { id, src: NodeId(0), created_at: t, bits: 1000 }
+    }
+
+    #[test]
+    fn idle_server_processes_immediately() {
+        let mut q = ChQueue::new(4, 1.0, 100.0);
+        match q.offer(pkt(0, 10.0), 10.0) {
+            Offer::Accepted { completes_at } => assert_eq!(completes_at, 11.0),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(q.processed().len(), 1);
+    }
+
+    #[test]
+    fn fifo_back_to_back_service() {
+        let mut q = ChQueue::new(10, 2.0, 100.0);
+        // Three packets arrive together: completions are 2, 4, 6.
+        for (i, want) in [(0u64, 2.0), (1, 4.0), (2, 6.0)] {
+            match q.offer(pkt(i, 0.0), 0.0) {
+                Offer::Accepted { completes_at } => assert_eq!(completes_at, want),
+                o => panic!("unexpected {o:?}"),
+            }
+        }
+        assert_eq!(q.occupancy(), 3);
+    }
+
+    #[test]
+    fn capacity_drop_when_full() {
+        let mut q = ChQueue::new(2, 10.0, 1000.0);
+        assert!(matches!(q.offer(pkt(0, 0.0), 0.0), Offer::Accepted { .. }));
+        assert!(matches!(q.offer(pkt(1, 0.0), 0.0), Offer::Accepted { .. }));
+        assert_eq!(q.offer(pkt(2, 0.0), 0.0), Offer::Dropped(QueueDrop::Full));
+        assert_eq!(q.drops_full(), 1);
+        // After the first departure (t = 10), one slot frees up.
+        assert!(matches!(q.offer(pkt(3, 10.0), 10.0), Offer::Accepted { .. }));
+    }
+
+    #[test]
+    fn deadline_drop_near_round_end() {
+        let mut q = ChQueue::new(10, 5.0, 20.0);
+        // Arrives at 18, would complete at 23 > 20.
+        assert_eq!(q.offer(pkt(0, 18.0), 18.0), Offer::Dropped(QueueDrop::Deadline));
+        assert_eq!(q.drops_deadline(), 1);
+        assert!(q.processed().is_empty());
+    }
+
+    #[test]
+    fn departures_free_slots_over_time() {
+        let mut q = ChQueue::new(1, 1.0, 100.0);
+        assert!(matches!(q.offer(pkt(0, 0.0), 0.0), Offer::Accepted { .. }));
+        assert_eq!(q.offer(pkt(1, 0.5), 0.5), Offer::Dropped(QueueDrop::Full));
+        // At t = 1.0 the first packet has departed.
+        assert!(matches!(q.offer(pkt(2, 1.0), 1.0), Offer::Accepted { .. }));
+        assert_eq!(q.drops_full(), 1);
+    }
+
+    #[test]
+    fn processed_bits_sum() {
+        let mut q = ChQueue::new(10, 1.0, 100.0);
+        for i in 0..5 {
+            q.offer(pkt(i, i as f64 * 2.0), i as f64 * 2.0);
+        }
+        assert_eq!(q.processed_bits(), 5000);
+    }
+
+    #[test]
+    fn overload_drops_most_packets() {
+        // Offered load 10x service capacity: most packets must drop —
+        // this is the Fig. 3(a) congestion mechanism in isolation.
+        let mut q = ChQueue::new(5, 1.0, 100.0);
+        let mut accepted = 0;
+        for i in 0..1000 {
+            let t = i as f64 * 0.1; // 10 packets per slot vs capacity 1/slot
+            if matches!(q.offer(pkt(i, t), t), Offer::Accepted { .. }) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted <= 105, "accepted {accepted}, capacity ≈ 100");
+        assert!(q.drops_full() + q.drops_deadline() >= 895);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        ChQueue::new(0, 1.0, 10.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Machine-readable run traces.
+//!
+//! A [`RunTrace`] captures the per-round evolution of a simulation —
+//! head sets, per-node residual energies, packet counters — in a form
+//! that serializes to JSON for external plotting (the Fig. 3/4 artifacts
+//! are derived from exactly these quantities). Because snapshots hold a
+//! residual per node per round, tracing is opt-in via
+//! [`TraceRecorder`], which wraps any [`Protocol`] and observes the
+//! simulation through the protocol hooks without perturbing it.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use crate::packet::Target;
+use crate::protocol::Protocol;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// One round's snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundSnapshot {
+    pub round: u32,
+    /// Ids of this round's cluster heads.
+    pub heads: Vec<u32>,
+    /// Residual energy per node (id order) at the *end* of the round.
+    pub residuals: Vec<f64>,
+    /// Alive nodes at the end of the round.
+    pub alive: usize,
+}
+
+/// A full run trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    pub protocol: String,
+    pub rounds: Vec<RoundSnapshot>,
+}
+
+impl RunTrace {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parse a trace back from JSON.
+    pub fn from_json(text: &str) -> Result<RunTrace, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// How many times each node served as head over the trace (head-duty
+    /// histogram — rotation fairness in one vector).
+    pub fn head_duty_counts(&self, n_nodes: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; n_nodes];
+        for r in &self.rounds {
+            for &h in &r.heads {
+                if let Some(c) = counts.get_mut(h as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Wraps a protocol and records a [`RunTrace`] as the simulation drives
+/// it. All hooks are forwarded verbatim.
+pub struct TraceRecorder<P> {
+    inner: P,
+    trace: RunTrace,
+    pending_heads: Vec<u32>,
+}
+
+impl<P: Protocol> TraceRecorder<P> {
+    /// Wrap `inner`.
+    pub fn new(inner: P) -> Self {
+        TraceRecorder { inner, trace: RunTrace::default(), pending_heads: Vec::new() }
+    }
+
+    /// Finish and take the trace (and the wrapped protocol back).
+    pub fn into_parts(self) -> (P, RunTrace) {
+        (self.inner, self.trace)
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+}
+
+impl<P: Protocol> Protocol for TraceRecorder<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_round_start(
+        &mut self,
+        net: &mut Network,
+        round: u32,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        if self.trace.protocol.is_empty() {
+            self.trace.protocol = self.inner.name().to_string();
+        }
+        let heads = self.inner.on_round_start(net, round, rng);
+        self.pending_heads = heads.iter().map(|h| h.0).collect();
+        heads
+    }
+
+    fn on_packet_start(&mut self, src: NodeId) {
+        self.inner.on_packet_start(src);
+    }
+
+    fn choose_target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target {
+        self.inner.choose_target(net, src, heads, rng)
+    }
+
+    fn on_hop_result(&mut self, src: NodeId, target: Target, success: bool) {
+        self.inner.on_hop_result(src, target, success);
+    }
+
+    fn aggregate_route(&mut self, net: &Network, head: NodeId, heads: &[NodeId]) -> Vec<Target> {
+        self.inner.aggregate_route(net, head, heads)
+    }
+
+    fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
+        self.inner.on_round_end(net, round, heads);
+        self.trace.rounds.push(RoundSnapshot {
+            round,
+            heads: std::mem::take(&mut self.pending_heads),
+            residuals: net.nodes().iter().map(|n| n.residual()).collect(),
+            alive: net.alive_count(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::protocol::GreedyEnergyProtocol;
+    use crate::sim::{SimConfig, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn traced_run(rounds: u32) -> (RunTrace, usize) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new().uniform_cube(&mut rng, 30, 200.0, 5.0);
+        let n = net.len();
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = rounds;
+        let mut recorder = TraceRecorder::new(GreedyEnergyProtocol::new(3));
+        let _ = Simulator::new(net, cfg).run(&mut recorder, &mut rng);
+        let (_, trace) = recorder.into_parts();
+        (trace, n)
+    }
+
+    #[test]
+    fn records_every_round() {
+        let (trace, n) = traced_run(4);
+        assert_eq!(trace.protocol, "greedy-energy");
+        assert_eq!(trace.rounds.len(), 4);
+        for (i, r) in trace.rounds.iter().enumerate() {
+            assert_eq!(r.round, i as u32);
+            assert_eq!(r.heads.len(), 3);
+            assert_eq!(r.residuals.len(), n);
+            assert!(r.alive <= n);
+        }
+    }
+
+    #[test]
+    fn residuals_are_non_increasing_per_node() {
+        let (trace, n) = traced_run(5);
+        for node in 0..n {
+            for w in trace.rounds.windows(2) {
+                assert!(
+                    w[1].residuals[node] <= w[0].residuals[node] + 1e-12,
+                    "node {node} gained energy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (trace, _) = traced_run(3);
+        let json = trace.to_json().unwrap();
+        let parsed = RunTrace::from_json(&json).unwrap();
+        assert_eq!(parsed.rounds.len(), trace.rounds.len());
+        assert_eq!(parsed.protocol, trace.protocol);
+        assert_eq!(parsed.rounds[1].heads, trace.rounds[1].heads);
+        assert!(RunTrace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn head_duty_histogram() {
+        let (trace, n) = traced_run(6);
+        let counts = trace.head_duty_counts(n);
+        assert_eq!(counts.len(), n);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total as usize, 6 * 3, "3 heads per round for 6 rounds");
+    }
+}

@@ -1,0 +1,115 @@
+//! Poisson traffic generation.
+//!
+//! §5.2: "The packet generation time in the network follows the poisson
+//! distribution. λ is the average packet inter-arrival time for the
+//! network. The smaller λ is, the more congested the network is." Each
+//! sensing node therefore generates packets whose inter-arrival times are
+//! exponential with mean λ (in slots); within a round of duration `T` the
+//! expected per-node packet count is `T / λ`.
+
+use qlec_geom::randx;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Poisson packet-generation process for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonTraffic {
+    /// Mean packet inter-arrival time λ, in slots. Smaller = more
+    /// congested (the x-axis of Fig. 3).
+    pub mean_interarrival: f64,
+}
+
+impl PoissonTraffic {
+    /// Construct with validation.
+    pub fn new(mean_interarrival: f64) -> Self {
+        assert!(
+            mean_interarrival > 0.0 && mean_interarrival.is_finite(),
+            "mean inter-arrival must be positive, got {mean_interarrival}"
+        );
+        PoissonTraffic { mean_interarrival }
+    }
+
+    /// Arrival times in `[start, start + duration)`, strictly increasing.
+    ///
+    /// Standard homogeneous-Poisson simulation: cumulative sums of
+    /// exponential gaps, truncated at the window end.
+    pub fn arrivals_in<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: f64,
+        duration: f64,
+    ) -> Vec<f64> {
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let mut out = Vec::new();
+        let end = start + duration;
+        let mut t = start + randx::exponential(rng, self.mean_interarrival);
+        while t < end {
+            out.push(t);
+            t += randx::exponential(rng, self.mean_interarrival);
+        }
+        out
+    }
+
+    /// Expected number of arrivals in a window of the given duration.
+    pub fn expected_count(&self, duration: f64) -> f64 {
+        duration / self.mean_interarrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_in_window_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = PoissonTraffic::new(2.0);
+        let arr = t.arrivals_in(&mut rng, 100.0, 50.0);
+        for w in arr.windows(2) {
+            assert!(w[0] < w[1], "arrivals must be strictly increasing");
+        }
+        for &a in &arr {
+            assert!((100.0..150.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = PoissonTraffic::new(2.0);
+        let trials = 2_000;
+        let total: usize = (0..trials)
+            .map(|_| t.arrivals_in(&mut rng, 0.0, 100.0).len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean arrivals {mean}, want ≈ 50");
+        assert_eq!(t.expected_count(100.0), 50.0);
+    }
+
+    #[test]
+    fn smaller_lambda_means_more_packets() {
+        // The congestion knob of Fig. 3: halving λ doubles traffic.
+        let mut rng = StdRng::seed_from_u64(3);
+        let congested: usize = (0..500)
+            .map(|_| PoissonTraffic::new(1.0).arrivals_in(&mut rng, 0.0, 100.0).len())
+            .sum();
+        let idle: usize = (0..500)
+            .map(|_| PoissonTraffic::new(10.0).arrivals_in(&mut rng, 0.0, 100.0).len())
+            .sum();
+        assert!(congested > 8 * idle, "congested {congested} vs idle {idle}");
+    }
+
+    #[test]
+    fn zero_duration_yields_no_arrivals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(PoissonTraffic::new(1.0).arrivals_in(&mut rng, 5.0, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_lambda() {
+        PoissonTraffic::new(0.0);
+    }
+}

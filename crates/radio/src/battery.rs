@@ -1,0 +1,186 @@
+//! Per-node battery with residual-energy tracking.
+//!
+//! Holds `E_i(r)` — the residual energy the DEEC election probability
+//! (Eq. 1), the improved energy threshold (Eq. 4), and the Q-learning
+//! reward terms `x(b_i)`, `x(h_j)` (Eq. 17) all read. §5.1 defines network
+//! death through an *energy death line*: "the network dies when there
+//! exists one sensor possessing less energy than a given energy death
+//! line" — so a node is [`Battery::depleted`] relative to a configurable
+//! line, not at exactly zero.
+
+use serde::{Deserialize, Serialize};
+
+/// A sensor-node battery. Energy in joules; never negative.
+///
+/// ```
+/// use qlec_radio::Battery;
+/// let mut b = Battery::new(5.0);
+/// b.consume(2.0);
+/// assert_eq!(b.residual(), 3.0);
+/// assert_eq!(b.consumption_rate(), 0.4);
+/// assert!(b.depleted(3.5)); // below a 3.5 J death line
+/// assert!(!b.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    initial: f64,
+    residual: f64,
+    /// Total energy drawn over the node's lifetime (for Fig. 4's
+    /// consumption-rate map this equals `initial - residual`, but keeping
+    /// the explicit accumulator makes the invariant testable even after
+    /// hypothetical recharge extensions).
+    consumed: f64,
+}
+
+impl Battery {
+    /// A full battery with the given initial energy.
+    ///
+    /// # Panics
+    /// Panics if `initial` is negative or non-finite.
+    pub fn new(initial: f64) -> Self {
+        assert!(
+            initial >= 0.0 && initial.is_finite(),
+            "initial energy must be non-negative and finite, got {initial}"
+        );
+        Battery { initial, residual: initial, consumed: 0.0 }
+    }
+
+    /// Initial energy `E_{i,initial}`.
+    #[inline]
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+
+    /// Residual energy `E_i(r)`.
+    #[inline]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Total energy consumed so far.
+    #[inline]
+    pub fn consumed(&self) -> f64 {
+        self.consumed
+    }
+
+    /// Fraction of the initial energy consumed (`0` for a zero-capacity
+    /// battery). This is the per-node quantity plotted in Fig. 4.
+    #[inline]
+    pub fn consumption_rate(&self) -> f64 {
+        if self.initial > 0.0 {
+            self.consumed / self.initial
+        } else {
+            0.0
+        }
+    }
+
+    /// Draw `amount` joules, saturating at zero. Returns the energy
+    /// actually drawn (less than `amount` iff the battery ran dry).
+    ///
+    /// # Panics
+    /// Panics (debug) on negative or non-finite draws — those are always
+    /// simulator bugs, not physical states.
+    pub fn consume(&mut self, amount: f64) -> f64 {
+        debug_assert!(
+            amount >= 0.0 && amount.is_finite(),
+            "consume amount must be non-negative and finite, got {amount}"
+        );
+        let drawn = amount.min(self.residual);
+        self.residual -= drawn;
+        self.consumed += drawn;
+        drawn
+    }
+
+    /// Whether the residual is below `death_line` — the §5.1 death rule.
+    #[inline]
+    pub fn depleted(&self, death_line: f64) -> bool {
+        self.residual < death_line
+    }
+
+    /// Whether the battery is completely empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.residual <= 0.0
+    }
+
+    /// Whether the battery could supply `amount` without running dry.
+    #[inline]
+    pub fn can_supply(&self, amount: f64) -> bool {
+        self.residual >= amount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_battery() {
+        let b = Battery::new(5.0);
+        assert_eq!(b.initial(), 5.0);
+        assert_eq!(b.residual(), 5.0);
+        assert_eq!(b.consumed(), 0.0);
+        assert_eq!(b.consumption_rate(), 0.0);
+        assert!(!b.is_empty());
+        assert!(!b.depleted(0.1));
+        assert!(b.depleted(6.0));
+    }
+
+    #[test]
+    fn consume_accounting() {
+        let mut b = Battery::new(5.0);
+        assert_eq!(b.consume(2.0), 2.0);
+        assert_eq!(b.residual(), 3.0);
+        assert_eq!(b.consumed(), 2.0);
+        assert_eq!(b.consumption_rate(), 0.4);
+    }
+
+    #[test]
+    fn consume_saturates_at_zero() {
+        let mut b = Battery::new(1.0);
+        assert_eq!(b.consume(3.0), 1.0);
+        assert_eq!(b.residual(), 0.0);
+        assert!(b.is_empty());
+        // Further draws are no-ops.
+        assert_eq!(b.consume(1.0), 0.0);
+        assert_eq!(b.consumed(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_battery() {
+        let mut b = Battery::new(0.0);
+        assert!(b.is_empty());
+        assert_eq!(b.consume(1.0), 0.0);
+        assert_eq!(b.consumption_rate(), 0.0);
+    }
+
+    #[test]
+    fn can_supply_boundary() {
+        let b = Battery::new(2.0);
+        assert!(b.can_supply(2.0));
+        assert!(!b.can_supply(2.0 + 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_initial() {
+        Battery::new(-1.0);
+    }
+
+    proptest! {
+        /// Invariants under arbitrary draw sequences: residual ∈ [0, initial],
+        /// residual + consumed == initial, consumption rate ∈ [0, 1].
+        #[test]
+        fn conservation(initial in 0.0..100.0f64, draws in prop::collection::vec(0.0..10.0f64, 0..50)) {
+            let mut b = Battery::new(initial);
+            for d in draws {
+                b.consume(d);
+                prop_assert!(b.residual() >= 0.0);
+                prop_assert!(b.residual() <= initial + 1e-12);
+                prop_assert!((b.residual() + b.consumed() - initial).abs() < 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&b.consumption_rate()));
+            }
+        }
+    }
+}

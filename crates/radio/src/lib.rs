@@ -1,0 +1,23 @@
+//! Radio-layer substrate for the QLEC reproduction.
+//!
+//! Three pieces:
+//!
+//! * [`model::RadioModel`] — the first-order radio energy model of
+//!   Heinzelman et al. \[4\], exactly as the paper uses it: Eq. 6 (per-round
+//!   network dissipation), Eq. 18 (the transmission-cost term `y(b_i, h_j)`
+//!   of the Q-learning reward), and the free-space/multi-path crossover at
+//!   `d₀ = √(ε_fs/ε_mp)`.
+//! * [`battery::Battery`] — per-node residual energy `E_i(r)` with the
+//!   death-line rule of §5.1 ("the network dies when there exists one
+//!   sensor possessing less energy than a given energy death line").
+//! * [`link`] — stochastic packet-delivery models producing the ground
+//!   truth behind the ACK-estimated link probabilities `P^{a_j}_{b_i h_j}`
+//!   of §4.2 ("poor communication environment … may lead to packet loss").
+
+pub mod battery;
+pub mod link;
+pub mod model;
+
+pub use battery::Battery;
+pub use link::{DistanceLossLink, IdealLink, LinkModel, ShadowedLink};
+pub use model::RadioModel;

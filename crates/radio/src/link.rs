@@ -1,0 +1,264 @@
+//! Stochastic link models — the ground truth behind the paper's
+//! ACK-estimated link probabilities.
+//!
+//! §4.2: "Poor communication environment or limited storage caches of
+//! cluster heads may lead to packet loss so `P^{a_j}_{b_i h_j} = 1` does not
+//! always hold." Queue overflow is modelled in `qlec-net`; the
+//! *communication-environment* component lives here as a per-transmission
+//! Bernoulli trial whose success probability depends on distance.
+//!
+//! Three models are provided:
+//!
+//! * [`IdealLink`] — always delivers (isolates queueing effects),
+//! * [`DistanceLossLink`] — smooth distance-dependent success probability
+//!   with a configurable floor; the default for all experiments,
+//! * [`ShadowedLink`] — log-normal shadowing on top of the distance law,
+//!   for harsher environments (the underwater example).
+
+use qlec_geom::randx;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A link model maps a transmitter→receiver distance to a delivery
+/// probability and can sample individual transmission outcomes.
+pub trait LinkModel {
+    /// Probability a single transmission over distance `d` succeeds
+    /// (radio environment only — queue drops are accounted elsewhere).
+    fn delivery_probability(&self, d: f64) -> f64;
+
+    /// Sample one transmission outcome.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, d: f64) -> bool {
+        rng.gen::<f64>() < self.delivery_probability(d)
+    }
+}
+
+/// Perfect links: every transmission is delivered.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IdealLink;
+
+impl LinkModel for IdealLink {
+    fn delivery_probability(&self, _d: f64) -> f64 {
+        1.0
+    }
+}
+
+/// Distance-dependent delivery probability.
+///
+/// `P(d) = max(floor, exp(-(d / range)^steepness))` — near-certain delivery
+/// at short range, graceful decay around `range`, never below `floor`
+/// (an ARQ/physical-layer floor keeps the Q-learning link estimator away
+/// from degenerate all-zero estimates).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DistanceLossLink {
+    /// Characteristic distance at which `P ≈ e⁻¹ ≈ 0.37` (before flooring).
+    pub range: f64,
+    /// Decay sharpness (≥ 1; higher = more cliff-like).
+    pub steepness: f64,
+    /// Lower bound on delivery probability.
+    pub floor: f64,
+}
+
+impl DistanceLossLink {
+    /// Construct with validation.
+    pub fn new(range: f64, steepness: f64, floor: f64) -> Self {
+        assert!(range > 0.0 && range.is_finite(), "range must be positive");
+        assert!(steepness >= 1.0 && steepness.is_finite(), "steepness must be >= 1");
+        assert!((0.0..=1.0).contains(&floor), "floor must be in [0,1]");
+        DistanceLossLink { range, steepness, floor }
+    }
+
+    /// Default tuned to the paper's 200 m cube: reliable up to ~150 m,
+    /// degrading beyond — so member→head hops (≤ d_c ≈ 72 m at k = 5)
+    /// are near-lossless while long direct-to-BS shots are risky.
+    pub fn for_cube(m: f64) -> Self {
+        DistanceLossLink::new(1.1 * m, 4.0, 0.05)
+    }
+}
+
+impl Default for DistanceLossLink {
+    fn default() -> Self {
+        DistanceLossLink::for_cube(200.0)
+    }
+}
+
+impl LinkModel for DistanceLossLink {
+    fn delivery_probability(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        let p = (-(d / self.range).powf(self.steepness)).exp();
+        p.max(self.floor)
+    }
+}
+
+/// Log-normal shadowing layered on a [`DistanceLossLink`].
+///
+/// Each transmission draws a shadowing gain `G ~ LogNormal(0, σ)` and
+/// succeeds with probability `clamp(P_base(d) · G, floor, 1)`. The *mean*
+/// reported by [`LinkModel::delivery_probability`] is the base law, which
+/// is what a long-run ACK-ratio estimator converges to up to clamping.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShadowedLink {
+    pub base: DistanceLossLink,
+    /// Standard deviation of the underlying normal (typ. 0.2–1.0).
+    pub sigma: f64,
+}
+
+impl ShadowedLink {
+    /// Construct with validation.
+    pub fn new(base: DistanceLossLink, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        ShadowedLink { base, sigma }
+    }
+}
+
+impl LinkModel for ShadowedLink {
+    fn delivery_probability(&self, d: f64) -> f64 {
+        self.base.delivery_probability(d)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, d: f64) -> bool {
+        let gain = randx::log_normal(rng, 0.0, self.sigma);
+        let p = (self.base.delivery_probability(d) * gain).clamp(self.base.floor, 1.0);
+        rng.gen::<f64>() < p
+    }
+}
+
+/// Runtime-selectable link model (avoids generics bubbling through the
+/// simulator configuration).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum AnyLink {
+    Ideal(IdealLink),
+    DistanceLoss(DistanceLossLink),
+    Shadowed(ShadowedLink),
+}
+
+impl Default for AnyLink {
+    fn default() -> Self {
+        AnyLink::DistanceLoss(DistanceLossLink::default())
+    }
+}
+
+impl LinkModel for AnyLink {
+    fn delivery_probability(&self, d: f64) -> f64 {
+        match self {
+            AnyLink::Ideal(l) => l.delivery_probability(d),
+            AnyLink::DistanceLoss(l) => l.delivery_probability(d),
+            AnyLink::Shadowed(l) => l.delivery_probability(d),
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, d: f64) -> bool {
+        match self {
+            AnyLink::Ideal(l) => l.sample(rng, d),
+            AnyLink::DistanceLoss(l) => l.sample(rng, d),
+            AnyLink::Shadowed(l) => l.sample(rng, d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_always_delivers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = IdealLink;
+        assert_eq!(l.delivery_probability(1e9), 1.0);
+        assert!((0..1000).all(|_| l.sample(&mut rng, 500.0)));
+    }
+
+    #[test]
+    fn distance_loss_shape() {
+        let l = DistanceLossLink::new(100.0, 4.0, 0.05);
+        // Short range: near 1.
+        assert!(l.delivery_probability(10.0) > 0.99);
+        // At the characteristic range: e^-1.
+        assert!((l.delivery_probability(100.0) - (-1f64).exp()).abs() < 1e-12);
+        // Far: floored.
+        assert_eq!(l.delivery_probability(1000.0), 0.05);
+    }
+
+    #[test]
+    fn distance_loss_monotone_decreasing() {
+        let l = DistanceLossLink::default();
+        let mut prev = 1.1;
+        for i in 0..100 {
+            let p = l.delivery_probability(i as f64 * 5.0);
+            assert!(p <= prev + 1e-15, "not monotone at d = {}", i * 5);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sample_frequency_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = DistanceLossLink::new(100.0, 2.0, 0.0);
+        for &d in &[30.0, 100.0, 180.0] {
+            let n = 100_000;
+            let ok = (0..n).filter(|_| l.sample(&mut rng, d)).count();
+            let emp = ok as f64 / n as f64;
+            let want = l.delivery_probability(d);
+            assert!((emp - want).abs() < 0.01, "d={d}: emp {emp} want {want}");
+        }
+    }
+
+    #[test]
+    fn shadowed_with_zero_sigma_equals_base() {
+        let base = DistanceLossLink::new(100.0, 2.0, 0.0);
+        let sh = ShadowedLink::new(base, 0.0);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let d = 90.0;
+        let emp = (0..n).filter(|_| sh.sample(&mut r1, d)).count() as f64 / n as f64;
+        assert!((emp - base.delivery_probability(d)).abs() < 0.02);
+    }
+
+    #[test]
+    fn shadowed_adds_variance_but_keeps_support() {
+        let base = DistanceLossLink::new(100.0, 2.0, 0.01);
+        let sh = ShadowedLink::new(base, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Deliveries still occur at long distance (floor) and failures at
+        // short distance (shadowing can push probability below 1).
+        let far_ok = (0..20_000).filter(|_| sh.sample(&mut rng, 500.0)).count();
+        assert!(far_ok > 0, "floor should keep far links alive");
+        let near_fail = (0..20_000).filter(|_| !sh.sample(&mut rng, 40.0)).count();
+        assert!(near_fail > 0, "shadowing should cause some near failures");
+    }
+
+    #[test]
+    fn any_link_dispatch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let links = [
+            AnyLink::Ideal(IdealLink),
+            AnyLink::DistanceLoss(DistanceLossLink::default()),
+            AnyLink::Shadowed(ShadowedLink::new(DistanceLossLink::default(), 0.5)),
+        ];
+        for l in links {
+            let p = l.delivery_probability(100.0);
+            assert!((0.0..=1.0).contains(&p));
+            let _ = l.sample(&mut rng, 100.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_floor() {
+        DistanceLossLink::new(100.0, 2.0, 1.5);
+    }
+
+    proptest! {
+        /// Delivery probabilities are valid probabilities for any distance.
+        #[test]
+        fn probability_in_unit_interval(d in 0.0..100_000.0f64, range in 1.0..1000.0f64,
+                                        steep in 1.0..8.0f64, floor in 0.0..1.0f64) {
+            let l = DistanceLossLink::new(range, steep, floor);
+            let p = l.delivery_probability(d);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= floor);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The first-order radio energy model (Heinzelman et al. \[4\]).
+//!
+//! Transmitting `L` bits over distance `d` costs
+//!
+//! ```text
+//! E_tx(L, d) = L·E_elec + L·ε_fs·d²   if d <  d₀          (free space)
+//! E_tx(L, d) = L·E_elec + L·ε_mp·d⁴   if d >= d₀          (multi-path)
+//! ```
+//!
+//! with `d₀ = √(ε_fs/ε_mp)`; receiving costs `E_rx(L) = L·E_elec`;
+//! aggregating one incoming signal of `L` bits at a cluster head costs
+//! `L·E_DA`. The paper's Eq. 18 is the *amplifier-only* part of `E_tx`
+//! (the `y(b_i, h_j)` transmission-cost term in the Q-learning reward), so
+//! it is exposed separately as [`RadioModel::amp_energy`].
+//!
+//! Default constants follow the paper (§3.2 and Table 2):
+//! `ε_fs = 10 pJ/bit/m²`, `ε_mp = 0.0013 pJ/bit/m⁴`, and the conventional
+//! `E_elec = 50 nJ/bit`, `E_DA = 5 nJ/bit` from \[4\]/\[11\]. All energies
+//! are in joules, distances in metres, packet sizes in bits.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the first-order radio model.
+///
+/// ```
+/// use qlec_radio::RadioModel;
+/// let radio = RadioModel::paper();
+/// // Below d0 the free-space d² law applies; above it, multi-path d⁴.
+/// assert!((radio.d0() - 87.7058).abs() < 1e-3);
+/// let short = radio.tx_energy(2000, 50.0);
+/// let long = radio.tx_energy(2000, 150.0);
+/// assert!(long > 5.0 * short);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Electronics energy per bit, transmit or receive (J/bit).
+    pub e_elec: f64,
+    /// Data-aggregation energy per bit per incoming signal (J/bit).
+    pub e_da: f64,
+    /// Free-space amplifier constant (J/bit/m²). Paper: 10 pJ.
+    pub eps_fs: f64,
+    /// Multi-path amplifier constant (J/bit/m⁴). Paper: 0.0013 pJ.
+    pub eps_mp: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel::paper()
+    }
+}
+
+impl RadioModel {
+    /// The paper's constants (Table 2 plus the conventional Heinzelman
+    /// electronics/aggregation energies).
+    pub const fn paper() -> Self {
+        RadioModel {
+            e_elec: 50e-9,
+            e_da: 5e-9,
+            eps_fs: 10e-12,
+            eps_mp: 0.0013e-12,
+        }
+    }
+
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics if any constant is non-positive or non-finite.
+    pub fn new(e_elec: f64, e_da: f64, eps_fs: f64, eps_mp: f64) -> Self {
+        for (name, v) in [
+            ("e_elec", e_elec),
+            ("e_da", e_da),
+            ("eps_fs", eps_fs),
+            ("eps_mp", eps_mp),
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "radio constant {name} must be positive, got {v}");
+        }
+        RadioModel { e_elec, e_da, eps_fs, eps_mp }
+    }
+
+    /// The crossover distance `d₀ = √(ε_fs/ε_mp)` between the free-space
+    /// and multi-path regimes (≈ 87.7 m with the paper's constants).
+    #[inline]
+    pub fn d0(&self) -> f64 {
+        (self.eps_fs / self.eps_mp).sqrt()
+    }
+
+    /// Amplifier energy only — the paper's Eq. 18 `y(b_i, h_j)`:
+    /// `L·ε_fs·d²` below `d₀`, `L·ε_mp·d⁴` at or above.
+    #[inline]
+    pub fn amp_energy(&self, bits: u64, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "distance must be non-negative");
+        let l = bits as f64;
+        if d < self.d0() {
+            l * self.eps_fs * d * d
+        } else {
+            l * self.eps_mp * d * d * d * d
+        }
+    }
+
+    /// Full transmission energy: electronics plus amplifier.
+    #[inline]
+    pub fn tx_energy(&self, bits: u64, d: f64) -> f64 {
+        bits as f64 * self.e_elec + self.amp_energy(bits, d)
+    }
+
+    /// Reception energy: `L·E_elec`.
+    #[inline]
+    pub fn rx_energy(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_elec
+    }
+
+    /// Aggregation energy for one incoming signal of `L` bits: `L·E_DA`.
+    #[inline]
+    pub fn aggregation_energy(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_da
+    }
+
+    /// The paper's Eq. 6: expected total energy dissipated network-wide in
+    /// one round, given `n` nodes each sending `L` bits, `k` cluster heads,
+    /// the mean head→BS distance `d_to_bs`, and the mean member→head
+    /// distance-squared `d_to_ch_sq`.
+    ///
+    /// ```text
+    /// E_r = L·(2N·E_elec + N·E_DA + k·ε_mp·d⁴_toBS + N·ε_fs·d²_toCH)
+    /// ```
+    ///
+    /// Theorem 1's `k_opt` is the minimizer of this expression once
+    /// Lemma 1 substitutes `d²_toCH` as a function of `k`; the `kopt`
+    /// module of `qlec-core` does that substitution and the `kopt_table`
+    /// experiment binary cross-checks the analytic minimum against a
+    /// direct scan of this function.
+    pub fn round_energy_eq6(
+        &self,
+        bits: u64,
+        n: usize,
+        k: usize,
+        d_to_bs: f64,
+        d_to_ch_sq: f64,
+    ) -> f64 {
+        let l = bits as f64;
+        let n = n as f64;
+        let k = k as f64;
+        l * (2.0 * n * self.e_elec
+            + n * self.e_da
+            + k * self.eps_mp * d_to_bs.powi(4)
+            + n * self.eps_fs * d_to_ch_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = RadioModel::paper();
+        assert_eq!(m.eps_fs, 10e-12);
+        assert_eq!(m.eps_mp, 0.0013e-12);
+        // d0 = sqrt(10 / 0.0013) ≈ 87.7 m — the conventional value.
+        assert!((m.d0() - 87.7058).abs() < 1e-3, "d0 = {}", m.d0());
+    }
+
+    #[test]
+    fn tx_energy_regimes() {
+        let m = RadioModel::paper();
+        let bits = 4000;
+        // Below d0: free-space term.
+        let d = 50.0;
+        let want = 4000.0 * (50e-9 + 10e-12 * d * d);
+        assert!((m.tx_energy(bits, d) - want).abs() < 1e-18);
+        // Above d0: multi-path term.
+        let d: f64 = 150.0;
+        let want = 4000.0 * (50e-9 + 0.0013e-12 * d.powi(4));
+        assert!((m.tx_energy(bits, d) - want).abs() < 1e-18);
+    }
+
+    #[test]
+    fn crossover_is_continuous() {
+        // At exactly d0 the two amplifier formulas agree:
+        // ε_fs·d0² = ε_mp·d0⁴ because d0² = ε_fs/ε_mp.
+        let m = RadioModel::paper();
+        let d0 = m.d0();
+        let below = m.amp_energy(1000, d0 - 1e-9);
+        let at = m.amp_energy(1000, d0);
+        assert!((below - at).abs() / at < 1e-6, "discontinuity at d0: {below} vs {at}");
+    }
+
+    #[test]
+    fn rx_and_aggregation() {
+        let m = RadioModel::paper();
+        assert_eq!(m.rx_energy(1000), 1000.0 * 50e-9);
+        assert_eq!(m.aggregation_energy(1000), 1000.0 * 5e-9);
+        assert_eq!(m.rx_energy(0), 0.0);
+    }
+
+    #[test]
+    fn zero_distance_costs_only_electronics() {
+        let m = RadioModel::paper();
+        assert_eq!(m.tx_energy(100, 0.0), 100.0 * m.e_elec);
+    }
+
+    #[test]
+    fn eq6_matches_hand_expansion() {
+        let m = RadioModel::paper();
+        let (bits, n, k) = (2000u64, 100usize, 5usize);
+        let d_bs: f64 = 96.0;
+        let d_ch_sq = 1200.0;
+        let want = 2000.0
+            * (2.0 * 100.0 * m.e_elec
+                + 100.0 * m.e_da
+                + 5.0 * m.eps_mp * d_bs.powi(4)
+                + 100.0 * m.eps_fs * d_ch_sq);
+        assert!((m.round_energy_eq6(bits, n, k, d_bs, d_ch_sq) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_nonpositive() {
+        RadioModel::new(0.0, 5e-9, 10e-12, 0.0013e-12);
+    }
+
+    proptest! {
+        /// Transmission energy is monotonically non-decreasing in distance
+        /// (including across the d0 crossover) and in packet size.
+        #[test]
+        fn tx_energy_monotone(d1 in 0.0..500.0f64, d2 in 0.0..500.0f64, bits in 1u64..100_000) {
+            let m = RadioModel::paper();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(m.tx_energy(bits, lo) <= m.tx_energy(bits, hi) + 1e-18);
+            prop_assert!(m.tx_energy(bits, lo) <= m.tx_energy(bits + 1, lo));
+        }
+
+        /// Energy quantities are non-negative and finite for sane inputs.
+        #[test]
+        fn energies_finite(d in 0.0..10_000.0f64, bits in 0u64..1_000_000) {
+            let m = RadioModel::paper();
+            for e in [m.tx_energy(bits, d), m.rx_energy(bits), m.aggregation_energy(bits)] {
+                prop_assert!(e >= 0.0 && e.is_finite());
+            }
+        }
+
+        /// Eq. 6 decomposes: doubling N doubles every N-proportional term.
+        #[test]
+        fn eq6_k_term_linear(k in 1usize..100) {
+            let m = RadioModel::paper();
+            let base = m.round_energy_eq6(1000, 100, 0, 96.0, 1200.0);
+            let with_k = m.round_energy_eq6(1000, 100, k, 96.0, 1200.0);
+            let per_k = 1000.0 * m.eps_mp * 96.0f64.powi(4);
+            prop_assert!((with_k - base - k as f64 * per_k).abs() < 1e-12);
+        }
+    }
+}

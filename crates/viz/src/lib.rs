@@ -1,0 +1,22 @@
+//! SVG visualizations for the QLEC reproduction.
+//!
+//! Two renderers, both emitting self-contained SVG strings with no
+//! external dependencies:
+//!
+//! * [`network_view::render_consumption_map`] — the Fig. 4 visual: nodes
+//!   of a deployment projected to the x–y plane, colored by per-node
+//!   energy-consumption rate, with the base station and (optionally) the
+//!   final round's cluster heads marked.
+//! * [`trace_view::render_energy_chart`] — a per-round line chart of
+//!   minimum / mean residual energy from a [`qlec_net::trace::RunTrace`],
+//!   with the death line drawn in.
+//!
+//! The [`svg`] module is the tiny shared builder (escaping, viewBox
+//! management, primitive elements).
+
+pub mod network_view;
+pub mod svg;
+pub mod trace_view;
+
+pub use network_view::render_consumption_map;
+pub use trace_view::render_energy_chart;

@@ -1,0 +1,165 @@
+//! The Fig. 4 visual: a deployment's nodes projected to the x–y plane,
+//! colored by per-node energy-consumption rate.
+
+use crate::svg::{heat_color, Svg};
+use qlec_net::{Network, NodeId};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct MapStyle {
+    /// Canvas width in pixels (height follows the deployment's aspect
+    /// ratio, clamped to a sane band).
+    pub width: f64,
+    /// Node radius in pixels.
+    pub node_radius: f64,
+    /// Ids of nodes to ring-highlight (e.g. the final round's heads).
+    pub highlight: Vec<NodeId>,
+    /// Chart title.
+    pub title: String,
+}
+
+impl Default for MapStyle {
+    fn default() -> Self {
+        MapStyle {
+            width: 800.0,
+            node_radius: 4.0,
+            highlight: Vec::new(),
+            title: "energy consumption rate".to_string(),
+        }
+    }
+}
+
+/// Render the consumption-rate map of a network.
+///
+/// `rates` must have one entry per node (the
+/// `SimReport::consumption_rates` vector); values are normalized to the
+/// observed maximum for coloring, so the hottest node is always full red.
+///
+/// # Panics
+/// Panics when `rates.len() != net.len()` or the network is empty.
+pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) -> String {
+    assert_eq!(rates.len(), net.len(), "one rate per node required");
+    assert!(!net.is_empty(), "cannot render an empty network");
+
+    let b = net.bounds();
+    let (min, ext) = (b.min(), b.extent());
+    let margin = 40.0;
+    let plot_w = style.width - 2.0 * margin;
+    let aspect = if ext.x > 0.0 { (ext.y / ext.x).clamp(0.25, 2.0) } else { 1.0 };
+    let plot_h = plot_w * aspect;
+    let height = plot_h + 2.0 * margin + 20.0; // room for the legend row
+
+    let px = |x: f64| -> f64 {
+        if ext.x > 0.0 {
+            margin + (x - min.x) / ext.x * plot_w
+        } else {
+            margin + plot_w / 2.0
+        }
+    };
+    let py = |y: f64| -> f64 {
+        // SVG y grows downward; flip so north is up.
+        if ext.y > 0.0 {
+            margin + (1.0 - (y - min.y) / ext.y) * plot_h
+        } else {
+            margin + plot_h / 2.0
+        }
+    };
+
+    let max_rate = rates.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+
+    let mut svg = Svg::new(style.width, height);
+    svg.background("#ffffff");
+    svg.rect_outline(margin, margin, plot_w, plot_h, "#888888", 1.0);
+    svg.text(margin, margin - 12.0, 13.0, "#222222", &style.title);
+
+    // Nodes, coldest first so hot ones draw on top.
+    let mut order: Vec<usize> = (0..net.len()).collect();
+    order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
+    for i in order {
+        let pos = net.nodes()[i].pos;
+        let t = rates[i] / max_rate;
+        svg.circle(px(pos.x), py(pos.y), style.node_radius, &heat_color(t), 0.85);
+    }
+
+    // Highlights (e.g. heads): ring outline.
+    for id in &style.highlight {
+        let pos = net.node(*id).pos;
+        svg.rect_outline(
+            px(pos.x) - style.node_radius - 2.0,
+            py(pos.y) - style.node_radius - 2.0,
+            2.0 * (style.node_radius + 2.0),
+            2.0 * (style.node_radius + 2.0),
+            "#000000",
+            1.2,
+        );
+    }
+
+    // Base station marker (cross).
+    let (bx, by) = (px(net.bs_pos().x), py(net.bs_pos().y));
+    svg.line(bx - 7.0, by, bx + 7.0, by, "#006600", 2.5);
+    svg.line(bx, by - 7.0, bx, by + 7.0, "#006600", 2.5);
+
+    // Legend: the heat ramp.
+    let ly = margin + plot_h + 18.0;
+    let steps = 40;
+    let lw = 160.0 / steps as f64;
+    for s in 0..steps {
+        let t = s as f64 / (steps - 1) as f64;
+        svg.circle(margin + s as f64 * lw, ly, lw * 0.6, &heat_color(t), 1.0);
+    }
+    svg.text(margin + 170.0, ly + 4.0, 11.0, "#222222", &format!("0 … {max_rate:.3} (max rate)"));
+
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlec_net::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(n: usize) -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0)
+    }
+
+    #[test]
+    fn renders_one_circle_per_node_plus_legend() {
+        let n = net(25);
+        let rates: Vec<f64> = (0..25).map(|i| i as f64 / 25.0).collect();
+        let doc = render_consumption_map(&n, &rates, &MapStyle::default());
+        // 25 node circles + 40 legend swatches.
+        assert_eq!(doc.matches("<circle").count(), 25 + 40);
+        assert!(doc.contains("</svg>"));
+        assert!(doc.contains("energy consumption rate"));
+    }
+
+    #[test]
+    fn highlights_draw_rings() {
+        let n = net(10);
+        let rates = vec![0.1; 10];
+        let style = MapStyle {
+            highlight: vec![NodeId(0), NodeId(3)],
+            ..Default::default()
+        };
+        let doc = render_consumption_map(&n, &rates, &style);
+        // Plot frame + 2 highlight rings.
+        assert_eq!(doc.matches("<rect").count(), 1 /* background */ + 1 /* frame */ + 2);
+    }
+
+    #[test]
+    fn zero_rates_do_not_divide_by_zero() {
+        let n = net(5);
+        let doc = render_consumption_map(&n, &[0.0; 5], &MapStyle::default());
+        assert!(doc.contains("<svg"));
+        assert!(!doc.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rate_count_mismatch_rejected() {
+        let n = net(5);
+        render_consumption_map(&n, &[0.0; 4], &MapStyle::default());
+    }
+}

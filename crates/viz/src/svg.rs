@@ -1,0 +1,199 @@
+//! A minimal SVG document builder.
+//!
+//! Deliberately tiny: enough primitives for the two renderers, correct
+//! XML escaping, and a balanced-document guarantee (the `finish` method
+//! closes the root element; nesting is not exposed, so documents cannot
+//! be malformed by construction).
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    body: String,
+    width: f64,
+    height: f64,
+}
+
+/// Escape text content / attribute values.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl Svg {
+    /// Start a document with the given pixel dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "SVG dimensions must be positive");
+        Svg { body: String::new(), width, height }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Solid background rectangle.
+    pub fn background(&mut self, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="0" y="0" width="{}" height="{}" fill="{}"/>"#,
+            self.width,
+            self.height,
+            escape(fill)
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{}" fill-opacity="{opacity:.2}"/>"#,
+            escape(fill)
+        );
+    }
+
+    /// A stroked (unfilled) rectangle.
+    pub fn rect_outline(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: &str, stroke_width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,
+            escape(stroke)
+        );
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, stroke_width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,
+            escape(stroke)
+        );
+    }
+
+    /// A dashed horizontal guide line.
+    pub fn dashed_hline(&mut self, y: f64, x1: f64, x2: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y:.2}" x2="{x2:.2}" y2="{y:.2}" stroke="{}" stroke-width="1" stroke-dasharray="6 4"/>"#,
+            escape(stroke)
+        );
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, stroke_width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,
+            pts.join(" "),
+            escape(stroke)
+        );
+    }
+
+    /// Text anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" fill="{}">{}</text>"#,
+            escape(fill),
+            escape(content)
+        );
+    }
+
+    /// Close the document and return the full SVG string.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n{}</svg>\n",
+            self.body,
+            w = self.width,
+            h = self.height
+        )
+    }
+}
+
+/// Map `t ∈ [0, 1]` onto a blue→yellow→red heat ramp (hex color).
+pub fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Piecewise-linear ramp: blue (0) → yellow (0.5) → red (1).
+    let (r, g, b) = if t < 0.5 {
+        let u = t * 2.0;
+        (
+            (40.0 + 215.0 * u) as u8,
+            (80.0 + 160.0 * u) as u8,
+            (200.0 - 160.0 * u) as u8,
+        )
+    } else {
+        let u = (t - 0.5) * 2.0;
+        (255u8, (240.0 - 190.0 * u) as u8, (40.0 - 20.0 * u) as u8)
+    };
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_balanced_and_sized() {
+        let mut s = Svg::new(320.0, 200.0);
+        s.background("#ffffff");
+        s.circle(10.0, 20.0, 3.0, "#ff0000", 1.0);
+        s.text(5.0, 15.0, 10.0, "#000", "hello");
+        let doc = s.finish();
+        assert!(doc.starts_with("<svg "));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert!(doc.contains(r#"width="320""#));
+        assert!(doc.contains("<circle"));
+        assert!(doc.contains(">hello</text>"));
+        // Every opened tag form used is self-closing or closed.
+        assert_eq!(doc.matches("<svg").count(), 1);
+        assert_eq!(doc.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn escaping_prevents_markup_injection() {
+        let mut s = Svg::new(10.0, 10.0);
+        s.text(0.0, 0.0, 8.0, "#000", r#"<script>&"x""#);
+        let doc = s.finish();
+        assert!(!doc.contains("<script>"));
+        assert!(doc.contains("&lt;script&gt;&amp;&quot;x&quot;"));
+    }
+
+    #[test]
+    fn heat_ramp_endpoints_and_monotone_red() {
+        assert_eq!(heat_color(0.0), "#2850c8");
+        assert_eq!(heat_color(1.0), "#ff3214");
+        // Red channel grows along the first half of the ramp.
+        let r_at = |t: f64| u8::from_str_radix(&heat_color(t)[1..3], 16).unwrap();
+        assert!(r_at(0.0) < r_at(0.25));
+        assert!(r_at(0.25) < r_at(0.5));
+        // Out-of-range inputs clamp.
+        assert_eq!(heat_color(-1.0), heat_color(0.0));
+        assert_eq!(heat_color(2.0), heat_color(1.0));
+    }
+
+    #[test]
+    fn degenerate_polyline_is_dropped() {
+        let mut s = Svg::new(10.0, 10.0);
+        s.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        let doc = s.finish();
+        assert!(!doc.contains("polyline"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        Svg::new(0.0, 10.0);
+    }
+}

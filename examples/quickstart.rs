@@ -1,0 +1,56 @@
+//! Quickstart: the paper's canonical scenario end to end.
+//!
+//! Deploys the §5.1 network (N = 100 nodes, 200 m cube, 5 J batteries,
+//! base station at the centre), runs QLEC with Table 2 parameters for 20
+//! rounds of Poisson traffic, and prints the three metrics Fig. 3 plots.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qlec::core::QlecProtocol;
+use qlec::net::{NetworkBuilder, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Deterministic deployment and traffic.
+    let mut rng = StdRng::seed_from_u64(2019);
+    let network = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
+    println!(
+        "deployment: {} nodes in a {:.0} m cube, BS at {:?}, {:.0} J total energy",
+        network.len(),
+        network.side_length(),
+        network.bs_pos(),
+        network.total_initial()
+    );
+
+    // QLEC with the paper's parameters and the §5.1 cluster count k = 5.
+    let mut protocol = QlecProtocol::paper_with_k(5);
+
+    // 20 rounds at a moderate congestion level (λ = 5 slots between
+    // packets per node on average).
+    let report = Simulator::new(network, SimConfig::paper(5.0)).run(&mut protocol, &mut rng);
+
+    println!("\nresults over {} rounds:", report.rounds.len());
+    println!("  packets generated   : {}", report.totals.generated);
+    println!("  packet delivery rate: {:.4}", report.pdr());
+    println!("  total energy        : {:.3} J", report.total_energy());
+    println!(
+        "  mean latency        : {:.2} slots",
+        report.mean_latency().unwrap_or(0.0)
+    );
+    println!("  mean cluster heads  : {:.1} per round", report.mean_head_count());
+    println!(
+        "  Q-learning updates  : {} (the paper's X·k, Lemma 3)",
+        protocol.q_updates()
+    );
+
+    let b = report.energy_breakdown();
+    println!("\nwhere the energy went:");
+    println!("  member transmissions: {:.3} J", b.member_tx);
+    println!("  head receptions     : {:.3} J", b.head_rx);
+    println!("  data fusion         : {:.3} J", b.aggregation);
+    println!("  aggregates to BS    : {:.3} J", b.aggregate_tx);
+    println!("  control (HELLO)     : {:.3} J", b.other);
+
+    assert!(report.totals.is_conserved(), "every packet is accounted for");
+}

@@ -1,0 +1,51 @@
+//! # qlec — a reproduction of QLEC (ICPP 2019)
+//!
+//! This umbrella crate re-exports the whole workspace of the reproduction
+//! of *"QLEC: A Machine-Learning-Based Energy-Efficient Clustering
+//! Algorithm to Prolong Network Lifespan for IoT in High-Dimensional
+//! Space"* (Li, Huang, Gao, Wu, Chen — ICPP 2019):
+//!
+//! * [`geom`] — 3-D vectors, boxes, sampling, spatial indexes, statistics,
+//! * [`radio`] — the first-order radio energy model, batteries, links,
+//! * [`mdp`] — tabular MDP / Q-learning machinery,
+//! * [`net`] — the packet-level 3-D WSN simulator,
+//! * [`clustering`] — baselines: k-means, FCM, LEACH, plain DEEC,
+//! * [`core`] — QLEC itself (improved DEEC + Theorem 1 + Q-routing),
+//! * [`dataset`] — the synthetic power-plant dataset (§5.3 substitute),
+//! * [`viz`] — SVG renderers (consumption maps, energy charts).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qlec::core::QlecProtocol;
+//! use qlec::net::{NetworkBuilder, SimConfig, Simulator};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // The paper's deployment: 100 nodes, 200 m cube, 5 J each, BS centred.
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let network = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
+//!
+//! // QLEC with Table 2 parameters and the §5.1 cluster count.
+//! let mut protocol = QlecProtocol::paper_with_k(5);
+//!
+//! // A few rounds of Poisson traffic at λ = 5.
+//! let mut cfg = SimConfig::paper(5.0);
+//! cfg.rounds = 3;
+//! let report = Simulator::new(network, cfg).run(&mut protocol, &mut rng);
+//!
+//! assert!(report.totals.is_conserved());
+//! println!("PDR {:.3}, energy {:.2} J", report.pdr(), report.total_energy());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every table and figure of the paper
+//! (indexed in `DESIGN.md`; measured results in `EXPERIMENTS.md`).
+
+pub use qlec_clustering as clustering;
+pub use qlec_core as core;
+pub use qlec_dataset as dataset;
+pub use qlec_geom as geom;
+pub use qlec_mdp as mdp;
+pub use qlec_net as net;
+pub use qlec_radio as radio;
+pub use qlec_viz as viz;

@@ -1,0 +1,92 @@
+//! Tests for API-surface conveniences: boxed protocols, trace recording
+//! through the umbrella crate, aggregate-share override, and the
+//! protocol-generic simulator entry points downstream users rely on.
+
+use qlec::core::params::QlecParams;
+use qlec::core::QlecProtocol;
+use qlec::net::protocol::GreedyEnergyProtocol;
+use qlec::net::trace::TraceRecorder;
+use qlec::net::{NetworkBuilder, Protocol, SimConfig, Simulator};
+use qlec::radio::link::{AnyLink, IdealLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net(seed: u64) -> qlec::net::Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new()
+        .link(AnyLink::Ideal(IdealLink))
+        .uniform_cube(&mut rng, 30, 200.0, 5.0)
+}
+
+fn cfg(rounds: u32) -> SimConfig {
+    let mut c = SimConfig::paper(6.0);
+    c.rounds = rounds;
+    c
+}
+
+/// A `Box<dyn Protocol>` drives the simulator exactly like the concrete
+/// type — and can be wrapped by `TraceRecorder`.
+#[test]
+fn boxed_protocols_run_and_trace() {
+    let boxed: Box<dyn Protocol> = Box::new(GreedyEnergyProtocol::new(3));
+    let mut recorder = TraceRecorder::new(boxed);
+    let mut rng = StdRng::seed_from_u64(2);
+    let report = Simulator::new(net(1), cfg(3)).run(&mut recorder, &mut rng);
+    assert!(report.totals.is_conserved());
+    let (_, trace) = recorder.into_parts();
+    assert_eq!(trace.rounds.len(), 3);
+    assert_eq!(trace.protocol, "greedy-energy");
+}
+
+/// Boxed and unboxed runs of the same protocol on the same seeds are
+/// bit-identical.
+#[test]
+fn boxing_does_not_change_behaviour() {
+    let run_concrete = {
+        let mut p = GreedyEnergyProtocol::new(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        Simulator::new(net(4), cfg(3)).run(&mut p, &mut rng)
+    };
+    let run_boxed = {
+        let mut p: Box<dyn Protocol> = Box::new(GreedyEnergyProtocol::new(3));
+        let mut rng = StdRng::seed_from_u64(3);
+        Simulator::new(net(4), cfg(3)).run(&mut p, &mut rng)
+    };
+    assert_eq!(run_concrete.totals.generated, run_boxed.totals.generated);
+    assert_eq!(run_concrete.totals.delivered, run_boxed.totals.delivered);
+    assert_eq!(run_concrete.total_energy(), run_boxed.total_energy());
+}
+
+/// The aggregate-share override changes head valuations (and therefore,
+/// possibly, routing) without breaking anything.
+#[test]
+fn aggregate_share_override_is_accepted() {
+    for share in [0.0, 0.5, 1.0] {
+        let mut p = QlecProtocol::new(QlecParams::paper_with_k(3)).with_aggregate_share(share);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = Simulator::new(net(6), cfg(3)).run(&mut p, &mut rng);
+        assert!(report.totals.is_conserved(), "share {share}");
+        assert!(report.totals.delivered > 0, "share {share}");
+    }
+}
+
+#[test]
+#[should_panic]
+fn aggregate_share_out_of_range_rejected() {
+    let _ = QlecProtocol::paper_with_k(3).with_aggregate_share(1.5);
+}
+
+/// The trace's head-duty histogram is consistent with the report's head
+/// counts.
+#[test]
+fn trace_head_duty_matches_report() {
+    let mut recorder = TraceRecorder::new(QlecProtocol::paper_with_k(4));
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = net(8);
+    let n_nodes = n.len();
+    let report = Simulator::new(n, cfg(4)).run(&mut recorder, &mut rng);
+    let (_, trace) = recorder.into_parts();
+    let duty: u32 = trace.head_duty_counts(n_nodes).iter().sum();
+    let heads_served: usize = report.rounds.iter().map(|r| r.head_count).sum();
+    assert_eq!(duty as usize, heads_served);
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the §5.3 pipeline: dataset generation → CSV →
+//! deployment → full QLEC run at scale.
+
+use qlec::core::params::QlecParams;
+use qlec::core::{kopt, QlecProtocol};
+use qlec::dataset::records::{from_csv, to_csv};
+use qlec::dataset::{generate_china, to_network, DeployConfig, GeneratorConfig, CHINA_PLANT_COUNT};
+use qlec::geom::stats::{pearson, Summary};
+use qlec::net::{NetworkBuilder, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The full 2 896-plant dataset builds, round-trips, and deploys.
+#[test]
+fn full_scale_dataset_roundtrip_and_deploy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let plants = generate_china(&mut rng, &GeneratorConfig::default());
+    assert_eq!(plants.len(), CHINA_PLANT_COUNT);
+
+    let csv = to_csv(&plants);
+    let parsed = from_csv(&csv).expect("CSV round-trip");
+    assert_eq!(parsed, plants);
+
+    let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+    assert_eq!(net.len(), CHINA_PLANT_COUNT);
+    assert!(net.bounds().volume() > 0.0);
+    // Heterogeneous initial energy spanning orders of magnitude.
+    let min = net.nodes().iter().map(|n| n.battery.initial()).fold(f64::INFINITY, f64::min);
+    let max = net.nodes().iter().map(|n| n.battery.initial()).fold(0.0f64, f64::max);
+    assert!(max / min > 100.0, "energy span {min}..{max}");
+}
+
+/// A QLEC run on a mid-sized dataset slice behaves like §5.3 describes:
+/// packets flow, consumption rates are finite, and high-consumption nodes
+/// are not concentrated near the BS (spatial evenness, the Fig. 4 claim).
+#[test]
+fn qlec_on_dataset_shows_even_consumption() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = GeneratorConfig { count: 800, ..Default::default() };
+    let plants = generate_china(&mut rng, &cfg);
+    let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+    let positions = net.positions();
+    let bs = net.bs_pos();
+
+    let k = kopt::kopt(net.len(), net.side_length(), net.mean_dist_to_bs(), &net.radio);
+    assert!(k >= 1 && k <= net.len());
+    let mut protocol =
+        QlecProtocol::new(QlecParams { k_override: Some(k.min(60)), ..QlecParams::paper() });
+    let mut sim_cfg = SimConfig::paper(6.0);
+    sim_cfg.rounds = 8;
+    let report = Simulator::new(net, sim_cfg).run(&mut protocol, &mut rng);
+
+    assert!(report.totals.is_conserved());
+    assert!(report.totals.delivered > 0);
+    let summary = Summary::of(&report.consumption_rates).expect("finite rates");
+    assert!(summary.max <= 1.0 + 1e-9);
+    // Evenness: consumption rate barely correlates with BS distance.
+    let bs_dist: Vec<f64> = positions.iter().map(|p| p.dist(bs)).collect();
+    if let Some(corr) = pearson(&report.consumption_rates, &bs_dist) {
+        assert!(
+            corr.abs() < 0.5,
+            "consumption rate strongly correlated with BS distance: {corr}"
+        );
+    }
+}
+
+/// Different seeds give different datasets; the same seed is stable.
+#[test]
+fn generator_determinism_at_scale() {
+    let cfg = GeneratorConfig { count: 2000, ..Default::default() };
+    let a = generate_china(&mut StdRng::seed_from_u64(9), &cfg);
+    let b = generate_china(&mut StdRng::seed_from_u64(9), &cfg);
+    let c = generate_china(&mut StdRng::seed_from_u64(10), &cfg);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
