@@ -14,23 +14,31 @@ fn bench_clusterers(c: &mut Criterion) {
     for &(n, k) in &[(100usize, 5usize), (1000, 50), (2896, 272)] {
         let mut rng = StdRng::seed_from_u64(1);
         let pts = uniform_points_in_aabb(&mut rng, &Aabb::cube(200.0), n);
-        group.bench_with_input(BenchmarkId::new("kmeans", format!("n{n}_k{k}")), &pts, |b, pts| {
-            let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| {
-                let res = kmeans(&mut rng, black_box(pts), k, &KMeansConfig::default());
-                black_box(res.inertia)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kmeans", format!("n{n}_k{k}")),
+            &pts,
+            |b, pts| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| {
+                    let res = kmeans(&mut rng, black_box(pts), k, &KMeansConfig::default());
+                    black_box(res.inertia)
+                })
+            },
+        );
         // FCM is O(n·c) per iteration with a dense membership matrix;
         // cap the large case to keep bench time sane.
         if n <= 1000 {
-            group.bench_with_input(BenchmarkId::new("fcm", format!("n{n}_k{k}")), &pts, |b, pts| {
-                let mut rng = StdRng::seed_from_u64(3);
-                b.iter(|| {
-                    let res = fcm(&mut rng, black_box(pts), k, &FcmConfig::default());
-                    black_box(res.objective)
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("fcm", format!("n{n}_k{k}")),
+                &pts,
+                |b, pts| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    b.iter(|| {
+                        let res = fcm(&mut rng, black_box(pts), k, &FcmConfig::default());
+                        black_box(res.objective)
+                    })
+                },
+            );
         }
     }
     group.finish();

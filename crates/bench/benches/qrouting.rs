@@ -20,7 +20,11 @@ fn bench_send_data(c: &mut Criterion) {
             let mut src = k as u32;
             b.iter(|| {
                 let t = router.send_data(&net, NodeId(src), black_box(&heads));
-                src = if (src + 1) as usize >= n { k as u32 } else { src + 1 };
+                src = if (src + 1) as usize >= n {
+                    k as u32
+                } else {
+                    src + 1
+                };
                 black_box(t)
             })
         });

@@ -18,7 +18,11 @@ struct AblationOutput {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (0..5).map(|i| 0xAB1A + i).collect() };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        (0..5).map(|i| 0xAB1A + i).collect()
+    };
     let lambdas = [2.0, 10.0];
 
     let mut throughput = Vec::new();
@@ -85,7 +89,8 @@ fn main() {
     write_json(
         "ablation_results.json",
         &AblationOutput {
-            description: "QLEC design-choice ablations (energy threshold / redundancy reduction / Q-routing)",
+            description:
+                "QLEC design-choice ablations (energy threshold / redundancy reduction / Q-routing)",
             throughput,
             lifespan,
         },

@@ -23,7 +23,10 @@ fn run_once(n: usize, k: usize, lambda: f64, rounds: u32, seed: u64) -> (f64, u6
     let net = NetworkBuilder::new()
         .link(AnyLink::Ideal(IdealLink))
         .uniform_cube(&mut rng, n, 200.0, 50.0);
-    let params = QlecParams { total_rounds: rounds, ..QlecParams::paper_with_k(k) };
+    let params = QlecParams {
+        total_rounds: rounds,
+        ..QlecParams::paper_with_k(k)
+    };
     let mut protocol = QlecProtocol::new(params);
     // Light, fixed load: congestion would change the number of
     // fixed-point sweeps per packet and confound the k-scaling.
@@ -57,7 +60,14 @@ fn main() {
     }
     print_table(
         "Lemma 3 / Theorem 3: Q updates scale with k (N = 200, 10 rounds)",
-        &["k", "total Q updates (X·k)", "packets", "updates/packet", "growth", "wall"],
+        &[
+            "k",
+            "total Q updates (X·k)",
+            "packets",
+            "updates/packet",
+            "growth",
+            "wall",
+        ],
         &rows,
     );
 
@@ -75,7 +85,12 @@ fn main() {
         let ratio = prev
             .map(|(pn, ps)| format!("{:.2}× (N {:.0}×)", secs / ps, n as f64 / pn as f64))
             .unwrap_or_else(|| "—".into());
-        rows.push(vec![n.to_string(), packets.to_string(), format!("{secs:.3}s"), ratio]);
+        rows.push(vec![
+            n.to_string(),
+            packets.to_string(),
+            format!("{secs:.3}s"),
+            ratio,
+        ]);
         prev = Some((n, secs));
     }
     print_table(

@@ -37,7 +37,11 @@ fn main() {
     } else {
         ProtocolKind::FIG3.to_vec()
     };
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (0..6).map(|i| 0xF163 + i).collect() };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        (0..6).map(|i| 0xF163 + i).collect()
+    };
 
     // ---- Fig. 3(a)+(b): PDR and energy over the paper's 20 rounds ----
     let mut pdr_cells = Vec::new();
@@ -88,12 +92,16 @@ fn main() {
     print_table(
         "Fig. 3(a): packet delivery rate vs λ",
         &headers,
-        &by(&pdr_cells, &|c| format!("{:.4} ±{:.3}", c.pdr_mean, c.pdr_std)),
+        &by(&pdr_cells, &|c| {
+            format!("{:.4} ±{:.3}", c.pdr_mean, c.pdr_std)
+        }),
     );
     print_table(
         "Fig. 3(b): total energy consumption (J, 20 rounds) vs λ",
         &headers,
-        &by(&pdr_cells, &|c| format!("{:.3} ±{:.3}", c.energy_mean_j, c.energy_std_j)),
+        &by(&pdr_cells, &|c| {
+            format!("{:.3} ±{:.3}", c.energy_mean_j, c.energy_std_j)
+        }),
     );
     print_table(
         "(extra) mean delivered-packet latency (slots) vs λ",
@@ -120,8 +128,10 @@ fn main() {
         let f = get(&pdr_cells, "fcm");
         let k = get(&pdr_cells, "k-means");
         if q.pdr_mean + 1e-9 < f.pdr_mean || q.pdr_mean + 1e-9 < k.pdr_mean {
-            println!("[shape warning] λ={lambda}: QLEC PDR {:.4} not highest (fcm {:.4}, k-means {:.4})",
-                q.pdr_mean, f.pdr_mean, k.pdr_mean);
+            println!(
+                "[shape warning] λ={lambda}: QLEC PDR {:.4} not highest (fcm {:.4}, k-means {:.4})",
+                q.pdr_mean, f.pdr_mean, k.pdr_mean
+            );
             shape_ok = false;
         }
         let ql = get(&life_cells, "qlec");
@@ -139,7 +149,11 @@ fn main() {
     }
     println!(
         "\nShape check: {}",
-        if shape_ok { "PASS — QLEC dominates PDR and lifespan at every λ" } else { "see warnings above" }
+        if shape_ok {
+            "PASS — QLEC dominates PDR and lifespan at every λ"
+        } else {
+            "see warnings above"
+        }
     );
 
     write_json(

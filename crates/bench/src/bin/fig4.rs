@@ -46,7 +46,11 @@ fn main() {
     // ---- Build the dataset deployment ----------------------------------
     let mut rng = StdRng::seed_from_u64(0xF164);
     let gen_cfg = GeneratorConfig {
-        count: if quick { 600 } else { qlec_dataset::CHINA_PLANT_COUNT },
+        count: if quick {
+            600
+        } else {
+            qlec_dataset::CHINA_PLANT_COUNT
+        },
         ..Default::default()
     };
     let plants = generate_china(&mut rng, &gen_cfg);
@@ -60,7 +64,10 @@ fn main() {
         ))),
     );
     let n = net.len();
-    println!("deployment: {n} plant-nodes, bounds {:?}", net.bounds().extent());
+    println!(
+        "deployment: {n} plant-nodes, bounds {:?}",
+        net.bounds().extent()
+    );
 
     // ---- Theorem 1 k_opt on this deployment ----------------------------
     let k_theorem = kopt::kopt(n, net.side_length(), net.mean_dist_to_bs(), &net.radio);
@@ -73,7 +80,10 @@ fn main() {
     );
 
     // ---- Run QLEC --------------------------------------------------------
-    let params = QlecParams { k_override: Some(k_used), ..QlecParams::paper() };
+    let params = QlecParams {
+        k_override: Some(k_used),
+        ..QlecParams::paper()
+    };
     let mut protocol = QlecProtocol::new(params);
     let mut cfg = SimConfig::paper(5.0);
     cfg.rounds = 20;

@@ -56,7 +56,11 @@ fn run_cell_hetero(
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (0..5).map(|i| 0x4E7 + i).collect() };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        (0..5).map(|i| 0x4E7 + i).collect()
+    };
     let horizon = if quick { 80 } else { 300 };
     // (advanced fraction m, boost a) in the DEEC tradition.
     let tiers: &[(f64, f64)] = &[(0.0, 0.0), (0.2, 1.0), (0.2, 3.0)];

@@ -25,8 +25,16 @@ struct SweepOutput {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (0..5).map(|i| 0x50E + i).collect() };
-    let ks: &[usize] = if quick { &[2, 5, 11, 20] } else { &[1, 2, 3, 5, 8, 11, 15, 20, 30] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        (0..5).map(|i| 0x50E + i).collect()
+    };
+    let ks: &[usize] = if quick {
+        &[2, 5, 11, 20]
+    } else {
+        &[1, 2, 3, 5, 8, 11, 15, 20, 30]
+    };
 
     let analytic = kopt::kopt_real(
         100,

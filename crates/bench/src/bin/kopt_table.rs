@@ -15,7 +15,9 @@
 use qlec_bench::print_table;
 use qlec_clustering::kmeans::{kmeans, KMeansConfig};
 use qlec_core::kopt::{coverage_radius, expected_d2_to_ch, kopt_real, round_energy_of_k};
-use qlec_geom::sample::{mc_mean_sq_dist_ball, uniform_points_in_aabb, MEAN_DIST_TO_CENTER_UNIT_CUBE};
+use qlec_geom::sample::{
+    mc_mean_sq_dist_ball, uniform_points_in_aabb, MEAN_DIST_TO_CENTER_UNIT_CUBE,
+};
 use qlec_geom::{Aabb, Vec3};
 use qlec_radio::RadioModel;
 use rand::rngs::StdRng;
@@ -44,7 +46,13 @@ fn main() {
     }
     print_table(
         "Lemma 1: E[d²_toCH] closed form vs Monte-Carlo (M = 200)",
-        &["k", "d_c (m)", "closed form (m²)", "MC ball sample (m²)", "error"],
+        &[
+            "k",
+            "d_c (m)",
+            "closed form (m²)",
+            "MC ball sample (m²)",
+            "error",
+        ],
         &lemma_rows,
     );
 
@@ -76,8 +84,11 @@ fn main() {
             .map(|(i, p)| p.dist_sq(res.centroids[res.assignment[i]]))
             .sum::<f64>()
             / n as f64;
-        let d_bs: f64 =
-            pts.iter().map(|p| p.dist(Vec3::splat(m / 2.0))).sum::<f64>() / n as f64;
+        let d_bs: f64 = pts
+            .iter()
+            .map(|p| p.dist(Vec3::splat(m / 2.0)))
+            .sum::<f64>()
+            / n as f64;
         radio.round_energy_eq6(bits, n, 0, d_bs, d2)
             + bits as f64 * k as f64 * radio.eps_mp * d_bs.powi(4)
     };
@@ -88,8 +99,7 @@ fn main() {
             .par_iter()
             .map(|&k| {
                 let mut local = StdRng::seed_from_u64(0xAB00 + k as u64);
-                let mean = (0..trials).map(|_| mc_er(k, &mut local)).sum::<f64>()
-                    / trials as f64;
+                let mean = (0..trials).map(|_| mc_er(k, &mut local)).sum::<f64>() / trials as f64;
                 (k, mean)
             })
             .collect();
@@ -117,7 +127,12 @@ fn main() {
     }
     print_table(
         "Theorem 1: k_opt (N = 100, M = 200) — closed form vs analytic E_r(k) scan",
-        &["d_toBS convention", "d_toBS (m)", "closed form", "E_r(k) scan argmin"],
+        &[
+            "d_toBS convention",
+            "d_toBS (m)",
+            "closed form",
+            "E_r(k) scan argmin",
+        ],
         &theorem_rows,
     );
     println!(

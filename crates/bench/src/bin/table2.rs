@@ -13,7 +13,11 @@ fn main() {
     let s = SimConfig::paper(2.0);
 
     let rows = vec![
-        vec!["discount rate γ".into(), format!("{}", p.gamma), "0.95".into()],
+        vec![
+            "discount rate γ".into(),
+            format!("{}", p.gamma),
+            "0.95".into(),
+        ],
         vec![
             "free space constant ε_fs".into(),
             format!("{} pJ/bit/m²", r.eps_fs * 1e12),
@@ -43,13 +47,20 @@ fn main() {
 
     let ctx = vec![
         vec!["N (nodes)".into(), "100".into()],
-        vec!["deployment".into(), "200 × 200 × 200 cube, BS at centre".into()],
+        vec![
+            "deployment".into(),
+            "200 × 200 × 200 cube, BS at centre".into(),
+        ],
         vec!["initial energy".into(), "5 J per node".into()],
         vec!["rounds R".into(), format!("{}", p.total_rounds)],
         vec!["k_opt used in Fig. 3".into(), "5 (§5.1)".into()],
         vec![
             "electronics / aggregation energy".into(),
-            format!("{} nJ/bit / {} nJ/bit (Heinzelman [4])", r.e_elec * 1e9, r.e_da * 1e9),
+            format!(
+                "{} nJ/bit / {} nJ/bit (Heinzelman [4])",
+                r.e_elec * 1e9,
+                r.e_da * 1e9
+            ),
         ],
         vec![
             "d₀ crossover".into(),
@@ -60,7 +71,10 @@ fn main() {
 
     // Hard assertions: the binary fails loudly if defaults drift.
     assert_eq!(p.gamma, 0.95);
-    assert_eq!((p.alpha1, p.alpha2, p.beta1, p.beta2), (0.05, 1.05, 0.05, 1.05));
+    assert_eq!(
+        (p.alpha1, p.alpha2, p.beta1, p.beta2),
+        (0.05, 1.05, 0.05, 1.05)
+    );
     assert_eq!(r.eps_fs, 10e-12);
     assert_eq!(r.eps_mp, 0.0013e-12);
     assert_eq!(s.compression, 0.5);

@@ -1,17 +1,19 @@
 //! Experiment harness shared by the figure/table binaries.
 
-use qlec_clustering::{FcmProtocol, KMeansProtocol};
 use qlec_clustering::deec::DeecProtocol;
 use qlec_clustering::leach::LeachProtocol;
+use qlec_clustering::{FcmProtocol, KMeansProtocol};
 use qlec_core::ablation::Ablation;
 use qlec_core::params::QlecParams;
 use qlec_geom::stats::Welford;
 use qlec_net::{Network, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
+use qlec_obs::{MemorySink, ObserverSet, Phase};
 use qlec_radio::link::{AnyLink, DistanceLossLink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::Serialize;
+use std::sync::{Arc, Mutex};
 
 /// The protocols the paper's figures compare (plus the extra baselines
 /// this reproduction adds).
@@ -59,20 +61,36 @@ impl ProtocolKind {
 
     /// Instantiate a fresh protocol for one run.
     pub fn build(&self, k: usize, total_rounds: u32) -> Box<dyn Protocol + Send> {
+        self.build_observed(k, total_rounds, &ObserverSet::new())
+    }
+
+    /// Like [`ProtocolKind::build`], but QLEC variants also emit their
+    /// protocol-layer events (Broadcast/QRouting spans, Q-updates) into
+    /// `obs`. Baselines have no protocol-layer phases to report.
+    pub fn build_observed(
+        &self,
+        k: usize,
+        total_rounds: u32,
+        obs: &ObserverSet,
+    ) -> Box<dyn Protocol + Send> {
         match self {
             ProtocolKind::Qlec => {
-                let params =
-                    QlecParams { total_rounds, ..QlecParams::paper_with_k(k) };
-                Box::new(qlec_core::QlecProtocol::new(params))
+                let params = QlecParams {
+                    total_rounds,
+                    ..QlecParams::paper_with_k(k)
+                };
+                Box::new(qlec_core::QlecProtocol::new(params).with_observer(obs.clone()))
             }
             ProtocolKind::Fcm => Box::new(FcmProtocol::new(k)),
             ProtocolKind::KMeans => Box::new(KMeansProtocol::new(k)),
             ProtocolKind::Leach => Box::new(LeachProtocol::new(k)),
             ProtocolKind::Deec => Box::new(DeecProtocol::new(k, total_rounds)),
             ProtocolKind::QlecAblation(a) => {
-                let params =
-                    QlecParams { total_rounds, ..QlecParams::paper_with_k(k) };
-                Box::new(a.protocol(params))
+                let params = QlecParams {
+                    total_rounds,
+                    ..QlecParams::paper_with_k(k)
+                };
+                Box::new(a.protocol(params).with_observer(obs.clone()))
             }
         }
     }
@@ -115,10 +133,23 @@ impl RunSpec {
     /// Build the deployment for one seed.
     pub fn network(&self, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        NetworkBuilder::new()
-            .link(self.link)
-            .uniform_cube(&mut rng, self.n, self.m, self.initial_energy)
+        NetworkBuilder::new().link(self.link).uniform_cube(
+            &mut rng,
+            self.n,
+            self.m,
+            self.initial_energy,
+        )
     }
+}
+
+/// Mean wall time one simulation phase cost per run (from the
+/// [`qlec_obs`] phase spans, averaged over seeds).
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseWall {
+    /// Phase name (`election`, `broadcast`, `qrouting`, …).
+    pub phase: String,
+    /// Mean total wall nanoseconds per run.
+    pub mean_wall_ns: f64,
 }
 
 /// Seed-aggregated metrics for one experiment cell.
@@ -134,23 +165,45 @@ pub struct CellResult {
     pub latency_mean_slots: f64,
     pub lifespan_mean_rounds: f64,
     pub head_count_mean: f64,
+    /// Wall-time cost of each simulation phase (empty if run unobserved).
+    pub phase_wall: Vec<PhaseWall>,
 }
 
 /// Run one protocol over every seed of a spec (in parallel) and
-/// aggregate.
+/// aggregate. Each run carries a [`MemorySink`] so the JSON artifacts
+/// record where the wall time went, phase by phase.
 pub fn run_cell(kind: ProtocolKind, spec: &RunSpec) -> CellResult {
-    let reports: Vec<SimReport> = spec
+    let results: Vec<(SimReport, Vec<u64>)> = spec
         .seeds
         .par_iter()
         .map(|&seed| {
             let net = spec.network(seed);
-            let mut protocol = kind.build(spec.k, spec.sim.rounds);
+            let sink = Arc::new(Mutex::new(MemorySink::new()));
+            let mut obs = ObserverSet::new();
+            obs.attach(sink.clone());
+            let mut protocol = kind.build_observed(spec.k, spec.sim.rounds, &obs);
             // Offset the protocol RNG from the deployment RNG.
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-            Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng)
+            let report = Simulator::new(net, spec.sim)
+                .observed(obs)
+                .run(protocol.as_mut(), &mut rng);
+            let sink = sink.lock().expect("metrics sink poisoned");
+            let walls = Phase::ALL.iter().map(|&p| sink.phase_wall_ns(p)).collect();
+            (report, walls)
         })
         .collect();
-    aggregate(kind.label(), spec.sim.mean_interarrival, &reports)
+    let reports: Vec<SimReport> = results.iter().map(|(r, _)| r.clone()).collect();
+    let mut cell = aggregate(kind.label(), spec.sim.mean_interarrival, &reports);
+    let runs = results.len().max(1) as f64;
+    cell.phase_wall = Phase::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PhaseWall {
+            phase: p.name().to_string(),
+            mean_wall_ns: results.iter().map(|(_, w)| w[i] as f64).sum::<f64>() / runs,
+        })
+        .collect();
+    cell
 }
 
 /// Aggregate a set of per-seed reports into one cell.
@@ -180,6 +233,7 @@ pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellRe
         latency_mean_slots: latency.mean().unwrap_or(0.0),
         lifespan_mean_rounds: lifespan.mean().unwrap_or(0.0),
         head_count_mean: heads.mean().unwrap_or(0.0),
+        phase_wall: Vec::new(),
     }
 }
 
@@ -243,10 +297,28 @@ mod tests {
         for kind in [ProtocolKind::Qlec, ProtocolKind::KMeans, ProtocolKind::Fcm] {
             let cell = run_cell(kind, &spec);
             assert_eq!(cell.runs, 2);
-            assert!((0.0..=1.0).contains(&cell.pdr_mean), "{kind:?} pdr {}", cell.pdr_mean);
+            assert!(
+                (0.0..=1.0).contains(&cell.pdr_mean),
+                "{kind:?} pdr {}",
+                cell.pdr_mean
+            );
             assert!(cell.energy_mean_j > 0.0, "{kind:?}");
             assert!(cell.head_count_mean > 0.0, "{kind:?}");
             assert_eq!(cell.protocol, kind.label());
+        }
+    }
+
+    #[test]
+    fn run_cell_records_phase_wall_times() {
+        let cell = run_cell(ProtocolKind::Qlec, &tiny_spec(5.0));
+        assert_eq!(cell.phase_wall.len(), Phase::ALL.len());
+        for pw in &cell.phase_wall {
+            assert!(pw.mean_wall_ns >= 0.0, "{}: {}", pw.phase, pw.mean_wall_ns);
+        }
+        // The simulator-side phases always run; their spans must be > 0.
+        for phase in ["election", "transmission"] {
+            let pw = cell.phase_wall.iter().find(|p| p.phase == phase).unwrap();
+            assert!(pw.mean_wall_ns > 0.0, "phase {phase} should cost wall time");
         }
     }
 

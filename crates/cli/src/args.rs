@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn unknown_key_validation() {
         let a = ParsedArgs::parse(["run", "--frobnicate", "1"]).unwrap();
-        assert!(a.ensure_known(&["n", "m"]).unwrap_err().contains("frobnicate"));
+        assert!(a
+            .ensure_known(&["n", "m"])
+            .unwrap_err()
+            .contains("frobnicate"));
         assert!(a.ensure_known(&["frobnicate"]).is_ok());
     }
 

@@ -10,13 +10,15 @@ use qlec_core::params::QlecParams;
 use qlec_core::{kopt, QlecProtocol};
 use qlec_dataset::{generate_china, records, GeneratorConfig};
 use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
-use qlec_net::trace::TraceRecorder;
+use qlec_net::trace::TraceSink;
 use qlec_net::{NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
+use qlec_obs::{JsonLinesSink, MemorySink, ObserverSet};
 use qlec_radio::link::{AnyLink, DistanceLossLink};
 use qlec_radio::RadioModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -26,7 +28,8 @@ USAGE:
   qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
                     [--seed 42] [--death-line 0] [--json] [--trace FILE]
-                    [--svg FILE] [--chart FILE]
+                    [--svg FILE] [--chart FILE] [--events FILE]
+                    [--metrics FILE]
   qlec-sim compare  [--n 100] [--m 200] [--k 5] [--lambda 5] [--rounds 20]
                     [--seeds 3]
   qlec-sim dataset  [--count 2896] [--seed 42] [--out FILE]
@@ -46,12 +49,20 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
     }
 }
 
-fn build_protocol(name: &str, k: usize, rounds: u32) -> Result<Box<dyn Protocol>, String> {
+fn build_protocol(
+    name: &str,
+    k: usize,
+    rounds: u32,
+    obs: &ObserverSet,
+) -> Result<Box<dyn Protocol>, String> {
     Ok(match name {
-        "qlec" => Box::new(QlecProtocol::new(QlecParams {
-            total_rounds: rounds,
-            ..QlecParams::paper_with_k(k)
-        })),
+        "qlec" => Box::new(
+            QlecProtocol::new(QlecParams {
+                total_rounds: rounds,
+                ..QlecParams::paper_with_k(k)
+            })
+            .with_observer(obs.clone()),
+        ),
         "fcm" => Box::new(FcmProtocol::new(k)),
         "kmeans" | "k-means" => Box::new(KMeansProtocol::new(k)),
         "leach" => Box::new(LeachProtocol::new(k)),
@@ -106,6 +117,10 @@ impl RunSetup {
     }
 
     fn execute(&self, protocol: &mut dyn Protocol) -> SimReport {
+        self.execute_observed(protocol, ObserverSet::new())
+    }
+
+    fn execute_observed(&self, protocol: &mut dyn Protocol, obs: ObserverSet) -> SimReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let net = NetworkBuilder::new()
             .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(self.m)))
@@ -114,30 +129,73 @@ impl RunSetup {
         cfg.rounds = self.rounds;
         cfg.death_line = self.death_line;
         cfg.stop_when_dead = self.death_line > 0.0;
-        Simulator::new(net, cfg).run(protocol, &mut rng)
+        Simulator::new(net, cfg)
+            .observed(obs)
+            .run(protocol, &mut rng)
     }
 }
 
 fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
     args.ensure_known(&[
-        "protocol", "n", "m", "energy", "k", "lambda", "rounds", "seed", "death-line",
-        "json", "trace", "svg", "chart",
+        "protocol",
+        "n",
+        "m",
+        "energy",
+        "k",
+        "lambda",
+        "rounds",
+        "seed",
+        "death-line",
+        "json",
+        "trace",
+        "svg",
+        "chart",
+        "events",
+        "metrics",
     ])?;
     let setup = RunSetup::from_args(args)?;
     setup.validate()?;
     let name = args.get("protocol").unwrap_or("qlec").to_string();
 
-    let needs_trace = args.has("trace") || args.has("chart");
-    let (report, trace) = if needs_trace {
-        let inner = build_protocol(&name, setup.k, setup.rounds)?;
-        let mut recorder = TraceRecorder::new(inner);
-        let report = setup.execute(&mut recorder);
-        let (_, trace) = recorder.into_parts();
-        (report, Some(trace))
-    } else {
-        let mut protocol = build_protocol(&name, setup.k, setup.rounds)?;
-        (setup.execute(protocol.as_mut()), None)
+    // Flags that need a file path must have one before the run starts.
+    let file_arg = |key: &str| -> Result<Option<&str>, String> {
+        match args.get(key) {
+            Some("") => Err(format!("--{key} needs a file path")),
+            other => Ok(other),
+        }
     };
+
+    // Assemble the observer set: every requested artifact is one sink on
+    // the same event stream.
+    let mut obs = ObserverSet::new();
+    let needs_trace = args.has("trace") || args.has("chart");
+    let trace_sink = if needs_trace {
+        file_arg("trace")?;
+        let sink = Arc::new(Mutex::new(TraceSink::new(&name)));
+        obs.attach(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+    if let Some(path) = file_arg("events")? {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let sink = JsonLinesSink::new(std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        obs.attach(Arc::new(Mutex::new(sink)));
+    }
+    let metrics_sink = match file_arg("metrics")? {
+        Some(_) => {
+            let sink = Arc::new(Mutex::new(MemorySink::new()));
+            obs.attach(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+
+    let mut protocol = build_protocol(&name, setup.k, setup.rounds, &obs)?;
+    let report = setup.execute_observed(protocol.as_mut(), obs.clone());
+    obs.flush()
+        .map_err(|e| format!("observer flush failed: {e}"))?;
 
     let write_artifact = |key: &str, content: &str| -> Result<(), String> {
         match args.get(key) {
@@ -148,16 +206,22 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
             }
         }
     };
-    if let Some(t) = &trace {
+    if let Some(path) = args.get("metrics") {
+        let sink = metrics_sink.as_ref().expect("attached above");
+        let summary = sink.lock().expect("metrics sink poisoned").summary();
+        std::fs::write(path, summary).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(sink) = &trace_sink {
+        let t = sink.lock().expect("trace sink poisoned").trace().clone();
         if args.has("trace") {
-            write_artifact("trace", &t.to_json()?)?;
+            write_artifact("trace", &t.to_json().map_err(|e| e.to_string())?)?;
         }
         if args.has("chart") {
             let style = qlec_viz::trace_view::ChartStyle {
                 death_line: (setup.death_line > 0.0).then_some(setup.death_line),
                 ..Default::default()
             };
-            write_artifact("chart", &qlec_viz::render_energy_chart(t, &style))?;
+            write_artifact("chart", &qlec_viz::render_energy_chart(&t, &style))?;
         }
     }
     if args.has("svg") {
@@ -167,7 +231,11 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
             .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(setup.m)))
             .uniform_cube(&mut rng, setup.n, setup.m, setup.energy);
         let style = qlec_viz::network_view::MapStyle {
-            title: format!("{} — consumption rate after {} rounds", report.protocol, report.rounds.len()),
+            title: format!(
+                "{} — consumption rate after {} rounds",
+                report.protocol,
+                report.rounds.len()
+            ),
             ..Default::default()
         };
         write_artifact(
@@ -183,7 +251,11 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         let b = report.energy_breakdown();
         let _ = writeln!(out, "protocol        : {}", report.protocol);
         let _ = writeln!(out, "rounds          : {}", report.rounds.len());
-        let _ = writeln!(out, "packets         : {} generated", report.totals.generated);
+        let _ = writeln!(
+            out,
+            "packets         : {} generated",
+            report.totals.generated
+        );
         let _ = writeln!(out, "delivery rate   : {:.4}", report.pdr());
         let _ = writeln!(out, "total energy    : {:.3} J", report.total_energy());
         let _ = writeln!(
@@ -225,9 +297,12 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
         let mut latency = 0.0;
         let mut min_res = 0.0;
         for s in 0..seeds {
-            let mut setup_s = RunSetup { seed: setup.seed + s, ..setup };
+            let mut setup_s = RunSetup {
+                seed: setup.seed + s,
+                ..setup
+            };
             setup_s.death_line = 0.0;
-            let mut protocol = build_protocol(name, setup.k, setup.rounds)?;
+            let mut protocol = build_protocol(name, setup.k, setup.rounds, &ObserverSet::new())?;
             let report = setup_s.execute(protocol.as_mut());
             pdr += report.pdr();
             energy += report.total_energy();
@@ -256,7 +331,13 @@ fn cmd_dataset(args: &ParsedArgs) -> Result<String, String> {
     }
     let seed = args.get_parsed("seed", 42u64)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let plants = generate_china(&mut rng, &GeneratorConfig { count, ..Default::default() });
+    let plants = generate_china(
+        &mut rng,
+        &GeneratorConfig {
+            count,
+            ..Default::default()
+        },
+    );
     let csv = records::to_csv(&plants);
     match args.get("out") {
         Some(path) if !path.is_empty() => {
@@ -307,7 +388,15 @@ mod tests {
     #[test]
     fn run_small_simulation_text() {
         let out = run(&[
-            "run", "--protocol", "qlec", "--n", "20", "--rounds", "2", "--lambda", "8",
+            "run",
+            "--protocol",
+            "qlec",
+            "--n",
+            "20",
+            "--rounds",
+            "2",
+            "--lambda",
+            "8",
         ])
         .unwrap();
         assert!(out.contains("protocol        : qlec"), "{out}");
@@ -317,7 +406,14 @@ mod tests {
     #[test]
     fn run_json_output_parses() {
         let out = run(&[
-            "run", "--protocol", "kmeans", "--n", "15", "--rounds", "2", "--json",
+            "run",
+            "--protocol",
+            "kmeans",
+            "--n",
+            "15",
+            "--rounds",
+            "2",
+            "--json",
         ])
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
@@ -382,8 +478,8 @@ mod artifact_tests {
         let svg_s = svg_path.to_str().unwrap();
         let chart_s = chart_path.to_str().unwrap();
         let out = run(&[
-            "run", "--n", "15", "--rounds", "2", "--lambda", "8",
-            "--svg", svg_s, "--chart", chart_s,
+            "run", "--n", "15", "--rounds", "2", "--lambda", "8", "--svg", svg_s, "--chart",
+            chart_s,
         ])
         .unwrap();
         assert!(out.contains("delivery rate"));
@@ -399,6 +495,68 @@ mod artifact_tests {
     #[test]
     fn svg_requires_path() {
         let err = run(&["run", "--n", "10", "--rounds", "1", "--svg"]).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+    }
+
+    #[test]
+    fn events_artifact_is_valid_json_lines() {
+        let path = std::env::temp_dir().join("qlec_test_events.jsonl");
+        let path_s = path.to_str().unwrap();
+        run(&[
+            "run", "--n", "15", "--rounds", "3", "--lambda", "8", "--events", path_s,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = qlec_obs::read_events(&text).expect("stream parses against schema");
+        let rounds_ended = events
+            .iter()
+            .filter(|e| matches!(e, qlec_obs::Event::RoundEnded { .. }))
+            .count();
+        assert_eq!(rounds_ended, 3, "one RoundEnded per simulated round");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn metrics_artifact_matches_report() {
+        let dir = std::env::temp_dir();
+        let metrics_path = dir.join("qlec_test_metrics.txt");
+        let metrics_s = metrics_path.to_str().unwrap();
+        let out = run(&[
+            "run",
+            "--n",
+            "15",
+            "--rounds",
+            "3",
+            "--lambda",
+            "8",
+            "--json",
+            "--metrics",
+            metrics_s,
+        ])
+        .unwrap();
+        let report: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let generated = report["totals"]["generated"].as_u64().unwrap();
+        let summary = std::fs::read_to_string(&metrics_path).unwrap();
+        let counter = |name: &str| -> Option<String> {
+            summary.lines().find_map(|l| {
+                let mut parts = l.split_whitespace();
+                (parts.next() == Some(name)).then(|| parts.next().unwrap_or("").to_string())
+            })
+        };
+        assert_eq!(
+            counter("packets.generated").as_deref(),
+            Some(generated.to_string().as_str()),
+            "summary should report the same generated count:\n{summary}"
+        );
+        assert_eq!(counter("rounds.ended").as_deref(), Some("3"), "{summary}");
+        let _ = std::fs::remove_file(metrics_path);
+    }
+
+    #[test]
+    fn events_and_metrics_require_paths() {
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--events"]).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--metrics"]).unwrap_err();
         assert!(err.contains("file path"), "{err}");
     }
 }

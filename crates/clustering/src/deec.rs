@@ -70,13 +70,19 @@ impl DeecProtocol {
     /// planned lifetime of `total_rounds`.
     pub fn new(k: usize, total_rounds: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        DeecProtocol { k, avg_energy: AverageEnergy::Estimate { total_rounds } }
+        DeecProtocol {
+            k,
+            avg_energy: AverageEnergy::Estimate { total_rounds },
+        }
     }
 
     /// DEEC with oracle average energy.
     pub fn with_exact_average(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        DeecProtocol { k, avg_energy: AverageEnergy::Exact }
+        DeecProtocol {
+            k,
+            avg_energy: AverageEnergy::Exact,
+        }
     }
 
     /// One election pass: returns the elected heads without installing

@@ -31,7 +31,11 @@ pub struct FcmConfig {
 
 impl Default for FcmConfig {
     fn default() -> Self {
-        FcmConfig { fuzzifier: 2.0, max_iterations: 100, tolerance: 1e-5 }
+        FcmConfig {
+            fuzzifier: 2.0,
+            max_iterations: 100,
+            tolerance: 1e-5,
+        }
     }
 }
 
@@ -109,10 +113,7 @@ pub fn fcm<R: Rng + ?Sized>(rng: &mut R, points: &[Vec3], c: usize, cfg: &FcmCon
                 continue;
             }
             for j in 0..c {
-                let denom: f64 = dists
-                    .iter()
-                    .map(|&dl| (dists[j] / dl).powf(exponent))
-                    .sum();
+                let denom: f64 = dists.iter().map(|&dl| (dists[j] / dl).powf(exponent)).sum();
                 let nu = 1.0 / denom;
                 max_change = max_change.max((u[i * c + j] - nu).abs());
                 u[i * c + j] = nu;
@@ -144,7 +145,13 @@ pub fn fcm<R: Rng + ?Sized>(rng: &mut R, points: &[Vec3], c: usize, cfg: &FcmCon
         })
         .sum();
 
-    FcmResult { centers, memberships: u, c, objective, iterations }
+    FcmResult {
+        centers,
+        memberships: u,
+        c,
+        objective,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +193,11 @@ mod tests {
         let pts = blobs(&mut rng, &true_centers, 60, 5.0);
         let res = fcm(&mut rng, &pts, 2, &FcmConfig::default());
         for c in true_centers {
-            let d = res.centers.iter().map(|f| f.dist(c)).fold(f64::INFINITY, f64::min);
+            let d = res
+                .centers
+                .iter()
+                .map(|f| f.dist(c))
+                .fold(f64::INFINITY, f64::min);
             assert!(d < 5.0, "no FCM center near {c:?}");
         }
         // Hard assignments split the blobs.
@@ -213,8 +224,24 @@ mod tests {
     fn higher_fuzzifier_softens_memberships() {
         let mut rng = StdRng::seed_from_u64(4);
         let pts = blobs(&mut rng, &[Vec3::ZERO, Vec3::splat(40.0)], 50, 15.0);
-        let crisp = fcm(&mut rng, &pts, 2, &FcmConfig { fuzzifier: 1.5, ..Default::default() });
-        let soft = fcm(&mut rng, &pts, 2, &FcmConfig { fuzzifier: 4.0, ..Default::default() });
+        let crisp = fcm(
+            &mut rng,
+            &pts,
+            2,
+            &FcmConfig {
+                fuzzifier: 1.5,
+                ..Default::default()
+            },
+        );
+        let soft = fcm(
+            &mut rng,
+            &pts,
+            2,
+            &FcmConfig {
+                fuzzifier: 4.0,
+                ..Default::default()
+            },
+        );
         let mean_max = |r: &FcmResult| -> f64 {
             let n = pts.len();
             (0..n)
@@ -257,7 +284,10 @@ mod tests {
             &mut rng,
             &[Vec3::ZERO],
             1,
-            &FcmConfig { fuzzifier: 1.0, ..Default::default() },
+            &FcmConfig {
+                fuzzifier: 1.0,
+                ..Default::default()
+            },
         );
     }
 

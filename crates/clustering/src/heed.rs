@@ -47,7 +47,12 @@ pub struct HeedConfig {
 
 impl Default for HeedConfig {
     fn default() -> Self {
-        HeedConfig { c_prob: 0.05, p_min: 1e-4, cluster_range: 75.0, max_iterations: 32 }
+        HeedConfig {
+            c_prob: 0.05,
+            p_min: 1e-4,
+            cluster_range: 75.0,
+            max_iterations: 32,
+        }
     }
 }
 
@@ -62,8 +67,14 @@ pub struct HeedProtocol {
 impl HeedProtocol {
     /// HEED with the given configuration.
     pub fn new(cfg: HeedConfig) -> Self {
-        assert!(cfg.c_prob > 0.0 && cfg.c_prob <= 1.0, "C_prob must be in (0,1]");
-        assert!(cfg.p_min > 0.0 && cfg.p_min <= cfg.c_prob, "p_min must be in (0, C_prob]");
+        assert!(
+            cfg.c_prob > 0.0 && cfg.c_prob <= 1.0,
+            "C_prob must be in (0,1]"
+        );
+        assert!(
+            cfg.p_min > 0.0 && cfg.p_min <= cfg.c_prob,
+            "p_min must be in (0, C_prob]"
+        );
         assert!(cfg.cluster_range > 0.0, "cluster range must be positive");
         HeedProtocol { cfg, grid: None }
     }
@@ -73,7 +84,10 @@ impl HeedProtocol {
     pub fn with_target_k(net_side: f64, k: usize) -> Self {
         assert!(k > 0);
         let range = (3.0 / (4.0 * std::f64::consts::PI * k as f64)).cbrt() * net_side;
-        HeedProtocol::new(HeedConfig { cluster_range: range, ..Default::default() })
+        HeedProtocol::new(HeedConfig {
+            cluster_range: range,
+            ..Default::default()
+        })
     }
 
     /// AMRP-style cost: mean squared distance to neighbours within the
@@ -126,7 +140,9 @@ impl Protocol for HeedProtocol {
         let mut prob: Vec<f64> = alive
             .iter()
             .map(|&id| {
-                (self.cfg.c_prob * net.node(id).residual() / e_max).max(self.cfg.p_min).min(1.0)
+                (self.cfg.c_prob * net.node(id).residual() / e_max)
+                    .max(self.cfg.p_min)
+                    .min(1.0)
             })
             .collect();
         let costs: Vec<f64> = alive
@@ -202,8 +218,7 @@ impl Protocol for HeedProtocol {
                     && index_of(jid)
                         .map(|jx| {
                             tentative[jx]
-                                && (costs[jx] < costs[i]
-                                    || (costs[jx] == costs[i] && jid < id))
+                                && (costs[jx] < costs[i] || (costs[jx] == costs[i] && jid < id))
                         })
                         .unwrap_or(false)
             });
@@ -259,8 +274,8 @@ mod tests {
         let range = p.cfg.cluster_range;
         for id in n.alive_ids() {
             let pos = n.node(id).pos;
-            let covered = heads.iter().any(|&h| n.node(h).pos.dist(pos) <= range)
-                || heads.contains(&id);
+            let covered =
+                heads.iter().any(|&h| n.node(h).pos.dist(pos) <= range) || heads.contains(&id);
             assert!(covered, "{id} uncovered");
         }
     }
@@ -339,6 +354,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_config_rejected() {
-        HeedProtocol::new(HeedConfig { c_prob: 0.0, ..Default::default() });
+        HeedProtocol::new(HeedConfig {
+            c_prob: 0.0,
+            ..Default::default()
+        });
     }
 }

@@ -25,7 +25,10 @@ impl Hierarchy {
     /// Construct with validation.
     pub fn new(levels: usize, max_radius: f64) -> Self {
         assert!(levels >= 1, "hierarchy needs at least one level");
-        assert!(max_radius > 0.0 && max_radius.is_finite(), "max_radius must be positive");
+        assert!(
+            max_radius > 0.0 && max_radius.is_finite(),
+            "max_radius must be positive"
+        );
         Hierarchy { levels, max_radius }
     }
 
@@ -61,7 +64,9 @@ impl Hierarchy {
             .iter()
             .filter(|(_, p)| self.level_of(*p, bs) < from_level)
             .min_by(|(_, a), (_, b)| {
-                a.dist_sq(from_pos).partial_cmp(&b.dist_sq(from_pos)).unwrap()
+                a.dist_sq(from_pos)
+                    .partial_cmp(&b.dist_sq(from_pos))
+                    .unwrap()
             })
             .map(|&(i, _)| i)
     }
@@ -98,9 +103,9 @@ mod tests {
         // Sender in band 2 (d = 80), candidates in bands 0, 1, 1.
         let from = Vec3::new(80.0, 0.0, 0.0);
         let candidates = vec![
-            (7usize, Vec3::new(10.0, 0.0, 0.0)),  // band 0, far from sender
-            (8, Vec3::new(45.0, 0.0, 0.0)),       // band 1, nearest
-            (9, Vec3::new(0.0, 45.0, 0.0)),       // band 1, farther
+            (7usize, Vec3::new(10.0, 0.0, 0.0)), // band 0, far from sender
+            (8, Vec3::new(45.0, 0.0, 0.0)),      // band 1, nearest
+            (9, Vec3::new(0.0, 45.0, 0.0)),      // band 1, farther
         ];
         assert_eq!(h.next_hop(from, 2, bs, &candidates), Some(8));
     }
@@ -108,7 +113,10 @@ mod tests {
     #[test]
     fn band_zero_goes_direct() {
         let h = Hierarchy::new(3, 90.0);
-        assert_eq!(h.next_hop(Vec3::ZERO, 0, Vec3::ZERO, &[(1, Vec3::ONE)]), None);
+        assert_eq!(
+            h.next_hop(Vec3::ZERO, 0, Vec3::ZERO, &[(1, Vec3::ONE)]),
+            None
+        );
     }
 
     #[test]
@@ -116,7 +124,7 @@ mod tests {
         let h = Hierarchy::new(3, 90.0);
         let bs = Vec3::ZERO;
         let from = Vec3::new(80.0, 0.0, 0.0); // band 2
-        // Only candidates in the same band.
+                                              // Only candidates in the same band.
         let candidates = vec![(1usize, Vec3::new(0.0, 80.0, 0.0))];
         assert_eq!(h.next_hop(from, 2, bs, &candidates), None);
     }

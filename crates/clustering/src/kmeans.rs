@@ -40,7 +40,10 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { max_iterations: 100, tolerance: 1e-6 }
+        KMeansConfig {
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -150,9 +153,7 @@ pub fn kmeans<R: Rng + ?Sized>(
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         a.dist_sq(centroids[nearest_centroid(&centroids, **a)])
-                            .partial_cmp(
-                                &b.dist_sq(centroids[nearest_centroid(&centroids, **b)]),
-                            )
+                            .partial_cmp(&b.dist_sq(centroids[nearest_centroid(&centroids, **b)]))
                             .unwrap()
                     })
                     .expect("points is non-empty");
@@ -178,7 +179,12 @@ pub fn kmeans<R: Rng + ?Sized>(
     }
     let _ = inertia;
 
-    KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia: final_inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +227,9 @@ mod tests {
         // Points of a blob share an assignment.
         for b in 0..3 {
             let first = res.assignment[b * 50];
-            assert!(res.assignment[b * 50..(b + 1) * 50].iter().all(|&a| a == first));
+            assert!(res.assignment[b * 50..(b + 1) * 50]
+                .iter()
+                .all(|&a| a == first));
         }
     }
 
@@ -261,7 +269,11 @@ mod tests {
     #[test]
     fn single_cluster_centroid_is_mean() {
         let mut rng = StdRng::seed_from_u64(5);
-        let pts = vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(4.0, 0.0, 0.0)];
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(4.0, 0.0, 0.0),
+        ];
         let res = kmeans(&mut rng, &pts, 1, &KMeansConfig::default());
         assert!(res.centroids[0].dist(Vec3::new(2.0, 0.0, 0.0)) < 1e-9);
         assert_eq!(res.assignment, vec![0, 0, 0]);

@@ -122,7 +122,10 @@ mod tests {
         let mut prev = 0.0;
         for r in 0..10 {
             let t = rotating_threshold(p, r);
-            assert!(t >= prev, "threshold must be non-decreasing inside an epoch");
+            assert!(
+                t >= prev,
+                "threshold must be non-decreasing inside an epoch"
+            );
             assert!((0.0..=1.0).contains(&t));
             prev = t;
         }

@@ -29,7 +29,11 @@ impl KMeansProtocol {
     /// k-means with `k` clusters.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KMeansProtocol { k, cfg: KMeansConfig::default(), member_head: HashMap::new() }
+        KMeansProtocol {
+            k,
+            cfg: KMeansConfig::default(),
+            member_head: HashMap::new(),
+        }
     }
 }
 
@@ -85,7 +89,10 @@ impl Protocol for KMeansProtocol {
         _heads: &[NodeId],
         _rng: &mut dyn RngCore,
     ) -> Target {
-        self.member_head.get(&src).copied().map_or(Target::Bs, Target::Head)
+        self.member_head
+            .get(&src)
+            .copied()
+            .map_or(Target::Bs, Target::Head)
     }
 }
 
@@ -112,7 +119,12 @@ impl FcmProtocol {
     pub fn with_levels(c: usize, levels: usize) -> Self {
         assert!(c > 0, "c must be positive");
         assert!(levels >= 1, "levels must be at least 1");
-        FcmProtocol { c, levels, cfg: FcmConfig::default(), member_head: HashMap::new() }
+        FcmProtocol {
+            c,
+            levels,
+            cfg: FcmConfig::default(),
+            member_head: HashMap::new(),
+        }
     }
 
     fn hierarchy(&self, net: &Network) -> Hierarchy {
@@ -183,7 +195,10 @@ impl Protocol for FcmProtocol {
         _heads: &[NodeId],
         _rng: &mut dyn RngCore,
     ) -> Target {
-        self.member_head.get(&src).copied().map_or(Target::Bs, Target::Head)
+        self.member_head
+            .get(&src)
+            .copied()
+            .map_or(Target::Bs, Target::Head)
     }
 
     fn aggregate_route(&mut self, net: &Network, head: NodeId, heads: &[NodeId]) -> Vec<Target> {
@@ -347,7 +362,10 @@ mod tests {
         let any_multihop = heads
             .iter()
             .any(|&head| p.aggregate_route(&n, head, &heads).len() > 1);
-        assert!(any_multihop, "expected at least one multi-hop aggregate route");
+        assert!(
+            any_multihop,
+            "expected at least one multi-hop aggregate route"
+        );
     }
 
     #[test]

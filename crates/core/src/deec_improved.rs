@@ -25,6 +25,7 @@ use qlec_clustering::deec::deec_probability;
 use qlec_clustering::leach::{rotating_epoch, rotating_threshold};
 use qlec_geom::UniformGrid;
 use qlec_net::{Network, NodeId};
+use qlec_obs::{Event, ObserverSet, Phase};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +54,11 @@ pub struct SelectionFeatures {
 
 impl Default for SelectionFeatures {
     fn default() -> Self {
-        SelectionFeatures { energy_threshold: true, redundancy_reduction: true, top_up: true }
+        SelectionFeatures {
+            energy_threshold: true,
+            redundancy_reduction: true,
+            top_up: true,
+        }
     }
 }
 
@@ -66,6 +71,8 @@ pub struct SelectionOutcome {
     pub elected: usize,
     /// Heads withdrawn by the redundancy reduction.
     pub withdrawn: usize,
+    /// The withdrawn heads themselves (id order of election).
+    pub withdrawn_ids: Vec<NodeId>,
     /// Heads added by the top-up/replacement mechanism.
     pub topped_up: usize,
 }
@@ -84,6 +91,32 @@ pub fn select_heads(
     params: &QlecParams,
     features: SelectionFeatures,
     rng: &mut dyn RngCore,
+) -> SelectionOutcome {
+    select_heads_observed(
+        net,
+        grid,
+        round,
+        k,
+        params,
+        features,
+        rng,
+        &ObserverSet::new(),
+    )
+}
+
+/// [`select_heads`] with an observer: times the Algorithm 3 HELLO
+/// broadcast as [`Phase::Broadcast`] and emits one
+/// [`Event::HeadWithdrawn`] per head the redundancy reduction removes.
+#[allow(clippy::too_many_arguments)]
+pub fn select_heads_observed(
+    net: &mut Network,
+    grid: &UniformGrid,
+    round: u32,
+    k: usize,
+    params: &QlecParams,
+    features: SelectionFeatures,
+    rng: &mut dyn RngCore,
+    obs: &ObserverSet,
 ) -> SelectionOutcome {
     assert!(k > 0, "target head count must be positive");
     let n = net.len().max(1);
@@ -120,7 +153,8 @@ pub fn select_heads(
     let elected_count = elected.len();
 
     // --- Algorithm 3: HELLO redundancy reduction -------------------------
-    let mut withdrawn = 0usize;
+    let mut withdrawn_ids: Vec<NodeId> = Vec::new();
+    let broadcast_span = obs.span_start();
     let mut heads: Vec<NodeId> = if features.redundancy_reduction && elected.len() > 1 {
         // Every elected head broadcasts simultaneously; charge energy
         // before any withdrawal (the message was already sent).
@@ -130,21 +164,28 @@ pub fn select_heads(
         let survives = |i: &NodeId| -> bool {
             let me = net.node(*i);
             !elected.iter().any(|j| {
-                j != i
-                    && net.distance(*i, *j) <= dc
-                    && {
-                        let other = net.node(*j);
-                        other.residual() > me.residual()
-                            || (other.residual() == me.residual() && j < i)
-                    }
+                j != i && net.distance(*i, *j) <= dc && {
+                    let other = net.node(*j);
+                    other.residual() > me.residual() || (other.residual() == me.residual() && j < i)
+                }
             })
         };
         let kept: Vec<NodeId> = elected.iter().copied().filter(survives).collect();
-        withdrawn = elected.len() - kept.len();
+        withdrawn_ids = elected
+            .iter()
+            .copied()
+            .filter(|i| !kept.contains(i))
+            .collect();
         kept
     } else {
         elected
     };
+    obs.span_end(broadcast_span, round, Phase::Broadcast);
+    if obs.is_active() {
+        for &w in &withdrawn_ids {
+            obs.emit(Event::HeadWithdrawn { round, node: w.0 });
+        }
+    }
 
     // --- Enforce k: trim an over-full head set to the richest k ----------
     if features.top_up && heads.len() > k {
@@ -195,9 +236,7 @@ pub fn select_heads(
             if heads.len() >= k {
                 break;
             }
-            if features.redundancy_reduction
-                && heads.iter().any(|h| net.distance(id, *h) <= dc)
-            {
+            if features.redundancy_reduction && heads.iter().any(|h| net.distance(id, *h) <= dc) {
                 continue;
             }
             heads.push(id);
@@ -230,7 +269,14 @@ pub fn select_heads(
     }
 
     qlec_net::protocol::install_heads(net, round, &heads);
-    SelectionOutcome { heads, elected: elected_count, withdrawn, topped_up }
+    let withdrawn = withdrawn_ids.len();
+    SelectionOutcome {
+        heads,
+        elected: elected_count,
+        withdrawn,
+        withdrawn_ids,
+        topped_up,
+    }
 }
 
 /// Charge the Algorithm 3 HELLO broadcast: each head transmits
@@ -310,7 +356,11 @@ mod tests {
             SelectionFeatures::default(),
             &mut rng,
         );
-        assert_eq!(out.heads.len(), 5, "top-up must hit k when candidates exist");
+        assert_eq!(
+            out.heads.len(),
+            5,
+            "top-up must hit k when candidates exist"
+        );
     }
 
     #[test]
@@ -372,7 +422,10 @@ mod tests {
             net.node_mut(NodeId(i)).battery.consume(2.0);
         }
         let mut rng = StdRng::seed_from_u64(10);
-        let features = SelectionFeatures { energy_threshold: false, ..Default::default() };
+        let features = SelectionFeatures {
+            energy_threshold: false,
+            ..Default::default()
+        };
         let out = select_heads(
             &mut net,
             &grid,
@@ -382,7 +435,10 @@ mod tests {
             features,
             &mut rng,
         );
-        assert!(!out.heads.is_empty(), "ablated threshold must not block selection");
+        assert!(
+            !out.heads.is_empty(),
+            "ablated threshold must not block selection"
+        );
     }
 
     #[test]
@@ -391,7 +447,10 @@ mod tests {
         let run = |charge: bool| {
             let mut net = net0.clone();
             let mut rng = StdRng::seed_from_u64(12);
-            let params = QlecParams { charge_control_traffic: charge, ..QlecParams::paper() };
+            let params = QlecParams {
+                charge_control_traffic: charge,
+                ..QlecParams::paper()
+            };
             select_heads(
                 &mut net,
                 &grid,

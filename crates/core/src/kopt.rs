@@ -30,8 +30,8 @@ use qlec_radio::RadioModel;
 /// `m`-cube.
 pub fn expected_d2_to_ch(m: f64, k: f64) -> f64 {
     assert!(m >= 0.0 && k > 0.0, "need m >= 0 and k > 0");
-    let c = (4.0 * std::f64::consts::PI / 5.0)
-        * (3.0 / (4.0 * std::f64::consts::PI)).powf(5.0 / 3.0);
+    let c =
+        (4.0 * std::f64::consts::PI / 5.0) * (3.0 / (4.0 * std::f64::consts::PI)).powf(5.0 / 3.0);
     c * m * m / k.powf(2.0 / 3.0)
 }
 
@@ -53,11 +53,8 @@ pub fn coverage_radius(m: f64, k: usize) -> f64 {
 pub fn kopt_real(n: usize, m: f64, d_to_bs: f64, radio: &RadioModel) -> f64 {
     assert!(n > 0, "network must have nodes");
     assert!(m > 0.0 && d_to_bs > 0.0, "need positive m and d_toBS");
-    let ratio = 8.0 * std::f64::consts::PI * n as f64 * radio.eps_fs
-        / (15.0 * radio.eps_mp);
-    (3.0 / (4.0 * std::f64::consts::PI))
-        * ratio.powf(3.0 / 5.0)
-        * m.powf(6.0 / 5.0)
+    let ratio = 8.0 * std::f64::consts::PI * n as f64 * radio.eps_fs / (15.0 * radio.eps_mp);
+    (3.0 / (4.0 * std::f64::consts::PI)) * ratio.powf(3.0 / 5.0) * m.powf(6.0 / 5.0)
         / d_to_bs.powf(12.0 / 5.0)
 }
 
@@ -145,7 +142,10 @@ mod tests {
             .map(|i| i as f64 * 0.1)
             .map(|kk| round_energy_of_k(2000, n, kk, m, d, &radio()))
             .fold(f64::INFINITY, f64::min);
-        assert!(e_opt <= scan_min * 1.001, "scan found lower energy than k_opt");
+        assert!(
+            e_opt <= scan_min * 1.001,
+            "scan found lower energy than k_opt"
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@
 
 pub mod ablation;
 pub mod deec_improved;
-pub mod multihop;
 pub mod kopt;
+pub mod multihop;
 pub mod params;
 pub mod qlec;
 pub mod qrouting;

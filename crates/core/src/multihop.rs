@@ -87,7 +87,10 @@ pub fn cheapest_route(net: &Network, from: NodeId, heads: &[NodeId]) -> (Vec<Tar
     let mut prev = vec![usize::MAX; n];
     dist[src] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { cost: 0.0, node: src });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
 
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node] {
@@ -102,7 +105,10 @@ pub fn cheapest_route(net: &Network, from: NodeId, heads: &[NodeId]) -> (Vec<Tar
         if c_bs < dist[bs] {
             dist[bs] = c_bs;
             prev[bs] = node;
-            heap.push(HeapEntry { cost: c_bs, node: bs });
+            heap.push(HeapEntry {
+                cost: c_bs,
+                node: bs,
+            });
         }
         // Edges to the other heads.
         for (j, &other) in nodes.iter().enumerate() {
@@ -124,12 +130,21 @@ pub fn cheapest_route(net: &Network, from: NodeId, heads: &[NodeId]) -> (Vec<Tar
     while cur != src {
         route.push(cur);
         cur = prev[cur];
-        debug_assert!(cur != usize::MAX, "BS must be reachable (direct edge exists)");
+        debug_assert!(
+            cur != usize::MAX,
+            "BS must be reachable (direct edge exists)"
+        );
     }
     route.reverse();
     let targets = route
         .into_iter()
-        .map(|i| if i == bs { Target::Bs } else { Target::Head(nodes[i]) })
+        .map(|i| {
+            if i == bs {
+                Target::Bs
+            } else {
+                Target::Head(nodes[i])
+            }
+        })
         .collect();
     (targets, dist[bs])
 }
@@ -142,12 +157,33 @@ pub struct MultiHopQlec {
 impl MultiHopQlec {
     /// Multi-hop QLEC with the given parameters.
     pub fn new(params: QlecParams) -> Self {
-        MultiHopQlec { inner: QlecProtocol::new(params).named("qlec-multihop") }
+        MultiHopQlec {
+            inner: QlecProtocol::new(params).named("qlec-multihop"),
+        }
     }
 
     /// Paper parameters with a fixed cluster count.
     pub fn paper_with_k(k: usize) -> Self {
         Self::new(QlecParams::paper_with_k(k))
+    }
+
+    /// Attach an observer set (forwarded to the wrapped
+    /// [`QlecProtocol::with_observer`]).
+    pub fn with_observer(mut self, obs: qlec_obs::ObserverSet) -> Self {
+        self.inner = self.inner.with_observer(obs);
+        self
+    }
+
+    /// Feature override, forwarded to [`QlecProtocol::with_features`]
+    /// (ablations; e.g. nearest-head member routing isolates the
+    /// aggregate-routing comparison).
+    pub fn with_features(
+        mut self,
+        features: crate::deec_improved::SelectionFeatures,
+        q_routing: bool,
+    ) -> Self {
+        self.inner = self.inner.with_features(features, q_routing);
+        self
     }
 
     /// Access the wrapped protocol (diagnostics).
@@ -226,11 +262,7 @@ mod tests {
         let (route, cost) = cheapest_route(&net, NodeId(0), &heads);
         assert_eq!(
             route,
-            vec![
-                Target::Head(NodeId(1)),
-                Target::Head(NodeId(2)),
-                Target::Bs
-            ]
+            vec![Target::Head(NodeId(1)), Target::Head(NodeId(2)), Target::Bs]
         );
         // Cost must beat the direct shot.
         let direct = net.radio.tx_energy(1, 600.0);
@@ -333,6 +365,7 @@ mod tests {
 
     #[test]
     fn multihop_beats_direct_with_remote_bs() {
+        use crate::deec_improved::SelectionFeatures;
         let mk_net = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             // Batteries sized for the scenario: a 600 m multi-path shot
@@ -344,17 +377,26 @@ mod tests {
                 .bs_at(Vec3::new(100.0, 100.0, 700.0)) // far above the cube
                 .uniform_cube(&mut rng, 60, 200.0, 500.0)
         };
-        // Light traffic: with a remote BS every member chases the
-        // BS-nearest head (its V dominates), so heavy load would measure
-        // queue herding rather than aggregate routing.
+        // Pin member routing to nearest-head in BOTH variants: under
+        // Q-routing every member chases the BS-nearest head (its V
+        // dominates with a remote BS), which concentrates nearly all
+        // traffic into the head whose BS shot is already the cheapest —
+        // exactly the one aggregate Dijkstra cannot improve. Nearest-head
+        // members spread the load geographically, so every head carries a
+        // real aggregate and the test measures aggregate routing, not
+        // queue herding.
         let mut cfg = SimConfig::paper(20.0);
         cfg.rounds = 8;
-        let mut rng = StdRng::seed_from_u64(2);
-        let direct = Simulator::new(mk_net(1), cfg)
-            .run(&mut QlecProtocol::paper_with_k(5), &mut rng);
-        let mut rng = StdRng::seed_from_u64(2);
-        let multi = Simulator::new(mk_net(1), cfg)
-            .run(&mut MultiHopQlec::paper_with_k(5), &mut rng);
+        let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
+        let direct = Simulator::new(mk_net(1), cfg).run(
+            &mut QlecProtocol::paper_with_k(5).with_features(SelectionFeatures::default(), false),
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
+        let multi = Simulator::new(mk_net(1), cfg).run(
+            &mut MultiHopQlec::paper_with_k(5).with_features(SelectionFeatures::default(), false),
+            &mut rng,
+        );
         assert!(multi.totals.is_conserved());
         // The last ~500 m to the BS is unavoidable for any route, so the
         // saving comes only from replacing each head's own long shot with
@@ -373,6 +415,8 @@ mod tests {
     fn multihop_is_harmless_with_centre_bs() {
         // With the paper's centre BS every head is close; Dijkstra should
         // (almost always) return the direct route and match plain QLEC.
+        // One deployment can still swing ±15 % on randomized-election
+        // noise, so compare means over a few seeds.
         let mk_net = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             NetworkBuilder::new()
@@ -381,13 +425,23 @@ mod tests {
         };
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 6;
-        let mut rng = StdRng::seed_from_u64(3);
-        let direct = Simulator::new(mk_net(4), cfg)
-            .run(&mut QlecProtocol::paper_with_k(5), &mut rng);
-        let mut rng = StdRng::seed_from_u64(3);
-        let multi = Simulator::new(mk_net(4), cfg)
-            .run(&mut MultiHopQlec::paper_with_k(5), &mut rng);
-        let ratio = multi.total_energy() / direct.total_energy();
+        let seeds = [1u64, 2, 3, 4];
+        let mean = |run: &dyn Fn(u64) -> f64| {
+            seeds.iter().map(|&s| run(s)).sum::<f64>() / seeds.len() as f64
+        };
+        let direct = mean(&|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x55);
+            Simulator::new(mk_net(s), cfg)
+                .run(&mut QlecProtocol::paper_with_k(5), &mut rng)
+                .total_energy()
+        });
+        let multi = mean(&|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x55);
+            Simulator::new(mk_net(s), cfg)
+                .run(&mut MultiHopQlec::paper_with_k(5), &mut rng)
+                .total_energy()
+        });
+        let ratio = multi / direct;
         assert!(
             (0.9..=1.1).contains(&ratio),
             "centre-BS energy ratio {ratio} should be ≈ 1"

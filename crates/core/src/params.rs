@@ -82,7 +82,10 @@ impl QlecParams {
     /// Paper parameters with a fixed cluster count (the Fig. 3 runs use
     /// the §5.1 value `k_opt ≈ 5` explicitly).
     pub fn paper_with_k(k: usize) -> Self {
-        QlecParams { k_override: Some(k), ..Self::paper() }
+        QlecParams {
+            k_override: Some(k),
+            ..Self::paper()
+        }
     }
 
     /// Validate ranges; returns the first violation.
@@ -112,7 +115,10 @@ impl QlecParams {
             ));
         }
         if !(0.0..=1.0).contains(&self.link_prior) {
-            return Err(format!("link_prior must be in [0,1], got {}", self.link_prior));
+            return Err(format!(
+                "link_prior must be in [0,1], got {}",
+                self.link_prior
+            ));
         }
         if self.total_rounds == 0 {
             return Err("total_rounds must be positive".into());
@@ -158,13 +164,34 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         for bad in [
-            QlecParams { gamma: 1.0, ..QlecParams::paper() },
-            QlecParams { alpha2: -1.0, ..QlecParams::paper() },
-            QlecParams { link_ewma_weight: 0.0, ..QlecParams::paper() },
-            QlecParams { link_prior: 1.5, ..QlecParams::paper() },
-            QlecParams { total_rounds: 0, ..QlecParams::paper() },
-            QlecParams { k_override: Some(0), ..QlecParams::paper() },
-            QlecParams { x_bs: 2.0, ..QlecParams::paper() },
+            QlecParams {
+                gamma: 1.0,
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                alpha2: -1.0,
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                link_ewma_weight: 0.0,
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                link_prior: 1.5,
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                total_rounds: 0,
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                k_override: Some(0),
+                ..QlecParams::paper()
+            },
+            QlecParams {
+                x_bs: 2.0,
+                ..QlecParams::paper()
+            },
         ] {
             assert!(bad.validate().is_err(), "{bad:?} should fail validation");
         }

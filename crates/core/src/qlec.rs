@@ -11,13 +11,14 @@
 //! 4. heads forward their fused aggregates directly to the BS and update
 //!    their own V values — lines 13–15.
 
-use crate::deec_improved::{select_heads, SelectionFeatures, SelectionOutcome};
+use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOutcome};
 use crate::kopt;
 use crate::params::QlecParams;
 use crate::qrouting::QRouter;
 use qlec_geom::UniformGrid;
 use qlec_net::protocol::nearest_head;
 use qlec_net::{Network, NodeId, Protocol, Target};
+use qlec_obs::{Event, ObserverSet, Phase};
 use rand::RngCore;
 
 /// QLEC with its feature switchboard (all features on = the paper's
@@ -43,6 +44,16 @@ pub struct QlecProtocol {
     /// [`QRouter::head_update`].
     aggregate_share: f64,
     name: String,
+    /// Structured-event observer (inert by default). Emits
+    /// [`Event::QUpdate`] per V change, [`Event::HeadWithdrawn`] from the
+    /// redundancy reduction, and a per-round [`Phase::QRouting`] span.
+    obs: ObserverSet,
+    /// Round currently in flight (protocol hooks that lack a round
+    /// argument stamp their events with it).
+    current_round: u32,
+    /// Wall time spent in `Send-Data` this round (accumulated across
+    /// `choose_target` calls, flushed as one span at the round end).
+    qrouting_ns: u64,
 }
 
 impl QlecProtocol {
@@ -60,7 +71,19 @@ impl QlecProtocol {
             failed_this_packet: std::collections::HashMap::new(),
             aggregate_share: 0.5,
             name: "qlec".to_string(),
+            obs: ObserverSet::new(),
+            current_round: 0,
+            qrouting_ns: 0,
         }
+    }
+
+    /// Attach an observer set. Pass a clone of the set given to
+    /// [`qlec_net::Simulator::observed`] so protocol-level events (Q
+    /// updates, HELLO withdrawals, Q-routing timing) land in the same
+    /// sinks as the simulator's.
+    pub fn with_observer(mut self, obs: ObserverSet) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Override the data-fusion share used in the head V update (set it
@@ -145,10 +168,20 @@ impl Protocol for QlecProtocol {
         rng: &mut dyn RngCore,
     ) -> Vec<NodeId> {
         self.ensure_initialized(net);
+        self.current_round = round;
+        self.qrouting_ns = 0;
         let k = self.k.expect("initialized above");
         let grid = self.grid.as_ref().expect("initialized above");
-        let outcome =
-            select_heads(net, grid, round, k, &self.params, self.features, rng);
+        let outcome = select_heads_observed(
+            net,
+            grid,
+            round,
+            k,
+            &self.params,
+            self.features,
+            rng,
+            &self.obs,
+        );
         let heads = outcome.heads.clone();
         self.last_selection = Some(outcome);
         // Refresh each head's V at promotion: a node's V from its member
@@ -160,6 +193,13 @@ impl Protocol for QlecProtocol {
             if let Some(router) = self.router.as_mut() {
                 for &h in &heads {
                     router.head_update(net, h, self.aggregate_share);
+                    if self.obs.is_active() {
+                        self.obs.emit(Event::QUpdate {
+                            round,
+                            node: h.0,
+                            delta: router.last_delta(),
+                        });
+                    }
                 }
             }
         }
@@ -185,10 +225,21 @@ impl Protocol for QlecProtocol {
                 .get(&src)
                 .map(|v| v.as_slice())
                 .unwrap_or(&[]);
-            self.router
+            let start_ns = self.obs.now_ns();
+            let router = self
+                .router
                 .as_mut()
-                .expect("router initialized in on_round_start")
-                .send_data_excluding(net, src, heads, excluded)
+                .expect("router initialized in on_round_start");
+            let target = router.send_data_excluding(net, src, heads, excluded);
+            if self.obs.is_active() {
+                self.qrouting_ns += self.obs.now_ns().saturating_sub(start_ns);
+                self.obs.emit(Event::QUpdate {
+                    round: self.current_round,
+                    node: src.0,
+                    delta: router.last_delta(),
+                });
+            }
+            target
         } else {
             nearest_head(net, src, heads).map_or(Target::Bs, Target::Head)
         }
@@ -203,14 +254,35 @@ impl Protocol for QlecProtocol {
         }
     }
 
-    fn on_round_end(&mut self, net: &mut Network, _round: u32, heads: &[NodeId]) {
+    fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
         // Algorithm 1 line 15: heads refresh their own V values from the
         // BS-hop Q after data fusion.
         if let Some(router) = self.router.as_mut() {
+            let start_ns = self.obs.now_ns();
             for &h in heads {
                 router.head_update(net, h, self.aggregate_share);
+                if self.obs.is_active() {
+                    self.obs.emit(Event::QUpdate {
+                        round,
+                        node: h.0,
+                        delta: router.last_delta(),
+                    });
+                }
             }
             router.convergence.end_sweep();
+            if self.obs.is_active() {
+                // One span for the round's whole Send-Data workload: the
+                // per-packet time accumulated in `choose_target` plus the
+                // line-15 head refresh above.
+                let wall_ns = self.qrouting_ns + self.obs.now_ns().saturating_sub(start_ns);
+                self.obs.emit(Event::PhaseTimed {
+                    round,
+                    phase: Phase::QRouting,
+                    wall_ns,
+                    sim_time: self.obs.sim_time(),
+                });
+                self.qrouting_ns = 0;
+            }
         }
     }
 }
@@ -225,7 +297,9 @@ mod tests {
 
     fn paper_net(seed: u64, link: AnyLink) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        NetworkBuilder::new().link(link).uniform_cube(&mut rng, 100, 200.0, 5.0)
+        NetworkBuilder::new()
+            .link(link)
+            .uniform_cube(&mut rng, 100, 200.0, 5.0)
     }
 
     #[test]
@@ -296,10 +370,8 @@ mod tests {
         };
         // Average over seeds to damp randomized-election noise.
         let seeds = [10u64, 11, 12];
-        let with_q: f64 =
-            seeds.iter().map(|&s| run(true, s)).sum::<f64>() / seeds.len() as f64;
-        let without: f64 =
-            seeds.iter().map(|&s| run(false, s)).sum::<f64>() / seeds.len() as f64;
+        let with_q: f64 = seeds.iter().map(|&s| run(true, s)).sum::<f64>() / seeds.len() as f64;
+        let without: f64 = seeds.iter().map(|&s| run(false, s)).sum::<f64>() / seeds.len() as f64;
         assert!(
             with_q > without,
             "Q-routing congested PDR {with_q} should beat nearest-head {without}"
@@ -325,10 +397,8 @@ mod tests {
             Simulator::new(net, cfg).run(&mut p, &mut rng).pdr()
         };
         let seeds = [10u64, 11, 12];
-        let with_q: f64 =
-            seeds.iter().map(|&s| run(true, s)).sum::<f64>() / seeds.len() as f64;
-        let without: f64 =
-            seeds.iter().map(|&s| run(false, s)).sum::<f64>() / seeds.len() as f64;
+        let with_q: f64 = seeds.iter().map(|&s| run(true, s)).sum::<f64>() / seeds.len() as f64;
+        let without: f64 = seeds.iter().map(|&s| run(false, s)).sum::<f64>() / seeds.len() as f64;
         assert!(
             with_q >= without - 0.05,
             "Q-routing PDR {with_q} trails nearest-head {without} by too much"

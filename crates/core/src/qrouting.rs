@@ -57,7 +57,11 @@ impl LinkEstimator {
     pub fn new(weight: f64, prior: f64) -> Self {
         assert!((0.0..=1.0).contains(&weight) && weight > 0.0);
         assert!((0.0..=1.0).contains(&prior));
-        LinkEstimator { weight, prior, table: HashMap::new() }
+        LinkEstimator {
+            weight,
+            prior,
+            table: HashMap::new(),
+        }
     }
 
     /// Current estimate `P̂` for a link.
@@ -94,6 +98,8 @@ pub struct QRouter {
     pub updates: UpdateCounter,
     /// Tracks V-value deltas for convergence measurement.
     pub convergence: ConvergenceTracker,
+    /// Signed V change of the most recent update (observability).
+    last_delta: f64,
 }
 
 impl QRouter {
@@ -114,7 +120,14 @@ impl QRouter {
             y_ref,
             updates: UpdateCounter::new(),
             convergence: ConvergenceTracker::new(1e-4),
+            last_delta: 0.0,
         }
+    }
+
+    /// Signed `V` change of the most recent [`QRouter::send_data`] or
+    /// [`QRouter::head_update`] call (0 before any update).
+    pub fn last_delta(&self) -> f64 {
+        self.last_delta
     }
 
     /// Current `V*` of a node.
@@ -150,20 +163,14 @@ impl QRouter {
     /// Eq. 17 / Eq. 19: reward for a *successful* hop from `src` to
     /// `target`. `penalize_bs` applies the `l` penalty of Eq. 19 (true
     /// for members, false for heads doing their aggregate duty).
-    fn reward_success(
-        &self,
-        net: &Network,
-        src: NodeId,
-        target: Target,
-        penalize_bs: bool,
-    ) -> f64 {
+    fn reward_success(&self, net: &Network, src: NodeId, target: Target, penalize_bs: bool) -> f64 {
         let p = &self.params;
         let x_target = match target {
             Target::Bs => p.x_bs,
             Target::Head(h) => self.x(net, h),
         };
-        let mut r = -p.g + p.alpha1 * (self.x(net, src) + x_target)
-            - p.alpha2 * self.y(net, src, target);
+        let mut r =
+            -p.g + p.alpha1 * (self.x(net, src) + x_target) - p.alpha2 * self.y(net, src, target);
         if penalize_bs && target == Target::Bs {
             r -= p.l;
         }
@@ -180,7 +187,13 @@ impl QRouter {
     /// two-outcome continuation (Eq. 15 specialised to
     /// `{delivered → target, lost → self}`).
     pub fn q_value(&self, net: &Network, src: NodeId, target: Target, penalize_bs: bool) -> f64 {
-        self.q_value_with_p(net, src, target, penalize_bs, self.links.probability(src, target))
+        self.q_value_with_p(
+            net,
+            src,
+            target,
+            penalize_bs,
+            self.links.probability(src, target),
+        )
     }
 
     /// [`QRouter::q_value`] with an explicit link probability (used by the
@@ -270,8 +283,8 @@ impl QRouter {
                 break;
             }
         }
-        self.convergence
-            .observe((self.v[src.index()] - v_before).abs());
+        self.last_delta = self.v[src.index()] - v_before;
+        self.convergence.observe(self.last_delta.abs());
         action
     }
 
@@ -296,8 +309,8 @@ impl QRouter {
         let r_t = p_ok * r_success + (1.0 - p_ok) * r_failure;
         let q = r_t + p.gamma * (1.0 - p_ok) * self.v[head.index()];
         self.updates.bump();
-        let delta = (q - self.v[head.index()]).abs();
-        self.convergence.observe(delta);
+        self.last_delta = q - self.v[head.index()];
+        self.convergence.observe(self.last_delta.abs());
         self.v[head.index()] = q;
     }
 
@@ -310,8 +323,8 @@ impl QRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qlec_net::NetworkBuilder;
     use qlec_geom::Vec3;
+    use qlec_net::NetworkBuilder;
 
     /// Line deployment: src at origin, near head at 30 m, far head at
     /// 150 m, BS at 60 m (the enclosing-box centre is irrelevant — we pin
@@ -339,7 +352,10 @@ mod tests {
         for _ in 0..200 {
             est.record(src, t, false);
         }
-        assert!(est.probability(src, t) < 0.01, "all-failure link must go to ≈ 0");
+        assert!(
+            est.probability(src, t) < 0.01,
+            "all-failure link must go to ≈ 0"
+        );
         for _ in 0..200 {
             est.record(src, t, true);
         }
@@ -365,7 +381,10 @@ mod tests {
         let net = line_net();
         let mut r = router(&net);
         let heads = [NodeId(1), NodeId(2)];
-        assert_eq!(r.send_data(&net, NodeId(0), &heads), Target::Head(NodeId(1)));
+        assert_eq!(
+            r.send_data(&net, NodeId(0), &heads),
+            Target::Head(NodeId(1))
+        );
     }
 
     #[test]
@@ -406,7 +425,10 @@ mod tests {
         let net = line_net();
         let mut r = router(&net);
         let heads = [NodeId(1), NodeId(2)];
-        assert_eq!(r.send_data(&net, NodeId(0), &heads), Target::Head(NodeId(1)));
+        assert_eq!(
+            r.send_data(&net, NodeId(0), &heads),
+            Target::Head(NodeId(1))
+        );
         let mut switched = false;
         for _ in 0..60 {
             let t = r.send_data(&net, NodeId(0), &heads);
@@ -419,7 +441,10 @@ mod tests {
         }
         assert!(switched, "router never abandoned the all-failure link");
         // And it stays switched while the bad link's estimate is ≈ 0.
-        assert_eq!(r.send_data(&net, NodeId(0), &heads), Target::Head(NodeId(2)));
+        assert_eq!(
+            r.send_data(&net, NodeId(0), &heads),
+            Target::Head(NodeId(2))
+        );
     }
 
     #[test]
@@ -429,9 +454,9 @@ mod tests {
         let net = NetworkBuilder::new()
             .bs_at(Vec3::new(0.0, 100.0, 0.0))
             .from_nodes(&[
-                (Vec3::new(0.0, 0.0, 0.0), 5.0),    // 0: src
-                (Vec3::new(40.0, 0.0, 0.0), 5.0),   // 1: full head
-                (Vec3::new(-40.0, 0.0, 0.0), 5.0),  // 2: to be drained
+                (Vec3::new(0.0, 0.0, 0.0), 5.0),   // 0: src
+                (Vec3::new(40.0, 0.0, 0.0), 5.0),  // 1: full head
+                (Vec3::new(-40.0, 0.0, 0.0), 5.0), // 2: to be drained
             ]);
         let mut net = net;
         net.node_mut(NodeId(2)).battery.consume(4.5);

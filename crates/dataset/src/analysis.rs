@@ -54,15 +54,15 @@ pub fn filter_by_capacity(plants: &[PowerPlant], min_mw: f64, max_mw: f64) -> Ve
 
 /// Plants of the given fuels.
 pub fn filter_by_fuel(plants: &[PowerPlant], fuels: &[FuelType]) -> Vec<PowerPlant> {
-    plants.iter().filter(|p| fuels.contains(&p.fuel)).cloned().collect()
+    plants
+        .iter()
+        .filter(|p| fuels.contains(&p.fuel))
+        .cloned()
+        .collect()
 }
 
 /// Plants inside a longitude/latitude window (inclusive).
-pub fn filter_by_bbox(
-    plants: &[PowerPlant],
-    lon: (f64, f64),
-    lat: (f64, f64),
-) -> Vec<PowerPlant> {
+pub fn filter_by_bbox(plants: &[PowerPlant], lon: (f64, f64), lat: (f64, f64)) -> Vec<PowerPlant> {
     assert!(lon.0 <= lon.1 && lat.0 <= lat.1, "bbox must be ordered");
     plants
         .iter()
@@ -109,7 +109,13 @@ mod tests {
 
     fn plants() -> Vec<PowerPlant> {
         let mut rng = StdRng::seed_from_u64(1);
-        generate_china(&mut rng, &GeneratorConfig { count: 800, ..Default::default() })
+        generate_china(
+            &mut rng,
+            &GeneratorConfig {
+                count: 800,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -121,9 +127,7 @@ mod tests {
         for f in &breakdown {
             assert!(f.mean_capacity_mw > 0.0);
             assert!(f.max_capacity_mw >= f.mean_capacity_mw);
-            assert!(
-                (f.total_capacity_mw / f.count as f64 - f.mean_capacity_mw).abs() < 1e-9
-            );
+            assert!((f.total_capacity_mw / f.count as f64 - f.mean_capacity_mw).abs() < 1e-9);
         }
         // Coal dominates the synthetic mix, as in the real subset.
         let coal = breakdown.iter().find(|f| f.fuel == FuelType::Coal).unwrap();
@@ -143,7 +147,8 @@ mod tests {
     #[test]
     fn fuel_filter() {
         let plants = plants();
-        let renewables = filter_by_fuel(&plants, &[FuelType::Hydro, FuelType::Wind, FuelType::Solar]);
+        let renewables =
+            filter_by_fuel(&plants, &[FuelType::Hydro, FuelType::Wind, FuelType::Solar]);
         assert!(!renewables.is_empty());
         assert!(renewables
             .iter()

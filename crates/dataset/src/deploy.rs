@@ -108,14 +108,25 @@ mod tests {
 
     fn plants() -> Vec<PowerPlant> {
         let mut rng = StdRng::seed_from_u64(1);
-        generate_china(&mut rng, &GeneratorConfig { count: 500, ..Default::default() })
+        generate_china(
+            &mut rng,
+            &GeneratorConfig {
+                count: 500,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
     fn deploys_all_plants_with_positive_energy() {
         let plants = plants();
         let mut rng = StdRng::seed_from_u64(2);
-        let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+        let net = to_network(
+            &mut rng,
+            &plants,
+            &DeployConfig::default(),
+            NetworkBuilder::new(),
+        );
         assert_eq!(net.len(), plants.len());
         for n in net.nodes() {
             assert!(n.battery.initial() >= 0.5);
@@ -156,7 +167,8 @@ mod tests {
         let zs: Vec<f64> = net.nodes().iter().map(|n| n.pos.z).collect();
         assert!(zs.iter().all(|&z| (0.0..=max_z + 1e-12).contains(&z)));
         // Not all equal — the network is genuinely 3-D.
-        let spread = zs.iter().fold(0.0f64, |m, &z| m.max(z)) - zs.iter().fold(max_z, |m, &z| m.min(z));
+        let spread =
+            zs.iter().fold(0.0f64, |m, &z| m.max(z)) - zs.iter().fold(max_z, |m, &z| m.min(z));
         assert!(spread > 0.5 * max_z, "height spread {spread}");
     }
 
@@ -175,7 +187,12 @@ mod tests {
     fn bs_sits_inside_the_deployment() {
         let plants = plants();
         let mut rng = StdRng::seed_from_u64(5);
-        let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+        let net = to_network(
+            &mut rng,
+            &plants,
+            &DeployConfig::default(),
+            NetworkBuilder::new(),
+        );
         assert!(net.bounds().contains(net.bs_pos()));
     }
 
@@ -183,6 +200,11 @@ mod tests {
     #[should_panic]
     fn empty_dataset_rejected() {
         let mut rng = StdRng::seed_from_u64(6);
-        to_network(&mut rng, &[], &DeployConfig::default(), NetworkBuilder::new());
+        to_network(
+            &mut rng,
+            &[],
+            &DeployConfig::default(),
+            NetworkBuilder::new(),
+        );
     }
 }

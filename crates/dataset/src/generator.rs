@@ -19,28 +19,28 @@ pub const CHINA_LAT: (f64, f64) = (18.0, 54.0);
 /// lon/lat of major load centres, east-heavy like the real grid).
 const ANCHORS: [(f64, f64, f64); 12] = [
     // (lon, lat, relative weight)
-    (116.4, 39.9, 1.6),  // Beijing / Hebei
-    (121.5, 31.2, 1.8),  // Shanghai / Yangtze delta
-    (113.3, 23.1, 1.7),  // Guangzhou / Pearl delta
-    (104.1, 30.7, 1.0),  // Chengdu / Sichuan
-    (114.3, 30.6, 1.2),  // Wuhan
-    (108.9, 34.3, 0.9),  // Xi'an
-    (126.6, 45.8, 0.7),  // Harbin
-    (103.8, 36.1, 0.6),  // Lanzhou
-    (87.6, 43.8, 0.5),   // Ürümqi
-    (102.7, 25.0, 0.8),  // Kunming (hydro country)
-    (111.0, 30.8, 0.9),  // Yichang / Three Gorges
-    (117.0, 36.7, 1.3),  // Jinan / Shandong
+    (116.4, 39.9, 1.6), // Beijing / Hebei
+    (121.5, 31.2, 1.8), // Shanghai / Yangtze delta
+    (113.3, 23.1, 1.7), // Guangzhou / Pearl delta
+    (104.1, 30.7, 1.0), // Chengdu / Sichuan
+    (114.3, 30.6, 1.2), // Wuhan
+    (108.9, 34.3, 0.9), // Xi'an
+    (126.6, 45.8, 0.7), // Harbin
+    (103.8, 36.1, 0.6), // Lanzhou
+    (87.6, 43.8, 0.5),  // Ürümqi
+    (102.7, 25.0, 0.8), // Kunming (hydro country)
+    (111.0, 30.8, 0.9), // Yichang / Three Gorges
+    (117.0, 36.7, 1.3), // Jinan / Shandong
 ];
 
 /// Fuel mix: (fuel, share, log-normal μ of MW, σ). Shares roughly follow
 /// the real China subset (coal-heavy, lots of small hydro, growing
 /// wind/solar).
 const FUEL_MIX: [(FuelType, f64, f64, f64); 8] = [
-    (FuelType::Coal, 0.32, 5.5, 1.1),    // median ≈ 245 MW
-    (FuelType::Hydro, 0.30, 3.4, 1.5),   // median ≈ 30 MW, heavy tail
-    (FuelType::Wind, 0.16, 4.0, 0.8),    // median ≈ 55 MW
-    (FuelType::Solar, 0.12, 3.3, 0.9),   // median ≈ 27 MW
+    (FuelType::Coal, 0.32, 5.5, 1.1),  // median ≈ 245 MW
+    (FuelType::Hydro, 0.30, 3.4, 1.5), // median ≈ 30 MW, heavy tail
+    (FuelType::Wind, 0.16, 4.0, 0.8),  // median ≈ 55 MW
+    (FuelType::Solar, 0.12, 3.3, 0.9), // median ≈ 27 MW
     (FuelType::Gas, 0.05, 5.0, 1.0),
     (FuelType::Biomass, 0.03, 3.0, 0.6),
     (FuelType::Nuclear, 0.01, 7.3, 0.5), // median ≈ 1 500 MW
@@ -100,8 +100,7 @@ pub fn generate_china<R: Rng + ?Sized>(rng: &mut R, cfg: &GeneratorConfig) -> Ve
         // Fuel and capacity.
         let (fuel, _, mu, sigma) =
             FUEL_MIX[randx::weighted_index(rng, &fuel_weights).expect("weights > 0")];
-        let capacity = randx::log_normal(rng, mu, sigma)
-            .clamp(1.0, cfg.max_capacity_mw);
+        let capacity = randx::log_normal(rng, mu, sigma).clamp(1.0, cfg.max_capacity_mw);
 
         plants.push(PowerPlant {
             name: format!("CN-{}-{:04}", fuel.as_str(), i),
@@ -170,7 +169,10 @@ mod tests {
     #[test]
     fn capacities_span_orders_of_magnitude() {
         let plants = dataset(4);
-        let min = plants.iter().map(|p| p.capacity_mw).fold(f64::INFINITY, f64::min);
+        let min = plants
+            .iter()
+            .map(|p| p.capacity_mw)
+            .fold(f64::INFINITY, f64::min);
         let max = plants.iter().map(|p| p.capacity_mw).fold(0.0f64, f64::max);
         assert!(min < 20.0, "min capacity {min}");
         assert!(max > 3_000.0, "max capacity {max}");

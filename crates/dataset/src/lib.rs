@@ -18,7 +18,7 @@
 //!   (~1 MW to ~22 500 MW, the Three Gorges outlier included),
 //! * a realistic fuel-type mix.
 //!
-//! [`analysis`] offers filtering and per-fuel summaries, 
+//! [`analysis`] offers filtering and per-fuel summaries,
 //! [`records::PowerPlant`] round-trips through CSV, and
 //! [`deploy::to_network`] converts a dataset into a `qlec_net::Network`
 //! (projected coordinates, random height, capacity→energy mapping) ready

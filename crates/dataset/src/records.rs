@@ -90,7 +90,11 @@ pub fn to_csv(plants: &[PowerPlant]) -> String {
         );
         out.push_str(&format!(
             "{},{},{},{},{}\n",
-            p.name, p.fuel.as_str(), p.capacity_mw, p.longitude, p.latitude
+            p.name,
+            p.fuel.as_str(),
+            p.capacity_mw,
+            p.longitude,
+            p.latitude
         ));
     }
     out
@@ -112,7 +116,11 @@ pub fn from_csv(text: &str) -> Result<Vec<PowerPlant>, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 5 {
-            return Err(format!("line {}: expected 5 fields, got {}", i + 2, fields.len()));
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                i + 2,
+                fields.len()
+            ));
         }
         let fuel = FuelType::parse(fields[1])
             .ok_or_else(|| format!("line {}: unknown fuel {:?}", i + 2, fields[1]))?;

@@ -30,13 +30,22 @@ impl Aabb {
 
     /// Box spanning two arbitrary corner points (components are sorted).
     pub fn from_corners(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The paper's deployment volume: the cube `[0, m]³`.
     pub fn cube(m: f64) -> Self {
-        assert!(m >= 0.0 && m.is_finite(), "cube side must be non-negative and finite");
-        Aabb { min: Vec3::ZERO, max: Vec3::splat(m) }
+        assert!(
+            m >= 0.0 && m.is_finite(),
+            "cube side must be non-negative and finite"
+        );
+        Aabb {
+            min: Vec3::ZERO,
+            max: Vec3::splat(m),
+        }
     }
 
     /// Smallest box containing all `points`; `None` if the slice is empty.
@@ -179,7 +188,11 @@ mod tests {
     #[test]
     fn enclosing_points() {
         assert!(Aabb::enclosing(&[]).is_none());
-        let pts = [Vec3::new(1.0, 5.0, 2.0), Vec3::new(-1.0, 0.0, 7.0), Vec3::ZERO];
+        let pts = [
+            Vec3::new(1.0, 5.0, 2.0),
+            Vec3::new(-1.0, 0.0, 7.0),
+            Vec3::ZERO,
+        ];
         let b = Aabb::enclosing(&pts).unwrap();
         assert_eq!(b.min(), Vec3::new(-1.0, 0.0, 0.0));
         assert_eq!(b.max(), Vec3::new(1.0, 5.0, 7.0));

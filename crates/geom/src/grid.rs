@@ -42,8 +42,7 @@ impl UniformGrid {
     /// cell on average. An empty point set yields a valid, empty index.
     pub fn build(points: Vec<Vec3>, target_per_cell: usize) -> Self {
         assert!(target_per_cell > 0, "target_per_cell must be positive");
-        let bounds = Aabb::enclosing(&points)
-            .unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
+        let bounds = Aabb::enclosing(&points).unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
         let n = points.len().max(1);
         // Cube-root heuristic: total cells ≈ n / target_per_cell, split
         // evenly across the three axes.
@@ -57,9 +56,21 @@ impl UniformGrid {
         assert!(dims.iter().all(|&d| d > 0), "grid dims must be positive");
         let ext = bounds.extent();
         let cell = Vec3::new(
-            if ext.x > 0.0 { ext.x / dims[0] as f64 } else { 1.0 },
-            if ext.y > 0.0 { ext.y / dims[1] as f64 } else { 1.0 },
-            if ext.z > 0.0 { ext.z / dims[2] as f64 } else { 1.0 },
+            if ext.x > 0.0 {
+                ext.x / dims[0] as f64
+            } else {
+                1.0
+            },
+            if ext.y > 0.0 {
+                ext.y / dims[1] as f64
+            } else {
+                1.0
+            },
+            if ext.z > 0.0 {
+                ext.z / dims[2] as f64
+            } else {
+                1.0
+            },
         );
         let ncells = dims[0] * dims[1] * dims[2];
 
@@ -87,7 +98,14 @@ impl UniformGrid {
             cursor[c] += 1;
         }
 
-        UniformGrid { bounds, dims, cell, starts, entries, points }
+        UniformGrid {
+            bounds,
+            dims,
+            cell,
+            starts,
+            entries,
+            points,
+        }
     }
 
     /// Number of indexed points.
@@ -235,7 +253,11 @@ mod tests {
             for &r in &[0.0, 5.0, 30.0, 77.2, 250.0] {
                 let mut got = g.within_radius(center, r);
                 got.sort_unstable();
-                assert_eq!(got, brute_within(&pts, center, r), "center {center:?} r {r}");
+                assert_eq!(
+                    got,
+                    brute_within(&pts, center, r),
+                    "center {center:?} r {r}"
+                );
             }
         }
     }

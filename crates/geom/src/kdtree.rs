@@ -38,7 +38,11 @@ impl KdTree {
         let mut idx: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(n);
         let root = Self::build_rec(&points, &mut idx[..], &mut nodes);
-        KdTree { nodes, points, root }
+        KdTree {
+            nodes,
+            points,
+            root,
+        }
     }
 
     fn build_rec(points: &[Vec3], idx: &mut [u32], nodes: &mut Vec<Node>) -> i32 {
@@ -70,7 +74,12 @@ impl KdTree {
         });
         let point = idx[mid];
         let node_pos = nodes.len() as i32;
-        nodes.push(Node { point, axis: axis as u8, left: NIL, right: NIL });
+        nodes.push(Node {
+            point,
+            axis: axis as u8,
+            left: NIL,
+            right: NIL,
+        });
         let (left_idx, rest) = idx.split_at_mut(mid);
         let right_idx = &mut rest[1..];
         let left = Self::build_rec(points, left_idx, nodes);
@@ -164,7 +173,11 @@ impl KdTree {
         if near != NIL {
             self.knn_rec(near, q, k, heap);
         }
-        let worst = if heap.len() < k { f64::INFINITY } else { heap[0].0 };
+        let worst = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap[0].0
+        };
         if far != NIL && delta * delta < worst {
             self.knn_rec(far, q, k, heap);
         }
@@ -203,7 +216,10 @@ mod tests {
         let t = KdTree::build(pts.clone());
         for q in uniform_points_in_aabb(&mut rng, &b, 200) {
             let (gi, gd) = t.nearest(q).unwrap();
-            let bd = pts.iter().map(|p| p.dist_sq(q)).fold(f64::INFINITY, f64::min);
+            let bd = pts
+                .iter()
+                .map(|p| p.dist_sq(q))
+                .fold(f64::INFINITY, f64::min);
             assert!((gd - bd).abs() < 1e-9, "query {q:?}");
             assert!((pts[gi as usize].dist_sq(q) - bd).abs() < 1e-9);
         }

@@ -23,7 +23,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `mean` is not strictly positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive, got {mean}");
+    assert!(
+        mean > 0.0 && mean.is_finite(),
+        "exponential mean must be positive, got {mean}"
+    );
     let u: f64 = rng.gen::<f64>(); // in [0, 1)
     -mean * (1.0 - u).ln()
 }
@@ -58,7 +61,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// Used to decide how many packets a node generates in a fixed window when
 /// an event-level arrival sequence is not required.
 pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean >= 0.0 && mean.is_finite(), "poisson mean must be non-negative, got {mean}");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "poisson mean must be non-negative, got {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -125,7 +131,10 @@ mod tests {
             sum += x;
         }
         let emp = sum / n as f64;
-        assert!((emp - mean).abs() < 0.03, "empirical mean {emp} far from {mean}");
+        assert!(
+            (emp - mean).abs() < 0.03,
+            "empirical mean {emp} far from {mean}"
+        );
     }
 
     #[test]
@@ -171,7 +180,10 @@ mod tests {
             let n = 50_000;
             let total: u64 = (0..n).map(|_| poisson_count(&mut r, mean)).sum();
             let emp = total as f64 / n as f64;
-            assert!((emp - mean).abs() < 0.05 * mean.max(1.0), "mean {mean} emp {emp}");
+            assert!(
+                (emp - mean).abs() < 0.05 * mean.max(1.0),
+                "mean {mean} emp {emp}"
+            );
         }
         assert_eq!(poisson_count(&mut r, 0.0), 0);
     }

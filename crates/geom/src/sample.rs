@@ -111,11 +111,15 @@ mod tests {
         let c = b.center();
         let mut seen = [false; 8];
         for p in uniform_points_in_aabb(&mut r, &b, 5_000) {
-            let idx = ((p.x > c.x) as usize) | (((p.y > c.y) as usize) << 1)
+            let idx = ((p.x > c.x) as usize)
+                | (((p.y > c.y) as usize) << 1)
                 | (((p.z > c.z) as usize) << 2);
             seen[idx] = true;
         }
-        assert!(seen.iter().all(|&s| s), "sampling misses an octant: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "sampling misses an octant: {seen:?}"
+        );
     }
 
     #[test]
@@ -179,6 +183,9 @@ mod tests {
             .filter(|_| uniform_in_ball(&mut r, Vec3::ZERO, radius).norm() <= 0.5)
             .count();
         let frac = within_half as f64 / n as f64;
-        assert!((frac - 0.125).abs() < 0.01, "P(d<=R/2) = {frac}, want 0.125");
+        assert!(
+            (frac - 0.125).abs() < 0.01,
+            "P(d<=R/2) = {frac}, want 0.125"
+        );
     }
 }

@@ -66,7 +66,10 @@ impl ConvergenceTracker {
 
     /// Create a tracker requiring `patience` consecutive quiet sweeps.
     pub fn with_patience(tolerance: f64, patience: u32) -> Self {
-        assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be non-negative");
+        assert!(
+            tolerance >= 0.0 && tolerance.is_finite(),
+            "tolerance must be non-negative"
+        );
         assert!(patience >= 1, "patience must be at least 1");
         ConvergenceTracker {
             tolerance,

@@ -174,8 +174,7 @@ mod tests {
             // averaged.
             let a_star_a = double.q_a.greedy(1).unwrap();
             let a_star_b = double.q_b.greedy(1).unwrap();
-            v1_double +=
-                0.5 * (double.q_b.get(1, a_star_a) + double.q_a.get(1, a_star_b));
+            v1_double += 0.5 * (double.q_b.get(1, a_star_a) + double.q_a.get(1, a_star_b));
         }
         v1_single /= trials as f64;
         v1_double /= trials as f64;

@@ -67,7 +67,11 @@ impl TabularMdp {
     /// Add one outcome to `(s, a)`.
     pub fn add(&mut self, s: usize, a: usize, next: usize, probability: f64, reward: f64) {
         assert!(s < self.n_states && a < self.n_actions && next < self.n_states);
-        self.table[s][a].push(Transition { next, probability, reward });
+        self.table[s][a].push(Transition {
+            next,
+            probability,
+            reward,
+        });
     }
 
     /// Mark a state terminal.
@@ -118,12 +122,17 @@ pub fn validate<M: FiniteMdp>(mdp: &M, tol: f64) -> Result<(), String> {
                     return Err(format!("state {s} action {a}: non-finite reward"));
                 }
                 if t.next >= mdp.n_states() {
-                    return Err(format!("state {s} action {a}: next {} out of range", t.next));
+                    return Err(format!(
+                        "state {s} action {a}: next {} out of range",
+                        t.next
+                    ));
                 }
                 total += t.probability;
             }
             if (total - 1.0).abs() > tol {
-                return Err(format!("state {s} action {a}: probabilities sum to {total}"));
+                return Err(format!(
+                    "state {s} action {a}: probabilities sum to {total}"
+                ));
             }
         }
     }
@@ -174,7 +183,14 @@ mod tests {
         assert!(!m.is_terminal(0));
         let ts = m.transitions(0, 0);
         assert_eq!(ts.len(), 1);
-        assert_eq!(ts[0], Transition { next: 1, probability: 1.0, reward: -1.0 });
+        assert_eq!(
+            ts[0],
+            Transition {
+                next: 1,
+                probability: 1.0,
+                reward: -1.0
+            }
+        );
     }
 
     #[test]

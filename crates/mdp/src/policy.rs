@@ -39,8 +39,10 @@ impl Policy {
                 assert!(temperature > 0.0, "softmax temperature must be positive");
                 // Subtract the max for numerical stability before exp.
                 let m = q_row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let weights: Vec<f64> =
-                    q_row.iter().map(|&q| ((q - m) / temperature).exp()).collect();
+                let weights: Vec<f64> = q_row
+                    .iter()
+                    .map(|&q| ((q - m) / temperature).exp())
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 let mut t = rng.gen::<f64>() * total;
                 for (i, w) in weights.iter().enumerate() {

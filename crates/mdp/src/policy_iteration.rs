@@ -32,7 +32,11 @@ pub fn evaluate_policy<M: FiniteMdp>(
     tolerance: f64,
     max_sweeps: u64,
 ) -> Vec<f64> {
-    assert_eq!(policy.len(), mdp.n_states(), "policy must cover every state");
+    assert_eq!(
+        policy.len(),
+        mdp.n_states(),
+        "policy must cover every state"
+    );
     assert!((0.0..1.0).contains(&gamma));
     let mut v = vec![0.0; mdp.n_states()];
     for _ in 0..max_sweeps {
@@ -97,7 +101,12 @@ pub fn policy_iteration<M: FiniteMdp>(
         }
     }
 
-    PolicyIterationResult { policy, v, improvements, converged }
+    PolicyIterationResult {
+        policy,
+        v,
+        improvements,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +160,11 @@ mod tests {
         let m = chain(20);
         let pi = policy_iteration(&m, 0.95, 1e-10, 50);
         assert!(pi.converged);
-        assert!(pi.improvements <= 5, "took {} improvements", pi.improvements);
+        assert!(
+            pi.improvements <= 5,
+            "took {} improvements",
+            pi.improvements
+        );
     }
 
     #[test]

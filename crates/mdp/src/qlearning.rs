@@ -128,7 +128,12 @@ mod tests {
         let res = q_learning(&m, &mut rng, 0, &QLearningConfig::default());
         // Greedy policy must be "move right" in every non-terminal state.
         for s in 0..4 {
-            assert_eq!(res.q.greedy(s), Some(0), "state {s}: row {:?}", res.q.row(s));
+            assert_eq!(
+                res.q.greedy(s),
+                Some(0),
+                "state {s}: row {:?}",
+                res.q.row(s)
+            );
         }
         assert!(res.updates > 0);
     }
@@ -182,7 +187,11 @@ mod tests {
     fn zero_alpha_never_changes_q() {
         let m = chain(3);
         let mut rng = StdRng::seed_from_u64(13);
-        let cfg = QLearningConfig { alpha: 0.0, episodes: 100, ..Default::default() };
+        let cfg = QLearningConfig {
+            alpha: 0.0,
+            episodes: 100,
+            ..Default::default()
+        };
         let res = q_learning(&m, &mut rng, 0, &cfg);
         assert_eq!(res.q.max_abs(), 0.0);
     }

@@ -20,7 +20,11 @@ impl QTable {
     /// All-zero table — the paper initializes "all the V values and Q
     /// values … to 0" (§4.2).
     pub fn zeros(n_states: usize, n_actions: usize) -> Self {
-        QTable { n_states, n_actions, q: vec![0.0; n_states * n_actions] }
+        QTable {
+            n_states,
+            n_actions,
+            q: vec![0.0; n_states * n_actions],
+        }
     }
 
     /// Number of states (rows).
@@ -35,7 +39,10 @@ impl QTable {
 
     #[inline]
     fn idx(&self, s: usize, a: usize) -> usize {
-        debug_assert!(s < self.n_states && a < self.n_actions, "({s},{a}) out of range");
+        debug_assert!(
+            s < self.n_states && a < self.n_actions,
+            "({s},{a}) out of range"
+        );
         s * self.n_actions + a
     }
 
@@ -102,7 +109,9 @@ impl QTable {
 
     /// Extract `V(s)` for all states.
     pub fn values(&self) -> Vec<f64> {
-        (0..self.n_states).map(|s| self.v(s).unwrap_or(0.0)).collect()
+        (0..self.n_states)
+            .map(|s| self.v(s).unwrap_or(0.0))
+            .collect()
     }
 
     /// Largest absolute Q-value (tests bound this by `r_max / (1 - γ)`).

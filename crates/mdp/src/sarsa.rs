@@ -99,8 +99,8 @@ pub fn sarsa<M: FiniteMdp, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::Policy;
     use crate::mdp::fixtures::{chain, lossy_hop};
+    use crate::policy::Policy;
     use crate::solver::value_iteration;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -191,6 +191,9 @@ mod tests {
         };
         let res = sarsa(&m, &mut rng, 0, &cfg);
         assert!(res.updates <= 100 * 50);
-        assert!(res.updates >= 100, "at least one update per episode from state 0");
+        assert!(
+            res.updates >= 100,
+            "at least one update per episode from state 0"
+        );
     }
 }

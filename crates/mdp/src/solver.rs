@@ -52,7 +52,9 @@ pub struct Solution {
 impl Solution {
     /// The greedy policy of the converged table.
     pub fn policy(&self) -> Vec<usize> {
-        (0..self.q.n_states()).map(|s| self.q.greedy(s).unwrap_or(0)).collect()
+        (0..self.q.n_states())
+            .map(|s| self.q.greedy(s).unwrap_or(0))
+            .collect()
     }
 }
 
@@ -82,7 +84,10 @@ pub fn value_iteration<M: FiniteMdp>(
     tolerance: f64,
     max_sweeps: u64,
 ) -> Solution {
-    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1) for guaranteed convergence");
+    assert!(
+        (0.0..1.0).contains(&gamma),
+        "gamma must be in [0,1) for guaranteed convergence"
+    );
     let ns = mdp.n_states();
     let na = mdp.n_actions();
     let mut q = QTable::zeros(ns, na);
@@ -111,7 +116,13 @@ pub fn value_iteration<M: FiniteMdp>(
         }
     }
 
-    Solution { q, v, sweeps: tracker.sweeps(), updates: counter.total(), converged }
+    Solution {
+        q,
+        v,
+        sweeps: tracker.sweeps(),
+        updates: counter.total(),
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +163,11 @@ mod tests {
         let sol = value_iteration(&m, gamma, 1e-12, 100_000);
         assert!(sol.converged);
         let want = (p * r_ok + (1.0 - p) * r_fail) / (1.0 - gamma * (1.0 - p));
-        assert!((sol.v[0] - want).abs() < 1e-9, "V = {} want {want}", sol.v[0]);
+        assert!(
+            (sol.v[0] - want).abs() < 1e-9,
+            "V = {} want {want}",
+            sol.v[0]
+        );
     }
 
     #[test]

@@ -85,10 +85,7 @@ impl Network {
 
     /// Ids of nodes that can still participate.
     pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .filter(|n| n.is_alive())
-            .map(|n| n.id)
+        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.id)
     }
 
     /// Number of alive nodes.
@@ -115,7 +112,11 @@ impl Network {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.pos.dist(self.bs_pos)).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(|n| n.pos.dist(self.bs_pos))
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 
     /// Sum of residual energies over all nodes.
@@ -176,7 +177,11 @@ pub struct NetworkBuilder {
 
 impl Default for NetworkBuilder {
     fn default() -> Self {
-        NetworkBuilder { radio: RadioModel::paper(), link: AnyLink::default(), bs_pos: None }
+        NetworkBuilder {
+            radio: RadioModel::paper(),
+            link: AnyLink::default(),
+            bs_pos: None,
+        }
     }
 }
 
@@ -217,7 +222,11 @@ impl NetworkBuilder {
         let bounds = Aabb::cube(m);
         let nodes = (0..n)
             .map(|i| {
-                Node::new(NodeId(i as u32), uniform_in_aabb(rng, &bounds), initial_energy)
+                Node::new(
+                    NodeId(i as u32),
+                    uniform_in_aabb(rng, &bounds),
+                    initial_energy,
+                )
             })
             .collect();
         Network {

@@ -43,7 +43,12 @@ mod tests {
 
     #[test]
     fn latency_is_delivery_minus_creation() {
-        let p = Packet { id: 1, src: NodeId(0), created_at: 10.0, bits: 2000 };
+        let p = Packet {
+            id: 1,
+            src: NodeId(0),
+            created_at: 10.0,
+            bits: 2000,
+        };
         assert_eq!(p.latency_at(14.5), 4.5);
         assert_eq!(p.latency_at(10.0), 0.0);
     }

@@ -298,6 +298,9 @@ mod tests {
     fn default_aggregate_route_is_direct() {
         let net = line_network();
         let mut p = GreedyEnergyProtocol::new(1);
-        assert_eq!(p.aggregate_route(&net, NodeId(0), &[NodeId(0)]), vec![Target::Bs]);
+        assert_eq!(
+            p.aggregate_route(&net, NodeId(0), &[NodeId(0)]),
+            vec![Target::Bs]
+        );
     }
 }

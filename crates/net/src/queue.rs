@@ -138,7 +138,12 @@ mod tests {
     use crate::node::NodeId;
 
     fn pkt(id: u64, t: f64) -> Packet {
-        Packet { id, src: NodeId(0), created_at: t, bits: 1000 }
+        Packet {
+            id,
+            src: NodeId(0),
+            created_at: t,
+            bits: 1000,
+        }
     }
 
     #[test]
@@ -172,14 +177,20 @@ mod tests {
         assert_eq!(q.offer(pkt(2, 0.0), 0.0), Offer::Dropped(QueueDrop::Full));
         assert_eq!(q.drops_full(), 1);
         // After the first departure (t = 10), one slot frees up.
-        assert!(matches!(q.offer(pkt(3, 10.0), 10.0), Offer::Accepted { .. }));
+        assert!(matches!(
+            q.offer(pkt(3, 10.0), 10.0),
+            Offer::Accepted { .. }
+        ));
     }
 
     #[test]
     fn deadline_drop_near_round_end() {
         let mut q = ChQueue::new(10, 5.0, 20.0);
         // Arrives at 18, would complete at 23 > 20.
-        assert_eq!(q.offer(pkt(0, 18.0), 18.0), Offer::Dropped(QueueDrop::Deadline));
+        assert_eq!(
+            q.offer(pkt(0, 18.0), 18.0),
+            Offer::Dropped(QueueDrop::Deadline)
+        );
         assert_eq!(q.drops_deadline(), 1);
         assert!(q.processed().is_empty());
     }

@@ -30,6 +30,7 @@ use crate::protocol::Protocol;
 use crate::queue::{ChQueue, Offer, QueueDrop};
 use crate::traffic::PoissonTraffic;
 use qlec_geom::stats::Welford;
+use qlec_obs::{Event, ObserverSet, PacketFate, Phase};
 use qlec_radio::link::LinkModel;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -135,6 +136,7 @@ pub struct Simulator {
     net: Network,
     cfg: SimConfig,
     next_packet_id: u64,
+    obs: ObserverSet,
 }
 
 impl Simulator {
@@ -143,7 +145,20 @@ impl Simulator {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
         }
-        Simulator { net, cfg, next_packet_id: 0 }
+        Simulator {
+            net,
+            cfg,
+            next_packet_id: 0,
+            obs: ObserverSet::new(),
+        }
+    }
+
+    /// Attach an observer set; every structured event of the run is
+    /// fanned out to its sinks. An empty set (the default) costs one
+    /// predictable branch per emission site.
+    pub fn observed(mut self, obs: ObserverSet) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The network in its current (possibly partially drained) state.
@@ -152,7 +167,11 @@ impl Simulator {
     }
 
     /// Run the full simulation, consuming the simulator.
-    pub fn run<P: Protocol + ?Sized>(mut self, protocol: &mut P, rng: &mut dyn RngCore) -> SimReport {
+    pub fn run<P: Protocol + ?Sized>(
+        mut self,
+        protocol: &mut P,
+        rng: &mut dyn RngCore,
+    ) -> SimReport {
         let mut rounds_out = Vec::with_capacity(self.cfg.rounds as usize);
         let mut totals = PacketCounters::default();
         let mut latency_all = Welford::new();
@@ -165,9 +184,7 @@ impl Simulator {
             let completed = round + 1;
 
             // Lifespan milestones (evaluated at round end).
-            if lifespan.death_line_round.is_none()
-                && metrics.min_residual < self.cfg.death_line
-            {
+            if lifespan.death_line_round.is_none() && metrics.min_residual < self.cfg.death_line {
                 lifespan.death_line_round = Some(completed);
             }
             let dead = self.net.len() - metrics.alive_end;
@@ -219,11 +236,40 @@ impl Simulator {
         let deadline = round_start + cfg.slots_per_round;
 
         // ---- Phase 1: cluster-head selection -------------------------
+        // Observability bookkeeping is gated on `is_active()` so an
+        // unobserved run never constructs an event (or the alive bitmap).
+        let alive_before: Vec<bool> = if self.obs.is_active() {
+            self.obs.set_sim_time(round_start);
+            self.obs.emit(Event::RoundStarted {
+                round,
+                alive: self.net.alive_count(),
+                sim_time: round_start,
+            });
+            self.net.nodes().iter().map(|n| n.is_alive()).collect()
+        } else {
+            Vec::new()
+        };
         self.net.reset_roles();
+        let election_span = self.obs.span_start();
         let heads = protocol.on_round_start(&mut self.net, round, rng);
+        self.obs.span_end(election_span, round, Phase::Election);
+        if self.obs.is_active() {
+            for &h in &heads {
+                self.obs.emit(Event::HeadElected {
+                    round,
+                    node: h.0,
+                    residual_j: self.net.node(h).residual(),
+                });
+            }
+        }
         let mut queues: HashMap<NodeId, ChQueue> = heads
             .iter()
-            .map(|&h| (h, ChQueue::new(cfg.queue_capacity, cfg.service_time, deadline)))
+            .map(|&h| {
+                (
+                    h,
+                    ChQueue::new(cfg.queue_capacity, cfg.service_time, deadline),
+                )
+            })
             .collect();
 
         // ---- Phase 2: packet generation ------------------------------
@@ -253,6 +299,7 @@ impl Simulator {
         let link = self.net.link;
         let radio = self.net.radio;
 
+        let tx_span = self.obs.span_start();
         for (time, src) in events {
             if !self.net.node(src).is_alive() {
                 continue; // died earlier this round; generates nothing
@@ -269,10 +316,25 @@ impl Simulator {
             if queues.contains_key(&src) {
                 // A head's own sensing data goes straight into its queue.
                 let q = queues.get_mut(&src).expect("checked above");
-                match q.offer(pkt, time) {
-                    Offer::Accepted { .. } => {}
-                    Offer::Dropped(QueueDrop::Full) => counters.dropped_queue_full += 1,
-                    Offer::Dropped(QueueDrop::Deadline) => counters.dropped_deadline += 1,
+                let fate = match q.offer(pkt, time) {
+                    Offer::Accepted { .. } => None,
+                    Offer::Dropped(QueueDrop::Full) => {
+                        counters.dropped_queue_full += 1;
+                        Some(PacketFate::DroppedQueueFull)
+                    }
+                    Offer::Dropped(QueueDrop::Deadline) => {
+                        counters.dropped_deadline += 1;
+                        Some(PacketFate::DroppedDeadline)
+                    }
+                };
+                if self.obs.is_active() {
+                    if let Some(fate) = fate {
+                        self.obs.emit(Event::PacketOutcome {
+                            round,
+                            src: src.0,
+                            fate,
+                        });
+                    }
                 }
                 continue;
             }
@@ -316,7 +378,15 @@ impl Simulator {
                     Target::Bs => {
                         if link.sample(rng, d) {
                             counters.delivered += 1;
-                            latency.push(attempt_time + cfg.hop_delay - pkt.created_at);
+                            let lat = attempt_time + cfg.hop_delay - pkt.created_at;
+                            latency.push(lat);
+                            if self.obs.is_active() {
+                                self.obs.emit(Event::PacketOutcome {
+                                    round,
+                                    src: src.0,
+                                    fate: PacketFate::Delivered { latency_slots: lat },
+                                });
+                            }
                             protocol.on_hop_result(src, target, true);
                             resolved = true;
                         } else {
@@ -360,14 +430,34 @@ impl Simulator {
                 }
             }
             if !resolved {
-                match fail {
-                    FailCause::Dead => counters.dropped_dead += 1,
-                    FailCause::Link => counters.dropped_link += 1,
-                    FailCause::QueueFull => counters.dropped_queue_full += 1,
-                    FailCause::Deadline => counters.dropped_deadline += 1,
+                let fate = match fail {
+                    FailCause::Dead => {
+                        counters.dropped_dead += 1;
+                        PacketFate::DroppedDead
+                    }
+                    FailCause::Link => {
+                        counters.dropped_link += 1;
+                        PacketFate::DroppedLink
+                    }
+                    FailCause::QueueFull => {
+                        counters.dropped_queue_full += 1;
+                        PacketFate::DroppedQueueFull
+                    }
+                    FailCause::Deadline => {
+                        counters.dropped_deadline += 1;
+                        PacketFate::DroppedDeadline
+                    }
+                };
+                if self.obs.is_active() {
+                    self.obs.emit(Event::PacketOutcome {
+                        round,
+                        src: src.0,
+                        fate,
+                    });
                 }
             }
         }
+        self.obs.span_end(tx_span, round, Phase::Transmission);
 
         // ---- Phase 2: data fusion and aggregate forwarding -----------
         // A relay head's buffer pressure carries over to forwarded
@@ -376,13 +466,19 @@ impl Simulator {
         // overflow ratio ("limited storage caches of cluster heads",
         // §4.2 — this is the congestion mechanism behind the FCM
         // baseline's multi-hop losses in Fig. 3(a)).
+        self.obs.set_sim_time(deadline);
+        let agg_span = self.obs.span_start();
         let relay_overflow: HashMap<NodeId, f64> = queues
             .iter()
             .map(|(&h, q)| {
                 let refused = q.drops_full();
                 let accepted = q.processed().len() as u64;
                 let total = refused + accepted;
-                let ratio = if total == 0 { 0.0 } else { refused as f64 / total as f64 };
+                let ratio = if total == 0 {
+                    0.0
+                } else {
+                    refused as f64 / total as f64
+                };
                 (h, ratio)
             })
             .collect();
@@ -467,8 +563,11 @@ impl Simulator {
                         ok = false;
                         break;
                     }
-                    breakdown.aggregate_tx +=
-                        self.net.node_mut(h).battery.consume(radio.rx_energy(agg_bits));
+                    breakdown.aggregate_tx += self
+                        .net
+                        .node_mut(h)
+                        .battery
+                        .consume(radio.rx_energy(agg_bits));
                     cur = h;
                 }
             }
@@ -477,12 +576,30 @@ impl Simulator {
                 for (pkt, completed_at) in &processed {
                     counters.delivered += 1;
                     let queueing = completed_at - pkt.created_at;
-                    latency.push(queueing + hops_done as f64 * cfg.hop_delay);
+                    let lat = queueing + hops_done as f64 * cfg.hop_delay;
+                    latency.push(lat);
+                    if self.obs.is_active() {
+                        self.obs.emit(Event::PacketOutcome {
+                            round,
+                            src: pkt.src.0,
+                            fate: PacketFate::Delivered { latency_slots: lat },
+                        });
+                    }
                 }
             } else {
                 counters.dropped_aggregate += processed.len() as u64;
+                if self.obs.is_active() {
+                    for (pkt, _) in &processed {
+                        self.obs.emit(Event::PacketOutcome {
+                            round,
+                            src: pkt.src.0,
+                            fate: PacketFate::DroppedAggregate,
+                        });
+                    }
+                }
             }
         }
+        self.obs.span_end(agg_span, round, Phase::Aggregation);
 
         protocol.on_round_end(&mut self.net, round, &heads);
 
@@ -504,6 +621,23 @@ impl Simulator {
             min_residual: self.net.min_residual().unwrap_or(0.0),
             head_loads,
         };
+        if self.obs.is_active() {
+            for (i, was_alive) in alive_before.iter().enumerate() {
+                if *was_alive && !self.net.nodes()[i].is_alive() {
+                    self.obs.emit(Event::NodeDied {
+                        round,
+                        node: i as u32,
+                    });
+                }
+            }
+            self.obs.emit(Event::RoundEnded {
+                round,
+                alive: metrics.alive_end,
+                energy_j: energy_consumed,
+                heads: heads.iter().map(|h| h.0).collect(),
+                residuals_j: self.net.nodes().iter().map(|n| n.residual()).collect(),
+            });
+        }
         (metrics, latency)
     }
 }
@@ -519,15 +653,12 @@ mod tests {
 
     fn small_net(seed: u64, link: AnyLink) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        NetworkBuilder::new().link(link).uniform_cube(&mut rng, 40, 200.0, 5.0)
+        NetworkBuilder::new()
+            .link(link)
+            .uniform_cube(&mut rng, 40, 200.0, 5.0)
     }
 
-    fn run(
-        net: Network,
-        cfg: SimConfig,
-        protocol: &mut dyn Protocol,
-        seed: u64,
-    ) -> SimReport {
+    fn run(net: Network, cfg: SimConfig, protocol: &mut dyn Protocol, seed: u64) -> SimReport {
         let mut rng = StdRng::seed_from_u64(seed);
         Simulator::new(net, cfg).run(protocol, &mut rng)
     }
@@ -594,11 +725,17 @@ mod tests {
 
     #[test]
     fn lossy_links_drop_packets() {
-        let net = small_net(7, AnyLink::DistanceLoss(DistanceLossLink::new(80.0, 2.0, 0.0)));
+        let net = small_net(
+            7,
+            AnyLink::DistanceLoss(DistanceLossLink::new(80.0, 2.0, 0.0)),
+        );
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 3;
         let report = run(net, cfg, &mut GreedyEnergyProtocol::new(3), 8);
-        assert!(report.totals.dropped_link > 0, "short-range links must lose packets");
+        assert!(
+            report.totals.dropped_link > 0,
+            "short-range links must lose packets"
+        );
         assert!(report.totals.is_conserved());
         assert!(report.pdr() < 1.0);
     }
@@ -637,8 +774,7 @@ mod tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 5;
         let e_direct = run(mk(11), cfg, &mut DirectToBsProtocol, 12).total_energy();
-        let e_clustered =
-            run(mk(11), cfg, &mut GreedyEnergyProtocol::new(5), 12).total_energy();
+        let e_clustered = run(mk(11), cfg, &mut GreedyEnergyProtocol::new(5), 12).total_energy();
         assert!(
             e_clustered < e_direct,
             "clustered {e_clustered} J should beat direct {e_direct} J"
@@ -761,7 +897,10 @@ mod head_load_tests {
             .map(|h| h.peak_occupancy)
             .max()
             .unwrap();
-        assert_eq!(peak, cfg.queue_capacity, "saturated queues must hit capacity");
+        assert_eq!(
+            peak, cfg.queue_capacity,
+            "saturated queues must hit capacity"
+        );
         let full_drops: u64 = report
             .rounds
             .iter()

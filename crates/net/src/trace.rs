@@ -4,14 +4,20 @@
 //! head sets, per-node residual energies, packet counters — in a form
 //! that serializes to JSON for external plotting (the Fig. 3/4 artifacts
 //! are derived from exactly these quantities). Because snapshots hold a
-//! residual per node per round, tracing is opt-in via
-//! [`TraceRecorder`], which wraps any [`Protocol`] and observes the
-//! simulation through the protocol hooks without perturbing it.
+//! residual per node per round, tracing is opt-in, two ways:
+//!
+//! * [`TraceRecorder`] wraps any [`Protocol`] and observes the
+//!   simulation through the protocol hooks without perturbing it;
+//! * [`TraceSink`] is a [`qlec_obs::SimObserver`] that rebuilds the same
+//!   trace from the structured event stream ([`qlec_obs::Event::RoundEnded`]
+//!   carries heads, residuals and the alive count), so tracing composes
+//!   with the other sinks on one [`qlec_obs::ObserverSet`].
 
 use crate::network::Network;
 use crate::node::NodeId;
 use crate::packet::Target;
 use crate::protocol::Protocol;
+use qlec_obs::{Event, ObsError, SimObserver};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -36,13 +42,13 @@ pub struct RunTrace {
 
 impl RunTrace {
     /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    pub fn to_json(&self) -> Result<String, ObsError> {
+        serde_json::to_string_pretty(self).map_err(ObsError::from)
     }
 
     /// Parse a trace back from JSON.
-    pub fn from_json(text: &str) -> Result<RunTrace, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+    pub fn from_json(text: &str) -> Result<RunTrace, ObsError> {
+        serde_json::from_str(text).map_err(ObsError::from)
     }
 
     /// How many times each node served as head over the trace (head-duty
@@ -71,7 +77,11 @@ pub struct TraceRecorder<P> {
 impl<P: Protocol> TraceRecorder<P> {
     /// Wrap `inner`.
     pub fn new(inner: P) -> Self {
-        TraceRecorder { inner, trace: RunTrace::default(), pending_heads: Vec::new() }
+        TraceRecorder {
+            inner,
+            trace: RunTrace::default(),
+            pending_heads: Vec::new(),
+        }
     }
 
     /// Finish and take the trace (and the wrapped protocol back).
@@ -137,6 +147,59 @@ impl<P: Protocol> Protocol for TraceRecorder<P> {
     }
 }
 
+/// Rebuilds a [`RunTrace`] from the structured event stream.
+///
+/// [`qlec_obs::Event::RoundEnded`] carries everything a
+/// [`RoundSnapshot`] needs (heads, per-node residuals, alive count), so
+/// attaching this sink to a [`qlec_obs::ObserverSet`] yields the same
+/// trace a [`TraceRecorder`] would — without wrapping the protocol.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    trace: RunTrace,
+}
+
+impl TraceSink {
+    /// A sink labelled with the protocol's name.
+    pub fn new(protocol: &str) -> Self {
+        TraceSink {
+            trace: RunTrace {
+                protocol: protocol.to_string(),
+                rounds: Vec::new(),
+            },
+        }
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// Consume the sink, returning the accumulated trace.
+    pub fn into_trace(self) -> RunTrace {
+        self.trace
+    }
+}
+
+impl SimObserver for TraceSink {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::RoundEnded {
+            round,
+            alive,
+            heads,
+            residuals_j,
+            ..
+        } = event
+        {
+            self.trace.rounds.push(RoundSnapshot {
+                round: *round,
+                heads: heads.clone(),
+                residuals: residuals_j.clone(),
+                alive: *alive,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +256,42 @@ mod tests {
         assert_eq!(parsed.protocol, trace.protocol);
         assert_eq!(parsed.rounds[1].heads, trace.rounds[1].heads);
         assert!(RunTrace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn trace_sink_matches_trace_recorder() {
+        use qlec_obs::ObserverSet;
+        use std::sync::{Arc, Mutex};
+
+        let mk_net = |rng: &mut StdRng| NetworkBuilder::new().uniform_cube(rng, 30, 200.0, 5.0);
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 4;
+
+        // Recorder path.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = mk_net(&mut rng);
+        let mut recorder = TraceRecorder::new(GreedyEnergyProtocol::new(3));
+        let _ = Simulator::new(net, cfg).run(&mut recorder, &mut rng);
+        let (_, recorded) = recorder.into_parts();
+
+        // Sink path, same seed.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = mk_net(&mut rng);
+        let sink = Arc::new(Mutex::new(TraceSink::new("greedy-energy")));
+        let mut obs = ObserverSet::new();
+        obs.attach(sink.clone());
+        let mut p = GreedyEnergyProtocol::new(3);
+        let _ = Simulator::new(net, cfg).observed(obs).run(&mut p, &mut rng);
+        let sunk = sink.lock().unwrap().trace().clone();
+
+        assert_eq!(sunk.protocol, recorded.protocol);
+        assert_eq!(sunk.rounds.len(), recorded.rounds.len());
+        for (a, b) in sunk.rounds.iter().zip(recorded.rounds.iter()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.heads, b.heads);
+            assert_eq!(a.alive, b.alive);
+            assert_eq!(a.residuals, b.residuals);
+        }
     }
 
     #[test]

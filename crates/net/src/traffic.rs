@@ -33,12 +33,7 @@ impl PoissonTraffic {
     ///
     /// Standard homogeneous-Poisson simulation: cumulative sums of
     /// exponential gaps, truncated at the window end.
-    pub fn arrivals_in<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        start: f64,
-        duration: f64,
-    ) -> Vec<f64> {
+    pub fn arrivals_in<R: Rng + ?Sized>(&self, rng: &mut R, start: f64, duration: f64) -> Vec<f64> {
         assert!(duration >= 0.0, "duration must be non-negative");
         let mut out = Vec::new();
         let end = start + duration;
@@ -93,10 +88,18 @@ mod tests {
         // The congestion knob of Fig. 3: halving λ doubles traffic.
         let mut rng = StdRng::seed_from_u64(3);
         let congested: usize = (0..500)
-            .map(|_| PoissonTraffic::new(1.0).arrivals_in(&mut rng, 0.0, 100.0).len())
+            .map(|_| {
+                PoissonTraffic::new(1.0)
+                    .arrivals_in(&mut rng, 0.0, 100.0)
+                    .len()
+            })
             .sum();
         let idle: usize = (0..500)
-            .map(|_| PoissonTraffic::new(10.0).arrivals_in(&mut rng, 0.0, 100.0).len())
+            .map(|_| {
+                PoissonTraffic::new(10.0)
+                    .arrivals_in(&mut rng, 0.0, 100.0)
+                    .len()
+            })
             .sum();
         assert!(congested > 8 * idle, "congested {congested} vs idle {idle}");
     }
@@ -104,7 +107,9 @@ mod tests {
     #[test]
     fn zero_duration_yields_no_arrivals() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(PoissonTraffic::new(1.0).arrivals_in(&mut rng, 5.0, 0.0).is_empty());
+        assert!(PoissonTraffic::new(1.0)
+            .arrivals_in(&mut rng, 5.0, 0.0)
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Everything that can go wrong while recording or replaying
+/// observability data: I/O on a sink, (de)serialization, or a schema
+/// mismatch between a stream and this crate's [`crate::SCHEMA`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// An I/O error from a file-backed sink (message of the underlying
+    /// `std::io::Error`; the error itself is not `Clone`).
+    Io(String),
+    /// A JSON (de)serialization failure.
+    Json(String),
+    /// An event stream whose schema header does not match this crate.
+    Schema {
+        /// The schema this crate reads/writes.
+        expected: String,
+        /// What the stream declared (or a description of what was there).
+        found: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Io(msg) => write!(f, "observability I/O error: {msg}"),
+            ObsError::Json(msg) => write!(f, "observability JSON error: {msg}"),
+            ObsError::Schema { expected, found } => {
+                write!(f, "schema mismatch: expected {expected:?}, found {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+impl From<std::io::Error> for ObsError {
+    fn from(e: std::io::Error) -> Self {
+        ObsError::Io(e.to_string())
+    }
+}
+
+impl From<serde::Error> for ObsError {
+    fn from(e: serde::Error) -> Self {
+        ObsError::Json(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ObsError::Io("nope".into()).to_string().contains("nope"));
+        assert!(ObsError::Json("bad".into()).to_string().contains("bad"));
+        let s = ObsError::Schema {
+            expected: "a".into(),
+            found: "b".into(),
+        }
+        .to_string();
+        assert!(s.contains("\"a\"") && s.contains("\"b\""));
+    }
+
+    #[test]
+    fn converts_from_io_and_serde() {
+        let io = std::io::Error::other("disk full");
+        assert!(matches!(ObsError::from(io), ObsError::Io(m) if m.contains("disk full")));
+        let js: Result<serde::Value, _> = serde_json::from_str("{");
+        assert!(matches!(ObsError::from(js.unwrap_err()), ObsError::Json(_)));
+    }
+}

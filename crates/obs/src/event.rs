@@ -1,0 +1,257 @@
+//! The typed event vocabulary.
+//!
+//! Every observable thing the simulator or a protocol does is one
+//! [`Event`] variant. Events are plain data — node ids are raw `u32`s
+//! (this crate sits *below* `qlec-net` in the dependency graph), times
+//! are simulation slots, energies are joules, wall durations are
+//! nanoseconds from the run's [`crate::Clock`].
+//!
+//! The serialized form (see [`crate::JsonLinesSink`]) is versioned by
+//! [`SCHEMA`]; any field addition or semantic change must bump it.
+
+use serde::{Deserialize, Serialize};
+
+/// Version tag written as the first line of every serialized event
+/// stream.
+pub const SCHEMA: &str = "qlec-obs/v1";
+
+/// The simulator phases that get timing spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Cluster-head selection (`Protocol::on_round_start`).
+    Election,
+    /// The Algorithm 3 HELLO redundancy-reduction broadcast (inside the
+    /// improved-DEEC selection; emitted by `qlec-core`).
+    Broadcast,
+    /// Q-routing decisions, accumulated over a round's `choose_target`
+    /// calls (emitted by `qlec-core`).
+    QRouting,
+    /// Member packet transmission (the sim's per-packet hop loop).
+    Transmission,
+    /// Data fusion and aggregate forwarding to the BS.
+    Aggregation,
+}
+
+impl Phase {
+    /// Stable lowercase name (used in metric keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Election => "election",
+            Phase::Broadcast => "broadcast",
+            Phase::QRouting => "qrouting",
+            Phase::Transmission => "transmission",
+            Phase::Aggregation => "aggregation",
+        }
+    }
+
+    /// All phases, for exhaustive reporting.
+    pub const ALL: [Phase; 5] = [
+        Phase::Election,
+        Phase::Broadcast,
+        Phase::QRouting,
+        Phase::Transmission,
+        Phase::Aggregation,
+    ];
+}
+
+/// Terminal outcome of one generated packet. Mirrors
+/// `qlec-net::PacketCounters`: every generated packet gets exactly one
+/// fate, so `count(Delivered) + count(Dropped*) == generated`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacketFate {
+    /// Reached the BS; latency in slots (creation → BS, per the sim's
+    /// latency convention).
+    Delivered {
+        /// End-to-end latency in slots.
+        latency_slots: f64,
+    },
+    /// Lost on the radio link (final attempt).
+    DroppedLink,
+    /// Refused by a full cluster-head queue (final attempt).
+    DroppedQueueFull,
+    /// Arrived too late for the head to process this round.
+    DroppedDeadline,
+    /// Lost with its head's aggregate (fusion or forwarding failed).
+    DroppedAggregate,
+    /// The source (or its battery) died mid-transmission.
+    DroppedDead,
+}
+
+impl PacketFate {
+    /// Stable metric-key suffix for this fate.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            PacketFate::Delivered { .. } => "delivered",
+            PacketFate::DroppedLink => "dropped.link",
+            PacketFate::DroppedQueueFull => "dropped.queue_full",
+            PacketFate::DroppedDeadline => "dropped.deadline",
+            PacketFate::DroppedAggregate => "dropped.aggregate",
+            PacketFate::DroppedDead => "dropped.dead",
+        }
+    }
+}
+
+/// One structured simulation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A round began (before head election).
+    RoundStarted {
+        round: u32,
+        /// Alive nodes entering the round.
+        alive: usize,
+        /// Absolute simulation time (slots) at the round boundary.
+        sim_time: f64,
+    },
+    /// A node is serving as cluster head this round (the *final* head
+    /// set, after any withdrawal/top-up).
+    HeadElected {
+        round: u32,
+        node: u32,
+        /// The head's residual energy (J) at election.
+        residual_j: f64,
+    },
+    /// An elected head withdrew during the Algorithm 3 HELLO
+    /// redundancy reduction (a richer head was within `d_c`).
+    HeadWithdrawn { round: u32, node: u32 },
+    /// A generated packet reached its terminal fate.
+    PacketOutcome {
+        round: u32,
+        /// Source node id.
+        src: u32,
+        fate: PacketFate,
+    },
+    /// One Q-routing value update settled (`V*` fixed-point backup or a
+    /// head's line-15 refresh). `delta` is the signed V change.
+    QUpdate { round: u32, node: u32, delta: f64 },
+    /// A node's battery reached zero this round.
+    NodeDied { round: u32, node: u32 },
+    /// A timed span closed.
+    PhaseTimed {
+        round: u32,
+        phase: Phase,
+        /// Wall-clock duration from the run's [`crate::Clock`].
+        wall_ns: u64,
+        /// Simulation time (slots) when the span ran.
+        sim_time: f64,
+    },
+    /// A round finished (after `Protocol::on_round_end`).
+    RoundEnded {
+        round: u32,
+        /// Alive nodes at the end of the round.
+        alive: usize,
+        /// Energy consumed network-wide this round (J).
+        energy_j: f64,
+        /// This round's cluster heads.
+        heads: Vec<u32>,
+        /// Residual energy per node (id order) at the round end (J).
+        residuals_j: Vec<f64>,
+    },
+}
+
+impl Event {
+    /// The round the event belongs to.
+    pub fn round(&self) -> u32 {
+        match self {
+            Event::RoundStarted { round, .. }
+            | Event::HeadElected { round, .. }
+            | Event::HeadWithdrawn { round, .. }
+            | Event::PacketOutcome { round, .. }
+            | Event::QUpdate { round, .. }
+            | Event::NodeDied { round, .. }
+            | Event::PhaseTimed { round, .. }
+            | Event::RoundEnded { round, .. } => *round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            Event::RoundStarted {
+                round: 0,
+                alive: 100,
+                sim_time: 0.0,
+            },
+            Event::HeadElected {
+                round: 0,
+                node: 7,
+                residual_j: 4.5,
+            },
+            Event::HeadWithdrawn { round: 0, node: 9 },
+            Event::PacketOutcome {
+                round: 1,
+                src: 3,
+                fate: PacketFate::Delivered {
+                    latency_slots: 2.25,
+                },
+            },
+            Event::PacketOutcome {
+                round: 1,
+                src: 4,
+                fate: PacketFate::DroppedQueueFull,
+            },
+            Event::QUpdate {
+                round: 1,
+                node: 3,
+                delta: -0.125,
+            },
+            Event::NodeDied { round: 2, node: 11 },
+            Event::PhaseTimed {
+                round: 2,
+                phase: Phase::Transmission,
+                wall_ns: 12_345,
+                sim_time: 200.0,
+            },
+            Event::RoundEnded {
+                round: 2,
+                alive: 99,
+                energy_j: 0.75,
+                heads: vec![7, 12],
+                residuals_j: vec![5.0, 4.875],
+            },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e, "roundtrip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn round_accessor_covers_all_variants() {
+        assert_eq!(
+            Event::RoundStarted {
+                round: 3,
+                alive: 1,
+                sim_time: 0.0
+            }
+            .round(),
+            3
+        );
+        assert_eq!(Event::NodeDied { round: 9, node: 0 }.round(), 9);
+    }
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn fate_metric_names_are_distinct() {
+        let fates = [
+            PacketFate::Delivered { latency_slots: 0.0 },
+            PacketFate::DroppedLink,
+            PacketFate::DroppedQueueFull,
+            PacketFate::DroppedDeadline,
+            PacketFate::DroppedAggregate,
+            PacketFate::DroppedDead,
+        ];
+        let names: std::collections::BTreeSet<_> = fates.iter().map(|f| f.metric_name()).collect();
+        assert_eq!(names.len(), fates.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! The JSON-lines file sink and its reader.
+//!
+//! Stream layout (one JSON value per line):
+//!
+//! ```text
+//! {"schema":"qlec-obs/v1"}          ← versioned header, always first
+//! {"RoundStarted":{"round":0,…}}    ← one externally-tagged Event per line
+//! {"HeadElected":{"round":0,…}}
+//! …
+//! ```
+//!
+//! Writes happen inside the simulation loop, where [`SimObserver::on_event`]
+//! cannot return an error — the sink therefore *latches* the first I/O
+//! failure and reports it from [`SimObserver::flush`] (and stops writing,
+//! so a full disk costs one failed write, not millions).
+
+use crate::event::{Event, SCHEMA};
+use crate::observer::SimObserver;
+use crate::ObsError;
+use std::io::Write;
+
+/// Writes events as schema-versioned JSON lines.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: W,
+    error: Option<ObsError>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap a writer and emit the schema header immediately.
+    pub fn new(mut out: W) -> Result<Self, ObsError> {
+        writeln!(
+            out,
+            "{{\"schema\":{}}}",
+            serde_json::to_string(&SCHEMA.to_string())?
+        )?;
+        Ok(JsonLinesSink { out, error: None })
+    }
+
+    /// Consume the sink, flushing and returning the writer.
+    pub fn finish(mut self) -> Result<W, ObsError> {
+        self.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write + Send> SimObserver for JsonLinesSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = serde_json::to_string(event)
+            .map_err(ObsError::from)
+            .and_then(|line| writeln!(self.out, "{line}").map_err(ObsError::from));
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), ObsError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush().map_err(ObsError::from)
+    }
+}
+
+/// Parse a JSON-lines stream back into events, validating the schema
+/// header.
+pub fn read_events(text: &str) -> Result<Vec<Event>, ObsError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| ObsError::Schema {
+        expected: SCHEMA.to_string(),
+        found: "<empty stream>".to_string(),
+    })?;
+    let header_value: serde::Value = serde_json::from_str(header)?;
+    match header_value.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => {
+            return Err(ObsError::Schema {
+                expected: SCHEMA.to_string(),
+                found: other.unwrap_or("<no schema field>").to_string(),
+            })
+        }
+    }
+    lines
+        .map(|line| serde_json::from_str::<Event>(line).map_err(ObsError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PacketFate;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RoundStarted {
+                round: 0,
+                alive: 10,
+                sim_time: 0.0,
+            },
+            Event::PacketOutcome {
+                round: 0,
+                src: 3,
+                fate: PacketFate::Delivered { latency_slots: 1.5 },
+            },
+            Event::RoundEnded {
+                round: 0,
+                alive: 10,
+                energy_j: 0.5,
+                heads: vec![1, 2],
+                residuals_j: vec![5.0; 10],
+            },
+        ]
+    }
+
+    #[test]
+    fn writes_header_then_one_event_per_line() {
+        let mut sink = JsonLinesSink::new(Vec::new()).unwrap();
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[0].contains("qlec-obs/v1"));
+    }
+
+    #[test]
+    fn roundtrips_through_read_events() {
+        let mut sink = JsonLinesSink::new(Vec::new()).unwrap();
+        let events = sample_events();
+        for e in &events {
+            sink.on_event(e);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(read_events(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_missing_or_wrong_schema() {
+        assert!(matches!(read_events(""), Err(ObsError::Schema { .. })));
+        let wrong = "{\"schema\":\"qlec-obs/v999\"}\n";
+        match read_events(wrong) {
+            Err(ObsError::Schema { found, .. }) => assert_eq!(found, "qlec-obs/v999"),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+        let headerless = "{\"RoundStarted\":{\"round\":0,\"alive\":1,\"sim_time\":0.0}}\n";
+        assert!(matches!(
+            read_events(headerless),
+            Err(ObsError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_event_lines() {
+        let text = "{\"schema\":\"qlec-obs/v1\"}\nnot json\n";
+        assert!(matches!(read_events(text), Err(ObsError::Json(_))));
+    }
+
+    /// A writer with a byte budget: accepts until `limit` bytes were
+    /// written, then fails every further write ("disk full").
+    struct FailingWriter {
+        written: usize,
+        limit: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written >= self.limit {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_are_latched_and_surface_on_flush() {
+        // Budget fits the header (~25 bytes) but not the first event.
+        let mut sink = JsonLinesSink::new(FailingWriter {
+            written: 0,
+            limit: 30,
+        })
+        .unwrap();
+        for e in sample_events() {
+            sink.on_event(&e); // must not panic, even repeatedly
+        }
+        match sink.flush() {
+            Err(ObsError::Io(msg)) => assert!(msg.contains("disk full")),
+            other => panic!("expected latched Io error, got {other:?}"),
+        }
+        // Latched error is reported once; afterwards flush succeeds.
+        assert!(sink.flush().is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! Structured observability for the QLEC reproduction.
+//!
+//! This crate sits *below* `qlec-net` and `qlec-core` in the dependency
+//! graph and gives them one shared vocabulary for what happens during a
+//! simulation:
+//!
+//! * **Events** ([`Event`]) — typed records of round lifecycle, head
+//!   election/withdrawal, per-packet fates, Q-value updates, node
+//!   deaths, and timed phases.
+//! * **The bus** ([`SimObserver`], [`ObserverSet`]) — fan-out from the
+//!   simulator/protocols to any number of sinks, with zero cost when no
+//!   sink is attached (emission sites guard on [`ObserverSet::is_active`]
+//!   and never construct an event otherwise).
+//! * **Metrics** ([`Registry`], [`Histogram`]) — named counters, gauges,
+//!   and log₂-bucketed histograms.
+//! * **Spans** ([`Clock`], [`ObserverSet::span_start`]) — wall-clock
+//!   phase timings stamped with simulation time.
+//! * **Sinks** — [`JsonLinesSink`] (versioned JSON-lines streams, see
+//!   [`SCHEMA`]) and [`MemorySink`] (in-run aggregation + summary
+//!   table).
+//!
+//! The event schema and metric-name vocabulary are documented in this
+//! crate's `README.md`.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod error;
+mod event;
+mod json_sink;
+mod memory_sink;
+mod observer;
+mod registry;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use error::ObsError;
+pub use event::{Event, PacketFate, Phase, SCHEMA};
+pub use json_sink::{read_events, JsonLinesSink};
+pub use memory_sink::MemorySink;
+pub use observer::{ObserverSet, SimObserver, SpanToken};
+pub use registry::{Histogram, Registry};

@@ -1,0 +1,252 @@
+//! The event bus: [`SimObserver`] and the fan-out [`ObserverSet`].
+//!
+//! The design goal is *zero cost when disabled*: the simulator and the
+//! protocols hold an [`ObserverSet`] by value and guard every emission
+//! site with [`ObserverSet::is_active`] — a single branch on an empty
+//! `Vec` when nothing is attached; no event is even constructed.
+//!
+//! An `ObserverSet` is `Clone`: clones share their sinks, the wall
+//! [`Clock`], and the *simulation-time hint* — the simulator advances
+//! the hint at phase boundaries so that spans emitted from lower layers
+//! (e.g. the Q-router inside `qlec-core`, which does not know the slot
+//! length) still stamp the correct absolute simulation time.
+
+use crate::clock::{Clock, WallClock};
+use crate::event::{Event, Phase};
+use crate::ObsError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A consumer of simulation events. Implementations must be `Send` so
+/// observed runs can ride the bench harness's seed-parallelism.
+pub trait SimObserver: Send {
+    /// Handle one event. Called synchronously from the simulation loop;
+    /// implementations should be cheap and must not panic on malformed
+    /// data (buffer errors and report them from [`SimObserver::flush`]).
+    fn on_event(&mut self, event: &Event);
+
+    /// Flush buffered output and surface any deferred error.
+    fn flush(&mut self) -> Result<(), ObsError> {
+        Ok(())
+    }
+}
+
+/// An open span; close it with [`ObserverSet::span_end`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span only produces an event when closed with span_end"]
+pub struct SpanToken {
+    start_ns: u64,
+}
+
+/// Fan-out to any number of shared sinks, plus the run's clock and
+/// simulation-time hint. The default set is empty and inert.
+#[derive(Clone)]
+pub struct ObserverSet {
+    sinks: Vec<Arc<Mutex<dyn SimObserver>>>,
+    clock: Arc<dyn Clock>,
+    /// Current simulation time in slots, shared across clones
+    /// (bit-cast `f64`).
+    sim_time_bits: Arc<AtomicU64>,
+}
+
+impl Default for ObserverSet {
+    fn default() -> Self {
+        ObserverSet::new()
+    }
+}
+
+impl ObserverSet {
+    /// An empty, inert set with a [`WallClock`].
+    pub fn new() -> Self {
+        ObserverSet {
+            sinks: Vec::new(),
+            clock: Arc::new(WallClock::new()),
+            sim_time_bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Replace the wall clock (deterministic tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attach a shared sink. The caller keeps its `Arc` to read results
+    /// back after the run.
+    pub fn attach(&mut self, sink: Arc<Mutex<dyn SimObserver>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any sink is attached. Emission sites branch on this so a
+    /// run without observers never constructs an event.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the set is empty (inert).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Fan an event out to every sink. No-op when inactive.
+    pub fn emit(&self, event: Event) {
+        for sink in &self.sinks {
+            sink.lock()
+                .expect("observer sink poisoned")
+                .on_event(&event);
+        }
+    }
+
+    /// Set the shared simulation-time hint (slots). The simulator calls
+    /// this at phase boundaries; protocol-layer emitters read it back.
+    pub fn set_sim_time(&self, slots: f64) {
+        self.sim_time_bits.store(slots.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current simulation-time hint (slots).
+    pub fn sim_time(&self) -> f64 {
+        f64::from_bits(self.sim_time_bits.load(Ordering::Relaxed))
+    }
+
+    /// Current wall time; 0 when inactive (the clock is not consulted).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        if self.is_active() {
+            self.clock.now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Open a timing span (reads the clock only when active).
+    #[inline]
+    pub fn span_start(&self) -> SpanToken {
+        SpanToken {
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Close a span: emits [`Event::PhaseTimed`] with the elapsed wall
+    /// time and the current simulation-time hint. No-op when inactive.
+    pub fn span_end(&self, token: SpanToken, round: u32, phase: Phase) {
+        if !self.is_active() {
+            return;
+        }
+        let wall_ns = self.clock.now_ns().saturating_sub(token.start_ns);
+        self.emit(Event::PhaseTimed {
+            round,
+            phase,
+            wall_ns,
+            sim_time: self.sim_time(),
+        });
+    }
+
+    /// Flush every sink, returning the first error.
+    pub fn flush(&self) -> Result<(), ObsError> {
+        for sink in &self.sinks {
+            sink.lock().expect("observer sink poisoned").flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ObserverSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSet")
+            .field("sinks", &self.sinks.len())
+            .field("sim_time", &self.sim_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    /// Test sink: collects events.
+    #[derive(Default)]
+    struct Collector {
+        events: Vec<Event>,
+        flushed: bool,
+    }
+
+    impl SimObserver for Collector {
+        fn on_event(&mut self, event: &Event) {
+            self.events.push(event.clone());
+        }
+
+        fn flush(&mut self) -> Result<(), ObsError> {
+            self.flushed = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn empty_set_is_inert() {
+        let obs = ObserverSet::new();
+        assert!(!obs.is_active());
+        assert!(obs.is_empty());
+        assert_eq!(obs.now_ns(), 0, "inactive sets never read the clock");
+        obs.emit(Event::NodeDied { round: 0, node: 0 }); // must not panic
+        obs.span_end(obs.span_start(), 0, Phase::Election); // no-op
+        assert!(obs.flush().is_ok());
+    }
+
+    #[test]
+    fn fan_out_reaches_every_sink() {
+        let a = Arc::new(Mutex::new(Collector::default()));
+        let b = Arc::new(Mutex::new(Collector::default()));
+        let mut obs = ObserverSet::new();
+        obs.attach(a.clone());
+        obs.attach(b.clone());
+        assert_eq!(obs.len(), 2);
+        obs.emit(Event::NodeDied { round: 1, node: 5 });
+        obs.flush().unwrap();
+        for sink in [&a, &b] {
+            let s = sink.lock().unwrap();
+            assert_eq!(s.events.len(), 1);
+            assert!(s.flushed);
+        }
+    }
+
+    #[test]
+    fn spans_use_the_supplied_clock_and_sim_time_hint() {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(Mutex::new(Collector::default()));
+        let mut obs = ObserverSet::new().with_clock(clock.clone());
+        obs.attach(sink.clone());
+        obs.set_sim_time(300.0);
+        let token = obs.span_start();
+        clock.advance(1_500);
+        obs.span_end(token, 3, Phase::QRouting);
+        let events = &sink.lock().unwrap().events;
+        assert_eq!(
+            events[0],
+            Event::PhaseTimed {
+                round: 3,
+                phase: Phase::QRouting,
+                wall_ns: 1_500,
+                sim_time: 300.0
+            }
+        );
+    }
+
+    #[test]
+    fn clones_share_sinks_and_sim_time() {
+        let sink = Arc::new(Mutex::new(Collector::default()));
+        let mut obs = ObserverSet::new();
+        obs.attach(sink.clone());
+        let clone = obs.clone();
+        obs.set_sim_time(42.0);
+        assert_eq!(clone.sim_time(), 42.0);
+        clone.emit(Event::NodeDied { round: 0, node: 1 });
+        assert_eq!(sink.lock().unwrap().events.len(), 1);
+    }
+}

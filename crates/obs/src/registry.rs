@@ -1,0 +1,266 @@
+//! The metric registry: named counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Names are dotted lowercase paths (`packets.dropped.link`,
+//! `phase.election.wall_ns`); the full vocabulary this repo emits is
+//! documented in `crates/obs/README.md`. Histograms bucket by powers of
+//! two so one small fixed structure covers nanosecond timings and joule
+//! energies alike.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log₂-bucketed histogram with exact count/sum/min/max.
+///
+/// A sample `v` lands in bucket `floor(log2(v))`, i.e. the half-open
+/// range `[2^i, 2^{i+1})`; non-positive samples share a dedicated
+/// underflow bucket. The mean is exact (tracked as `sum / count`), the
+/// spread is bucket-resolution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// bucket exponent → sample count; `i32::MIN` is the ≤0 bucket.
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    /// The underflow bucket index (samples ≤ 0).
+    pub const UNDERFLOW: i32 = i32::MIN;
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return; // NaN would poison min/max and serve no analysis
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let bucket = if v > 0.0 {
+            v.log2().floor() as i32
+        } else {
+            Self::UNDERFLOW
+        };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Bucket (exponent, count) pairs in ascending exponent order.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Increment a counter (created at 0 on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Render everything as a fixed-width text table (one metric per
+    /// line; histograms show count/mean/min/max).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, v) in self.gauges() {
+            let _ = writeln!(out, "{name:<width$}  {v:.6}");
+        }
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  count={} mean={:.6} min={:.6} max={:.6}",
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.min().unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), None);
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16.0);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::default();
+        h.observe(1.0); // [1, 2) → exponent 0
+        h.observe(1.5); // [1, 2) → exponent 0
+        h.observe(4.0); // [4, 8) → exponent 2
+        h.observe(7.9); // [4, 8) → exponent 2
+        h.observe(0.25); // [0.25, 0.5) → exponent −2
+        h.observe(0.0); // underflow
+        h.observe(-3.0); // underflow
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(Histogram::UNDERFLOW, 2), (-2, 1), (0, 2), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn histogram_ignores_nan() {
+        let mut h = Histogram::default();
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("packets.delivered"), 0);
+        r.inc("packets.delivered", 2);
+        r.inc("packets.delivered", 3);
+        assert_eq!(r.counter("packets.delivered"), 5);
+        r.set_gauge("alive.last", 97.0);
+        r.set_gauge("alive.last", 96.0);
+        assert_eq!(r.gauge("alive.last"), Some(96.0));
+        assert_eq!(r.gauge("missing"), None);
+        r.observe("latency.slots", 1.5);
+        r.observe("latency.slots", 2.5);
+        assert_eq!(r.histogram("latency.slots").unwrap().mean(), Some(2.0));
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let mut r = Registry::new();
+        r.inc("a.count", 7);
+        r.set_gauge("b.gauge", 1.25);
+        r.observe("c.hist", 4.0);
+        let t = r.render_table();
+        assert!(t.contains("a.count"));
+        assert!(t.contains('7'));
+        assert!(t.contains("b.gauge"));
+        assert!(t.contains("c.hist"));
+        assert!(t.contains("count=1"));
+    }
+}

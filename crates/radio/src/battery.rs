@@ -42,7 +42,11 @@ impl Battery {
             initial >= 0.0 && initial.is_finite(),
             "initial energy must be non-negative and finite, got {initial}"
         );
-        Battery { initial, residual: initial, consumed: 0.0 }
+        Battery {
+            initial,
+            residual: initial,
+            consumed: 0.0,
+        }
     }
 
     /// Initial energy `E_{i,initial}`.

@@ -62,9 +62,16 @@ impl DistanceLossLink {
     /// Construct with validation.
     pub fn new(range: f64, steepness: f64, floor: f64) -> Self {
         assert!(range > 0.0 && range.is_finite(), "range must be positive");
-        assert!(steepness >= 1.0 && steepness.is_finite(), "steepness must be >= 1");
+        assert!(
+            steepness >= 1.0 && steepness.is_finite(),
+            "steepness must be >= 1"
+        );
         assert!((0.0..=1.0).contains(&floor), "floor must be in [0,1]");
-        DistanceLossLink { range, steepness, floor }
+        DistanceLossLink {
+            range,
+            steepness,
+            floor,
+        }
     }
 
     /// Default tuned to the paper's 200 m cube: reliable up to ~150 m,
@@ -105,7 +112,10 @@ pub struct ShadowedLink {
 impl ShadowedLink {
     /// Construct with validation.
     pub fn new(base: DistanceLossLink, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         ShadowedLink { base, sigma }
     }
 }

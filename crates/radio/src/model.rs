@@ -72,9 +72,17 @@ impl RadioModel {
             ("eps_fs", eps_fs),
             ("eps_mp", eps_mp),
         ] {
-            assert!(v > 0.0 && v.is_finite(), "radio constant {name} must be positive, got {v}");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "radio constant {name} must be positive, got {v}"
+            );
         }
-        RadioModel { e_elec, e_da, eps_fs, eps_mp }
+        RadioModel {
+            e_elec,
+            e_da,
+            eps_fs,
+            eps_mp,
+        }
     }
 
     /// The crossover distance `d₀ = √(ε_fs/ε_mp)` between the free-space
@@ -183,7 +191,10 @@ mod tests {
         let d0 = m.d0();
         let below = m.amp_energy(1000, d0 - 1e-9);
         let at = m.amp_energy(1000, d0);
-        assert!((below - at).abs() / at < 1e-6, "discontinuity at d0: {below} vs {at}");
+        assert!(
+            (below - at).abs() / at < 1e-6,
+            "discontinuity at d0: {below} vs {at}"
+        );
     }
 
     #[test]

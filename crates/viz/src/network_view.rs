@@ -45,7 +45,11 @@ pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) ->
     let (min, ext) = (b.min(), b.extent());
     let margin = 40.0;
     let plot_w = style.width - 2.0 * margin;
-    let aspect = if ext.x > 0.0 { (ext.y / ext.x).clamp(0.25, 2.0) } else { 1.0 };
+    let aspect = if ext.x > 0.0 {
+        (ext.y / ext.x).clamp(0.25, 2.0)
+    } else {
+        1.0
+    };
     let plot_h = plot_w * aspect;
     let height = plot_h + 2.0 * margin + 20.0; // room for the legend row
 
@@ -78,7 +82,13 @@ pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) ->
     for i in order {
         let pos = net.nodes()[i].pos;
         let t = rates[i] / max_rate;
-        svg.circle(px(pos.x), py(pos.y), style.node_radius, &heat_color(t), 0.85);
+        svg.circle(
+            px(pos.x),
+            py(pos.y),
+            style.node_radius,
+            &heat_color(t),
+            0.85,
+        );
     }
 
     // Highlights (e.g. heads): ring outline.
@@ -107,7 +117,13 @@ pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) ->
         let t = s as f64 / (steps - 1) as f64;
         svg.circle(margin + s as f64 * lw, ly, lw * 0.6, &heat_color(t), 1.0);
     }
-    svg.text(margin + 170.0, ly + 4.0, 11.0, "#222222", &format!("0 … {max_rate:.3} (max rate)"));
+    svg.text(
+        margin + 170.0,
+        ly + 4.0,
+        11.0,
+        "#222222",
+        &format!("0 … {max_rate:.3} (max rate)"),
+    );
 
     svg.finish()
 }
@@ -145,7 +161,10 @@ mod tests {
         };
         let doc = render_consumption_map(&n, &rates, &style);
         // Plot frame + 2 highlight rings.
-        assert_eq!(doc.matches("<rect").count(), 1 /* background */ + 1 /* frame */ + 2);
+        assert_eq!(
+            doc.matches("<rect").count(),
+            1 /* background */ + 1 /* frame */ + 2
+        );
     }
 
     #[test]

@@ -26,8 +26,15 @@ pub fn escape(s: &str) -> String {
 impl Svg {
     /// Start a document with the given pixel dimensions.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "SVG dimensions must be positive");
-        Svg { body: String::new(), width, height }
+        assert!(
+            width > 0.0 && height > 0.0,
+            "SVG dimensions must be positive"
+        );
+        Svg {
+            body: String::new(),
+            width,
+            height,
+        }
     }
 
     /// Canvas width.
@@ -61,7 +68,15 @@ impl Svg {
     }
 
     /// A stroked (unfilled) rectangle.
-    pub fn rect_outline(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: &str, stroke_width: f64) {
+    pub fn rect_outline(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        stroke: &str,
+        stroke_width: f64,
+    ) {
         let _ = writeln!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,
@@ -92,7 +107,10 @@ impl Svg {
         if points.len() < 2 {
             return;
         }
-        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
         let _ = writeln!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,

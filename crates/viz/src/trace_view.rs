@@ -16,7 +16,11 @@ pub struct ChartStyle {
 
 impl Default for ChartStyle {
     fn default() -> Self {
-        ChartStyle { width: 640.0, height: 320.0, death_line: None }
+        ChartStyle {
+            width: 640.0,
+            height: 320.0,
+            death_line: None,
+        }
     }
 }
 
@@ -70,15 +74,28 @@ pub fn render_energy_chart(trace: &RunTrace, style: &ChartStyle) -> String {
         &format!("residual energy per round — {}", trace.protocol),
     );
 
-    let min_pts: Vec<(f64, f64)> = mins.iter().enumerate().map(|(i, &v)| (px(i), py(v))).collect();
-    let mean_pts: Vec<(f64, f64)> =
-        means.iter().enumerate().map(|(i, &v)| (px(i), py(v))).collect();
+    let min_pts: Vec<(f64, f64)> = mins
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (px(i), py(v)))
+        .collect();
+    let mean_pts: Vec<(f64, f64)> = means
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (px(i), py(v)))
+        .collect();
     svg.polyline(&mean_pts, "#2850c8", 2.0);
     svg.polyline(&min_pts, "#ff3214", 2.0);
 
     if let Some(dl) = style.death_line {
         svg.dashed_hline(py(dl), margin, margin + plot_w, "#555555");
-        svg.text(margin + plot_w - 110.0, py(dl) - 5.0, 10.0, "#555555", &format!("death line {dl} J"));
+        svg.text(
+            margin + plot_w - 110.0,
+            py(dl) - 5.0,
+            10.0,
+            "#555555",
+            &format!("death line {dl} J"),
+        );
     }
 
     // Axis labels.
@@ -93,10 +110,36 @@ pub fn render_energy_chart(trace: &RunTrace, style: &ChartStyle) -> String {
     svg.text(6.0, margin + 8.0, 10.0, "#444444", &format!("{y_max:.1} J"));
     svg.text(6.0, margin + plot_h, 10.0, "#444444", "0 J");
     // Series legend.
-    svg.line(margin + 6.0, margin + 12.0, margin + 30.0, margin + 12.0, "#2850c8", 2.0);
-    svg.text(margin + 36.0, margin + 16.0, 10.0, "#222222", "mean residual");
-    svg.line(margin + 6.0, margin + 28.0, margin + 30.0, margin + 28.0, "#ff3214", 2.0);
-    svg.text(margin + 36.0, margin + 32.0, 10.0, "#222222", "min residual (death-line node)");
+    svg.line(
+        margin + 6.0,
+        margin + 12.0,
+        margin + 30.0,
+        margin + 12.0,
+        "#2850c8",
+        2.0,
+    );
+    svg.text(
+        margin + 36.0,
+        margin + 16.0,
+        10.0,
+        "#222222",
+        "mean residual",
+    );
+    svg.line(
+        margin + 6.0,
+        margin + 28.0,
+        margin + 30.0,
+        margin + 28.0,
+        "#ff3214",
+        2.0,
+    );
+    svg.text(
+        margin + 36.0,
+        margin + 32.0,
+        10.0,
+        "#222222",
+        "min residual (death-line node)",
+    );
 
     svg.finish()
 }
@@ -131,7 +174,10 @@ mod tests {
 
     #[test]
     fn death_line_draws_dashed_guide() {
-        let style = ChartStyle { death_line: Some(3.5), ..Default::default() };
+        let style = ChartStyle {
+            death_line: Some(3.5),
+            ..Default::default()
+        };
         let doc = render_energy_chart(&trace(4), &style);
         assert!(doc.contains("stroke-dasharray"));
         assert!(doc.contains("death line 3.5 J"));

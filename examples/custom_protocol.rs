@@ -11,10 +11,10 @@
 //!
 //! Run with: `cargo run --release --example custom_protocol`
 
+use qlec::core::QlecProtocol;
 use qlec::geom::Vec3;
 use qlec::net::protocol::install_heads;
 use qlec::net::{Network, NetworkBuilder, NodeId, Protocol, SimConfig, Simulator, Target};
-use qlec::core::QlecProtocol;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -26,7 +26,9 @@ struct OctantProtocol {
 
 impl OctantProtocol {
     fn new() -> Self {
-        OctantProtocol { member_head: std::collections::HashMap::new() }
+        OctantProtocol {
+            member_head: std::collections::HashMap::new(),
+        }
     }
 
     fn octant_of(pos: Vec3, center: Vec3) -> usize {
@@ -79,7 +81,10 @@ impl Protocol for OctantProtocol {
         _heads: &[NodeId],
         _rng: &mut dyn RngCore,
     ) -> Target {
-        self.member_head.get(&src).copied().map_or(Target::Bs, Target::Head)
+        self.member_head
+            .get(&src)
+            .copied()
+            .map_or(Target::Bs, Target::Head)
     }
 }
 

@@ -21,7 +21,10 @@ use rand::SeedableRng;
 fn main() {
     // 1. Generate a 400-plant slice of the synthetic China dataset.
     let mut rng = StdRng::seed_from_u64(53);
-    let cfg = GeneratorConfig { count: 400, ..Default::default() };
+    let cfg = GeneratorConfig {
+        count: 400,
+        ..Default::default()
+    };
     let plants = generate_china(&mut rng, &cfg);
 
     // 2. Round-trip through CSV, as a user loading the real database would.
@@ -32,32 +35,58 @@ fn main() {
         "dataset: {} plants, {:.0} MW total, capacities {:.1}–{:.0} MW",
         plants.len(),
         total_mw,
-        plants.iter().map(|p| p.capacity_mw).fold(f64::INFINITY, f64::min),
+        plants
+            .iter()
+            .map(|p| p.capacity_mw)
+            .fold(f64::INFINITY, f64::min),
         plants.iter().map(|p| p.capacity_mw).fold(0.0f64, f64::max),
     );
 
     // 3. Deploy: project to metres, add random heights, map capacity to
     //    battery energy (§5.3: "utilize the data of energy in it to
     //    simulate a WSN … randomly assign a height value").
-    let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+    let net = to_network(
+        &mut rng,
+        &plants,
+        &DeployConfig::default(),
+        NetworkBuilder::new(),
+    );
     println!(
         "deployment: bounds {:?}, heterogeneous batteries {:.2}–{:.0} J",
         net.bounds().extent(),
-        net.nodes().iter().map(|n| n.battery.initial()).fold(f64::INFINITY, f64::min),
-        net.nodes().iter().map(|n| n.battery.initial()).fold(0.0f64, f64::max),
+        net.nodes()
+            .iter()
+            .map(|n| n.battery.initial())
+            .fold(f64::INFINITY, f64::min),
+        net.nodes()
+            .iter()
+            .map(|n| n.battery.initial())
+            .fold(0.0f64, f64::max),
     );
 
     // 4. QLEC with Theorem 1's k_opt for this deployment.
-    let k = kopt::kopt(net.len(), net.side_length(), net.mean_dist_to_bs(), &net.radio);
+    let k = kopt::kopt(
+        net.len(),
+        net.side_length(),
+        net.mean_dist_to_bs(),
+        &net.radio,
+    );
     println!("Theorem 1 k_opt = {k}");
-    let mut protocol = QlecProtocol::new(QlecParams { k_override: Some(k), ..QlecParams::paper() });
+    let mut protocol = QlecProtocol::new(QlecParams {
+        k_override: Some(k),
+        ..QlecParams::paper()
+    });
     let mut sim_cfg = SimConfig::paper(5.0);
     sim_cfg.rounds = 10;
     let report = Simulator::new(net, sim_cfg).run(&mut protocol, &mut rng);
 
     // 5. The Fig. 4 quantity: per-node consumption rate.
     let summary = Summary::of(&report.consumption_rates).expect("finite rates");
-    println!("\nrun: PDR {:.4}, total energy {:.2} J", report.pdr(), report.total_energy());
+    println!(
+        "\nrun: PDR {:.4}, total energy {:.2} J",
+        report.pdr(),
+        report.total_energy()
+    );
     println!(
         "consumption rate: mean {:.4}, sd {:.4}, median {:.4}, p95 {:.4}, max {:.4}",
         summary.mean, summary.std_dev, summary.median, summary.p95, summary.max

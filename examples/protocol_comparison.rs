@@ -8,8 +8,8 @@ use qlec::clustering::deec::DeecProtocol;
 use qlec::clustering::leach::LeachProtocol;
 use qlec::clustering::{FcmProtocol, KMeansProtocol};
 use qlec::core::QlecProtocol;
-use qlec::net::{Protocol, SimConfig, Simulator};
 use qlec::net::NetworkBuilder;
+use qlec::net::{Protocol, SimConfig, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,18 +26,12 @@ fn run(protocol: &mut dyn Protocol, seed: u64) -> (String, f64, f64, f64, f64) {
         report.pdr(),
         report.total_energy(),
         report.mean_latency().unwrap_or(0.0),
-        report
-            .rounds
-            .last()
-            .map(|r| r.min_residual)
-            .unwrap_or(0.0),
+        report.rounds.last().map(|r| r.min_residual).unwrap_or(0.0),
     )
 }
 
 fn main() {
-    println!(
-        "N = 100, M = 200 m, k = {K}, λ = {LAMBDA}, 20 rounds, 3 seeds\n"
-    );
+    println!("N = 100, M = 200 m, k = {K}, λ = {LAMBDA}, 20 rounds, 3 seeds\n");
     println!(
         "{:<10}  {:>8}  {:>11}  {:>13}  {:>18}",
         "protocol", "PDR", "energy (J)", "latency (sl)", "min residual (J)"

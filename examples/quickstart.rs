@@ -38,7 +38,10 @@ fn main() {
         "  mean latency        : {:.2} slots",
         report.mean_latency().unwrap_or(0.0)
     );
-    println!("  mean cluster heads  : {:.1} per round", report.mean_head_count());
+    println!(
+        "  mean cluster heads  : {:.1} per round",
+        report.mean_head_count()
+    );
     println!(
         "  Q-learning updates  : {} (the paper's X·k, Lemma 3)",
         protocol.q_updates()
@@ -52,5 +55,8 @@ fn main() {
     println!("  aggregates to BS    : {:.3} J", b.aggregate_tx);
     println!("  control (HELLO)     : {:.3} J", b.other);
 
-    assert!(report.totals.is_conserved(), "every packet is accounted for");
+    assert!(
+        report.totals.is_conserved(),
+        "every packet is accounted for"
+    );
 }

@@ -16,8 +16,8 @@
 
 use qlec::clustering::deec::DeecProtocol;
 use qlec::clustering::leach::LeachProtocol;
-use qlec::core::{kopt, QlecProtocol};
 use qlec::core::params::QlecParams;
+use qlec::core::{kopt, QlecProtocol};
 use qlec::geom::sample::uniform_in_aabb;
 use qlec::geom::{Aabb, Vec3};
 use qlec::net::{Network, NetworkBuilder, Protocol, SimConfig, Simulator};
@@ -82,7 +82,10 @@ fn main() {
         probe.len()
     );
 
-    let params = QlecParams { total_rounds: HORIZON, ..QlecParams::paper_with_k(k) };
+    let params = QlecParams {
+        total_rounds: HORIZON,
+        ..QlecParams::paper_with_k(k)
+    };
     let mut rows: Vec<(String, u32, f64, f64)> = Vec::new();
     for seed in [11u64, 12, 13] {
         rows.push(lifespan_of(&mut QlecProtocol::new(params), seed));

@@ -8,6 +8,7 @@
 //! * [`geom`] — 3-D vectors, boxes, sampling, spatial indexes, statistics,
 //! * [`radio`] — the first-order radio energy model, batteries, links,
 //! * [`mdp`] — tabular MDP / Q-learning machinery,
+//! * [`obs`] — structured observability (events, metrics, sinks),
 //! * [`net`] — the packet-level 3-D WSN simulator,
 //! * [`clustering`] — baselines: k-means, FCM, LEACH, plain DEEC,
 //! * [`core`] — QLEC itself (improved DEEC + Theorem 1 + Q-routing),
@@ -47,5 +48,6 @@ pub use qlec_dataset as dataset;
 pub use qlec_geom as geom;
 pub use qlec_mdp as mdp;
 pub use qlec_net as net;
+pub use qlec_obs as obs;
 pub use qlec_radio as radio;
 pub use qlec_viz as viz;

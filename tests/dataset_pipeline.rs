@@ -21,12 +21,25 @@ fn full_scale_dataset_roundtrip_and_deploy() {
     let parsed = from_csv(&csv).expect("CSV round-trip");
     assert_eq!(parsed, plants);
 
-    let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+    let net = to_network(
+        &mut rng,
+        &plants,
+        &DeployConfig::default(),
+        NetworkBuilder::new(),
+    );
     assert_eq!(net.len(), CHINA_PLANT_COUNT);
     assert!(net.bounds().volume() > 0.0);
     // Heterogeneous initial energy spanning orders of magnitude.
-    let min = net.nodes().iter().map(|n| n.battery.initial()).fold(f64::INFINITY, f64::min);
-    let max = net.nodes().iter().map(|n| n.battery.initial()).fold(0.0f64, f64::max);
+    let min = net
+        .nodes()
+        .iter()
+        .map(|n| n.battery.initial())
+        .fold(f64::INFINITY, f64::min);
+    let max = net
+        .nodes()
+        .iter()
+        .map(|n| n.battery.initial())
+        .fold(0.0f64, f64::max);
     assert!(max / min > 100.0, "energy span {min}..{max}");
 }
 
@@ -36,16 +49,31 @@ fn full_scale_dataset_roundtrip_and_deploy() {
 #[test]
 fn qlec_on_dataset_shows_even_consumption() {
     let mut rng = StdRng::seed_from_u64(2);
-    let cfg = GeneratorConfig { count: 800, ..Default::default() };
+    let cfg = GeneratorConfig {
+        count: 800,
+        ..Default::default()
+    };
     let plants = generate_china(&mut rng, &cfg);
-    let net = to_network(&mut rng, &plants, &DeployConfig::default(), NetworkBuilder::new());
+    let net = to_network(
+        &mut rng,
+        &plants,
+        &DeployConfig::default(),
+        NetworkBuilder::new(),
+    );
     let positions = net.positions();
     let bs = net.bs_pos();
 
-    let k = kopt::kopt(net.len(), net.side_length(), net.mean_dist_to_bs(), &net.radio);
+    let k = kopt::kopt(
+        net.len(),
+        net.side_length(),
+        net.mean_dist_to_bs(),
+        &net.radio,
+    );
     assert!(k >= 1 && k <= net.len());
-    let mut protocol =
-        QlecProtocol::new(QlecParams { k_override: Some(k.min(60)), ..QlecParams::paper() });
+    let mut protocol = QlecProtocol::new(QlecParams {
+        k_override: Some(k.min(60)),
+        ..QlecParams::paper()
+    });
     let mut sim_cfg = SimConfig::paper(6.0);
     sim_cfg.rounds = 8;
     let report = Simulator::new(net, sim_cfg).run(&mut protocol, &mut rng);
@@ -67,7 +95,10 @@ fn qlec_on_dataset_shows_even_consumption() {
 /// Different seeds give different datasets; the same seed is stable.
 #[test]
 fn generator_determinism_at_scale() {
-    let cfg = GeneratorConfig { count: 2000, ..Default::default() };
+    let cfg = GeneratorConfig {
+        count: 2000,
+        ..Default::default()
+    };
     let a = generate_china(&mut StdRng::seed_from_u64(9), &cfg);
     let b = generate_china(&mut StdRng::seed_from_u64(9), &cfg);
     let c = generate_china(&mut StdRng::seed_from_u64(10), &cfg);

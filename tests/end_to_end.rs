@@ -119,7 +119,10 @@ fn qlec_outlives_kmeans_and_leach() {
         qlec > kmeans,
         "QLEC lifespan {qlec} must exceed k-means {kmeans}"
     );
-    assert!(qlec > leach, "QLEC lifespan {qlec} must exceed LEACH {leach}");
+    assert!(
+        qlec > leach,
+        "QLEC lifespan {qlec} must exceed LEACH {leach}"
+    );
 }
 
 /// §5.2's congested-regime claim: QLEC retains the highest delivery rate
@@ -132,8 +135,11 @@ fn qlec_has_best_pdr_under_saturation() {
         c.rounds = 10;
         c
     };
+    // Under saturation every single-hop protocol sits near the same
+    // capacity ceiling, so per-seed PDR differences are noise-dominated;
+    // average enough seeds that QLEC's real (small) edge is resolvable.
     let avg_pdr = |mk: &dyn Fn() -> Box<dyn Protocol>| -> f64 {
-        let seeds = [31u64, 32];
+        let seeds = [31u64, 32, 33, 34, 35, 36];
         seeds
             .iter()
             .map(|&s| {
@@ -193,7 +199,10 @@ fn lifespan_milestones_are_ordered() {
     let report = run(&mut p, paper_network(51), cfg, 52);
     let l = report.lifespan;
     if let (Some(first), Some(line)) = (l.first_node_dead, l.death_line_round) {
-        assert!(line <= first, "death line (0.5 J) crossed at or before full depletion");
+        assert!(
+            line <= first,
+            "death line (0.5 J) crossed at or before full depletion"
+        );
     }
     if let (Some(first), Some(half)) = (l.first_node_dead, l.half_nodes_dead) {
         assert!(first <= half);

@@ -84,7 +84,10 @@ fn kopt_paper_discrepancy_is_pinned() {
     let k_center = kopt(100, 200.0, MEAN_DIST_TO_CENTER_UNIT_CUBE * 200.0, &radio);
     assert_eq!(k_center, 11, "centre-BS Theorem 1 value");
     let k_133 = kopt(100, 200.0, 133.0, &radio);
-    assert_eq!(k_133, 5, "the paper's stated k_opt corresponds to d_toBS ≈ 133 m");
+    assert_eq!(
+        k_133, 5,
+        "the paper's stated k_opt corresponds to d_toBS ≈ 133 m"
+    );
 }
 
 /// Theorem 3's `O(kX)`: QLEC's update counter grows ∝ k per packet.

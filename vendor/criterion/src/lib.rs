@@ -1,0 +1,177 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness shape and the
+//! `benchmark_group` / `bench_function` / `bench_with_input` / `Bencher::iter`
+//! API used by this workspace's benches, backed by a simple wall-clock
+//! timer: a short warm-up, then `sample_size` timed batches whose
+//! per-iteration mean/median/min are printed. No statistical analysis,
+//! no HTML reports — numbers on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context (collects groups).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 50,
+        }
+    }
+}
+
+/// Identifier `function_id/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark (default 50).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// End the group (no-op beyond symmetry with upstream).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    /// Per-iteration duration of each timed batch.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Benchmark `f`: warm up briefly, then run `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: target ~2 ms per batch.
+        let calib_start = Instant::now();
+        black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / per_batch);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{group}/{id}: mean {:?}  median {:?}  min {:?}  ({} samples)",
+            mean,
+            median,
+            min,
+            sorted.len()
+        );
+    }
+}
+
+/// Declare a bench group runner, upstream-compatible shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, upstream-compatible shape.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

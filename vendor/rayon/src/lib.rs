@@ -1,0 +1,146 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `collection.par_iter().map(f).collect()` — with genuine parallelism:
+//! the input slice is split into contiguous chunks, one `std::thread`
+//! per chunk inside `thread::scope`, and per-chunk outputs are stitched
+//! back in input order. No work stealing, no nested parallelism; a
+//! chunk's panic propagates like rayon's would.
+
+#![forbid(unsafe_code)]
+
+pub mod iter {
+    //! Parallel iterator shims.
+
+    /// Entry point: `.par_iter()` on slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Sync + 'data;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowed parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Run the map across threads and collect in input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+            C: FromIterator<R>,
+        {
+            let n = self.items.len();
+            if n == 0 {
+                return std::iter::empty().collect();
+            }
+            let threads = std::thread::available_parallelism()
+                .map_or(4, usize::from)
+                .min(n);
+            if threads <= 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let chunk_len = n.div_ceil(threads);
+            let f = &self.f;
+            let chunk_outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk_len)
+                    .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(out) => out,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+            chunk_outputs.into_iter().flatten().collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_slices_and_empty_input() {
+        let xs: &[u32] = &[];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let some: &[u32] = &[5];
+        let out: Vec<u32> = some.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let xs: Vec<u64> = (0..64).collect();
+        let _: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        if cores > 1 {
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! No `syn`/`quote` (the registry is unreachable), so this parses the
+//! item's token stream directly. Supported shapes — which cover every
+//! derive site in this workspace:
+//!
+//! * structs with named fields (object, declaration order)
+//! * newtype structs (transparent) and longer tuple structs (array)
+//! * unit structs (null)
+//! * enums with unit / newtype / tuple / struct variants
+//!   (externally tagged, like real serde: `"Variant"` or `{"Variant": ...}`)
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! `compile_error!` so misuse fails loudly at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive: generated code failed to parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- item model ----
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields (N == 1 is a transparent newtype).
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---- token-stream parsing ----
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip any number of `#[...]` (or inner `#![...]`) attributes.
+    fn skip_attrs(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Punct(p)) = self.peek() {
+                        if p.as_char() == '!' {
+                            self.pos += 1;
+                        }
+                    }
+                    // The bracket group of the attribute.
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "serde_derive: expected identifier, found {other:?}"
+            )),
+        }
+    }
+
+    /// Advance past tokens until a top-level `,` (angle-bracket aware),
+    /// consuming the comma. Returns false if the stream ended first.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth <= 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_visibility();
+
+    let kw = p.expect_ident()?;
+    let name = match kw.as_str() {
+        "struct" | "enum" => p.expect_ident()?,
+        other => return Err(format!("serde_derive: unsupported item kind `{other}`")),
+    };
+
+    if let Some(TokenTree::Punct(pt)) = p.peek() {
+        if pt.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+
+    let shape = if kw == "struct" {
+        match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(pt)) if pt.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("serde_derive: unsupported struct body {other:?}")),
+        }
+    } else {
+        match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive: unsupported enum body {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_visibility();
+        fields.push(p.expect_ident()?);
+        match p.next() {
+            Some(TokenTree::Punct(pt)) if pt.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after field, found {other:?}"
+                ))
+            }
+        }
+        if !p.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut p = Parser::new(stream);
+    let mut count = 0;
+    loop {
+        p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        count += 1;
+        if !p.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident()?;
+        let shape = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                p.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                p.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        if !p.at_end() && !p.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+/// JSON key for a field/variant identifier (strips a raw-ident prefix).
+fn key(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({k:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))",
+                        k = key(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let k = key(vn);
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({k:?}))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({k:?}), \
+                             ::serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({k:?}), \
+                                 ::serde::Value::Array(::std::vec![{items}]))])",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({fk:?}), \
+                                         ::serde::Serialize::to_value({f}))",
+                                        fk = key(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({k:?}), \
+                                 ::serde::Value::Object(::std::vec![{pairs}]))])",
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::Value::get(v, {k:?}) {{\n\
+                             ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => \
+                                 ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                 .map_err(|_| ::serde::Error::missing_field(\
+                                     {name:?}, {k:?}))?,\n\
+                         }}",
+                        k = key(f)
+                    )
+                })
+                .collect();
+            format!(
+                "if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(",\n")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::Value::as_array(v)\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected array of length {n}, found {{}}\", \
+                         items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{k:?} => ::std::result::Result::Ok({name}::{vn}),",
+                k = key(&v.name),
+                vn = v.name
+            )
+        })
+        .collect();
+
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            let k = key(vn);
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "{k:?} => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{k:?} => {{\n\
+                             let items = ::serde::Value::as_array(inner)\
+                                 .ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\
+                                     \"expected array of length {n}, found {{}}\", \
+                                     items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({inits}))\n\
+                         }},",
+                        inits = inits.join(", ")
+                    ))
+                }
+                VariantShape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match ::serde::Value::get(inner, {fk:?}) {{\n\
+                                     ::std::option::Option::Some(x) => \
+                                         ::serde::Deserialize::from_value(x)?,\n\
+                                     ::std::option::Option::None => \
+                                         ::serde::Deserialize::from_value(\
+                                             &::serde::Value::Null)\n\
+                                         .map_err(|_| ::serde::Error::missing_field(\
+                                             {name:?}, {fk:?}))?,\n\
+                                 }}",
+                                fk = key(f)
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{k:?} => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),",
+                        inits = inits.join(",\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum representation\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
