@@ -12,12 +12,12 @@ fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_round");
     group.sample_size(20);
     for kind in ProtocolKind::FIG3 {
-        group.bench_function(BenchmarkId::new("paper_n100", kind.label()), |b| {
+        group.bench_function(BenchmarkId::new("paper_n100", kind.to_string()), |b| {
             b.iter(|| {
                 let mut spec = RunSpec::paper(5.0);
                 spec.sim.rounds = 1;
                 let net = spec.network(1);
-                let mut protocol = kind.build(spec.k, 20);
+                let mut protocol = kind.build(&spec.qlec_params());
                 let mut rng = StdRng::seed_from_u64(2);
                 let report = Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng);
                 black_box(report.totals.generated)

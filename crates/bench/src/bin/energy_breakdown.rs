@@ -19,13 +19,13 @@ fn main() {
                 spec.seeds = vec![1];
                 spec.sim.member_retries = retries;
                 let net = spec.network(1);
-                let mut p = kind.build(spec.k, 20);
+                let mut p = kind.build(&spec.qlec_params());
                 let mut rng = StdRng::seed_from_u64(2);
                 let rep = Simulator::new(net, spec.sim).run(p.as_mut(), &mut rng);
                 let t = &rep.totals;
                 println!(
                     "retries={retries} λ={lambda:>3} {:<8} pdr={:.4} E={:7.2} qfull={:6} dl={:5} link={:5} agg={:5} min_resid_last={:.3}",
-                    kind.label(), rep.pdr(), rep.total_energy(),
+                    kind.to_string(), rep.pdr(), rep.total_energy(),
                     t.dropped_queue_full, t.dropped_deadline, t.dropped_link, t.dropped_aggregate,
                     rep.rounds.last().map(|r| r.min_residual).unwrap_or(0.0)
                 );

@@ -75,11 +75,11 @@ fn main() {
         protocols
             .iter()
             .map(|k| {
-                let mut row = vec![k.label()];
+                let mut row = vec![k.to_string()];
                 for &lambda in &LAMBDAS {
                     let c = cells
                         .iter()
-                        .find(|c| c.protocol == k.label() && c.lambda == lambda)
+                        .find(|c| c.protocol == k.to_string() && c.lambda == lambda)
                         .expect("cell exists");
                     row.push(f(c));
                 }

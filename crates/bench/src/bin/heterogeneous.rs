@@ -40,7 +40,11 @@ fn run_cell_hetero(
             let net = NetworkBuilder::new()
                 .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)))
                 .heterogeneous_cube(&mut rng, 100, 200.0, 5.0, fraction, boost);
-            let mut protocol = kind.build(5, horizon);
+            let params = qlec_core::QlecParams {
+                total_rounds: horizon,
+                ..qlec_core::QlecParams::paper_with_k(5)
+            };
+            let mut protocol = kind.build(&params);
             let mut cfg = SimConfig::paper(5.0);
             cfg.rounds = horizon;
             // Death line relative to the *normal* tier: the network dies
@@ -51,7 +55,7 @@ fn run_cell_hetero(
             Simulator::new(net, cfg).run(protocol.as_mut(), &mut rng2)
         })
         .collect();
-    aggregate(kind.label(), 5.0, &reports)
+    aggregate(kind.to_string(), 5.0, &reports)
 }
 
 fn main() {
@@ -81,11 +85,11 @@ fn main() {
     let rows: Vec<Vec<String>> = protocols
         .iter()
         .map(|kind| {
-            let mut row = vec![kind.label()];
+            let mut row = vec![kind.to_string()];
             for &(m, a) in tiers {
                 let c = &cells
                     .iter()
-                    .find(|(cm, ca, c)| *cm == m && *ca == a && c.protocol == kind.label())
+                    .find(|(cm, ca, c)| *cm == m && *ca == a && c.protocol == kind.to_string())
                     .expect("cell exists")
                     .2;
                 row.push(format!("{:.1}", c.lifespan_mean_rounds));
@@ -93,13 +97,13 @@ fn main() {
             // Relative gain from the strongest heterogeneity.
             let base = cells
                 .iter()
-                .find(|(cm, ca, c)| *cm == 0.0 && *ca == 0.0 && c.protocol == kind.label())
+                .find(|(cm, ca, c)| *cm == 0.0 && *ca == 0.0 && c.protocol == kind.to_string())
                 .unwrap()
                 .2
                 .lifespan_mean_rounds;
             let rich = cells
                 .iter()
-                .find(|(cm, ca, c)| *cm == 0.2 && *ca == 3.0 && c.protocol == kind.label())
+                .find(|(cm, ca, c)| *cm == 0.2 && *ca == 3.0 && c.protocol == kind.to_string())
                 .unwrap()
                 .2
                 .lifespan_mean_rounds;

@@ -5,6 +5,7 @@ use qlec_clustering::leach::LeachProtocol;
 use qlec_clustering::{FcmProtocol, KMeansProtocol};
 use qlec_core::ablation::Ablation;
 use qlec_core::params::QlecParams;
+use qlec_fault::{FaultDriver, FaultPlan};
 use qlec_geom::stats::Welford;
 use qlec_net::{Network, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
 use qlec_obs::{MemorySink, ObserverSet, Phase};
@@ -13,6 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::Serialize;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::{Arc, Mutex};
 
 /// The protocols the paper's figures compare (plus the extra baselines
@@ -47,21 +50,18 @@ impl ProtocolKind {
         ProtocolKind::Deec,
     ];
 
-    /// Display label.
+    /// Display label (prefer `to_string()` / `format!` directly).
+    #[deprecated(since = "0.1.0", note = "use the `Display` impl (`to_string()`)")]
     pub fn label(&self) -> String {
-        match self {
-            ProtocolKind::Qlec => "qlec".into(),
-            ProtocolKind::Fcm => "fcm".into(),
-            ProtocolKind::KMeans => "k-means".into(),
-            ProtocolKind::Leach => "leach".into(),
-            ProtocolKind::Deec => "deec".into(),
-            ProtocolKind::QlecAblation(a) => a.label().into(),
-        }
+        self.to_string()
     }
 
-    /// Instantiate a fresh protocol for one run.
-    pub fn build(&self, k: usize, total_rounds: u32) -> Box<dyn Protocol + Send> {
-        self.build_observed(k, total_rounds, &ObserverSet::new())
+    /// Instantiate a fresh protocol for one run. The cluster count comes
+    /// from `params.k_override` (the paper's §5.1 `k = 5` when unset) and
+    /// the horizon from `params.total_rounds`; the remaining fields only
+    /// affect the QLEC variants.
+    pub fn build(&self, params: &QlecParams) -> Box<dyn Protocol + Send> {
+        self.build_observed(params, &ObserverSet::new())
     }
 
     /// Like [`ProtocolKind::build`], but QLEC variants also emit their
@@ -69,29 +69,65 @@ impl ProtocolKind {
     /// `obs`. Baselines have no protocol-layer phases to report.
     pub fn build_observed(
         &self,
-        k: usize,
-        total_rounds: u32,
+        params: &QlecParams,
         obs: &ObserverSet,
     ) -> Box<dyn Protocol + Send> {
+        let k = params.k_override.unwrap_or(5);
         match self {
-            ProtocolKind::Qlec => {
-                let params = QlecParams {
-                    total_rounds,
-                    ..QlecParams::paper_with_k(k)
-                };
-                Box::new(qlec_core::QlecProtocol::new(params).with_observer(obs.clone()))
-            }
+            ProtocolKind::Qlec => Box::new(
+                qlec_core::QlecProtocol::builder()
+                    .params(*params)
+                    .k(k)
+                    .observer(obs.clone())
+                    .build(),
+            ),
             ProtocolKind::Fcm => Box::new(FcmProtocol::new(k)),
             ProtocolKind::KMeans => Box::new(KMeansProtocol::new(k)),
             ProtocolKind::Leach => Box::new(LeachProtocol::new(k)),
-            ProtocolKind::Deec => Box::new(DeecProtocol::new(k, total_rounds)),
-            ProtocolKind::QlecAblation(a) => {
-                let params = QlecParams {
-                    total_rounds,
-                    ..QlecParams::paper_with_k(k)
-                };
-                Box::new(a.protocol(params).with_observer(obs.clone()))
-            }
+            ProtocolKind::Deec => Box::new(DeecProtocol::new(k, params.total_rounds)),
+            ProtocolKind::QlecAblation(a) => Box::new(
+                a.builder(QlecParams {
+                    k_override: Some(k),
+                    ..*params
+                })
+                .observer(obs.clone())
+                .build(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolKind::Qlec => "qlec",
+            ProtocolKind::Fcm => "fcm",
+            ProtocolKind::KMeans => "k-means",
+            ProtocolKind::Leach => "leach",
+            ProtocolKind::Deec => "deec",
+            ProtocolKind::QlecAblation(a) => a.label(),
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ProtocolKind {
+    type Err = String;
+
+    /// Parse a display label back into a kind (`"kmeans"` is accepted as
+    /// an alias for `"k-means"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "qlec" => Ok(ProtocolKind::Qlec),
+            "fcm" => Ok(ProtocolKind::Fcm),
+            "k-means" | "kmeans" => Ok(ProtocolKind::KMeans),
+            "leach" => Ok(ProtocolKind::Leach),
+            "deec" => Ok(ProtocolKind::Deec),
+            other => Ablation::ALL_VARIANTS
+                .iter()
+                .find(|a| a.label() == other)
+                .map(|&a| ProtocolKind::QlecAblation(a))
+                .ok_or_else(|| format!("unknown protocol '{other}'")),
         }
     }
 }
@@ -114,6 +150,9 @@ pub struct RunSpec {
     pub seeds: Vec<u64>,
     /// Radio link model.
     pub link: AnyLink,
+    /// Optional fault schedule, applied identically to every seed (and
+    /// every protocol — the comparison stays fair).
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -127,6 +166,21 @@ impl RunSpec {
             sim: SimConfig::paper(lambda),
             seeds: (0..5).map(|i| 0xC0FFEE + i).collect(),
             link: AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)),
+            faults: None,
+        }
+    }
+
+    /// Start a fluent [`ScenarioBuilder`] from the §5.1 configuration.
+    pub fn builder(lambda: f64) -> ScenarioBuilder {
+        ScenarioBuilder::paper(lambda)
+    }
+
+    /// The QLEC parameter set this spec implies (`k` and the horizon are
+    /// taken from the spec; everything else is Table 2).
+    pub fn qlec_params(&self) -> QlecParams {
+        QlecParams {
+            total_rounds: self.sim.rounds,
+            ..QlecParams::paper_with_k(self.k)
         }
     }
 
@@ -139,6 +193,94 @@ impl RunSpec {
             self.m,
             self.initial_energy,
         )
+    }
+}
+
+/// Fluent construction of a [`RunSpec`] — mirrors
+/// [`qlec_core::QlecBuilder`] on the experiment side, so a whole scenario
+/// (deployment, traffic, seeds, faults) reads as one chain:
+///
+/// ```
+/// use qlec_bench::RunSpec;
+/// let spec = RunSpec::builder(5.0).nodes(60).rounds(10).seeds(vec![1, 2]).build();
+/// assert_eq!(spec.n, 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: RunSpec,
+}
+
+impl ScenarioBuilder {
+    /// Start from [`RunSpec::paper`] at congestion level λ.
+    pub fn paper(lambda: f64) -> Self {
+        ScenarioBuilder {
+            spec: RunSpec::paper(lambda),
+        }
+    }
+
+    /// Node count `N`.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.spec.n = n;
+        self
+    }
+
+    /// Cube side `M` (metres). Also rescales the default link model's
+    /// reference range when the spec still carries it.
+    pub fn side(mut self, m: f64) -> Self {
+        self.spec.m = m;
+        self
+    }
+
+    /// Initial battery energy per node (J).
+    pub fn initial_energy(mut self, joules: f64) -> Self {
+        self.spec.initial_energy = joules;
+        self
+    }
+
+    /// Cluster count `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.spec.k = k;
+        self
+    }
+
+    /// Simulated rounds (the horizon `R`).
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.spec.sim.rounds = rounds;
+        self
+    }
+
+    /// Replace the whole simulator configuration.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.spec.sim = sim;
+        self
+    }
+
+    /// Replace the seed list (one independent run per seed).
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.spec.seeds = seeds;
+        self
+    }
+
+    /// Radio link model.
+    pub fn link(mut self, link: AnyLink) -> Self {
+        self.spec.link = link;
+        self
+    }
+
+    /// Attach a fault schedule (validated here; applied to every seed).
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails [`FaultPlan::validate`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        self.spec.faults = Some(plan);
+        self
+    }
+
+    /// Finish, yielding the configured [`RunSpec`].
+    pub fn build(self) -> RunSpec {
+        self.spec
     }
 }
 
@@ -165,6 +307,9 @@ pub struct CellResult {
     pub latency_mean_slots: f64,
     pub lifespan_mean_rounds: f64,
     pub head_count_mean: f64,
+    /// Mean retransmission attempts per run (member + aggregate hops) —
+    /// the fault benches report it per protocol.
+    pub retries_mean: f64,
     /// Wall-time cost of each simulation phase (empty if run unobserved).
     pub phase_wall: Vec<PhaseWall>,
 }
@@ -181,19 +326,22 @@ pub fn run_cell(kind: ProtocolKind, spec: &RunSpec) -> CellResult {
             let sink = Arc::new(Mutex::new(MemorySink::new()));
             let mut obs = ObserverSet::new();
             obs.attach(sink.clone());
-            let mut protocol = kind.build_observed(spec.k, spec.sim.rounds, &obs);
+            let mut protocol = kind.build_observed(&spec.qlec_params(), &obs);
             // Offset the protocol RNG from the deployment RNG.
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-            let report = Simulator::new(net, spec.sim)
-                .observed(obs)
-                .run(protocol.as_mut(), &mut rng);
+            let mut sim = Simulator::new(net, spec.sim).observed(obs);
+            if let Some(plan) = &spec.faults {
+                let driver = FaultDriver::new(plan.clone()).expect("invalid fault plan");
+                sim = sim.with_faults(driver);
+            }
+            let report = sim.run(protocol.as_mut(), &mut rng);
             let sink = sink.lock().expect("metrics sink poisoned");
             let walls = Phase::ALL.iter().map(|&p| sink.phase_wall_ns(p)).collect();
             (report, walls)
         })
         .collect();
     let reports: Vec<SimReport> = results.iter().map(|(r, _)| r.clone()).collect();
-    let mut cell = aggregate(kind.label(), spec.sim.mean_interarrival, &reports);
+    let mut cell = aggregate(kind.to_string(), spec.sim.mean_interarrival, &reports);
     let runs = results.len().max(1) as f64;
     cell.phase_wall = Phase::ALL
         .iter()
@@ -213,6 +361,7 @@ pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellRe
     let mut latency = Welford::new();
     let mut lifespan = Welford::new();
     let mut heads = Welford::new();
+    let mut retries = Welford::new();
     for r in reports {
         pdr.push(r.pdr());
         energy.push(r.total_energy());
@@ -221,6 +370,7 @@ pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellRe
         }
         lifespan.push(r.lifespan_rounds() as f64);
         heads.push(r.mean_head_count());
+        retries.push(r.totals.retried as f64);
     }
     CellResult {
         protocol,
@@ -233,6 +383,7 @@ pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellRe
         latency_mean_slots: latency.mean().unwrap_or(0.0),
         lifespan_mean_rounds: lifespan.mean().unwrap_or(0.0),
         head_count_mean: heads.mean().unwrap_or(0.0),
+        retries_mean: retries.mean().unwrap_or(0.0),
         phase_wall: Vec::new(),
     }
 }
@@ -304,7 +455,7 @@ mod tests {
             );
             assert!(cell.energy_mean_j > 0.0, "{kind:?}");
             assert!(cell.head_count_mean > 0.0, "{kind:?}");
-            assert_eq!(cell.protocol, kind.label());
+            assert_eq!(cell.protocol, kind.to_string());
         }
     }
 
@@ -324,14 +475,97 @@ mod tests {
 
     #[test]
     fn all_protocol_kinds_build() {
+        let params = QlecParams {
+            total_rounds: 10,
+            ..QlecParams::paper_with_k(3)
+        };
         for kind in ProtocolKind::ALL {
-            let p = kind.build(3, 10);
+            let p = kind.build(&params);
             assert!(!p.name().is_empty());
         }
         for ab in Ablation::ALL_VARIANTS {
-            let p = ProtocolKind::QlecAblation(ab).build(3, 10);
+            let p = ProtocolKind::QlecAblation(ab).build(&params);
             assert_eq!(p.name(), ab.label());
         }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let mut kinds: Vec<ProtocolKind> = ProtocolKind::ALL.to_vec();
+        kinds.extend(Ablation::ALL_VARIANTS.map(ProtocolKind::QlecAblation));
+        for kind in kinds {
+            // Label-level round trip: `QlecAblation(Ablation::None)` and
+            // `Qlec` intentionally share the label "qlec" (same protocol),
+            // so compare displays, not enum variants.
+            let parsed: ProtocolKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed.to_string(), kind.to_string());
+        }
+        assert_eq!("kmeans".parse::<ProtocolKind>(), Ok(ProtocolKind::KMeans));
+        assert!("warp-drive".parse::<ProtocolKind>().is_err());
+        #[allow(deprecated)]
+        let legacy = ProtocolKind::Qlec.label();
+        assert_eq!(legacy, "qlec");
+    }
+
+    #[test]
+    fn scenario_builder_composes_a_spec() {
+        let plan = FaultPlan::named(
+            "one-crash",
+            vec![qlec_fault::FaultEvent::NodeCrash { round: 1, node: 0 }],
+        );
+        let spec = RunSpec::builder(4.0)
+            .nodes(25)
+            .side(150.0)
+            .initial_energy(2.0)
+            .k(3)
+            .rounds(4)
+            .seeds(vec![9])
+            .faults(plan.clone())
+            .build();
+        assert_eq!(spec.n, 25);
+        assert_eq!(spec.m, 150.0);
+        assert_eq!(spec.initial_energy, 2.0);
+        assert_eq!(spec.k, 3);
+        assert_eq!(spec.sim.rounds, 4);
+        assert_eq!(spec.seeds, vec![9]);
+        assert_eq!(spec.faults, Some(plan));
+        assert_eq!(spec.qlec_params().k_override, Some(3));
+        assert_eq!(spec.qlec_params().total_rounds, 4);
+    }
+
+    #[test]
+    fn faulted_cell_counts_retries() {
+        // Degrade every node→BS pair hard: direct-to-BS-like traffic has
+        // to retry. QLEC routes via heads, so degrade node pairs too.
+        let mut events: Vec<qlec_fault::FaultEvent> = (0..30u32)
+            .map(|n| qlec_fault::FaultEvent::LinkDegrade {
+                from_round: 0,
+                to_round: 2,
+                a: qlec_fault::LinkEnd::Node(n),
+                b: qlec_fault::LinkEnd::Bs,
+                loss_multiplier: 30.0,
+            })
+            .collect();
+        events.push(qlec_fault::FaultEvent::NodeCrash { round: 1, node: 3 });
+        let spec = RunSpec::builder(5.0)
+            .nodes(30)
+            .rounds(3)
+            .seeds(vec![1, 2])
+            .faults(FaultPlan::named("degrade-bs", events))
+            .build();
+        let clean = {
+            let mut s = spec.clone();
+            s.faults = None;
+            run_cell(ProtocolKind::KMeans, &s)
+        };
+        let faulted = run_cell(ProtocolKind::KMeans, &spec);
+        assert!(
+            faulted.retries_mean > clean.retries_mean,
+            "degraded BS links must force more retries: {} vs {}",
+            faulted.retries_mean,
+            clean.retries_mean
+        );
+        assert!(faulted.pdr_mean < clean.pdr_mean);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use qlec_core::{kopt, QlecProtocol};
 use qlec_dataset::{generate_china, records, GeneratorConfig};
 use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
 use qlec_net::trace::TraceSink;
-use qlec_net::{NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
+use qlec_net::{FaultDriver, FaultPlan, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
 use qlec_obs::{JsonLinesSink, MemorySink, ObserverSet};
 use qlec_radio::link::{AnyLink, DistanceLossLink};
 use qlec_radio::RadioModel;
@@ -28,13 +28,19 @@ USAGE:
   qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
                     [--seed 42] [--death-line 0] [--json] [--trace FILE]
-                    [--svg FILE] [--chart FILE] [--events FILE]
-                    [--metrics FILE]
+                    [--svg FILE] [--chart FILE] [--events FILE|-]
+                    [--metrics FILE] [--faults FILE]
   qlec-sim compare  [--n 100] [--m 200] [--k 5] [--lambda 5] [--rounds 20]
                     [--seeds 3]
   qlec-sim dataset  [--count 2896] [--seed 42] [--out FILE]
   qlec-sim kopt     [--n 100] [--m 200] [--d-to-bs <auto>]
   qlec-sim help
+
+NOTES:
+  --faults loads a JSON fault plan (see crates/fault/README.md and
+  examples/faults.json) and replays it during the run.
+  --events - streams the event log to stdout with wall-clock timings
+  suppressed, so identical seeds and plans give byte-identical streams.
 ";
 
 /// Dispatch a parsed command line.
@@ -57,11 +63,13 @@ fn build_protocol(
 ) -> Result<Box<dyn Protocol>, String> {
     Ok(match name {
         "qlec" => Box::new(
-            QlecProtocol::new(QlecParams {
-                total_rounds: rounds,
-                ..QlecParams::paper_with_k(k)
-            })
-            .with_observer(obs.clone()),
+            QlecProtocol::builder()
+                .params(QlecParams {
+                    total_rounds: rounds,
+                    ..QlecParams::paper_with_k(k)
+                })
+                .observer(obs.clone())
+                .build(),
         ),
         "fcm" => Box::new(FcmProtocol::new(k)),
         "kmeans" | "k-means" => Box::new(KMeansProtocol::new(k)),
@@ -117,10 +125,15 @@ impl RunSetup {
     }
 
     fn execute(&self, protocol: &mut dyn Protocol) -> SimReport {
-        self.execute_observed(protocol, ObserverSet::new())
+        self.execute_observed(protocol, ObserverSet::new(), None)
     }
 
-    fn execute_observed(&self, protocol: &mut dyn Protocol, obs: ObserverSet) -> SimReport {
+    fn execute_observed(
+        &self,
+        protocol: &mut dyn Protocol,
+        obs: ObserverSet,
+        faults: Option<FaultPlan>,
+    ) -> SimReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let net = NetworkBuilder::new()
             .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(self.m)))
@@ -129,9 +142,28 @@ impl RunSetup {
         cfg.rounds = self.rounds;
         cfg.death_line = self.death_line;
         cfg.stop_when_dead = self.death_line > 0.0;
-        Simulator::new(net, cfg)
-            .observed(obs)
-            .run(protocol, &mut rng)
+        let mut sim = Simulator::new(net, cfg).observed(obs);
+        if let Some(plan) = faults {
+            sim = sim.with_faults(FaultDriver::new(plan).expect("plan validated on load"));
+        }
+        sim.run(protocol, &mut rng)
+    }
+}
+
+/// Load and validate the `--faults` plan, if requested.
+fn load_faults(args: &ParsedArgs) -> Result<Option<FaultPlan>, String> {
+    match args.get("faults") {
+        None => Ok(None),
+        Some("") => Err("--faults needs a file path".into()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan {path}: {e}"))?;
+            let plan: FaultPlan = serde_json::from_str(&text)
+                .map_err(|e| format!("{path}: not a fault plan: {e}"))?;
+            plan.validate()
+                .map_err(|e| format!("{path}: invalid fault plan: {e}"))?;
+            Ok(Some(plan))
+        }
     }
 }
 
@@ -152,9 +184,11 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "chart",
         "events",
         "metrics",
+        "faults",
     ])?;
     let setup = RunSetup::from_args(args)?;
     setup.validate()?;
+    let faults = load_faults(args)?;
     let name = args.get("protocol").unwrap_or("qlec").to_string();
 
     // Flags that need a file path must have one before the run starts.
@@ -178,10 +212,20 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         None
     };
     if let Some(path) = file_arg("events")? {
-        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        let sink = JsonLinesSink::new(std::io::BufWriter::new(file))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        obs.attach(Arc::new(Mutex::new(sink)));
+        if path == "-" {
+            // Stdout stream: suppress the wall-clock-bearing events so the
+            // same seed (and fault plan) yields a byte-identical stream.
+            let sink = JsonLinesSink::new(std::io::stdout())
+                .map_err(|e| format!("cannot write events to stdout: {e}"))?
+                .deterministic();
+            obs.attach(Arc::new(Mutex::new(sink)));
+        } else {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let sink = JsonLinesSink::new(std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            obs.attach(Arc::new(Mutex::new(sink)));
+        }
     }
     let metrics_sink = match file_arg("metrics")? {
         Some(_) => {
@@ -193,7 +237,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
     };
 
     let mut protocol = build_protocol(&name, setup.k, setup.rounds, &obs)?;
-    let report = setup.execute_observed(protocol.as_mut(), obs.clone());
+    let report = setup.execute_observed(protocol.as_mut(), obs.clone(), faults);
     obs.flush()
         .map_err(|e| format!("observer flush failed: {e}"))?;
 
@@ -550,6 +594,91 @@ mod artifact_tests {
         );
         assert_eq!(counter("rounds.ended").as_deref(), Some("3"), "{summary}");
         let _ = std::fs::remove_file(metrics_path);
+    }
+
+    #[test]
+    fn faulted_run_emits_fault_events() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join("qlec_test_plan.json");
+        let events_path = dir.join("qlec_test_fault_events.jsonl");
+        let plan = qlec_net::FaultPlan::named(
+            "cli-test",
+            vec![
+                qlec_net::FaultEvent::NodeCrash { round: 1, node: 2 },
+                qlec_net::FaultEvent::BsOutage {
+                    from_round: 2,
+                    to_round: 2,
+                },
+            ],
+        );
+        std::fs::write(&plan_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        run(&[
+            "run",
+            "--n",
+            "15",
+            "--rounds",
+            "3",
+            "--lambda",
+            "8",
+            "--faults",
+            plan_path.to_str().unwrap(),
+            "--events",
+            events_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&events_path).unwrap();
+        let events = qlec_obs::read_events(&text).expect("stream parses");
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                qlec_obs::Event::FaultInjected { kind, .. } => Some(kind.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["node-crash", "bs-outage"], "{text}");
+        let _ = std::fs::remove_file(plan_path);
+        let _ = std::fs::remove_file(events_path);
+    }
+
+    #[test]
+    fn faults_rejects_garbage_and_missing_paths() {
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--faults"]).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        let err = run(&[
+            "run",
+            "--n",
+            "10",
+            "--rounds",
+            "1",
+            "--faults",
+            "/no/such/plan.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        let bad = std::env::temp_dir().join("qlec_test_bad_plan.json");
+        std::fs::write(&bad, "{\"not\": \"a plan\"}").unwrap();
+        let err = run(&[
+            "run",
+            "--n",
+            "10",
+            "--rounds",
+            "1",
+            "--faults",
+            bad.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("not a fault plan"), "{err}");
+        let _ = std::fs::remove_file(bad);
+    }
+
+    #[test]
+    fn repo_example_plan_loads() {
+        // The worked example shipped in examples/ must stay loadable.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/faults.json");
+        let text = std::fs::read_to_string(path).expect("examples/faults.json exists");
+        let plan: qlec_net::FaultPlan = serde_json::from_str(&text).expect("parses");
+        plan.validate().expect("validates");
+        assert_eq!(plan.events.len(), 5, "one event of each kind");
     }
 
     #[test]

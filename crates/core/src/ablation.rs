@@ -52,8 +52,9 @@ impl Ablation {
         }
     }
 
-    /// Build the corresponding protocol.
-    pub fn protocol(self, params: QlecParams) -> QlecProtocol {
+    /// A [`QlecBuilder`](crate::qlec::QlecBuilder) preconfigured for this
+    /// variant — attach observers or tweak further before `build()`.
+    pub fn builder(self, params: QlecParams) -> crate::qlec::QlecBuilder {
         let mut features = SelectionFeatures::default();
         let mut q_routing = true;
         match self {
@@ -67,9 +68,16 @@ impl Ablation {
                 q_routing = false;
             }
         }
-        QlecProtocol::new(params)
-            .with_features(features, q_routing)
+        QlecProtocol::builder()
+            .params(params)
+            .features(features)
+            .q_routing(q_routing)
             .named(self.label())
+    }
+
+    /// Build the corresponding protocol.
+    pub fn protocol(self, params: QlecParams) -> QlecProtocol {
+        self.builder(params).build()
     }
 }
 

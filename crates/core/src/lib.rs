@@ -32,4 +32,4 @@ pub mod qlec;
 pub mod qrouting;
 
 pub use params::QlecParams;
-pub use qlec::QlecProtocol;
+pub use qlec::{QlecBuilder, QlecProtocol};

@@ -157,9 +157,9 @@ pub struct MultiHopQlec {
 impl MultiHopQlec {
     /// Multi-hop QLEC with the given parameters.
     pub fn new(params: QlecParams) -> Self {
-        MultiHopQlec {
-            inner: QlecProtocol::new(params).named("qlec-multihop"),
-        }
+        let mut inner = QlecProtocol::new(params);
+        inner.set_name("qlec-multihop");
+        MultiHopQlec { inner }
     }
 
     /// Paper parameters with a fixed cluster count.
@@ -167,22 +167,22 @@ impl MultiHopQlec {
         Self::new(QlecParams::paper_with_k(k))
     }
 
-    /// Attach an observer set (forwarded to the wrapped
-    /// [`QlecProtocol::with_observer`]).
+    /// Attach an observer set (forwarded to the wrapped protocol — see
+    /// [`crate::qlec::QlecBuilder::observer`]).
     pub fn with_observer(mut self, obs: qlec_obs::ObserverSet) -> Self {
-        self.inner = self.inner.with_observer(obs);
+        self.inner.set_observer(obs);
         self
     }
 
-    /// Feature override, forwarded to [`QlecProtocol::with_features`]
-    /// (ablations; e.g. nearest-head member routing isolates the
-    /// aggregate-routing comparison).
+    /// Feature override, forwarded to the wrapped protocol (ablations;
+    /// e.g. nearest-head member routing isolates the aggregate-routing
+    /// comparison) — see [`crate::qlec::QlecBuilder::features`].
     pub fn with_features(
         mut self,
         features: crate::deec_improved::SelectionFeatures,
         q_routing: bool,
     ) -> Self {
-        self.inner = self.inner.with_features(features, q_routing);
+        self.inner.set_features(features, q_routing);
         self
     }
 
@@ -389,7 +389,7 @@ mod tests {
         cfg.rounds = 8;
         let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
         let direct = Simulator::new(mk_net(1), cfg).run(
-            &mut QlecProtocol::paper_with_k(5).with_features(SelectionFeatures::default(), false),
+            &mut QlecProtocol::builder().k(5).q_routing(false).build(),
             &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
@@ -432,7 +432,7 @@ mod tests {
         let direct = mean(&|s| {
             let mut rng = StdRng::seed_from_u64(s ^ 0x55);
             Simulator::new(mk_net(s), cfg)
-                .run(&mut QlecProtocol::paper_with_k(5), &mut rng)
+                .run(&mut QlecProtocol::builder().k(5).build(), &mut rng)
                 .total_energy()
         });
         let multi = mean(&|s| {

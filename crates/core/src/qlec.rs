@@ -56,60 +56,88 @@ pub struct QlecProtocol {
     qrouting_ns: u64,
 }
 
-impl QlecProtocol {
-    /// The paper's QLEC with the given parameters.
-    pub fn new(params: QlecParams) -> Self {
-        params.validate().expect("invalid QlecParams");
-        QlecProtocol {
-            params,
+/// Fluent configuration for [`QlecProtocol`] — the one way to assemble a
+/// QLEC variant.
+///
+/// Replaces the former constructor zoo (`paper()`, `paper_with_k()`,
+/// `with_features()`, `with_observer()`, `with_aggregate_share()`,
+/// `named()` — all still available as deprecated shims). Defaults are the
+/// paper's Table 2 configuration with every selection feature enabled and
+/// Theorem 1's derived `k_opt`:
+///
+/// ```
+/// use qlec_core::QlecProtocol;
+/// let protocol = QlecProtocol::builder().k(5).named("qlec-k5").build();
+/// ```
+#[derive(Clone)]
+pub struct QlecBuilder {
+    params: QlecParams,
+    features: SelectionFeatures,
+    q_routing: bool,
+    aggregate_share: f64,
+    name: String,
+    obs: ObserverSet,
+}
+
+impl Default for QlecBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QlecBuilder {
+    /// Start from the paper's Table 2 parameters (all features on,
+    /// Q-routing on, derived `k_opt`, aggregate share 0.5).
+    pub fn new() -> Self {
+        QlecBuilder {
+            params: QlecParams::paper(),
             features: SelectionFeatures::default(),
             q_routing: true,
-            k: params.k_override,
-            grid: None,
-            router: None,
-            last_selection: None,
-            failed_this_packet: std::collections::HashMap::new(),
             aggregate_share: 0.5,
             name: "qlec".to_string(),
             obs: ObserverSet::new(),
-            current_round: 0,
-            qrouting_ns: 0,
         }
     }
 
-    /// Attach an observer set. Pass a clone of the set given to
-    /// [`qlec_net::Simulator::observed`] so protocol-level events (Q
-    /// updates, HELLO withdrawals, Q-routing timing) land in the same
-    /// sinks as the simulator's.
-    pub fn with_observer(mut self, obs: ObserverSet) -> Self {
-        self.obs = obs;
+    /// Replace the full parameter set (validated at [`Self::build`]).
+    pub fn params(mut self, params: QlecParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Fix the cluster count instead of deriving Theorem 1's `k_opt`
+    /// (the Fig. 3 configuration uses the §5.1 `k = 5`).
+    pub fn k(mut self, k: usize) -> Self {
+        self.params.k_override = Some(k);
+        self
+    }
+
+    /// Set the planned horizon `R` (drives the Eq. 2/Eq. 4 estimates).
+    pub fn total_rounds(mut self, rounds: u32) -> Self {
+        self.params.total_rounds = rounds;
+        self
+    }
+
+    /// Override the head-selection feature switchboard (ablations).
+    pub fn features(mut self, features: SelectionFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Enable or disable the Q-learning `Send-Data` routing rule; when
+    /// off, members fall back to nearest-head routing (plain-DEEC
+    /// behaviour) — the routing ablation.
+    pub fn q_routing(mut self, enabled: bool) -> Self {
+        self.q_routing = enabled;
         self
     }
 
     /// Override the data-fusion share used in the head V update (set it
     /// to the simulator's `compression` when running with a non-default
     /// ratio).
-    pub fn with_aggregate_share(mut self, share: f64) -> Self {
+    pub fn aggregate_share(mut self, share: f64) -> Self {
         assert!((0.0..=1.0).contains(&share), "share must be in [0,1]");
         self.aggregate_share = share;
-        self
-    }
-
-    /// QLEC with Table 2 parameters and Theorem 1's `k_opt`.
-    pub fn paper() -> Self {
-        Self::new(QlecParams::paper())
-    }
-
-    /// QLEC with Table 2 parameters and a fixed cluster count (the Fig. 3
-    /// configuration uses the §5.1 `k = 5`).
-    pub fn paper_with_k(k: usize) -> Self {
-        Self::new(QlecParams::paper_with_k(k))
-    }
-
-    /// Builder-style feature override (used by [`crate::ablation`]).
-    pub fn with_features(mut self, features: SelectionFeatures, q_routing: bool) -> Self {
-        self.features = features;
-        self.q_routing = q_routing;
         self
     }
 
@@ -117,6 +145,117 @@ impl QlecProtocol {
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Attach an observer set. Pass a clone of the set given to
+    /// [`qlec_net::Simulator::observed`] so protocol-level events (Q
+    /// updates, HELLO withdrawals, Q-routing timing) land in the same
+    /// sinks as the simulator's.
+    pub fn observer(mut self, obs: ObserverSet) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Validate the parameters and assemble the protocol.
+    ///
+    /// # Panics
+    ///
+    /// If the parameter set fails [`QlecParams::validate`].
+    pub fn build(self) -> QlecProtocol {
+        self.params.validate().expect("invalid QlecParams");
+        QlecProtocol {
+            params: self.params,
+            features: self.features,
+            q_routing: self.q_routing,
+            k: self.params.k_override,
+            grid: None,
+            router: None,
+            last_selection: None,
+            failed_this_packet: std::collections::HashMap::new(),
+            aggregate_share: self.aggregate_share,
+            name: self.name,
+            obs: self.obs,
+            current_round: 0,
+            qrouting_ns: 0,
+        }
+    }
+}
+
+impl QlecProtocol {
+    /// Start configuring a QLEC variant — see [`QlecBuilder`].
+    pub fn builder() -> QlecBuilder {
+        QlecBuilder::new()
+    }
+
+    /// The paper's QLEC with the given parameters.
+    pub fn new(params: QlecParams) -> Self {
+        QlecBuilder::new().params(params).build()
+    }
+
+    /// Attach an observer set.
+    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().observer(..)`")]
+    pub fn with_observer(mut self, obs: ObserverSet) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Override the data-fusion share used in the head V update.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QlecProtocol::builder().aggregate_share(..)`"
+    )]
+    pub fn with_aggregate_share(mut self, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&share), "share must be in [0,1]");
+        self.aggregate_share = share;
+        self
+    }
+
+    /// QLEC with Table 2 parameters and Theorem 1's `k_opt`.
+    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().build()`")]
+    pub fn paper() -> Self {
+        QlecBuilder::new().build()
+    }
+
+    /// QLEC with Table 2 parameters and a fixed cluster count.
+    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().k(..).build()`")]
+    pub fn paper_with_k(k: usize) -> Self {
+        QlecBuilder::new().k(k).build()
+    }
+
+    /// Builder-style feature override.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QlecProtocol::builder().features(..).q_routing(..)`"
+    )]
+    pub fn with_features(mut self, features: SelectionFeatures, q_routing: bool) -> Self {
+        self.features = features;
+        self.q_routing = q_routing;
+        self
+    }
+
+    /// Override the displayed protocol name.
+    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().named(..)`")]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// In-crate observer attachment (wrappers like
+    /// [`crate::multihop::MultiHopQlec`] forward to this without touching
+    /// the deprecated public shim).
+    pub(crate) fn set_observer(&mut self, obs: ObserverSet) {
+        self.obs = obs;
+    }
+
+    /// In-crate feature override (see [`Self::set_observer`]).
+    pub(crate) fn set_features(&mut self, features: SelectionFeatures, q_routing: bool) {
+        self.features = features;
+        self.q_routing = q_routing;
+    }
+
+    /// In-crate rename (see [`Self::set_observer`]).
+    pub(crate) fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     /// The cluster count in use (`None` until the first round when it is
@@ -148,7 +287,7 @@ impl QlecProtocol {
             self.k = Some(k);
         }
         if self.grid.is_none() {
-            self.grid = Some(UniformGrid::build(net.positions(), 8));
+            self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
         }
         if self.router.is_none() {
             self.router = Some(QRouter::new(net, self.params));
@@ -306,7 +445,7 @@ mod tests {
     fn full_run_is_conserved_and_delivers() {
         let net = paper_net(1, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(2);
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let report = Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng);
         assert!(report.totals.is_conserved());
         assert!(report.pdr() > 0.9, "QLEC idle PDR {}", report.pdr());
@@ -318,7 +457,7 @@ mod tests {
     fn kopt_is_derived_when_not_overridden() {
         let net = paper_net(3, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(4);
-        let mut p = QlecProtocol::paper();
+        let mut p = QlecProtocol::builder().build();
         assert_eq!(p.k(), None);
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 1;
@@ -332,7 +471,7 @@ mod tests {
     fn head_counts_stay_near_k() {
         let net = paper_net(5, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(6);
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let report = Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng);
         let mean = report.mean_head_count();
         assert!((4.0..=6.0).contains(&mean), "mean head count {mean}");
@@ -342,7 +481,7 @@ mod tests {
     fn members_avoid_direct_bs_when_heads_exist() {
         let net = paper_net(7, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(8);
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 5;
         let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
@@ -362,8 +501,7 @@ mod tests {
         let run = |q_routing: bool, seed: u64| {
             let net = paper_net(9, AnyLink::Ideal(IdealLink));
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut p = QlecProtocol::paper_with_k(5)
-                .with_features(SelectionFeatures::default(), q_routing);
+            let mut p = QlecProtocol::builder().k(5).q_routing(q_routing).build();
             let mut cfg = SimConfig::paper(2.0); // congested
             cfg.rounds = 10;
             Simulator::new(net, cfg).run(&mut p, &mut rng).pdr()
@@ -390,8 +528,7 @@ mod tests {
         let run = |q_routing: bool, seed: u64| {
             let net = paper_net(9, link);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut p = QlecProtocol::paper_with_k(5)
-                .with_features(SelectionFeatures::default(), q_routing);
+            let mut p = QlecProtocol::builder().k(5).q_routing(q_routing).build();
             let mut cfg = SimConfig::paper(4.0);
             cfg.rounds = 10;
             Simulator::new(net, cfg).run(&mut p, &mut rng).pdr()
@@ -409,7 +546,7 @@ mod tests {
     fn rotation_spreads_head_duty() {
         let net = paper_net(15, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(16);
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 20;
         let sim = Simulator::new(net, cfg);
@@ -434,7 +571,7 @@ mod tests {
             net.node_mut(NodeId(i)).battery.consume(4.99);
         }
         let mut rng = StdRng::seed_from_u64(18);
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 10;
         let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
@@ -443,7 +580,23 @@ mod tests {
 
     #[test]
     fn named_variant_reports_custom_name() {
-        let p = QlecProtocol::paper_with_k(5).named("qlec-ablated");
+        let p = QlecProtocol::builder().k(5).named("qlec-ablated").build();
         assert_eq!(p.name(), "qlec-ablated");
+    }
+
+    /// The pre-builder constructor surface must keep compiling and keep
+    /// its behaviour until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let p = QlecProtocol::paper_with_k(7)
+            .with_features(SelectionFeatures::default(), false)
+            .with_aggregate_share(0.25)
+            .named("legacy");
+        assert_eq!(p.name(), "legacy");
+        assert_eq!(p.k(), Some(7));
+        let q = QlecProtocol::paper().with_observer(qlec_obs::ObserverSet::new());
+        assert_eq!(q.name(), "qlec");
+        assert_eq!(q.k(), None);
     }
 }

@@ -1,0 +1,392 @@
+//! The replay engine: [`FaultDriver`] turns a [`FaultPlan`] into
+//! per-round directives the simulator applies.
+//!
+//! The driver is a pure function of (plan, round): it owns no RNG and no
+//! simulation state beyond the resolved region membership, so the same
+//! plan yields the same directives on every run — the determinism the
+//! byte-identical event-stream guarantee rests on.
+
+use crate::plan::{FaultEvent, FaultPlan, LinkEnd};
+use qlec_geom::Vec3;
+use std::collections::HashMap;
+
+/// Sentinel pair-key index for the base station.
+const BS_KEY: u32 = u32::MAX;
+
+fn end_key(end: LinkEnd) -> u32 {
+    match end {
+        LinkEnd::Node(n) => n,
+        LinkEnd::Bs => BS_KEY,
+    }
+}
+
+/// Unordered pair key (degradation is symmetric).
+fn pair_key(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// A fault that became active this round — raw material for the
+/// observability layer's `FaultInjected` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Stable kind label (see [`FaultEvent::kind`]).
+    pub kind: &'static str,
+    /// Nodes directly affected (empty for a BS outage; the resolved
+    /// membership for a region blackout).
+    pub nodes: Vec<u32>,
+}
+
+/// Directives for one round, returned by [`FaultDriver::begin_round`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundFaults {
+    /// Nodes that must be offline this round (sorted, deduplicated):
+    /// every crash at or before this round plus every active blackout.
+    pub offline: Vec<u32>,
+    /// One-shot battery drains `(node, joules)` scheduled for exactly
+    /// this round, in plan order.
+    pub drains: Vec<(u32, f64)>,
+    /// Whether a BS outage window covers this round.
+    pub bs_down: bool,
+    /// Faults whose window *starts* this round, in plan order.
+    pub injected: Vec<InjectedFault>,
+}
+
+/// Replays a [`FaultPlan`] round by round.
+///
+/// Usage: [`FaultDriver::new`] → [`FaultDriver::bind`] (gives the driver
+/// node positions so region blackouts resolve to node sets; the
+/// simulator does this for you) → [`FaultDriver::begin_round`] once per
+/// round, then [`FaultDriver::loss_multiplier`] / [`FaultDriver::bs_down`]
+/// during the round's transmissions.
+#[derive(Debug, Clone)]
+pub struct FaultDriver {
+    plan: FaultPlan,
+    /// Region membership per plan-event index (empty vec for non-region
+    /// events); `None` until [`FaultDriver::bind`].
+    region_members: Option<Vec<Vec<u32>>>,
+    /// Active per-pair loss multipliers for the current round, keyed by
+    /// the unordered pair (BS encoded as `u32::MAX`). Overlapping
+    /// degradations on one pair multiply.
+    link_mults: HashMap<(u32, u32), f64>,
+    bs_down: bool,
+}
+
+impl FaultDriver {
+    /// Build a driver over a validated plan.
+    pub fn new(plan: FaultPlan) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(FaultDriver {
+            plan,
+            region_members: None,
+            link_mults: HashMap::new(),
+            bs_down: false,
+        })
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Resolve region blackouts against the deployment's node positions
+    /// (index = node id). Idempotent; must run before the first
+    /// [`FaultDriver::begin_round`] when the plan has region blackouts.
+    pub fn bind(&mut self, positions: &[Vec3]) {
+        let members = self
+            .plan
+            .events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::RegionBlackout { region, .. } => positions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| region.contains(p))
+                    .map(|(i, _)| i as u32)
+                    .collect(),
+                _ => Vec::new(),
+            })
+            .collect();
+        self.region_members = Some(members);
+    }
+
+    /// Compute this round's directives and update the link/BS state the
+    /// per-hop queries read. Rounds may be queried in any order; state is
+    /// recomputed from the plan each call.
+    pub fn begin_round(&mut self, round: u32) -> RoundFaults {
+        let needs_regions = self
+            .plan
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::RegionBlackout { .. }));
+        assert!(
+            !needs_regions || self.region_members.is_some(),
+            "FaultDriver::bind must run before begin_round when the plan has region blackouts"
+        );
+
+        let mut out = RoundFaults::default();
+        self.link_mults.clear();
+        self.bs_down = false;
+
+        for (i, event) in self.plan.events.iter().enumerate() {
+            let starts_now = event.start_round() == round;
+            match event {
+                FaultEvent::NodeCrash { round: r, node } => {
+                    if *r <= round {
+                        out.offline.push(*node);
+                    }
+                }
+                FaultEvent::BatteryDrain {
+                    round: r,
+                    node,
+                    joules,
+                } => {
+                    if *r == round {
+                        out.drains.push((*node, *joules));
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    from_round,
+                    to_round,
+                    a,
+                    b,
+                    loss_multiplier,
+                } => {
+                    if (*from_round..=*to_round).contains(&round) {
+                        let key = pair_key(end_key(*a), end_key(*b));
+                        *self.link_mults.entry(key).or_insert(1.0) *= loss_multiplier;
+                    }
+                }
+                FaultEvent::RegionBlackout {
+                    from_round,
+                    to_round,
+                    ..
+                } => {
+                    if (*from_round..=*to_round).contains(&round) {
+                        let members = &self.region_members.as_ref().expect("asserted above")[i];
+                        out.offline.extend_from_slice(members);
+                    }
+                }
+                FaultEvent::BsOutage {
+                    from_round,
+                    to_round,
+                } => {
+                    if (*from_round..=*to_round).contains(&round) {
+                        self.bs_down = true;
+                    }
+                }
+            }
+            if starts_now {
+                let nodes = match event {
+                    FaultEvent::NodeCrash { node, .. } | FaultEvent::BatteryDrain { node, .. } => {
+                        vec![*node]
+                    }
+                    FaultEvent::LinkDegrade { a, b, .. } => [*a, *b]
+                        .into_iter()
+                        .filter_map(|e| match e {
+                            LinkEnd::Node(n) => Some(n),
+                            LinkEnd::Bs => None,
+                        })
+                        .collect(),
+                    FaultEvent::RegionBlackout { .. } => {
+                        self.region_members.as_ref().expect("asserted above")[i].clone()
+                    }
+                    FaultEvent::BsOutage { .. } => Vec::new(),
+                };
+                out.injected.push(InjectedFault {
+                    kind: event.kind(),
+                    nodes,
+                });
+            }
+        }
+
+        out.offline.sort_unstable();
+        out.offline.dedup();
+        out.bs_down = self.bs_down;
+        out
+    }
+
+    /// The loss-rate multiplier currently active on the pair
+    /// `(a, b)` — `b = None` means the base station. `1.0` when no
+    /// degradation covers the pair this round.
+    #[inline]
+    pub fn loss_multiplier(&self, a: u32, b: Option<u32>) -> f64 {
+        if self.link_mults.is_empty() {
+            return 1.0;
+        }
+        let key = pair_key(a, b.unwrap_or(BS_KEY));
+        self.link_mults.get(&key).copied().unwrap_or(1.0)
+    }
+
+    /// Whether a BS outage covers the round last passed to
+    /// [`FaultDriver::begin_round`].
+    #[inline]
+    pub fn bs_down(&self) -> bool {
+        self.bs_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlec_geom::Aabb;
+
+    fn driver(events: Vec<FaultEvent>) -> FaultDriver {
+        FaultDriver::new(FaultPlan::named("t", events)).unwrap()
+    }
+
+    #[test]
+    fn crash_is_permanent_and_injected_once() {
+        let mut d = driver(vec![FaultEvent::NodeCrash { round: 2, node: 5 }]);
+        assert_eq!(d.begin_round(1), RoundFaults::default());
+        let r2 = d.begin_round(2);
+        assert_eq!(r2.offline, vec![5]);
+        assert_eq!(
+            r2.injected,
+            vec![InjectedFault {
+                kind: "node-crash",
+                nodes: vec![5]
+            }]
+        );
+        let r9 = d.begin_round(9);
+        assert_eq!(r9.offline, vec![5], "crash persists");
+        assert!(r9.injected.is_empty(), "injected only at the crash round");
+    }
+
+    #[test]
+    fn drain_fires_exactly_once() {
+        let mut d = driver(vec![FaultEvent::BatteryDrain {
+            round: 3,
+            node: 1,
+            joules: 0.25,
+        }]);
+        assert!(d.begin_round(2).drains.is_empty());
+        assert_eq!(d.begin_round(3).drains, vec![(1, 0.25)]);
+        assert!(d.begin_round(4).drains.is_empty());
+    }
+
+    #[test]
+    fn link_degradation_window_and_symmetry() {
+        let mut d = driver(vec![FaultEvent::LinkDegrade {
+            from_round: 2,
+            to_round: 4,
+            a: LinkEnd::Node(3),
+            b: LinkEnd::Node(8),
+            loss_multiplier: 5.0,
+        }]);
+        d.begin_round(1);
+        assert_eq!(d.loss_multiplier(3, Some(8)), 1.0, "not yet active");
+        d.begin_round(2);
+        assert_eq!(d.loss_multiplier(3, Some(8)), 5.0);
+        assert_eq!(d.loss_multiplier(8, Some(3)), 5.0, "symmetric");
+        assert_eq!(d.loss_multiplier(3, Some(9)), 1.0, "other pairs clean");
+        assert_eq!(d.loss_multiplier(3, None), 1.0, "BS hop clean");
+        d.begin_round(4);
+        assert_eq!(d.loss_multiplier(3, Some(8)), 5.0, "inclusive window end");
+        d.begin_round(5);
+        assert_eq!(d.loss_multiplier(3, Some(8)), 1.0, "expired");
+    }
+
+    #[test]
+    fn overlapping_degradations_multiply() {
+        let mk = |m| FaultEvent::LinkDegrade {
+            from_round: 0,
+            to_round: 9,
+            a: LinkEnd::Node(1),
+            b: LinkEnd::Bs,
+            loss_multiplier: m,
+        };
+        let mut d = driver(vec![mk(2.0), mk(3.0)]);
+        d.begin_round(0);
+        assert!((d.loss_multiplier(1, None) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_blackout_resolves_members_and_recovers() {
+        let positions = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(90.0, 90.0, 90.0),
+            Vec3::new(40.0, 40.0, 40.0),
+        ];
+        let mut d = driver(vec![FaultEvent::RegionBlackout {
+            from_round: 1,
+            to_round: 2,
+            region: Aabb::new(Vec3::ZERO, Vec3::splat(50.0)),
+        }]);
+        d.bind(&positions);
+        assert!(d.begin_round(0).offline.is_empty());
+        let r1 = d.begin_round(1);
+        assert_eq!(r1.offline, vec![0, 2]);
+        assert_eq!(r1.injected[0].kind, "region-blackout");
+        assert_eq!(r1.injected[0].nodes, vec![0, 2]);
+        let r2 = d.begin_round(2);
+        assert_eq!(r2.offline, vec![0, 2], "still dark inside the window");
+        assert!(r2.injected.is_empty());
+        assert!(d.begin_round(3).offline.is_empty(), "nodes recover");
+    }
+
+    #[test]
+    #[should_panic(expected = "bind must run")]
+    fn unbound_region_plan_panics() {
+        let mut d = driver(vec![FaultEvent::RegionBlackout {
+            from_round: 0,
+            to_round: 1,
+            region: Aabb::cube(10.0),
+        }]);
+        let _ = d.begin_round(0);
+    }
+
+    #[test]
+    fn bs_outage_window() {
+        let mut d = driver(vec![FaultEvent::BsOutage {
+            from_round: 2,
+            to_round: 3,
+        }]);
+        let r1 = d.begin_round(1);
+        assert!(!r1.bs_down && !d.bs_down());
+        let r2 = d.begin_round(2);
+        assert!(r2.bs_down && d.bs_down());
+        assert_eq!(r2.injected[0].kind, "bs-outage");
+        assert!(r2.injected[0].nodes.is_empty());
+        assert!(!d.begin_round(4).bs_down);
+    }
+
+    #[test]
+    fn directives_are_deterministic_across_replays() {
+        let events = vec![
+            FaultEvent::NodeCrash { round: 1, node: 9 },
+            FaultEvent::RegionBlackout {
+                from_round: 0,
+                to_round: 5,
+                region: Aabb::cube(100.0),
+            },
+            FaultEvent::BsOutage {
+                from_round: 3,
+                to_round: 3,
+            },
+        ];
+        let positions: Vec<Vec3> = (0..20).map(|i| Vec3::splat(i as f64 * 10.0)).collect();
+        let run = || {
+            let mut d = driver(events.clone());
+            d.bind(&positions);
+            (0..8).map(|r| d.begin_round(r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        assert!(FaultDriver::new(FaultPlan::named(
+            "bad",
+            vec![FaultEvent::BsOutage {
+                from_round: 5,
+                to_round: 1
+            }]
+        ))
+        .is_err());
+    }
+}

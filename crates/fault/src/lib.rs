@@ -1,0 +1,40 @@
+//! # qlec-fault — deterministic scheduled fault injection
+//!
+//! QLEC's Q-routing (Algorithm 4) learns link success probabilities from
+//! ACK ratios, so its claimed advantage over geometric clustering only
+//! shows when the environment *changes under it*: heads crash, links
+//! degrade mid-run, whole regions go dark. This crate supplies that
+//! environment as plain data: a [`FaultPlan`] is a serde-round-trippable
+//! schedule of [`FaultEvent`]s, and a [`FaultDriver`] replays it round by
+//! round for the simulator.
+//!
+//! Everything here is **deterministic by construction** — the driver
+//! holds no RNG; the same plan produces the same per-round directives on
+//! every run. Combined with a seeded simulation, a faulted run is exactly
+//! reproducible (the `--events -` stream of `qlec-cli` is byte-identical
+//! across runs of the same plan + seed).
+//!
+//! This crate sits *below* `qlec-net` in the dependency graph (like
+//! `qlec-obs`), so node identities are raw `u32` indexes and geometry
+//! comes from [`qlec_geom`] ([`Aabb`](qlec_geom::Aabb) regions,
+//! [`Vec3`](qlec_geom::Vec3) positions).
+//!
+//! ## Fault taxonomy
+//!
+//! | Event | Window | Effect |
+//! |---|---|---|
+//! | [`FaultEvent::NodeCrash`] | permanent from `round` | node goes offline forever |
+//! | [`FaultEvent::BatteryDrain`] | one-shot at `round` | battery loses `joules` |
+//! | [`FaultEvent::LinkDegrade`] | `from_round..=to_round` | pair loss rate × `loss_multiplier` |
+//! | [`FaultEvent::RegionBlackout`] | `from_round..=to_round` | every node in the box offline |
+//! | [`FaultEvent::BsOutage`] | `from_round..=to_round` | every hop to the BS fails |
+//!
+//! See `crates/fault/README.md` for a worked `plan.json` example.
+
+#![forbid(unsafe_code)]
+
+mod driver;
+mod plan;
+
+pub use driver::{FaultDriver, InjectedFault, RoundFaults};
+pub use plan::{FaultEvent, FaultPlan, LinkEnd};

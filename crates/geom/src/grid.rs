@@ -40,8 +40,13 @@ pub struct UniformGrid {
 impl UniformGrid {
     /// Build a grid over `points` with roughly `target_per_cell` points per
     /// cell on average. An empty point set yields a valid, empty index.
-    pub fn build(points: Vec<Vec3>, target_per_cell: usize) -> Self {
+    ///
+    /// Accepts any position iterator, so callers holding positions inside
+    /// richer records (e.g. a network's nodes) can feed them straight in
+    /// without materialising an intermediate `Vec`.
+    pub fn build(points: impl IntoIterator<Item = Vec3>, target_per_cell: usize) -> Self {
         assert!(target_per_cell > 0, "target_per_cell must be positive");
+        let points: Vec<Vec3> = points.into_iter().collect();
         let bounds = Aabb::enclosing(&points).unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
         let n = points.len().max(1);
         // Cube-root heuristic: total cells ≈ n / target_per_cell, split
@@ -229,7 +234,7 @@ mod tests {
 
     #[test]
     fn empty_grid_is_fine() {
-        let g = UniformGrid::build(Vec::new(), 4);
+        let g = UniformGrid::build(std::iter::empty(), 4);
         assert!(g.is_empty());
         assert!(g.within_radius(Vec3::ZERO, 10.0).is_empty());
         assert!(g.nearest(Vec3::ZERO).is_none());

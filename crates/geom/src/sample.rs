@@ -69,7 +69,7 @@ pub fn mc_mean_sq_dist_ball<R: Rng + ?Sized>(rng: &mut R, radius: f64, samples: 
 /// Monte-Carlo estimate of the mean distance from a uniform point in the
 /// cube `[0, m]³` to the cube centre.
 ///
-/// Theorem 1 approximates `d_toBS` by this quantity (following [1] in the
+/// Theorem 1 approximates `d_toBS` by this quantity (following \[1\] in the
 /// paper); the closed form for the unit cube is `≈ 0.480296·m`
 /// (Robbins-type constant), which tests assert against.
 pub fn mc_mean_dist_to_center<R: Rng + ?Sized>(rng: &mut R, m: f64, samples: usize) -> f64 {

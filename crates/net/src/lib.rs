@@ -43,4 +43,5 @@ pub use network::{Network, NetworkBuilder};
 pub use node::{Node, NodeId, Role};
 pub use packet::{Packet, Target};
 pub use protocol::Protocol;
+pub use qlec_fault::{FaultDriver, FaultEvent, FaultPlan};
 pub use sim::{SimConfig, Simulator};

@@ -150,6 +150,13 @@ impl Network {
         self.nodes.iter().map(|n| n.pos).collect()
     }
 
+    /// Node positions in id order, without allocating — feed this to
+    /// [`qlec_geom::UniformGrid::build`] instead of [`Network::positions`]
+    /// when the `Vec` copy is not needed.
+    pub fn iter_positions(&self) -> impl Iterator<Item = Vec3> + '_ {
+        self.nodes.iter().map(|n| n.pos)
+    }
+
     /// Reset every node's role to member (start of a round).
     pub fn reset_roles(&mut self) {
         for n in &mut self.nodes {

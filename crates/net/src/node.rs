@@ -51,6 +51,11 @@ pub struct Node {
     /// How many times the node has served as a cluster head (diagnostics
     /// and rotation-fairness tests).
     pub head_count: u32,
+    /// Whether the node's hardware is up. Fault injection (`qlec-fault`)
+    /// clears this for crashed/blacked-out nodes; a node with charge but
+    /// `online == false` is as dead to the protocol stack as an empty
+    /// battery, except that a blackout may later restore it.
+    pub online: bool,
 }
 
 impl Node {
@@ -63,6 +68,7 @@ impl Node {
             role: Role::Member,
             last_head_round: None,
             head_count: 0,
+            online: true,
         }
     }
 
@@ -72,10 +78,11 @@ impl Node {
         self.battery.residual()
     }
 
-    /// Whether the node can still participate (non-empty battery).
+    /// Whether the node can still participate: hardware up *and* a
+    /// non-empty battery.
     #[inline]
     pub fn is_alive(&self) -> bool {
-        !self.battery.is_empty()
+        self.online && !self.battery.is_empty()
     }
 
     /// Whether the node is below the §5.1 death line.
@@ -133,6 +140,17 @@ mod tests {
         assert_eq!(n.last_head_round, None);
         assert_eq!(n.head_count, 0);
         assert_eq!(format!("{}", n.id), "b3");
+    }
+
+    #[test]
+    fn offline_node_is_not_alive() {
+        let mut n = node();
+        assert!(n.online);
+        n.online = false;
+        assert!(!n.is_alive(), "offline overrides a charged battery");
+        assert_eq!(n.residual(), 5.0, "battery state is preserved");
+        n.online = true;
+        assert!(n.is_alive(), "recovery restores the node");
     }
 
     #[test]

@@ -29,9 +29,10 @@ use crate::packet::{Packet, Target};
 use crate::protocol::Protocol;
 use crate::queue::{ChQueue, Offer, QueueDrop};
 use crate::traffic::PoissonTraffic;
+use qlec_fault::FaultDriver;
 use qlec_geom::stats::Welford;
 use qlec_obs::{Event, ObserverSet, PacketFate, Phase};
-use qlec_radio::link::LinkModel;
+use qlec_radio::link::{AnyLink, LinkModel};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -137,6 +138,7 @@ pub struct Simulator {
     cfg: SimConfig,
     next_packet_id: u64,
     obs: ObserverSet,
+    faults: Option<FaultDriver>,
 }
 
 impl Simulator {
@@ -150,7 +152,20 @@ impl Simulator {
             cfg,
             next_packet_id: 0,
             obs: ObserverSet::new(),
+            faults: None,
         }
+    }
+
+    /// Attach a fault driver (`qlec-fault`): its plan's scheduled events
+    /// — node crashes, battery drains, link degradations, region
+    /// blackouts, BS outages — are applied at the start of each round and
+    /// during that round's transmissions. The driver is bound to this
+    /// network's node positions here, so region blackouts resolve against
+    /// the actual deployment.
+    pub fn with_faults(mut self, mut driver: FaultDriver) -> Self {
+        driver.bind(&self.net.positions());
+        self.faults = Some(driver);
+        self
     }
 
     /// Attach an observer set; every structured event of the run is
@@ -231,6 +246,35 @@ impl Simulator {
         round: u32,
     ) -> (RoundMetrics, Welford) {
         let cfg = self.cfg;
+
+        // ---- Phase 0: scheduled fault injection ----------------------
+        // Applied before anything else so crashed/blacked-out nodes are
+        // invisible to election and traffic generation, and exogenous
+        // battery drains stay out of the round's protocol energy ledger
+        // (they are visible in per-node consumption rates). The driver is
+        // moved into a local so the hop loops below can query it without
+        // borrowing `self`.
+        let mut faults = self.faults.take();
+        let injected = if let Some(driver) = faults.as_mut() {
+            let directives = driver.begin_round(round);
+            for node in self.net.nodes_mut() {
+                node.online = true;
+            }
+            for &id in &directives.offline {
+                if (id as usize) < self.net.len() {
+                    self.net.node_mut(NodeId(id)).online = false;
+                }
+            }
+            for &(id, joules) in &directives.drains {
+                if (id as usize) < self.net.len() {
+                    self.net.node_mut(NodeId(id)).battery.consume(joules);
+                }
+            }
+            directives.injected
+        } else {
+            Vec::new()
+        };
+
         let energy_before = self.net.total_consumed();
         let round_start = round as f64 * cfg.slots_per_round;
         let deadline = round_start + cfg.slots_per_round;
@@ -245,6 +289,13 @@ impl Simulator {
                 alive: self.net.alive_count(),
                 sim_time: round_start,
             });
+            for f in &injected {
+                self.obs.emit(Event::FaultInjected {
+                    round,
+                    kind: f.kind.to_string(),
+                    nodes: f.nodes.clone(),
+                });
+            }
             self.net.nodes().iter().map(|n| n.is_alive()).collect()
         } else {
             Vec::new()
@@ -358,6 +409,16 @@ impl Simulator {
                     fail = FailCause::Dead;
                     break;
                 }
+                if attempt > 0 {
+                    counters.retried += 1;
+                    if self.obs.is_active() {
+                        self.obs.emit(Event::PacketRetried {
+                            round,
+                            src: src.0,
+                            attempt,
+                        });
+                    }
+                }
                 let attempt_time = time + attempt as f64 * cfg.hop_delay;
                 let target = protocol.choose_target(&self.net, src, &heads, rng);
                 let d = match target {
@@ -376,7 +437,7 @@ impl Simulator {
                 breakdown.member_tx += e;
                 match target {
                     Target::Bs => {
-                        if link.sample(rng, d) {
+                        if sample_hop(faults.as_ref(), &link, rng, d, src.0, None) {
                             counters.delivered += 1;
                             let lat = attempt_time + cfg.hop_delay - pkt.created_at;
                             latency.push(lat);
@@ -396,7 +457,7 @@ impl Simulator {
                     }
                     Target::Head(h) => {
                         let head_alive = self.net.node(h).is_alive();
-                        let radio_ok = link.sample(rng, d);
+                        let radio_ok = sample_hop(faults.as_ref(), &link, rng, d, src.0, Some(h.0));
                         if !radio_ok || !head_alive || !queues.contains_key(&h) {
                             fail = FailCause::Link;
                             protocol.on_hop_result(src, target, false);
@@ -527,13 +588,23 @@ impl Simulator {
                 if !ok {
                     break;
                 }
-                let d = match hop {
-                    Target::Bs => self.net.dist_to_bs(cur),
-                    Target::Head(h) => self.net.distance(cur, h),
+                let (d, dst) = match hop {
+                    Target::Bs => (self.net.dist_to_bs(cur), None),
+                    Target::Head(h) => (self.net.distance(cur, h), Some(h.0)),
                 };
                 // Each attempt costs transmit energy; retries re-send.
                 let mut hop_ok = false;
-                for _ in 0..=cfg.aggregate_retries {
+                for attempt in 0..=cfg.aggregate_retries {
+                    if attempt > 0 {
+                        counters.retried += 1;
+                        if self.obs.is_active() {
+                            self.obs.emit(Event::PacketRetried {
+                                round,
+                                src: cur.0,
+                                attempt,
+                            });
+                        }
+                    }
                     let e = radio.tx_energy(agg_bits, d);
                     let b = &mut self.net.node_mut(cur).battery;
                     if !b.can_supply(e) {
@@ -542,7 +613,7 @@ impl Simulator {
                     }
                     b.consume(e);
                     breakdown.aggregate_tx += e;
-                    if link.sample(rng, d) {
+                    if sample_hop(faults.as_ref(), &link, rng, d, cur.0, dst) {
                         hop_ok = true;
                         break;
                     }
@@ -638,8 +709,38 @@ impl Simulator {
                 residuals_j: self.net.nodes().iter().map(|n| n.residual()).collect(),
             });
         }
+        self.faults = faults;
         (metrics, latency)
     }
+}
+
+/// Sample one radio transmission, honouring any active fault directives:
+/// a BS outage fails every hop whose receiver is the BS (the caller has
+/// already charged the transmit energy), and an active per-pair
+/// degradation scales the loss rate — `p_eff = 1 − min(1, (1 − p) · mult)`.
+/// When no directive covers the pair this is exactly `link.sample` with
+/// an identical RNG draw count, so rounds (and whole runs) without active
+/// faults reproduce the baseline random sequence.
+fn sample_hop(
+    faults: Option<&FaultDriver>,
+    link: &AnyLink,
+    rng: &mut dyn RngCore,
+    d: f64,
+    src: u32,
+    dst: Option<u32>,
+) -> bool {
+    let Some(f) = faults else {
+        return link.sample(rng, d);
+    };
+    if dst.is_none() && f.bs_down() {
+        return false;
+    }
+    let mult = f.loss_multiplier(src, dst);
+    if mult == 1.0 {
+        return link.sample(rng, d);
+    }
+    let p = 1.0 - ((1.0 - link.delivery_probability(d)) * mult).min(1.0);
+    rng.gen::<f64>() < p
 }
 
 #[cfg(test)]
@@ -840,6 +941,164 @@ mod tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.compression = 2.0;
         let _ = Simulator::new(net, cfg);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::protocol::{DirectToBsProtocol, GreedyEnergyProtocol};
+    use qlec_fault::{FaultEvent, FaultPlan};
+    use qlec_radio::link::{AnyLink, DistanceLossLink, IdealLink};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64, link: AnyLink) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new()
+            .link(link)
+            .uniform_cube(&mut rng, 30, 200.0, 5.0)
+    }
+
+    fn driver(events: Vec<FaultEvent>) -> FaultDriver {
+        FaultDriver::new(FaultPlan::named("test", events)).unwrap()
+    }
+
+    #[test]
+    fn crashed_node_stops_consuming_and_conservation_holds() {
+        let crash_round = 2;
+        let victim = NodeId(4);
+        let mut cfg = SimConfig::paper(3.0);
+        cfg.rounds = 6;
+        let run = |faulted: bool| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut sim = Simulator::new(net(31, AnyLink::Ideal(IdealLink)), cfg);
+            if faulted {
+                sim = sim.with_faults(driver(vec![FaultEvent::NodeCrash {
+                    round: crash_round,
+                    node: victim.0,
+                }]));
+            }
+            sim.run(&mut GreedyEnergyProtocol::new(4), &mut rng)
+        };
+        let report = run(true);
+        assert!(report.totals.is_conserved());
+        // The victim consumed strictly less than in the fault-free run
+        // (it was cut off after round 2 of 6).
+        let baseline = run(false);
+        let consumed = |r: &SimReport| r.consumption_rates[victim.index()];
+        assert!(
+            consumed(&report) < consumed(&baseline),
+            "crashed node kept spending energy: faulted {} vs baseline {}",
+            consumed(&report),
+            consumed(&baseline)
+        );
+    }
+
+    #[test]
+    fn battery_drain_reduces_residual_outside_protocol_ledger() {
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 2;
+        let mut rng = StdRng::seed_from_u64(11);
+        let sim =
+            Simulator::new(net(33, AnyLink::Ideal(IdealLink)), cfg).with_faults(driver(vec![
+                FaultEvent::BatteryDrain {
+                    round: 1,
+                    node: 0,
+                    joules: 3.0,
+                },
+            ]));
+        let report = sim.run(&mut GreedyEnergyProtocol::new(3), &mut rng);
+        // The drain shows up in the node's consumption rate…
+        assert!(
+            report.consumption_rates[0] > 3.0 / 5.0,
+            "drain missing from consumption rate {}",
+            report.consumption_rates[0]
+        );
+        // …but not in the per-round protocol energy ledger (3 J would
+        // dwarf a 2-round, 30-node run's radio budget).
+        assert!(
+            report.total_energy() < 3.0,
+            "exogenous drain leaked into protocol energy: {} J",
+            report.total_energy()
+        );
+        assert!(report.totals.is_conserved());
+    }
+
+    #[test]
+    fn bs_outage_window_blocks_all_deliveries() {
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 3;
+        let mut rng = StdRng::seed_from_u64(13);
+        let sim =
+            Simulator::new(net(35, AnyLink::Ideal(IdealLink)), cfg).with_faults(driver(vec![
+                FaultEvent::BsOutage {
+                    from_round: 1,
+                    to_round: 1,
+                },
+            ]));
+        let report = sim.run(&mut DirectToBsProtocol, &mut rng);
+        assert!(report.totals.is_conserved());
+        assert_eq!(report.rounds[0].packets.pdr(), 1.0, "before the outage");
+        assert_eq!(
+            report.rounds[1].packets.delivered, 0,
+            "nothing reaches a dark BS"
+        );
+        assert!(report.rounds[1].packets.retried > 0, "retries were spent");
+        assert_eq!(report.rounds[2].packets.pdr(), 1.0, "after recovery");
+    }
+
+    #[test]
+    fn link_degradation_raises_retries_and_stays_conserved() {
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 4;
+        cfg.member_retries = 3;
+        let events = (0..30)
+            .map(|n| FaultEvent::LinkDegrade {
+                from_round: 0,
+                to_round: 3,
+                a: qlec_fault::LinkEnd::Node(n),
+                b: qlec_fault::LinkEnd::Bs,
+                loss_multiplier: 40.0,
+            })
+            .collect();
+        let link = AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0));
+        let mut rng = StdRng::seed_from_u64(17);
+        let faulted = Simulator::new(net(37, link), cfg)
+            .with_faults(driver(events))
+            .run(&mut DirectToBsProtocol, &mut rng);
+        let mut rng = StdRng::seed_from_u64(17);
+        let clean = Simulator::new(net(37, link), cfg).run(&mut DirectToBsProtocol, &mut rng);
+        assert!(faulted.totals.is_conserved());
+        assert!(clean.totals.is_conserved());
+        assert!(
+            faulted.totals.retried > clean.totals.retried,
+            "degraded links must force more retries: {} vs {}",
+            faulted.totals.retried,
+            clean.totals.retried
+        );
+        assert!(faulted.pdr() < clean.pdr());
+    }
+
+    #[test]
+    fn empty_plan_matches_unfaulted_run_exactly() {
+        let mut cfg = SimConfig::paper(4.0);
+        cfg.rounds = 3;
+        let link = AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0));
+        let mut rng = StdRng::seed_from_u64(21);
+        let with_empty = Simulator::new(net(39, link), cfg)
+            .with_faults(driver(Vec::new()))
+            .run(&mut GreedyEnergyProtocol::new(4), &mut rng);
+        let mut rng = StdRng::seed_from_u64(21);
+        let without =
+            Simulator::new(net(39, link), cfg).run(&mut GreedyEnergyProtocol::new(4), &mut rng);
+        assert_eq!(
+            serde_json::to_string(&with_empty.totals).unwrap(),
+            serde_json::to_string(&without.totals).unwrap(),
+            "an empty plan must not perturb the RNG sequence"
+        );
+        assert_eq!(with_empty.consumption_rates, without.consumption_rates);
     }
 }
 

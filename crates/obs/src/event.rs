@@ -12,8 +12,8 @@
 use serde::{Deserialize, Serialize};
 
 /// Version tag written as the first line of every serialized event
-/// stream.
-pub const SCHEMA: &str = "qlec-obs/v1";
+/// stream. v2 added [`Event::FaultInjected`] and [`Event::PacketRetried`].
+pub const SCHEMA: &str = "qlec-obs/v2";
 
 /// The simulator phases that get timing spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -125,6 +125,20 @@ pub enum Event {
     QUpdate { round: u32, node: u32, delta: f64 },
     /// A node's battery reached zero this round.
     NodeDied { round: u32, node: u32 },
+    /// A scheduled fault became active this round (`qlec-fault`). `kind`
+    /// is the fault taxonomy label (`"node-crash"`, `"battery-drain"`,
+    /// `"link-degrade"`, `"region-blackout"`, `"bs-outage"`); `nodes`
+    /// lists the directly affected nodes (empty for a BS outage).
+    FaultInjected {
+        round: u32,
+        kind: String,
+        nodes: Vec<u32>,
+    },
+    /// A packet transmission was re-attempted after a failed hop
+    /// (bounded-retransmission semantics; each retry costs transmit
+    /// energy). `attempt` is 1-based over the retries — the first
+    /// retry after the initial attempt carries `attempt = 1`.
+    PacketRetried { round: u32, src: u32, attempt: u32 },
     /// A timed span closed.
     PhaseTimed {
         round: u32,
@@ -158,6 +172,8 @@ impl Event {
             | Event::PacketOutcome { round, .. }
             | Event::QUpdate { round, .. }
             | Event::NodeDied { round, .. }
+            | Event::FaultInjected { round, .. }
+            | Event::PacketRetried { round, .. }
             | Event::PhaseTimed { round, .. }
             | Event::RoundEnded { round, .. } => *round,
         }
@@ -200,6 +216,16 @@ mod tests {
                 delta: -0.125,
             },
             Event::NodeDied { round: 2, node: 11 },
+            Event::FaultInjected {
+                round: 2,
+                kind: "region-blackout".to_string(),
+                nodes: vec![4, 8],
+            },
+            Event::PacketRetried {
+                round: 2,
+                src: 6,
+                attempt: 1,
+            },
             Event::PhaseTimed {
                 round: 2,
                 phase: Phase::Transmission,
@@ -233,6 +259,24 @@ mod tests {
             3
         );
         assert_eq!(Event::NodeDied { round: 9, node: 0 }.round(), 9);
+        assert_eq!(
+            Event::FaultInjected {
+                round: 4,
+                kind: "bs-outage".to_string(),
+                nodes: vec![]
+            }
+            .round(),
+            4
+        );
+        assert_eq!(
+            Event::PacketRetried {
+                round: 7,
+                src: 2,
+                attempt: 2
+            }
+            .round(),
+            7
+        );
     }
 
     #[test]

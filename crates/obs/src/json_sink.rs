@@ -23,6 +23,7 @@ use std::io::Write;
 pub struct JsonLinesSink<W: Write + Send> {
     out: W,
     error: Option<ObsError>,
+    deterministic: bool,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
@@ -33,7 +34,22 @@ impl<W: Write + Send> JsonLinesSink<W> {
             "{{\"schema\":{}}}",
             serde_json::to_string(&SCHEMA.to_string())?
         )?;
-        Ok(JsonLinesSink { out, error: None })
+        Ok(JsonLinesSink {
+            out,
+            error: None,
+            deterministic: false,
+        })
+    }
+
+    /// Make the stream a pure function of the simulation: skip
+    /// [`Event::PhaseTimed`], the only variant carrying wall-clock
+    /// measurements. With this set, the same deployment + seed (+ fault
+    /// plan) writes byte-identical streams on every run — the guarantee
+    /// the CLI's `--events` artifact relies on. Wall timings remain
+    /// available through the metrics summary.
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
     }
 
     /// Consume the sink, flushing and returning the writer.
@@ -46,6 +62,9 @@ impl<W: Write + Send> JsonLinesSink<W> {
 impl<W: Write + Send> SimObserver for JsonLinesSink<W> {
     fn on_event(&mut self, event: &Event) {
         if self.error.is_some() {
+            return;
+        }
+        if self.deterministic && matches!(event, Event::PhaseTimed { .. }) {
             return;
         }
         let result = serde_json::to_string(event)
@@ -124,7 +143,24 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
-        assert!(lines[0].contains("qlec-obs/v1"));
+        assert!(lines[0].contains("qlec-obs/v2"));
+    }
+
+    #[test]
+    fn deterministic_mode_skips_phase_timings() {
+        let mut sink = JsonLinesSink::new(Vec::new()).unwrap().deterministic();
+        sink.on_event(&Event::PhaseTimed {
+            round: 0,
+            phase: crate::event::Phase::Election,
+            wall_ns: 123,
+            sim_time: 0.0,
+        });
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let events = read_events(&text).unwrap();
+        assert_eq!(events, sample_events(), "wall-clock events filtered out");
     }
 
     #[test]
@@ -155,7 +191,7 @@ mod tests {
 
     #[test]
     fn rejects_garbage_event_lines() {
-        let text = "{\"schema\":\"qlec-obs/v1\"}\nnot json\n";
+        let text = "{\"schema\":\"qlec-obs/v2\"}\nnot json\n";
         assert!(matches!(read_events(text), Err(ObsError::Json(_))));
     }
 

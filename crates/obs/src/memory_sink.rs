@@ -87,6 +87,12 @@ impl SimObserver for MemorySink {
                 r.observe("q.delta_abs", delta.abs());
             }
             Event::NodeDied { .. } => r.inc("nodes.died", 1),
+            Event::FaultInjected { kind, nodes, .. } => {
+                r.inc("faults.injected", 1);
+                r.inc(&format!("faults.{kind}"), 1);
+                r.inc("faults.nodes_affected", nodes.len() as u64);
+            }
+            Event::PacketRetried { .. } => r.inc("packets.retried", 1),
             Event::PhaseTimed { phase, wall_ns, .. } => {
                 r.observe(&format!("phase.{}.wall_ns", phase.name()), *wall_ns as f64);
             }
@@ -226,6 +232,42 @@ mod tests {
         );
         assert_eq!(sink.phase_wall_ns(Phase::Election), 250);
         assert_eq!(sink.phase_wall_ns(Phase::Transmission), 0);
+    }
+
+    #[test]
+    fn faults_and_retries_are_counted() {
+        let mut sink = MemorySink::new();
+        feed(
+            &mut sink,
+            &[
+                Event::FaultInjected {
+                    round: 1,
+                    kind: "region-blackout".to_string(),
+                    nodes: vec![2, 5, 7],
+                },
+                Event::FaultInjected {
+                    round: 2,
+                    kind: "bs-outage".to_string(),
+                    nodes: vec![],
+                },
+                Event::PacketRetried {
+                    round: 1,
+                    src: 4,
+                    attempt: 1,
+                },
+                Event::PacketRetried {
+                    round: 1,
+                    src: 4,
+                    attempt: 2,
+                },
+            ],
+        );
+        let r = sink.registry();
+        assert_eq!(r.counter("faults.injected"), 2);
+        assert_eq!(r.counter("faults.region-blackout"), 1);
+        assert_eq!(r.counter("faults.bs-outage"), 1);
+        assert_eq!(r.counter("faults.nodes_affected"), 3);
+        assert_eq!(r.counter("packets.retried"), 2);
     }
 
     #[test]

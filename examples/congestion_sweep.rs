@@ -20,7 +20,7 @@ fn main() {
     for lambda in [1.0, 2.0, 3.0, 5.0, 8.0, 15.0] {
         let mut rng = StdRng::seed_from_u64(99);
         let net = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
-        let mut protocol = QlecProtocol::paper_with_k(5);
+        let mut protocol = QlecProtocol::builder().k(5).build();
         let report = Simulator::new(net, SimConfig::paper(lambda)).run(&mut protocol, &mut rng);
         println!(
             "{:>6.1}  {:>9.4}  {:>10.2}  {:>12.2}  {:>10}  {:>10}",

@@ -101,7 +101,7 @@ fn main() {
             let mut octant;
             let mut qlec;
             let p: &mut dyn Protocol = if use_qlec {
-                qlec = QlecProtocol::paper_with_k(8); // match the octant head count
+                qlec = QlecProtocol::builder().k(8).build(); // match the octant head count
                 &mut qlec
             } else {
                 octant = OctantProtocol::new();

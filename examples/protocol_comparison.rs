@@ -40,7 +40,7 @@ fn main() {
     let seeds = [5u64, 6, 7];
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for &seed in &seeds {
-        rows.push(run(&mut QlecProtocol::paper_with_k(K), seed));
+        rows.push(run(&mut QlecProtocol::builder().k(K).build(), seed));
         rows.push(run(&mut FcmProtocol::new(K), seed));
         rows.push(run(&mut KMeansProtocol::new(K), seed));
         rows.push(run(&mut LeachProtocol::new(K), seed));

@@ -24,7 +24,7 @@ fn main() {
     );
 
     // QLEC with the paper's parameters and the §5.1 cluster count k = 5.
-    let mut protocol = QlecProtocol::paper_with_k(5);
+    let mut protocol = QlecProtocol::builder().k(5).build();
 
     // 20 rounds at a moderate congestion level (λ = 5 slots between
     // packets per node on average).

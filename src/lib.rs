@@ -9,6 +9,8 @@
 //! * [`radio`] — the first-order radio energy model, batteries, links,
 //! * [`mdp`] — tabular MDP / Q-learning machinery,
 //! * [`obs`] — structured observability (events, metrics, sinks),
+//! * [`fault`] — deterministic fault injection (crashes, drains, link
+//!   degradation, blackouts, BS outages),
 //! * [`net`] — the packet-level 3-D WSN simulator,
 //! * [`clustering`] — baselines: k-means, FCM, LEACH, plain DEEC,
 //! * [`core`] — QLEC itself (improved DEEC + Theorem 1 + Q-routing),
@@ -27,7 +29,7 @@
 //! let network = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
 //!
 //! // QLEC with Table 2 parameters and the §5.1 cluster count.
-//! let mut protocol = QlecProtocol::paper_with_k(5);
+//! let mut protocol = QlecProtocol::builder().k(5).build();
 //!
 //! // A few rounds of Poisson traffic at λ = 5.
 //! let mut cfg = SimConfig::paper(5.0);
@@ -45,6 +47,7 @@
 pub use qlec_clustering as clustering;
 pub use qlec_core as core;
 pub use qlec_dataset as dataset;
+pub use qlec_fault as fault;
 pub use qlec_geom as geom;
 pub use qlec_mdp as mdp;
 pub use qlec_net as net;

@@ -2,7 +2,6 @@
 //! through the umbrella crate, aggregate-share override, and the
 //! protocol-generic simulator entry points downstream users rely on.
 
-use qlec::core::params::QlecParams;
 use qlec::core::QlecProtocol;
 use qlec::net::protocol::GreedyEnergyProtocol;
 use qlec::net::trace::TraceRecorder;
@@ -62,7 +61,7 @@ fn boxing_does_not_change_behaviour() {
 #[test]
 fn aggregate_share_override_is_accepted() {
     for share in [0.0, 0.5, 1.0] {
-        let mut p = QlecProtocol::new(QlecParams::paper_with_k(3)).with_aggregate_share(share);
+        let mut p = QlecProtocol::builder().k(3).aggregate_share(share).build();
         let mut rng = StdRng::seed_from_u64(5);
         let report = Simulator::new(net(6), cfg(3)).run(&mut p, &mut rng);
         assert!(report.totals.is_conserved(), "share {share}");
@@ -73,14 +72,34 @@ fn aggregate_share_override_is_accepted() {
 #[test]
 #[should_panic]
 fn aggregate_share_out_of_range_rejected() {
-    let _ = QlecProtocol::paper_with_k(3).with_aggregate_share(1.5);
+    let _ = QlecProtocol::builder().k(3).aggregate_share(1.5).build();
+}
+
+/// The deprecated one-shot constructors still compile and behave like the
+/// builder they now delegate to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_match_builder() {
+    let legacy = {
+        let mut p = QlecProtocol::paper_with_k(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        Simulator::new(net(12), cfg(3)).run(&mut p, &mut rng)
+    };
+    let built = {
+        let mut p = QlecProtocol::builder().k(4).build();
+        let mut rng = StdRng::seed_from_u64(11);
+        Simulator::new(net(12), cfg(3)).run(&mut p, &mut rng)
+    };
+    assert_eq!(legacy.totals.generated, built.totals.generated);
+    assert_eq!(legacy.totals.delivered, built.totals.delivered);
+    assert_eq!(legacy.total_energy(), built.total_energy());
 }
 
 /// The trace's head-duty histogram is consistent with the report's head
 /// counts.
 #[test]
 fn trace_head_duty_matches_report() {
-    let mut recorder = TraceRecorder::new(QlecProtocol::paper_with_k(4));
+    let mut recorder = TraceRecorder::new(QlecProtocol::builder().k(4).build());
     let mut rng = StdRng::seed_from_u64(7);
     let n = net(8);
     let n_nodes = n.len();

@@ -4,7 +4,6 @@
 //! generated packet, and must agree with each other.
 
 use proptest::prelude::*;
-use qlec::core::params::QlecParams;
 use qlec::core::QlecProtocol;
 use qlec::net::{NetworkBuilder, SimConfig, Simulator};
 use qlec::obs::{MemorySink, ObserverSet};
@@ -48,11 +47,11 @@ proptest! {
         let sink = Arc::new(Mutex::new(MemorySink::new()));
         let mut obs = ObserverSet::new();
         obs.attach(sink.clone());
-        let mut protocol = QlecProtocol::new(QlecParams {
-            total_rounds: rounds,
-            ..QlecParams::paper_with_k(k)
-        })
-        .with_observer(obs.clone());
+        let mut protocol = QlecProtocol::builder()
+            .k(k)
+            .total_rounds(rounds)
+            .observer(obs.clone())
+            .build();
         let report = Simulator::new(net, cfg).observed(obs).run(&mut protocol, &mut rng);
 
         // Ledger 1: the simulator's counters, per round and in total.
@@ -80,5 +79,9 @@ proptest! {
         prop_assert_eq!(reg.counter("packets.generated"), t.generated);
         prop_assert_eq!(reg.counter("packets.delivered"), t.delivered);
         prop_assert_eq!(dropped, t.total_dropped());
+
+        // Retries are diagnostic, not part of the identity — both ledgers
+        // count them the same, and they never unbalance conservation.
+        prop_assert_eq!(reg.counter("packets.retried"), t.retried);
     }
 }

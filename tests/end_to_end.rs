@@ -5,7 +5,6 @@
 use qlec::clustering::deec::DeecProtocol;
 use qlec::clustering::leach::LeachProtocol;
 use qlec::clustering::{FcmProtocol, KMeansProtocol};
-use qlec::core::params::QlecParams;
 use qlec::core::QlecProtocol;
 use qlec::net::{Network, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
 use qlec::radio::link::{AnyLink, DistanceLossLink};
@@ -33,7 +32,7 @@ fn all_protocols_conserve_packets_and_energy() {
         c
     };
     let protocols: Vec<Box<dyn Protocol>> = vec![
-        Box::new(QlecProtocol::paper_with_k(5)),
+        Box::new(QlecProtocol::builder().k(5).build()),
         Box::new(FcmProtocol::new(5)),
         Box::new(KMeansProtocol::new(5)),
         Box::new(LeachProtocol::new(5)),
@@ -65,7 +64,7 @@ fn all_protocols_conserve_packets_and_energy() {
 #[test]
 fn runs_are_deterministic_under_fixed_seeds() {
     let mk = || {
-        let mut p = QlecProtocol::paper_with_k(5);
+        let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(3.0);
         cfg.rounds = 5;
         run(&mut p, paper_network(7), cfg, 8)
@@ -77,7 +76,7 @@ fn runs_are_deterministic_under_fixed_seeds() {
     assert_eq!(a.total_energy(), b.total_energy());
     assert_eq!(a.consumption_rates, b.consumption_rates);
     // And a different seed genuinely changes the run.
-    let mut p = QlecProtocol::paper_with_k(5);
+    let mut p = QlecProtocol::builder().k(5).build();
     let mut cfg = SimConfig::paper(3.0);
     cfg.rounds = 5;
     let c = run(&mut p, paper_network(7), cfg, 9);
@@ -107,12 +106,7 @@ fn qlec_outlives_kmeans_and_leach() {
             .sum::<f64>()
             / seeds.len() as f64
     };
-    let qlec = avg_life(&|| {
-        Box::new(QlecProtocol::new(QlecParams {
-            total_rounds: 200,
-            ..QlecParams::paper_with_k(5)
-        }))
-    });
+    let qlec = avg_life(&|| Box::new(QlecProtocol::builder().k(5).total_rounds(200).build()));
     let kmeans = avg_life(&|| Box::new(KMeansProtocol::new(5)));
     let leach = avg_life(&|| Box::new(LeachProtocol::new(5)));
     assert!(
@@ -149,7 +143,7 @@ fn qlec_has_best_pdr_under_saturation() {
             .sum::<f64>()
             / seeds.len() as f64
     };
-    let qlec = avg_pdr(&|| Box::new(QlecProtocol::paper_with_k(5)));
+    let qlec = avg_pdr(&|| Box::new(QlecProtocol::builder().k(5).build()));
     let kmeans = avg_pdr(&|| Box::new(KMeansProtocol::new(5)));
     let fcm = avg_pdr(&|| Box::new(FcmProtocol::new(5)));
     assert!(
@@ -178,7 +172,7 @@ fn qlec_balances_consumption_better_than_leach() {
         let s = qlec::geom::stats::Summary::of(&report.consumption_rates).unwrap();
         s.coeff_of_variation().unwrap()
     };
-    let qlec = cv(&|| Box::new(QlecProtocol::paper_with_k(5)));
+    let qlec = cv(&|| Box::new(QlecProtocol::builder().k(5).build()));
     let leach = cv(&|| Box::new(LeachProtocol::new(5)));
     assert!(
         qlec < leach,
@@ -226,7 +220,7 @@ fn graceful_degradation_when_nodes_die() {
         c.rounds = 30;
         c
     };
-    let mut p = QlecProtocol::paper_with_k(5);
+    let mut p = QlecProtocol::builder().k(5).build();
     let report = run(&mut p, net, cfg, 62);
     assert!(report.totals.is_conserved());
     assert!(report.pdr().is_finite());

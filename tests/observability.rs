@@ -4,7 +4,6 @@
 //! pins the guarantee that the event stream is a faithful record of the
 //! run, not a parallel approximation.
 
-use qlec::core::params::QlecParams;
 use qlec::core::QlecProtocol;
 use qlec::net::{NetworkBuilder, SimConfig, Simulator};
 use qlec::obs::{read_events, Event, JsonLinesSink, MemorySink, ObserverSet, Phase};
@@ -30,11 +29,11 @@ fn event_stream_replays_the_simulation_report() {
     obs.attach(json_sink.clone());
     obs.attach(memory_sink.clone());
 
-    let mut protocol = QlecProtocol::new(QlecParams {
-        total_rounds: rounds,
-        ..QlecParams::paper_with_k(5)
-    })
-    .with_observer(obs.clone());
+    let mut protocol = QlecProtocol::builder()
+        .k(5)
+        .total_rounds(rounds)
+        .observer(obs.clone())
+        .build();
     let report = Simulator::new(net, cfg)
         .observed(obs.clone())
         .run(&mut protocol, &mut rng);
@@ -48,7 +47,7 @@ fn event_stream_replays_the_simulation_report() {
         .into_inner()
         .unwrap();
     let text = String::from_utf8(sink.finish().unwrap()).unwrap();
-    let events = read_events(&text).expect("stream parses against qlec-obs/v1");
+    let events = read_events(&text).expect("stream parses against qlec-obs/v2");
 
     // The alive curve rebuilt from RoundEnded events is the report's.
     let replayed_alive: Vec<(u32, usize)> = events
