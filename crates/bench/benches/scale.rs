@@ -1,0 +1,40 @@
+//! Criterion bench: one full QLEC round at increasing deployment sizes,
+//! with `Send-Data` candidate pruning on — the per-round cost curve the
+//! `scale` binary tracks end-to-end. Kept to one round per iteration so
+//! the 10k point stays runnable interactively.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qlec_bench::{ProtocolKind, RunSpec};
+use qlec_core::params::QlecParams;
+use qlec_net::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_function(BenchmarkId::new("one_round", n), |b| {
+            b.iter(|| {
+                let spec = RunSpec::builder(5.0)
+                    .nodes(n)
+                    .k((n / 20).max(2))
+                    .rounds(1)
+                    .build();
+                let net = spec.network(1);
+                let params = QlecParams {
+                    candidate_heads: Some(8),
+                    ..spec.qlec_params()
+                };
+                let mut protocol = ProtocolKind::Qlec.build(&params);
+                let mut rng = StdRng::seed_from_u64(2);
+                let report = Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng);
+                black_box(report.totals.generated)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

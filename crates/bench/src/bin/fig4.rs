@@ -114,7 +114,7 @@ fn main() {
     // even spread puts ≈ the same share of high consumers in each
     // quadrant as that quadrant's share of all nodes.
     let mut sorted = rates.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q3 = sorted[(sorted.len() * 3) / 4];
     let c = bounds.center();
     let mut quad_all = [0usize; 4];

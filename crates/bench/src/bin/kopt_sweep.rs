@@ -72,7 +72,7 @@ fn main() {
 
     let argmin = cells
         .iter()
-        .min_by(|a, b| a.1.energy_mean_j.partial_cmp(&b.1.energy_mean_j).unwrap())
+        .min_by(|a, b| a.1.energy_mean_j.total_cmp(&b.1.energy_mean_j))
         .map(|(k, _)| *k)
         .unwrap_or(0);
     println!(

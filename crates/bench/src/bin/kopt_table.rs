@@ -103,11 +103,7 @@ fn main() {
                 (k, mean)
             })
             .collect();
-        means
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0
+        means.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0
     };
 
     let mut theorem_rows = Vec::new();

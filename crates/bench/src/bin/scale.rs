@@ -1,0 +1,297 @@
+//! Scaling benchmark: the perf-trajectory harness for large deployments.
+//!
+//! Runs the paper-shaped QLEC configuration at N ∈ {100, 1k, 10k} (by
+//! default) with `Send-Data` candidate pruning enabled, and emits
+//! `BENCH_scale.json`: per-phase wall time (from the `qlec-obs` phase
+//! spans), peak RSS, and packet throughput for each size. CI smoke-runs
+//! it at N = 100 and validates the artifact against the schema; the
+//! full sweep is the cross-PR performance trajectory.
+//!
+//! Usage: `cargo run --release -p qlec-bench --bin scale -- \
+//!     [--sizes 100,1000,10000] [--rounds 20] [--candidates 8] \
+//!     [--lambda 5] [--seed 42] [--out BENCH_scale.json] [--validate]`
+
+use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
+use qlec_core::params::QlecParams;
+use qlec_net::Simulator;
+use qlec_obs::{peak_rss_bytes, MemorySink, ObserverSet, Phase};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Version tag of the `BENCH_scale.json` artifact. Bump on any field
+/// addition, removal, or semantic change.
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v1";
+
+/// One size point of the sweep.
+#[derive(Debug, Serialize)]
+struct ScaleRun {
+    /// Node count N.
+    n: usize,
+    /// Cluster count k used (scales as N/20, the paper's N=100 → k=5).
+    k: usize,
+    /// Simulated rounds.
+    rounds: u32,
+    /// `Send-Data` candidate pruning knob (null = paper-exact full scan).
+    candidate_heads: Option<usize>,
+    /// End-to-end wall time of the run, seconds.
+    wall_s: f64,
+    /// Packets generated over the whole run.
+    packets: u64,
+    /// Generated packets per wall second — the headline throughput.
+    packets_per_sec: f64,
+    /// Packet delivery rate, for sanity (pruning must not crater it).
+    pdr: f64,
+    /// Alive nodes at the end of the run.
+    alive_end: usize,
+    /// Process peak RSS in bytes after this run (Linux `VmHWM`; null
+    /// elsewhere). Monotone across the process, so within one sweep the
+    /// largest N dominates.
+    peak_rss_bytes: Option<u64>,
+    /// Wall nanoseconds per simulation phase, from the obs spans.
+    phase_wall: Vec<PhaseWall>,
+}
+
+/// The whole artifact.
+#[derive(Debug, Serialize)]
+struct ScaleReport {
+    /// Always [`SCALE_SCHEMA`].
+    schema: String,
+    /// Traffic congestion level λ (slots between packets per node).
+    lambda: f64,
+    /// Deployment/protocol base seed.
+    seed: u64,
+    /// One entry per requested size, in request order.
+    runs: Vec<ScaleRun>,
+}
+
+fn run_size(n: usize, rounds: u32, candidates: Option<usize>, lambda: f64, seed: u64) -> ScaleRun {
+    let k = (n / 20).max(2);
+    let spec = RunSpec::builder(lambda)
+        .nodes(n)
+        .k(k)
+        .rounds(rounds)
+        .seeds(vec![seed])
+        .build();
+    let net = spec.network(seed);
+    let sink = Arc::new(Mutex::new(MemorySink::new()));
+    let mut obs = ObserverSet::new();
+    obs.attach(sink.clone());
+    let params = QlecParams {
+        candidate_heads: candidates,
+        ..spec.qlec_params()
+    };
+    let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let start = Instant::now();
+    let report = Simulator::new(net, spec.sim)
+        .observed(obs)
+        .run(protocol.as_mut(), &mut rng);
+    let wall_s = start.elapsed().as_secs_f64();
+    let sink = sink.lock().expect("metrics sink poisoned");
+    let phase_wall = Phase::ALL
+        .iter()
+        .map(|&p| PhaseWall {
+            phase: p.name().to_string(),
+            mean_wall_ns: sink.phase_wall_ns(p) as f64,
+        })
+        .collect();
+    ScaleRun {
+        n,
+        k,
+        rounds,
+        candidate_heads: candidates,
+        wall_s,
+        packets: report.totals.generated,
+        packets_per_sec: report.totals.generated as f64 / wall_s.max(1e-9),
+        pdr: report.pdr(),
+        alive_end: report.rounds.last().map_or(n, |r| r.alive_end),
+        peak_rss_bytes: peak_rss_bytes(),
+        phase_wall,
+    }
+}
+
+/// Check a `BENCH_scale.json` text against the v1 schema. Returns a
+/// description of the first problem found.
+fn validate_scale_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    if v["schema"].as_str() != Some(SCALE_SCHEMA) {
+        return Err(format!(
+            "schema must be {SCALE_SCHEMA:?}, got {:?}",
+            v["schema"]
+        ));
+    }
+    for key in ["lambda", "seed"] {
+        if v[key].as_f64().is_none() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+    }
+    let runs = v["runs"]
+        .as_array()
+        .ok_or_else(|| "runs must be an array".to_string())?;
+    if runs.is_empty() {
+        return Err("runs must be non-empty".into());
+    }
+    let phases: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+    for (i, run) in runs.iter().enumerate() {
+        for key in [
+            "n",
+            "k",
+            "rounds",
+            "wall_s",
+            "packets",
+            "packets_per_sec",
+            "pdr",
+            "alive_end",
+        ] {
+            if run[key].as_f64().is_none() {
+                return Err(format!("runs[{i}] missing numeric field {key:?}"));
+            }
+        }
+        match run.get("candidate_heads") {
+            Some(c) if c.is_null() || c.as_u64().is_some() => {}
+            _ => return Err(format!("runs[{i}].candidate_heads must be null or integer")),
+        }
+        let walls = run["phase_wall"]
+            .as_array()
+            .ok_or_else(|| format!("runs[{i}].phase_wall must be an array"))?;
+        let mut seen: Vec<&str> = Vec::new();
+        for w in walls {
+            let name = w["phase"]
+                .as_str()
+                .ok_or_else(|| format!("runs[{i}] phase_wall entry without a phase name"))?;
+            if w["mean_wall_ns"].as_f64().is_none() {
+                return Err(format!("runs[{i}] phase {name:?} missing mean_wall_ns"));
+            }
+            seen.push(name);
+        }
+        for p in &phases {
+            if !seen.contains(p) {
+                return Err(format!("runs[{i}] missing phase {p:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes: Vec<usize> = flag_value(&args, "--sizes")
+        .unwrap_or_else(|| "100,1000,10000".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sizes takes integers"))
+        .collect();
+    let rounds: u32 =
+        flag_value(&args, "--rounds").map_or(20, |s| s.parse().expect("--rounds takes an integer"));
+    let candidates: Option<usize> = match flag_value(&args, "--candidates").as_deref() {
+        None => Some(8),
+        Some("off") => None,
+        Some(s) => Some(s.parse().expect("--candidates takes an integer or 'off'")),
+    };
+    let lambda: f64 =
+        flag_value(&args, "--lambda").map_or(5.0, |s| s.parse().expect("--lambda takes a number"));
+    let seed: u64 =
+        flag_value(&args, "--seed").map_or(42, |s| s.parse().expect("--seed takes an integer"));
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".into());
+    assert!(!sizes.is_empty(), "--sizes must name at least one N");
+
+    let mut report = ScaleReport {
+        schema: SCALE_SCHEMA.to_string(),
+        lambda,
+        seed,
+        runs: Vec::new(),
+    };
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let run = run_size(n, rounds, candidates, lambda, seed);
+        eprintln!(
+            "N = {n:>6}: {:.2}s wall, {:.0} packets/s",
+            run.wall_s, run.packets_per_sec
+        );
+        rows.push(vec![
+            run.n.to_string(),
+            run.k.to_string(),
+            format!("{:.2}s", run.wall_s),
+            run.packets.to_string(),
+            format!("{:.0}", run.packets_per_sec),
+            format!("{:.4}", run.pdr),
+            run.peak_rss_bytes
+                .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+        ]);
+        report.runs.push(run);
+    }
+    print_table(
+        &format!("scale sweep ({rounds} rounds, candidates = {candidates:?}, λ = {lambda})"),
+        &["N", "k", "wall", "packets", "pkt/s", "PDR", "peak RSS (MB)"],
+        &rows,
+    );
+    write_json(&out, &report);
+
+    if args.iter().any(|a| a == "--validate") {
+        let text = std::fs::read_to_string(&out).expect("artifact just written");
+        match validate_scale_json(&text) {
+            Ok(()) => println!("[{out} validates against {SCALE_SCHEMA}]"),
+            Err(e) => {
+                eprintln!("error: {out} failed schema validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_run_produces_a_valid_artifact() {
+        let run = run_size(30, 2, Some(4), 8.0, 7);
+        let report = ScaleReport {
+            schema: SCALE_SCHEMA.to_string(),
+            lambda: 8.0,
+            seed: 7,
+            runs: vec![run],
+        };
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        validate_scale_json(&text).expect("fresh artifact must validate");
+        let r = &report.runs[0];
+        assert!(r.wall_s > 0.0);
+        assert!(r.packets > 0);
+        assert_eq!(r.phase_wall.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn validator_rejects_broken_artifacts() {
+        assert!(validate_scale_json("not json").is_err());
+        assert!(validate_scale_json("{\"schema\":\"other/v0\"}").is_err());
+        let no_runs =
+            format!("{{\"schema\":\"{SCALE_SCHEMA}\",\"lambda\":5.0,\"seed\":1,\"runs\":[]}}");
+        assert!(validate_scale_json(&no_runs).is_err());
+        let bad_run = format!(
+            "{{\"schema\":\"{SCALE_SCHEMA}\",\"lambda\":5.0,\"seed\":1,\
+             \"runs\":[{{\"n\":10}}]}}"
+        );
+        let err = validate_scale_json(&bad_run).unwrap_err();
+        assert!(err.contains("missing numeric field"), "{err}");
+    }
+
+    #[test]
+    fn flag_parsing_finds_values() {
+        let args: Vec<String> = ["--sizes", "100,200", "--validate", "--rounds", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--sizes").as_deref(), Some("100,200"));
+        assert_eq!(flag_value(&args, "--rounds").as_deref(), Some("3"));
+        assert_eq!(flag_value(&args, "--out"), None);
+    }
+}

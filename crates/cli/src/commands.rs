@@ -27,9 +27,9 @@ qlec-sim — QLEC (ICPP 2019) reproduction CLI
 USAGE:
   qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
-                    [--seed 42] [--death-line 0] [--json] [--trace FILE]
-                    [--svg FILE] [--chart FILE] [--events FILE|-]
-                    [--metrics FILE] [--faults FILE]
+                    [--seed 42] [--death-line 0] [--candidates C] [--json]
+                    [--trace FILE] [--svg FILE] [--chart FILE]
+                    [--events FILE|-] [--metrics FILE] [--faults FILE]
   qlec-sim compare  [--n 100] [--m 200] [--k 5] [--lambda 5] [--rounds 20]
                     [--seeds 3]
   qlec-sim dataset  [--count 2896] [--seed 42] [--out FILE]
@@ -41,6 +41,8 @@ NOTES:
   examples/faults.json) and replays it during the run.
   --events - streams the event log to stdout with wall-clock timings
   suppressed, so identical seeds and plans give byte-identical streams.
+  --candidates C prunes each QLEC Send-Data decision to the C nearest
+  alive heads (large-N speedup; omit for the paper-exact full scan).
 ";
 
 /// Dispatch a parsed command line.
@@ -59,6 +61,7 @@ fn build_protocol(
     name: &str,
     k: usize,
     rounds: u32,
+    candidates: Option<usize>,
     obs: &ObserverSet,
 ) -> Result<Box<dyn Protocol>, String> {
     Ok(match name {
@@ -66,6 +69,7 @@ fn build_protocol(
             QlecProtocol::builder()
                 .params(QlecParams {
                     total_rounds: rounds,
+                    candidate_heads: candidates,
                     ..QlecParams::paper_with_k(k)
                 })
                 .observer(obs.clone())
@@ -89,6 +93,7 @@ struct RunSetup {
     rounds: u32,
     seed: u64,
     death_line: f64,
+    candidates: Option<usize>,
 }
 
 impl RunSetup {
@@ -102,6 +107,10 @@ impl RunSetup {
             rounds: args.get_parsed("rounds", 20u32)?,
             seed: args.get_parsed("seed", 42u64)?,
             death_line: args.get_parsed("death-line", 0.0f64)?,
+            candidates: match args.get("candidates") {
+                None => None,
+                Some(_) => Some(args.get_parsed("candidates", 0usize)?),
+            },
         })
     }
 
@@ -120,6 +129,9 @@ impl RunSetup {
         }
         if self.rounds == 0 {
             return Err("--rounds must be positive".into());
+        }
+        if self.candidates == Some(0) {
+            return Err("--candidates must be positive".into());
         }
         Ok(())
     }
@@ -178,6 +190,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "rounds",
         "seed",
         "death-line",
+        "candidates",
         "json",
         "trace",
         "svg",
@@ -236,7 +249,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         None => None,
     };
 
-    let mut protocol = build_protocol(&name, setup.k, setup.rounds, &obs)?;
+    let mut protocol = build_protocol(&name, setup.k, setup.rounds, setup.candidates, &obs)?;
     let report = setup.execute_observed(protocol.as_mut(), obs.clone(), faults);
     obs.flush()
         .map_err(|e| format!("observer flush failed: {e}"))?;
@@ -346,7 +359,8 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
                 ..setup
             };
             setup_s.death_line = 0.0;
-            let mut protocol = build_protocol(name, setup.k, setup.rounds, &ObserverSet::new())?;
+            let mut protocol =
+                build_protocol(name, setup.k, setup.rounds, None, &ObserverSet::new())?;
             let report = setup_s.execute(protocol.as_mut());
             pdr += report.pdr();
             energy += report.total_energy();
@@ -471,6 +485,29 @@ mod tests {
         assert!(run(&["run", "--k", "50", "--n", "10"]).is_err());
         assert!(run(&["run", "--frobnicate", "1"]).is_err());
         assert!(run(&["run", "--lambda", "-3"]).is_err());
+    }
+
+    #[test]
+    fn candidates_flag_is_validated_and_inert_when_large() {
+        assert!(run(&["run", "--n", "20", "--rounds", "1", "--candidates", "0"]).is_err());
+        let base = run(&[
+            "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
+        ])
+        .unwrap();
+        let pruned = run(&[
+            "run",
+            "--n",
+            "20",
+            "--rounds",
+            "2",
+            "--lambda",
+            "8",
+            "--candidates",
+            "50",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(base, pruned, "c >= k must leave the run untouched");
     }
 
     #[test]

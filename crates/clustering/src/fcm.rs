@@ -68,11 +68,7 @@ impl FcmResult {
         (0..n)
             .map(|i| {
                 (0..self.c)
-                    .max_by(|&a, &b| {
-                        self.membership(i, a)
-                            .partial_cmp(&self.membership(i, b))
-                            .unwrap()
-                    })
+                    .max_by(|&a, &b| self.membership(i, a).total_cmp(&self.membership(i, b)))
                     .unwrap_or(0)
             })
             .collect()

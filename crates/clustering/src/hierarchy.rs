@@ -63,11 +63,7 @@ impl Hierarchy {
         candidates
             .iter()
             .filter(|(_, p)| self.level_of(*p, bs) < from_level)
-            .min_by(|(_, a), (_, b)| {
-                a.dist_sq(from_pos)
-                    .partial_cmp(&b.dist_sq(from_pos))
-                    .unwrap()
-            })
+            .min_by(|(_, a), (_, b)| a.dist_sq(from_pos).total_cmp(&b.dist_sq(from_pos)))
             .map(|&(i, _)| i)
     }
 }

@@ -153,8 +153,7 @@ pub fn kmeans<R: Rng + ?Sized>(
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         a.dist_sq(centroids[nearest_centroid(&centroids, **a)])
-                            .partial_cmp(&b.dist_sq(centroids[nearest_centroid(&centroids, **b)]))
-                            .unwrap()
+                            .total_cmp(&b.dist_sq(centroids[nearest_centroid(&centroids, **b)]))
                     })
                     .expect("points is non-empty");
                 centroids[c] = points[worst];

@@ -161,21 +161,8 @@ pub fn select_heads_observed(
         if params.charge_control_traffic {
             charge_hello(net, grid, &elected, dc, params.hello_bits);
         }
-        let survives = |i: &NodeId| -> bool {
-            let me = net.node(*i);
-            !elected.iter().any(|j| {
-                j != i && net.distance(*i, *j) <= dc && {
-                    let other = net.node(*j);
-                    other.residual() > me.residual() || (other.residual() == me.residual() && j < i)
-                }
-            })
-        };
-        let kept: Vec<NodeId> = elected.iter().copied().filter(survives).collect();
-        withdrawn_ids = elected
-            .iter()
-            .copied()
-            .filter(|i| !kept.contains(i))
-            .collect();
+        let (kept, withdrawn) = redundancy_withdrawals(net, grid, &elected, dc);
+        withdrawn_ids = withdrawn;
         kept
     } else {
         elected
@@ -192,8 +179,7 @@ pub fn select_heads_observed(
         heads.sort_by(|&a, &b| {
             net.node(b)
                 .residual()
-                .partial_cmp(&net.node(a).residual())
-                .unwrap()
+                .total_cmp(&net.node(a).residual())
                 .then(a.cmp(&b))
         });
         heads.truncate(k);
@@ -223,12 +209,7 @@ pub fn select_heads_observed(
             .collect();
         candidates.sort_by(|&(pa, a), &(pb, b)| {
             pb.cmp(&pa)
-                .then(
-                    net.node(b)
-                        .residual()
-                        .partial_cmp(&net.node(a).residual())
-                        .unwrap(),
-                )
+                .then(net.node(b).residual().total_cmp(&net.node(a).residual()))
                 .then(a.cmp(&b))
         });
         // Pass 1: respect the d_c separation.
@@ -260,8 +241,7 @@ pub fn select_heads_observed(
         if let Some(best) = net.alive_ids().max_by(|&a, &b| {
             net.node(a)
                 .residual()
-                .partial_cmp(&net.node(b).residual())
-                .unwrap()
+                .total_cmp(&net.node(b).residual())
                 .then(b.cmp(&a))
         }) {
             heads.push(best);
@@ -277,6 +257,51 @@ pub fn select_heads_observed(
         withdrawn_ids,
         topped_up,
     }
+}
+
+/// Algorithm 3 core: partition `elected` into (survivors, withdrawals),
+/// both in election order. A head withdraws iff *any* other elected head
+/// within `d_c` out-ranks it (more residual energy, or equal energy and a
+/// lower id) — simultaneous-HELLO semantics, so out-ranking heads count
+/// even when they themselves withdraw.
+///
+/// The candidate set per head comes from a [`UniformGrid`] ball query —
+/// O(elected · ball) instead of the seed's O(elected²) all-pairs scan.
+/// The grid is queried with a radius inflated by one part in 10¹² so its
+/// squared-distance cell test is a superset of the exact predicate; the
+/// final call is still `net.distance(i, j) <= dc`, bit-for-bit the
+/// comparison the brute-force scan made.
+pub fn redundancy_withdrawals(
+    net: &Network,
+    grid: &UniformGrid,
+    elected: &[NodeId],
+    dc: f64,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut is_elected = vec![false; net.len()];
+    for &e in elected {
+        is_elected[e.0 as usize] = true;
+    }
+    let query_radius = dc * (1.0 + 1e-12);
+    let mut ball: Vec<u32> = Vec::new();
+    let mut kept: Vec<NodeId> = Vec::with_capacity(elected.len());
+    let mut withdrawn: Vec<NodeId> = Vec::new();
+    for &i in elected {
+        let me = net.node(i).residual();
+        grid.within_radius_into(net.node(i).pos, query_radius, &mut ball);
+        let outranked = ball.iter().any(|&jx| {
+            let j = NodeId(jx);
+            is_elected[jx as usize] && j != i && net.distance(i, j) <= dc && {
+                let other = net.node(j).residual();
+                other > me || (other == me && j < i)
+            }
+        });
+        if outranked {
+            withdrawn.push(i);
+        } else {
+            kept.push(i);
+        }
+    }
+    (kept, withdrawn)
 }
 
 /// Charge the Algorithm 3 HELLO broadcast: each head transmits

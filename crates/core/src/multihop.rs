@@ -52,8 +52,7 @@ impl Ord for HeapEntry {
         // Min-heap on cost; ties by node index for determinism.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.cost)
             .then(other.node.cmp(&self.node))
     }
 }

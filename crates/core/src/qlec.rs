@@ -15,7 +15,7 @@ use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOu
 use crate::kopt;
 use crate::params::QlecParams;
 use crate::qrouting::QRouter;
-use qlec_geom::UniformGrid;
+use qlec_geom::{KdTree, UniformGrid};
 use qlec_net::protocol::nearest_head;
 use qlec_net::{Network, NodeId, Protocol, Target};
 use qlec_obs::{Event, ObserverSet, Phase};
@@ -54,6 +54,16 @@ pub struct QlecProtocol {
     /// Wall time spent in `Send-Data` this round (accumulated across
     /// `choose_target` calls, flushed as one span at the round end).
     qrouting_ns: u64,
+    /// Per-round k-d tree over the head positions, built only when
+    /// `params.candidate_heads` prunes a head set larger than `c`
+    /// (`None` otherwise — the paper-exact full scan).
+    head_tree: Option<KdTree>,
+    /// Tree index → head id for `head_tree` queries.
+    head_order: Vec<NodeId>,
+    /// Reused scratch for the per-packet k-nearest query.
+    knn_buf: Vec<(u32, f64)>,
+    /// Reused scratch holding the pruned candidate head set.
+    candidate_buf: Vec<NodeId>,
 }
 
 /// Fluent configuration for [`QlecProtocol`] — the one way to assemble a
@@ -118,6 +128,14 @@ impl QlecBuilder {
         self
     }
 
+    /// Prune each packet's `Send-Data` scan to the `c` nearest alive
+    /// heads (k-d tree query) instead of all k — the 10k-node knob. Off
+    /// by default; see [`QlecParams::candidate_heads`].
+    pub fn candidate_heads(mut self, c: usize) -> Self {
+        self.params.candidate_heads = Some(c);
+        self
+    }
+
     /// Override the head-selection feature switchboard (ablations).
     pub fn features(mut self, features: SelectionFeatures) -> Self {
         self.features = features;
@@ -177,6 +195,10 @@ impl QlecBuilder {
             obs: self.obs,
             current_round: 0,
             qrouting_ns: 0,
+            head_tree: None,
+            head_order: Vec::new(),
+            knn_buf: Vec::new(),
+            candidate_buf: Vec::new(),
         }
     }
 }
@@ -323,6 +345,18 @@ impl Protocol for QlecProtocol {
         );
         let heads = outcome.heads.clone();
         self.last_selection = Some(outcome);
+        // Candidate pruning: index this round's heads for the per-packet
+        // c-nearest query. Only worth it (and only *valid* as a pure
+        // speedup) when the head set is larger than the candidate budget.
+        self.head_tree = None;
+        if let Some(c) = self.params.candidate_heads {
+            if self.q_routing && heads.len() > c {
+                let pts = heads.iter().map(|&h| net.node(h).pos).collect();
+                self.head_tree = Some(KdTree::build(pts));
+                self.head_order.clear();
+                self.head_order.extend_from_slice(&heads);
+            }
+        }
         // Refresh each head's V at promotion: a node's V from its member
         // days values a different action set; the head's state is "hold
         // the aggregate, forward to the BS", so its V is the line-15
@@ -364,12 +398,41 @@ impl Protocol for QlecProtocol {
                 .get(&src)
                 .map(|v| v.as_slice())
                 .unwrap_or(&[]);
+            // Pruned candidate set: the c nearest alive heads. The query
+            // window is padded so a few mid-round head deaths still leave
+            // c alive candidates; an all-dead window falls back to the
+            // full list (the router skips dead heads itself).
+            let candidates: &[NodeId] = if let Some(tree) = &self.head_tree {
+                let c = self
+                    .params
+                    .candidate_heads
+                    .expect("tree only built when the knob is set");
+                let window = (c + 8).min(self.head_order.len());
+                tree.k_nearest_into(net.node(src).pos, window, &mut self.knn_buf);
+                self.candidate_buf.clear();
+                for &(ti, _) in &self.knn_buf {
+                    let h = self.head_order[ti as usize];
+                    if net.node(h).is_alive() {
+                        self.candidate_buf.push(h);
+                        if self.candidate_buf.len() == c {
+                            break;
+                        }
+                    }
+                }
+                if self.candidate_buf.is_empty() {
+                    heads
+                } else {
+                    &self.candidate_buf
+                }
+            } else {
+                heads
+            };
             let start_ns = self.obs.now_ns();
             let router = self
                 .router
                 .as_mut()
                 .expect("router initialized in on_round_start");
-            let target = router.send_data_excluding(net, src, heads, excluded);
+            let target = router.send_data_excluding(net, src, candidates, excluded);
             if self.obs.is_active() {
                 self.qrouting_ns += self.obs.now_ns().saturating_sub(start_ns);
                 self.obs.emit(Event::QUpdate {
@@ -409,6 +472,10 @@ impl Protocol for QlecProtocol {
                 }
             }
             router.convergence.end_sweep();
+            // Round-end housekeeping: drop link estimates for endpoints
+            // that died this round (they are never consulted again, so
+            // this cannot change behaviour — only the table's footprint).
+            router.prune_dead_links(net);
             if self.obs.is_active() {
                 // One span for the round's whole Send-Data workload: the
                 // per-packet time accumulated in `choose_target` plus the
@@ -540,6 +607,83 @@ mod tests {
             with_q >= without - 0.05,
             "Q-routing PDR {with_q} trails nearest-head {without} by too much"
         );
+    }
+
+    #[test]
+    fn candidate_pruning_off_or_inert_is_identical() {
+        // The knob defaults off; a budget the head set never exceeds must
+        // also leave every code path untouched. Identical RNG streams ⇒
+        // identical reports.
+        let run = |c: Option<usize>| {
+            let net = paper_net(21, AnyLink::Ideal(IdealLink));
+            let mut rng = StdRng::seed_from_u64(22);
+            let mut b = QlecProtocol::builder().k(5);
+            if let Some(c) = c {
+                b = b.candidate_heads(c);
+            }
+            let mut p = b.build();
+            let mut cfg = SimConfig::paper(5.0);
+            cfg.rounds = 10;
+            Simulator::new(net, cfg).run(&mut p, &mut rng)
+        };
+        let off = run(None);
+        let inert = run(Some(50)); // ≥ any head count at k = 5
+        assert_eq!(off.consumption_rates, inert.consumption_rates);
+        assert_eq!(off.pdr(), inert.pdr());
+        assert_eq!(off.mean_head_count(), inert.mean_head_count());
+    }
+
+    #[test]
+    fn candidate_pruning_small_c_stays_equivalent() {
+        // Aggressive pruning (c = 2 of k = 5 heads) must preserve the
+        // protocol's character: conserved energy, near-full idle PDR, and
+        // an unchanged head-selection trajectory (selection never looks at
+        // the knob).
+        let run = |prune: bool| {
+            let net = paper_net(23, AnyLink::Ideal(IdealLink));
+            let mut rng = StdRng::seed_from_u64(24);
+            let mut b = QlecProtocol::builder().k(5);
+            if prune {
+                b = b.candidate_heads(2);
+            }
+            let mut p = b.build();
+            Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng)
+        };
+        let full = run(false);
+        let pruned = run(true);
+        assert!(pruned.totals.is_conserved());
+        assert!(pruned.pdr() > 0.9, "pruned idle PDR {}", pruned.pdr());
+        assert_eq!(full.mean_head_count(), pruned.mean_head_count());
+        assert!(
+            (full.pdr() - pruned.pdr()).abs() < 0.05,
+            "pruned PDR {} vs full {}",
+            pruned.pdr(),
+            full.pdr()
+        );
+    }
+
+    #[test]
+    fn link_table_is_pruned_over_a_lifespan_run() {
+        // Run a deployment to total meltdown: every endpoint eventually
+        // dies, so the round-end pruning must leave the link table empty.
+        // Before this PR the table kept one entry per directed link ever
+        // used — the regression this guards against.
+        let mut rng = StdRng::seed_from_u64(25);
+        let net = NetworkBuilder::new()
+            .link(AnyLink::Ideal(IdealLink))
+            .uniform_cube(&mut rng, 60, 200.0, 0.05);
+        let mut p = QlecProtocol::builder().k(5).build();
+        let mut cfg = SimConfig::paper(5.0);
+        cfg.rounds = 400;
+        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        assert_eq!(
+            report.rounds.last().expect("ran").alive_end,
+            0,
+            "premise: the network melts down"
+        );
+        assert!(p.q_updates() > 0, "premise: links were exercised");
+        let tracked = p.router().expect("router ran").links().links_tracked();
+        assert_eq!(tracked, 0, "{tracked} link entries leaked past death");
     }
 
     #[test]

@@ -80,6 +80,18 @@ impl LinkEstimator {
     pub fn links_tracked(&self) -> usize {
         self.table.len()
     }
+
+    /// Drop every link with a dead endpoint. Dead nodes never transmit
+    /// again and never come back, so their entries are pure leak: over a
+    /// lifespan run the table would otherwise keep one entry per directed
+    /// link ever exercised, long after both ends stopped existing. BS
+    /// links survive as long as their source does (the BS is
+    /// mains-powered).
+    pub fn prune_dead(&mut self, net: &Network) {
+        self.table.retain(|&(src, dst), _| {
+            net.node(NodeId(src)).is_alive() && (dst == BS_KEY || net.node(NodeId(dst)).is_alive())
+        });
+    }
 }
 
 /// The per-network Q-routing state: one V value per node plus the BS.
@@ -318,6 +330,14 @@ impl QRouter {
     pub fn on_hop_result(&mut self, src: NodeId, target: Target, success: bool) {
         self.links.record(src, target, success);
     }
+
+    /// Round-end housekeeping: drop link estimates whose endpoint died
+    /// (see [`LinkEstimator::prune_dead`]). Behaviour-invariant — dead
+    /// links are never consulted again — but keeps `links_tracked()`
+    /// bounded by the live topology instead of the run's history.
+    pub fn prune_dead_links(&mut self, net: &Network) {
+        self.links.prune_dead(net);
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +392,27 @@ mod tests {
         assert_eq!(est.probability(NodeId(0), Target::Bs), 1.0);
         est.record(NodeId(0), Target::Bs, false);
         assert!(est.probability(NodeId(0), Target::Bs) < 1.0);
+    }
+
+    #[test]
+    fn prune_dead_drops_only_dead_endpoint_links() {
+        let mut net = line_net();
+        let mut est = LinkEstimator::new(0.5, 1.0);
+        est.record(NodeId(0), Target::Head(NodeId(1)), true);
+        est.record(NodeId(0), Target::Head(NodeId(2)), false);
+        est.record(NodeId(0), Target::Bs, true);
+        est.record(NodeId(1), Target::Bs, true);
+        assert_eq!(est.links_tracked(), 4);
+        net.node_mut(NodeId(1)).battery.consume(10.0);
+        est.prune_dead(&net);
+        // Gone: 0→1 (dead dst) and 1→BS (dead src). Kept: 0→2, 0→BS.
+        assert_eq!(est.links_tracked(), 2);
+        assert!(est.probability(NodeId(0), Target::Head(NodeId(2))) < 1.0);
+        assert_eq!(
+            est.probability(NodeId(0), Target::Head(NodeId(1))),
+            1.0,
+            "pruned link reverts to the prior"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests on QLEC's cluster-head selection and Q-routing.
 
 use proptest::prelude::*;
-use qlec_core::deec_improved::{select_heads, SelectionFeatures};
+use qlec_core::deec_improved::{redundancy_withdrawals, select_heads, SelectionFeatures};
 use qlec_core::kopt::coverage_radius;
 use qlec_core::params::QlecParams;
 use qlec_core::qrouting::QRouter;
@@ -99,6 +99,53 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The grid-backed Algorithm 3 partition returns exactly the same
+    /// survivor and withdrawn sets (same order) as the seed-era
+    /// brute-force O(elected²) scan, across random deployments, elected
+    /// subsets, coverage radii, and energy profiles (equal residuals
+    /// exercise the lower-id tie-break).
+    #[test]
+    fn grid_survives_matches_brute_force(
+        seed in 0u64..1000,
+        n in 2usize..200,
+        k in 1usize..10,
+        elect_mod in 1usize..5,
+        drained in 0usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = NetworkBuilder::new().uniform_cube(&mut rng, n, 200.0, 5.0);
+        for i in 0..drained.min(n) {
+            net.node_mut(NodeId(i as u32)).battery.consume(0.1 * (i + 1) as f64);
+        }
+        let grid = UniformGrid::build(net.positions(), 8);
+        let dc = coverage_radius(200.0, k);
+        // Pseudo-random elected subset, in id order as Algorithm 2 yields.
+        let elected: Vec<NodeId> = (0..n as u32)
+            .filter(|i| (*i as usize + seed as usize).is_multiple_of(elect_mod))
+            .map(NodeId)
+            .collect();
+
+        let (kept, withdrawn) = redundancy_withdrawals(&net, &grid, &elected, dc);
+
+        // Reference: the brute-force all-pairs scan this PR replaced.
+        let survives = |i: &NodeId| -> bool {
+            !elected.iter().any(|j| {
+                j != i && net.distance(*i, *j) <= dc && {
+                    let (other, me) = (net.node(*j).residual(), net.node(*i).residual());
+                    other > me || (other == me && j < i)
+                }
+            })
+        };
+        let kept_ref: Vec<NodeId> = elected.iter().copied().filter(survives).collect();
+        let withdrawn_ref: Vec<NodeId> = elected
+            .iter()
+            .copied()
+            .filter(|i| !kept_ref.contains(i))
+            .collect();
+        prop_assert_eq!(kept, kept_ref);
+        prop_assert_eq!(withdrawn, withdrawn_ref);
     }
 
     /// Q-router outputs are always valid actions, and V values stay

@@ -145,7 +145,7 @@ mod tests {
         let (big_i, big) = plants
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.capacity_mw.partial_cmp(&b.1.capacity_mw).unwrap())
+            .max_by(|a, b| a.1.capacity_mw.total_cmp(&b.1.capacity_mw))
             .unwrap();
         let e_big = net.nodes()[big_i].battery.initial();
         assert!((e_big - big.capacity_mw * cfg.joules_per_mw).abs() < 1e-9);

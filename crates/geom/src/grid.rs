@@ -190,8 +190,7 @@ impl UniformGrid {
             if let Some(&best) = buf.iter().min_by(|&&a, &&b| {
                 self.points[a as usize]
                     .dist_sq(q)
-                    .partial_cmp(&self.points[b as usize].dist_sq(q))
-                    .unwrap()
+                    .total_cmp(&self.points[b as usize].dist_sq(q))
             }) {
                 // A point found at distance d is only guaranteed nearest if
                 // d <= radius (all closer candidates were inside the ball).
@@ -205,8 +204,7 @@ impl UniformGrid {
                 return (0..self.points.len() as u32).min_by(|&a, &b| {
                     self.points[a as usize]
                         .dist_sq(q)
-                        .partial_cmp(&self.points[b as usize].dist_sq(q))
-                        .unwrap()
+                        .total_cmp(&self.points[b as usize].dist_sq(q))
                 });
             }
             radius *= 2.0;
@@ -282,7 +280,7 @@ mod tests {
             let best = pts
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.dist_sq(q).partial_cmp(&b.dist_sq(q)).unwrap())
+                .min_by(|(_, a), (_, b)| a.dist_sq(q).total_cmp(&b.dist_sq(q)))
                 .map(|(i, _)| i as u32)
                 .unwrap();
             assert_eq!(

@@ -68,9 +68,7 @@ impl KdTree {
         };
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            points[a as usize][axis]
-                .partial_cmp(&points[b as usize][axis])
-                .unwrap()
+            points[a as usize][axis].total_cmp(&points[b as usize][axis])
         });
         let point = idx[mid];
         let node_pos = nodes.len() as i32;
@@ -141,27 +139,33 @@ impl KdTree {
     /// Indices of the `k` nearest points to `q`, sorted by ascending
     /// distance. Returns fewer when the tree holds fewer points.
     pub fn k_nearest(&self, q: Vec3, k: usize) -> Vec<(u32, f64)> {
-        if self.root == NIL || k == 0 {
-            return Vec::new();
-        }
-        // Max-heap of (dist_sq, index) capped at k.
-        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
-        self.knn_rec(self.root, q, k, &mut heap);
-        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d)).collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut out = Vec::new();
+        self.k_nearest_into(q, k, &mut out);
         out
     }
 
-    fn knn_rec(&self, ni: i32, q: Vec3, k: usize, heap: &mut Vec<(f64, u32)>) {
+    /// [`KdTree::k_nearest`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free variant for per-packet queries.
+    pub fn k_nearest_into(&self, q: Vec3, k: usize, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        if self.root == NIL || k == 0 {
+            return;
+        }
+        out.reserve(k + 1);
+        self.knn_rec(self.root, q, k, out);
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+
+    fn knn_rec(&self, ni: i32, q: Vec3, k: usize, heap: &mut Vec<(u32, f64)>) {
         let node = &self.nodes[ni as usize];
         let p = self.points[node.point as usize];
         let d = p.dist_sq(q);
         if heap.len() < k {
-            heap.push((d, node.point));
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // worst first
-        } else if d < heap[0].0 {
-            heap[0] = (d, node.point);
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            heap.push((node.point, d));
+            heap.sort_by(|a, b| b.1.total_cmp(&a.1)); // worst first
+        } else if d < heap[0].1 {
+            heap[0] = (node.point, d);
+            heap.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
         let axis = node.axis as usize;
         let delta = q[axis] - p[axis];
@@ -176,7 +180,7 @@ impl KdTree {
         let worst = if heap.len() < k {
             f64::INFINITY
         } else {
-            heap[0].0
+            heap[0].1
         };
         if far != NIL && delta * delta < worst {
             self.knn_rec(far, q, k, heap);
@@ -236,7 +240,7 @@ mod tests {
                 let got = t.k_nearest(q, k);
                 assert_eq!(got.len(), k.min(pts.len()));
                 let mut dists: Vec<f64> = pts.iter().map(|p| p.dist_sq(q)).collect();
-                dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                dists.sort_by(|a, b| a.total_cmp(b));
                 for (j, (_, d)) in got.iter().enumerate() {
                     assert!((d - dists[j]).abs() < 1e-9, "k={k} j={j}");
                 }
@@ -245,6 +249,19 @@ mod tests {
                     assert!(w[0].1 <= w[1].1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn k_nearest_into_matches_allocating_variant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = Aabb::cube(50.0);
+        let pts = uniform_points_in_aabb(&mut rng, &b, 200);
+        let t = KdTree::build(pts);
+        let mut buf = Vec::new();
+        for q in uniform_points_in_aabb(&mut rng, &b, 20) {
+            t.k_nearest_into(q, 5, &mut buf);
+            assert_eq!(buf, t.k_nearest(q, 5), "stale buffer state leaked");
         }
     }
 

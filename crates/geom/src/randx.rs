@@ -167,7 +167,7 @@ mod tests {
         let n = 100_000;
         let mut vals: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 1.0, 0.75)).collect();
         assert!(vals.iter().all(|&v| v > 0.0));
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(|a, b| a.total_cmp(b));
         let median = vals[n / 2];
         // Median of LogNormal(mu, sigma) is e^mu.
         assert!((median - 1f64.exp()).abs() < 0.05, "median {median}");

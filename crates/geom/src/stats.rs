@@ -128,7 +128,7 @@ impl Summary {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut w = Welford::new();
         for &x in data {
             w.push(x);

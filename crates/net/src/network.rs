@@ -170,7 +170,7 @@ impl Network {
         self.nodes
             .iter()
             .map(|n| n.residual())
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -165,8 +165,7 @@ impl Protocol for GreedyEnergyProtocol {
         alive.sort_by(|&a, &b| {
             net.node(b)
                 .residual()
-                .partial_cmp(&net.node(a).residual())
-                .unwrap()
+                .total_cmp(&net.node(a).residual())
                 .then(a.cmp(&b))
         });
         alive.truncate(self.k);
@@ -223,8 +222,7 @@ pub fn nearest_head(net: &Network, src: NodeId, heads: &[NodeId]) -> Option<Node
         .filter(|&h| net.node(h).is_alive())
         .min_by(|&a, &b| {
             net.distance(src, a)
-                .partial_cmp(&net.distance(src, b))
-                .unwrap()
+                .total_cmp(&net.distance(src, b))
                 .then(a.cmp(&b))
         })
 }

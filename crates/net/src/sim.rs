@@ -35,7 +35,6 @@ use qlec_obs::{Event, ObserverSet, PacketFate, Phase};
 use qlec_radio::link::{AnyLink, LinkModel};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Simulation parameters. Defaults mirror §5.1/Table 2 where the paper
 /// specifies them; the queueing/timing constants the paper leaves implicit
@@ -132,6 +131,25 @@ impl Default for SimConfig {
     }
 }
 
+/// Per-round scratch buffers, reused across rounds so the hot loop
+/// allocates O(1) per round instead of O(nodes + packets): at 10k nodes
+/// the event list alone is tens of thousands of entries per round, and
+/// the former per-head `HashMap` rebuild hashed every queue access.
+#[derive(Default)]
+struct RoundScratch {
+    /// (arrival time, source) packet-generation events, time-ordered.
+    events: Vec<(f64, NodeId)>,
+    /// node index → this round's queue slot (`-1` = not a head).
+    head_slot: Vec<i32>,
+    /// One queue per head, in head order (buffers reused via
+    /// [`ChQueue::reset`]).
+    queues: Vec<ChQueue>,
+    /// Per-queue-slot overflow ratio for relayed aggregates.
+    relay_overflow: Vec<f64>,
+    /// Alive bitmap at round start (observed runs only).
+    alive_before: Vec<bool>,
+}
+
 /// Runs a [`Protocol`] over a [`Network`] for the configured rounds.
 pub struct Simulator {
     net: Network,
@@ -139,6 +157,7 @@ pub struct Simulator {
     next_packet_id: u64,
     obs: ObserverSet,
     faults: Option<FaultDriver>,
+    scratch: RoundScratch,
 }
 
 impl Simulator {
@@ -153,6 +172,7 @@ impl Simulator {
             next_packet_id: 0,
             obs: ObserverSet::new(),
             faults: None,
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -282,7 +302,8 @@ impl Simulator {
         // ---- Phase 1: cluster-head selection -------------------------
         // Observability bookkeeping is gated on `is_active()` so an
         // unobserved run never constructs an event (or the alive bitmap).
-        let alive_before: Vec<bool> = if self.obs.is_active() {
+        self.scratch.alive_before.clear();
+        if self.obs.is_active() {
             self.obs.set_sim_time(round_start);
             self.obs.emit(Event::RoundStarted {
                 round,
@@ -296,10 +317,10 @@ impl Simulator {
                     nodes: f.nodes.clone(),
                 });
             }
-            self.net.nodes().iter().map(|n| n.is_alive()).collect()
-        } else {
-            Vec::new()
-        };
+            self.scratch
+                .alive_before
+                .extend(self.net.nodes().iter().map(|n| n.is_alive()));
+        }
         self.net.reset_roles();
         let election_span = self.obs.span_start();
         let heads = protocol.on_round_start(&mut self.net, round, rng);
@@ -313,33 +334,42 @@ impl Simulator {
                 });
             }
         }
-        let mut queues: HashMap<NodeId, ChQueue> = heads
-            .iter()
-            .map(|&h| {
-                (
-                    h,
-                    ChQueue::new(cfg.queue_capacity, cfg.service_time, deadline),
-                )
-            })
-            .collect();
+        // One queue slot per head; `head_slot` gives O(1) unhashed lookup
+        // and the queue buffers carry over from round to round.
+        self.scratch.head_slot.clear();
+        self.scratch.head_slot.resize(self.net.len(), -1);
+        let mut queues = std::mem::take(&mut self.scratch.queues);
+        queues.truncate(heads.len());
+        for q in queues.iter_mut() {
+            q.reset(cfg.queue_capacity, cfg.service_time, deadline);
+        }
+        while queues.len() < heads.len() {
+            queues.push(ChQueue::new(cfg.queue_capacity, cfg.service_time, deadline));
+        }
+        for (si, &h) in heads.iter().enumerate() {
+            debug_assert_eq!(self.scratch.head_slot[h.index()], -1, "duplicate head {h}");
+            self.scratch.head_slot[h.index()] = si as i32;
+        }
 
         // ---- Phase 2: packet generation ------------------------------
         let traffic = PoissonTraffic::new(cfg.mean_interarrival);
-        let mut events: Vec<(f64, NodeId)> = Vec::new();
-        for id in self.net.ids().collect::<Vec<_>>() {
+        let mut events = std::mem::take(&mut self.scratch.events);
+        events.clear();
+        for idx in 0..self.net.len() {
+            let id = NodeId(idx as u32);
             let node = self.net.node(id);
             if !node.is_alive() {
                 continue;
             }
-            let is_head = queues.contains_key(&id);
+            let is_head = self.scratch.head_slot[idx] >= 0;
             if is_head && !cfg.heads_generate {
                 continue;
             }
-            for t in traffic.arrivals_in(rng, round_start, cfg.slots_per_round) {
+            traffic.for_each_arrival(rng, round_start, cfg.slots_per_round, |t| {
                 events.push((t, id));
-            }
+            });
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         // ---- Phase 2: member hops and head queues --------------------
         let mut counters = PacketCounters::default();
@@ -351,7 +381,7 @@ impl Simulator {
         let radio = self.net.radio;
 
         let tx_span = self.obs.span_start();
-        for (time, src) in events {
+        for &(time, src) in &events {
             if !self.net.node(src).is_alive() {
                 continue; // died earlier this round; generates nothing
             }
@@ -364,9 +394,10 @@ impl Simulator {
             };
             self.next_packet_id += 1;
 
-            if queues.contains_key(&src) {
+            let src_slot = self.scratch.head_slot[src.index()];
+            if src_slot >= 0 {
                 // A head's own sensing data goes straight into its queue.
-                let q = queues.get_mut(&src).expect("checked above");
+                let q = &mut queues[src_slot as usize];
                 let fate = match q.offer(pkt, time) {
                     Offer::Accepted { .. } => None,
                     Offer::Dropped(QueueDrop::Full) => {
@@ -458,7 +489,8 @@ impl Simulator {
                     Target::Head(h) => {
                         let head_alive = self.net.node(h).is_alive();
                         let radio_ok = sample_hop(faults.as_ref(), &link, rng, d, src.0, Some(h.0));
-                        if !radio_ok || !head_alive || !queues.contains_key(&h) {
+                        let h_slot = self.scratch.head_slot[h.index()];
+                        if !radio_ok || !head_alive || h_slot < 0 {
                             fail = FailCause::Link;
                             protocol.on_hop_result(src, target, false);
                         } else {
@@ -469,7 +501,7 @@ impl Simulator {
                                 .node_mut(h)
                                 .battery
                                 .consume(radio.rx_energy(cfg.packet_bits));
-                            let q = queues.get_mut(&h).expect("checked above");
+                            let q = &mut queues[h_slot as usize];
                             match q.offer(pkt, attempt_time + cfg.hop_delay) {
                                 Offer::Accepted { .. } => {
                                     protocol.on_hop_result(src, target, true);
@@ -529,23 +561,21 @@ impl Simulator {
         // baseline's multi-hop losses in Fig. 3(a)).
         self.obs.set_sim_time(deadline);
         let agg_span = self.obs.span_start();
-        let relay_overflow: HashMap<NodeId, f64> = queues
-            .iter()
-            .map(|(&h, q)| {
-                let refused = q.drops_full();
-                let accepted = q.processed().len() as u64;
-                let total = refused + accepted;
-                let ratio = if total == 0 {
-                    0.0
-                } else {
-                    refused as f64 / total as f64
-                };
-                (h, ratio)
-            })
-            .collect();
+        let mut relay_overflow = std::mem::take(&mut self.scratch.relay_overflow);
+        relay_overflow.clear();
+        relay_overflow.extend(queues.iter().map(|q| {
+            let refused = q.drops_full();
+            let accepted = q.processed().len() as u64;
+            let total = refused + accepted;
+            if total == 0 {
+                0.0
+            } else {
+                refused as f64 / total as f64
+            }
+        }));
         let mut head_loads = Vec::with_capacity(heads.len());
-        for &head in &heads {
-            let q = queues.remove(&head).expect("every head has a queue");
+        for (si, &head) in heads.iter().enumerate() {
+            let q = &queues[si];
             head_loads.push(crate::metrics::HeadLoad {
                 head: head.0,
                 accepted: q.processed().len() as u64,
@@ -553,7 +583,7 @@ impl Simulator {
                 drops_deadline: q.drops_deadline(),
                 peak_occupancy: q.peak_occupancy(),
             });
-            let processed = q.processed().to_vec();
+            let processed = q.processed();
             if processed.is_empty() {
                 continue;
             }
@@ -629,7 +659,10 @@ impl Simulator {
                         break;
                     }
                     // Congested relays refuse forwarded aggregates.
-                    let overflow = relay_overflow.get(&h).copied().unwrap_or(0.0);
+                    let overflow = match self.scratch.head_slot[h.index()] {
+                        s if s >= 0 => relay_overflow[s as usize],
+                        _ => 0.0,
+                    };
                     if overflow > 0.0 && rng.gen::<f64>() < overflow {
                         ok = false;
                         break;
@@ -644,7 +677,7 @@ impl Simulator {
             }
 
             if ok {
-                for (pkt, completed_at) in &processed {
+                for (pkt, completed_at) in processed {
                     counters.delivered += 1;
                     let queueing = completed_at - pkt.created_at;
                     let lat = queueing + hops_done as f64 * cfg.hop_delay;
@@ -660,7 +693,7 @@ impl Simulator {
             } else {
                 counters.dropped_aggregate += processed.len() as u64;
                 if self.obs.is_active() {
-                    for (pkt, _) in &processed {
+                    for (pkt, _) in processed {
                         self.obs.emit(Event::PacketOutcome {
                             round,
                             src: pkt.src.0,
@@ -693,7 +726,7 @@ impl Simulator {
             head_loads,
         };
         if self.obs.is_active() {
-            for (i, was_alive) in alive_before.iter().enumerate() {
+            for (i, was_alive) in self.scratch.alive_before.iter().enumerate() {
                 if *was_alive && !self.net.nodes()[i].is_alive() {
                     self.obs.emit(Event::NodeDied {
                         round,
@@ -710,6 +743,9 @@ impl Simulator {
             });
         }
         self.faults = faults;
+        self.scratch.events = events;
+        self.scratch.queues = queues;
+        self.scratch.relay_overflow = relay_overflow;
         (metrics, latency)
     }
 }

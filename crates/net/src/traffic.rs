@@ -34,15 +34,29 @@ impl PoissonTraffic {
     /// Standard homogeneous-Poisson simulation: cumulative sums of
     /// exponential gaps, truncated at the window end.
     pub fn arrivals_in<R: Rng + ?Sized>(&self, rng: &mut R, start: f64, duration: f64) -> Vec<f64> {
-        assert!(duration >= 0.0, "duration must be non-negative");
         let mut out = Vec::new();
+        self.for_each_arrival(rng, start, duration, |t| out.push(t));
+        out
+    }
+
+    /// Visit the arrival times of [`PoissonTraffic::arrivals_in`] in order
+    /// without allocating — the round engine's per-node hot path (one call
+    /// per alive node per round). Draws exactly the same RNG sequence as
+    /// the allocating variant.
+    pub fn for_each_arrival<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: f64,
+        duration: f64,
+        mut visit: impl FnMut(f64),
+    ) {
+        assert!(duration >= 0.0, "duration must be non-negative");
         let end = start + duration;
         let mut t = start + randx::exponential(rng, self.mean_interarrival);
         while t < end {
-            out.push(t);
+            visit(t);
             t += randx::exponential(rng, self.mean_interarrival);
         }
-        out
     }
 
     /// Expected number of arrivals in a window of the given duration.

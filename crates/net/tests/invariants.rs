@@ -120,7 +120,7 @@ proptest! {
         let deadline = 50.0;
         let mut q = ChQueue::new(capacity, service_time, deadline);
         let mut sorted = arrivals.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         for (i, &t) in sorted.iter().enumerate() {
             let pkt = Packet { id: i as u64, src: NodeId(0), created_at: t, bits: 1 };
             let _ = q.offer(pkt, t);

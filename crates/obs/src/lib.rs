@@ -30,6 +30,7 @@ mod event;
 mod json_sink;
 mod memory_sink;
 mod observer;
+mod procinfo;
 mod registry;
 
 pub use clock::{Clock, ManualClock, WallClock};
@@ -38,4 +39,5 @@ pub use event::{Event, PacketFate, Phase, SCHEMA};
 pub use json_sink::{read_events, JsonLinesSink};
 pub use memory_sink::MemorySink;
 pub use observer::{ObserverSet, SimObserver, SpanToken};
+pub use procinfo::peak_rss_bytes;
 pub use registry::{Histogram, Registry};

@@ -1,0 +1,58 @@
+//! Process-level resource probes for the perf-trajectory harness.
+//!
+//! The scale bench records peak memory next to the phase wall times so
+//! that a regression in either shows up in the same `BENCH_scale.json`
+//! artifact. Only Linux exposes the high-water mark cheaply (the
+//! `VmHWM` line of `/proc/self/status`); other platforms report `None`
+//! and the bench leaves the field null.
+
+/// Peak resident-set size of the current process in bytes (`VmHWM`).
+///
+/// Returns `None` off Linux or when `/proc/self/status` is unreadable
+/// or malformed. The value is a process-lifetime high-water mark: it
+/// only ever grows, so per-run readings in one process are cumulative.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm_kb(&status).map(|kb| kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extract the `VmHWM` value (kB) from `/proc/self/status` text.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_proc_status_excerpt() {
+        let status = "Name:\tqlec\nVmPeak:\t  123 kB\nVmHWM:\t   20480 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(20480));
+        assert_eq!(parse_vm_hwm_kb("Name:\tqlec\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_reading_is_positive_and_monotone() {
+        let before = peak_rss_bytes().expect("/proc/self/status readable");
+        assert!(before > 0);
+        // Touch some memory; the high-water mark must not decrease.
+        let v = vec![1u8; 1 << 20];
+        std::hint::black_box(&v);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "VmHWM went backwards: {before} -> {after}");
+    }
+}

@@ -78,7 +78,7 @@ pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) ->
 
     // Nodes, coldest first so hot ones draw on top.
     let mut order: Vec<usize> = (0..net.len()).collect();
-    order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
+    order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
     for i in order {
         let pos = net.nodes()[i].pos;
         let t = rates[i] / max_rate;
