@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qlec_bench::{ProtocolKind, RunSpec};
-use qlec_core::params::QlecParams;
+use qlec_core::params::{CandidatePolicy, QlecParams};
 use qlec_net::Simulator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +23,7 @@ fn bench_scale(c: &mut Criterion) {
                     .build();
                 let net = spec.network(1);
                 let params = QlecParams {
-                    candidate_heads: Some(8),
+                    candidates: CandidatePolicy::Fixed(8),
                     ..spec.qlec_params()
                 };
                 let mut protocol = ProtocolKind::Qlec.build(&params);

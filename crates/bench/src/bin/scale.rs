@@ -3,16 +3,19 @@
 //! Runs the paper-shaped QLEC configuration at N ∈ {100, 1k, 10k} (by
 //! default) with `Send-Data` candidate pruning enabled, and emits
 //! `BENCH_scale.json`: per-phase wall time (from the `qlec-obs` phase
-//! spans), peak RSS, and packet throughput for each size. CI smoke-runs
-//! it at N = 100 and validates the artifact against the schema; the
-//! full sweep is the cross-PR performance trajectory.
+//! spans), peak RSS, and packet throughput for each (size, threads)
+//! point. CI smoke-runs it at N = 100 and validates the artifact
+//! against the schema, and the regression gate re-runs the committed
+//! baseline's N = 100 point with `--compare`; the full sweep is the
+//! cross-PR performance trajectory.
 //!
 //! Usage: `cargo run --release -p qlec-bench --bin scale -- \
-//!     [--sizes 100,1000,10000] [--rounds 20] [--candidates 8] \
-//!     [--lambda 5] [--seed 42] [--out BENCH_scale.json] [--validate]`
+//!     [--sizes 100,1000,10000] [--threads 1] [--rounds 20] \
+//!     [--candidates auto|full|<n>] [--lambda 5] [--seed 42] \
+//!     [--out BENCH_scale.json] [--validate] [--compare BASE.json]`
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
-use qlec_core::params::QlecParams;
+use qlec_core::params::{CandidatePolicy, QlecParams};
 use qlec_net::Simulator;
 use qlec_obs::{peak_rss_bytes, MemorySink, ObserverSet, Phase};
 use rand::rngs::StdRng;
@@ -22,10 +25,16 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Version tag of the `BENCH_scale.json` artifact. Bump on any field
-/// addition, removal, or semantic change.
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v1";
+/// addition, removal, or semantic change. v2: added `threads` (engine
+/// worker count per run) and replaced `candidate_heads` with the
+/// `candidates` policy spelling (`auto`, `full`, or a fixed budget).
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v2";
 
-/// One size point of the sweep.
+/// `--compare` fails on a `packets_per_sec` drop of more than this
+/// fraction below the baseline at any matching point.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// One (size, threads) point of the sweep.
 #[derive(Debug, Serialize)]
 struct ScaleRun {
     /// Node count N.
@@ -34,8 +43,11 @@ struct ScaleRun {
     k: usize,
     /// Simulated rounds.
     rounds: u32,
-    /// `Send-Data` candidate pruning knob (null = paper-exact full scan).
-    candidate_heads: Option<usize>,
+    /// Engine worker threads (`SimConfig::threads`; 0 = all cores).
+    threads: usize,
+    /// `Send-Data` candidate pruning policy spelling (`auto`, `full`,
+    /// or a fixed budget as an integer string).
+    candidates: String,
     /// End-to-end wall time of the run, seconds.
     wall_s: f64,
     /// Packets generated over the whole run.
@@ -67,20 +79,38 @@ struct ScaleReport {
     runs: Vec<ScaleRun>,
 }
 
-fn run_size(n: usize, rounds: u32, candidates: Option<usize>, lambda: f64, seed: u64) -> ScaleRun {
+/// The artifact spelling of a candidate policy (also the `--candidates`
+/// flag syntax, so baselines and fresh runs compare apples to apples).
+fn policy_label(policy: CandidatePolicy) -> String {
+    match policy {
+        CandidatePolicy::Auto => "auto".into(),
+        CandidatePolicy::Full => "full".into(),
+        CandidatePolicy::Fixed(c) => c.to_string(),
+    }
+}
+
+fn run_size(
+    n: usize,
+    rounds: u32,
+    candidates: CandidatePolicy,
+    threads: usize,
+    lambda: f64,
+    seed: u64,
+) -> ScaleRun {
     let k = (n / 20).max(2);
-    let spec = RunSpec::builder(lambda)
+    let mut spec = RunSpec::builder(lambda)
         .nodes(n)
         .k(k)
         .rounds(rounds)
         .seeds(vec![seed])
         .build();
+    spec.sim.threads = threads;
     let net = spec.network(seed);
     let sink = Arc::new(Mutex::new(MemorySink::new()));
     let mut obs = ObserverSet::new();
     obs.attach(sink.clone());
     let params = QlecParams {
-        candidate_heads: candidates,
+        candidates,
         ..spec.qlec_params()
     };
     let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
@@ -102,7 +132,8 @@ fn run_size(n: usize, rounds: u32, candidates: Option<usize>, lambda: f64, seed:
         n,
         k,
         rounds,
-        candidate_heads: candidates,
+        threads,
+        candidates: policy_label(candidates),
         wall_s,
         packets: report.totals.generated,
         packets_per_sec: report.totals.generated as f64 / wall_s.max(1e-9),
@@ -113,7 +144,7 @@ fn run_size(n: usize, rounds: u32, candidates: Option<usize>, lambda: f64, seed:
     }
 }
 
-/// Check a `BENCH_scale.json` text against the v1 schema. Returns a
+/// Check a `BENCH_scale.json` text against the v2 schema. Returns a
 /// description of the first problem found.
 fn validate_scale_json(text: &str) -> Result<(), String> {
     let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
@@ -140,6 +171,7 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "n",
             "k",
             "rounds",
+            "threads",
             "wall_s",
             "packets",
             "packets_per_sec",
@@ -150,9 +182,13 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
                 return Err(format!("runs[{i}] missing numeric field {key:?}"));
             }
         }
-        match run.get("candidate_heads") {
-            Some(c) if c.is_null() || c.as_u64().is_some() => {}
-            _ => return Err(format!("runs[{i}].candidate_heads must be null or integer")),
+        match run["candidates"].as_str() {
+            Some(c) if CandidatePolicy::parse(c).is_ok() => {}
+            _ => {
+                return Err(format!(
+                    "runs[{i}].candidates must be auto, full or a positive integer"
+                ))
+            }
         }
         let walls = run["phase_wall"]
             .as_array()
@@ -176,6 +212,56 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Compare a fresh sweep against a committed baseline artifact.
+///
+/// Points are matched on `(n, threads, candidates)`; `Ok` carries one
+/// message per matched point whose `packets_per_sec` fell more than
+/// [`REGRESSION_TOLERANCE`] below the baseline (empty = gate passes).
+/// `Err` means the comparison itself is impossible — unreadable or
+/// schema-stale baseline, or no point in common.
+fn compare_against_baseline(
+    fresh: &[ScaleRun],
+    baseline_text: &str,
+) -> Result<Vec<String>, String> {
+    validate_scale_json(baseline_text).map_err(|e| format!("baseline invalid: {e}"))?;
+    let base: serde_json::Value =
+        serde_json::from_str(baseline_text).expect("validated baseline parses");
+    let base_runs = base["runs"]
+        .as_array()
+        .expect("validated baseline has runs");
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for run in fresh {
+        let Some(b) = base_runs.iter().find(|b| {
+            b["n"].as_u64() == Some(run.n as u64)
+                && b["threads"].as_u64() == Some(run.threads as u64)
+                && b["candidates"].as_str() == Some(run.candidates.as_str())
+        }) else {
+            continue;
+        };
+        matched += 1;
+        let base_pps = b["packets_per_sec"].as_f64().expect("validated numeric");
+        let floor = base_pps * (1.0 - REGRESSION_TOLERANCE);
+        if run.packets_per_sec < floor {
+            regressions.push(format!(
+                "N={} threads={} candidates={}: {:.0} packets/s vs baseline {:.0} \
+                 (below the {:.0}% floor {:.0})",
+                run.n,
+                run.threads,
+                run.candidates,
+                run.packets_per_sec,
+                base_pps,
+                (1.0 - REGRESSION_TOLERANCE) * 100.0,
+                floor,
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err("no (n, threads, candidates) point in common with the baseline".into());
+    }
+    Ok(regressions)
+}
+
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -190,19 +276,26 @@ fn main() {
         .split(',')
         .map(|s| s.trim().parse().expect("--sizes takes integers"))
         .collect();
+    let threads_list: Vec<usize> = flag_value(&args, "--threads")
+        .unwrap_or_else(|| "1".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--threads takes integers"))
+        .collect();
     let rounds: u32 =
         flag_value(&args, "--rounds").map_or(20, |s| s.parse().expect("--rounds takes an integer"));
-    let candidates: Option<usize> = match flag_value(&args, "--candidates").as_deref() {
-        None => Some(8),
-        Some("off") => None,
-        Some(s) => Some(s.parse().expect("--candidates takes an integer or 'off'")),
-    };
+    let candidates = flag_value(&args, "--candidates").map_or(CandidatePolicy::Fixed(8), |s| {
+        CandidatePolicy::parse(&s).expect("--candidates takes auto, full or a positive integer")
+    });
     let lambda: f64 =
         flag_value(&args, "--lambda").map_or(5.0, |s| s.parse().expect("--lambda takes a number"));
     let seed: u64 =
         flag_value(&args, "--seed").map_or(42, |s| s.parse().expect("--seed takes an integer"));
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".into());
     assert!(!sizes.is_empty(), "--sizes must name at least one N");
+    assert!(
+        !threads_list.is_empty(),
+        "--threads must name at least one count"
+    );
 
     let mut report = ScaleReport {
         schema: SCALE_SCHEMA.to_string(),
@@ -212,26 +305,41 @@ fn main() {
     };
     let mut rows = Vec::new();
     for &n in &sizes {
-        let run = run_size(n, rounds, candidates, lambda, seed);
-        eprintln!(
-            "N = {n:>6}: {:.2}s wall, {:.0} packets/s",
-            run.wall_s, run.packets_per_sec
-        );
-        rows.push(vec![
-            run.n.to_string(),
-            run.k.to_string(),
-            format!("{:.2}s", run.wall_s),
-            run.packets.to_string(),
-            format!("{:.0}", run.packets_per_sec),
-            format!("{:.4}", run.pdr),
-            run.peak_rss_bytes
-                .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
-        ]);
-        report.runs.push(run);
+        for &threads in &threads_list {
+            let run = run_size(n, rounds, candidates, threads, lambda, seed);
+            eprintln!(
+                "N = {n:>6} × {threads} thread(s): {:.2}s wall, {:.0} packets/s",
+                run.wall_s, run.packets_per_sec
+            );
+            rows.push(vec![
+                run.n.to_string(),
+                run.k.to_string(),
+                run.threads.to_string(),
+                format!("{:.2}s", run.wall_s),
+                run.packets.to_string(),
+                format!("{:.0}", run.packets_per_sec),
+                format!("{:.4}", run.pdr),
+                run.peak_rss_bytes
+                    .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+            ]);
+            report.runs.push(run);
+        }
     }
     print_table(
-        &format!("scale sweep ({rounds} rounds, candidates = {candidates:?}, λ = {lambda})"),
-        &["N", "k", "wall", "packets", "pkt/s", "PDR", "peak RSS (MB)"],
+        &format!(
+            "scale sweep ({rounds} rounds, candidates = {}, λ = {lambda})",
+            policy_label(candidates)
+        ),
+        &[
+            "N",
+            "k",
+            "thr",
+            "wall",
+            "packets",
+            "pkt/s",
+            "PDR",
+            "peak RSS (MB)",
+        ],
         &rows,
     );
     write_json(&out, &report);
@@ -246,6 +354,26 @@ fn main() {
             }
         }
     }
+
+    if let Some(baseline) = flag_value(&args, "--compare") {
+        let text = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| panic!("--compare {baseline}: {e}"));
+        match compare_against_baseline(&report.runs, &text) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("[no packets/s regression vs {baseline}]");
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("error: regression: {r}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: cannot compare against {baseline}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +382,7 @@ mod tests {
 
     #[test]
     fn a_tiny_run_produces_a_valid_artifact() {
-        let run = run_size(30, 2, Some(4), 8.0, 7);
+        let run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
         let report = ScaleReport {
             schema: SCALE_SCHEMA.to_string(),
             lambda: 8.0,
@@ -266,7 +394,52 @@ mod tests {
         let r = &report.runs[0];
         assert!(r.wall_s > 0.0);
         assert!(r.packets > 0);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.candidates, "4");
         assert_eq!(r.phase_wall.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
+        let pps = run.packets_per_sec;
+        let baseline = |base_pps: f64| {
+            let mut base_run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
+            base_run.packets_per_sec = base_pps;
+            serde_json::to_string(&ScaleReport {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                runs: vec![base_run],
+            })
+            .unwrap()
+        };
+        let fresh = std::slice::from_ref(&run);
+        // Fresh matches (or beats) the baseline: no regression.
+        assert_eq!(
+            compare_against_baseline(fresh, &baseline(pps)).unwrap(),
+            Vec::<String>::new()
+        );
+        // Baseline 10× faster: well past the 20% floor.
+        let msgs = compare_against_baseline(fresh, &baseline(pps * 10.0)).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("N=30"), "{}", msgs[0]);
+        // A drop within tolerance (fresh at ~83% of baseline) passes.
+        assert!(compare_against_baseline(fresh, &baseline(pps * 1.2))
+            .unwrap()
+            .is_empty());
+        // No matching (n, threads, candidates) point → a hard error,
+        // not a silent pass.
+        let other = serde_json::to_string(&ScaleReport {
+            schema: SCALE_SCHEMA.to_string(),
+            lambda: 8.0,
+            seed: 7,
+            runs: vec![run_size(30, 2, CandidatePolicy::Fixed(4), 2, 8.0, 7)],
+        })
+        .unwrap();
+        assert!(compare_against_baseline(fresh, &other).is_err());
+        // Stale-schema baselines are rejected outright.
+        assert!(compare_against_baseline(fresh, "{\"schema\":\"qlec-bench-scale/v1\"}").is_err());
     }
 
     #[test]

@@ -6,13 +6,13 @@ use qlec_clustering::deec::DeecProtocol;
 use qlec_clustering::heed::HeedProtocol;
 use qlec_clustering::leach::LeachProtocol;
 use qlec_clustering::{FcmProtocol, KMeansProtocol};
-use qlec_core::params::QlecParams;
+use qlec_core::params::{CandidatePolicy, QlecParams};
 use qlec_core::{kopt, QlecProtocol};
 use qlec_dataset::{generate_china, records, GeneratorConfig};
 use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
 use qlec_net::trace::TraceSink;
 use qlec_net::{FaultDriver, FaultPlan, NetworkBuilder, Protocol, SimConfig, SimReport, Simulator};
-use qlec_obs::{JsonLinesSink, MemorySink, ObserverSet};
+use qlec_obs::{EventsMode, JsonLinesSink, MemorySink, ObserverSet};
 use qlec_radio::link::{AnyLink, DistanceLossLink};
 use qlec_radio::RadioModel;
 use rand::rngs::StdRng;
@@ -27,9 +27,11 @@ qlec-sim — QLEC (ICPP 2019) reproduction CLI
 USAGE:
   qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
-                    [--seed 42] [--death-line 0] [--candidates C] [--json]
+                    [--seed 42] [--death-line 0] [--threads 1]
+                    [--candidates auto|full|C] [--json]
                     [--trace FILE] [--svg FILE] [--chart FILE]
-                    [--events FILE|-] [--metrics FILE] [--faults FILE]
+                    [--events FILE|-] [--events-mode full|sample:R|aggregate]
+                    [--metrics FILE] [--faults FILE]
   qlec-sim compare  [--n 100] [--m 200] [--k 5] [--lambda 5] [--rounds 20]
                     [--seeds 3]
   qlec-sim dataset  [--count 2896] [--seed 42] [--out FILE]
@@ -41,8 +43,15 @@ NOTES:
   examples/faults.json) and replays it during the run.
   --events - streams the event log to stdout with wall-clock timings
   suppressed, so identical seeds and plans give byte-identical streams.
-  --candidates C prunes each QLEC Send-Data decision to the C nearest
-  alive heads (large-N speedup; omit for the paper-exact full scan).
+  --events-mode sample:R keeps roughly the fraction R of the per-packet
+  events (counter-based, still deterministic); aggregate replaces them
+  with one RoundSummary digest per round.
+  --threads T fans the round engine's hot phases over T workers
+  (auto = every core). Pure throughput knob: any T produces
+  byte-identical events and reports.
+  --candidates sets QLEC's Send-Data pruning: auto derives min(k, 8)
+  nearest alive heads (default), full is the paper-exact full scan,
+  an integer C pins the budget.
 ";
 
 /// Dispatch a parsed command line.
@@ -61,7 +70,7 @@ fn build_protocol(
     name: &str,
     k: usize,
     rounds: u32,
-    candidates: Option<usize>,
+    candidates: CandidatePolicy,
     obs: &ObserverSet,
 ) -> Result<Box<dyn Protocol>, String> {
     Ok(match name {
@@ -69,7 +78,7 @@ fn build_protocol(
             QlecProtocol::builder()
                 .params(QlecParams {
                     total_rounds: rounds,
-                    candidate_heads: candidates,
+                    candidates,
                     ..QlecParams::paper_with_k(k)
                 })
                 .observer(obs.clone())
@@ -93,7 +102,8 @@ struct RunSetup {
     rounds: u32,
     seed: u64,
     death_line: f64,
-    candidates: Option<usize>,
+    candidates: CandidatePolicy,
+    threads: usize,
 }
 
 impl RunSetup {
@@ -108,8 +118,14 @@ impl RunSetup {
             seed: args.get_parsed("seed", 42u64)?,
             death_line: args.get_parsed("death-line", 0.0f64)?,
             candidates: match args.get("candidates") {
-                None => None,
-                Some(_) => Some(args.get_parsed("candidates", 0usize)?),
+                None => CandidatePolicy::Auto,
+                Some(text) => {
+                    CandidatePolicy::parse(text).map_err(|e| format!("--candidates: {e}"))?
+                }
+            },
+            threads: match args.get("threads") {
+                Some("auto") => 0,
+                _ => args.get_parsed("threads", 1usize)?,
             },
         })
     }
@@ -129,9 +145,6 @@ impl RunSetup {
         }
         if self.rounds == 0 {
             return Err("--rounds must be positive".into());
-        }
-        if self.candidates == Some(0) {
-            return Err("--candidates must be positive".into());
         }
         Ok(())
     }
@@ -154,6 +167,7 @@ impl RunSetup {
         cfg.rounds = self.rounds;
         cfg.death_line = self.death_line;
         cfg.stop_when_dead = self.death_line > 0.0;
+        cfg.threads = self.threads;
         let mut sim = Simulator::new(net, cfg).observed(obs);
         if let Some(plan) = faults {
             sim = sim.with_faults(FaultDriver::new(plan).expect("plan validated on load"));
@@ -190,12 +204,14 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "rounds",
         "seed",
         "death-line",
+        "threads",
         "candidates",
         "json",
         "trace",
         "svg",
         "chart",
         "events",
+        "events-mode",
         "metrics",
         "faults",
     ])?;
@@ -224,19 +240,28 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
     } else {
         None
     };
+    let events_mode = match args.get("events-mode") {
+        None => EventsMode::Full,
+        Some(text) => EventsMode::parse(text).map_err(|e| format!("--events-mode: {e}"))?,
+    };
+    if args.has("events-mode") && !args.has("events") {
+        return Err("--events-mode needs --events".into());
+    }
     if let Some(path) = file_arg("events")? {
         if path == "-" {
             // Stdout stream: suppress the wall-clock-bearing events so the
             // same seed (and fault plan) yields a byte-identical stream.
             let sink = JsonLinesSink::new(std::io::stdout())
                 .map_err(|e| format!("cannot write events to stdout: {e}"))?
-                .deterministic();
+                .deterministic()
+                .with_mode(events_mode);
             obs.attach(Arc::new(Mutex::new(sink)));
         } else {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
             let sink = JsonLinesSink::new(std::io::BufWriter::new(file))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| format!("cannot write {path}: {e}"))?
+                .with_mode(events_mode);
             obs.attach(Arc::new(Mutex::new(sink)));
         }
     }
@@ -359,8 +384,13 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
                 ..setup
             };
             setup_s.death_line = 0.0;
-            let mut protocol =
-                build_protocol(name, setup.k, setup.rounds, None, &ObserverSet::new())?;
+            let mut protocol = build_protocol(
+                name,
+                setup.k,
+                setup.rounds,
+                CandidatePolicy::Auto,
+                &ObserverSet::new(),
+            )?;
             let report = setup_s.execute(protocol.as_mut());
             pdr += report.pdr();
             energy += report.total_energy();
@@ -490,24 +520,54 @@ mod tests {
     #[test]
     fn candidates_flag_is_validated_and_inert_when_large() {
         assert!(run(&["run", "--n", "20", "--rounds", "1", "--candidates", "0"]).is_err());
+        assert!(run(&["run", "--n", "20", "--rounds", "1", "--candidates", "maybe"]).is_err());
         let base = run(&[
             "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
         ])
         .unwrap();
-        let pruned = run(&[
-            "run",
-            "--n",
-            "20",
-            "--rounds",
-            "2",
-            "--lambda",
-            "8",
-            "--candidates",
-            "50",
-            "--json",
+        // Default (auto), an over-large fixed budget, and the explicit
+        // full scan all resolve to the same scan at k = 5.
+        for spelling in ["auto", "full", "50"] {
+            let pruned = run(&[
+                "run",
+                "--n",
+                "20",
+                "--rounds",
+                "2",
+                "--lambda",
+                "8",
+                "--candidates",
+                spelling,
+                "--json",
+            ])
+            .unwrap();
+            assert_eq!(base, pruned, "--candidates {spelling} must be inert at k=5");
+        }
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_results() {
+        let base = run(&[
+            "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
         ])
         .unwrap();
-        assert_eq!(base, pruned, "c >= k must leave the run untouched");
+        for t in ["4", "auto"] {
+            let parallel = run(&[
+                "run",
+                "--n",
+                "20",
+                "--rounds",
+                "2",
+                "--lambda",
+                "8",
+                "--threads",
+                t,
+                "--json",
+            ])
+            .unwrap();
+            assert_eq!(base, parallel, "--threads {t} must not change the report");
+        }
+        assert!(run(&["run", "--n", "10", "--rounds", "1", "--threads", "x"]).is_err());
     }
 
     #[test]
@@ -595,6 +655,55 @@ mod artifact_tests {
             .count();
         assert_eq!(rounds_ended, 3, "one RoundEnded per simulated round");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn events_mode_flag_shapes_the_stream() {
+        let dir = std::env::temp_dir();
+        let agg_path = dir.join("qlec_test_events_agg.jsonl");
+        run(&[
+            "run",
+            "--n",
+            "15",
+            "--rounds",
+            "3",
+            "--lambda",
+            "8",
+            "--events",
+            agg_path.to_str().unwrap(),
+            "--events-mode",
+            "aggregate",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&agg_path).unwrap();
+        let events = qlec_obs::read_events(&text).expect("stream parses");
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, qlec_obs::Event::PacketOutcome { .. })),
+            "aggregate mode suppresses per-packet events"
+        );
+        let summaries = events
+            .iter()
+            .filter(|e| matches!(e, qlec_obs::Event::RoundSummary { .. }))
+            .count();
+        assert_eq!(summaries, 3, "one RoundSummary per round");
+        let _ = std::fs::remove_file(agg_path);
+
+        // Bad mode spellings and --events-mode without --events fail.
+        let err = run(&["run", "--n", "10", "--rounds", "1", "--events-mode", "half"]).unwrap_err();
+        assert!(err.contains("events-mode"), "{err}");
+        let err = run(&[
+            "run",
+            "--n",
+            "10",
+            "--rounds",
+            "1",
+            "--events-mode",
+            "aggregate",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--events"), "{err}");
     }
 
     #[test]

@@ -230,6 +230,18 @@ impl Protocol for MultiHopQlec {
     fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
         self.inner.on_round_end(net, round, heads);
     }
+
+    fn planner(&self) -> Option<&dyn qlec_net::protocol::RoutePlanner> {
+        self.inner.planner()
+    }
+
+    fn absorb_plan(&mut self, src: NodeId, scratch: qlec_net::protocol::PlanScratch) {
+        self.inner.absorb_plan(src, scratch);
+    }
+
+    fn configure_threads(&mut self, threads: usize) {
+        self.inner.configure_threads(threads);
+    }
 }
 
 #[cfg(test)]

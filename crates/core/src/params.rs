@@ -3,6 +3,71 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How many cluster heads each `Send-Data` decision evaluates.
+///
+/// QLEC's per-packet Q comparison (Eq. 19/20) scans the round's head
+/// set; at 10k-node scale with Theorem 1's `k_opt` in the dozens that
+/// scan dominates the round. The policy resolves, per round, to a
+/// candidate budget `c`: when the head set is larger than `c`, each
+/// packet only evaluates its `c` nearest *alive* heads (k-d tree
+/// query); otherwise the full paper-exact scan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CandidatePolicy {
+    /// Derive the budget from the cluster count:
+    /// [`auto_candidate_heads`]`(k) = min(k, 8)`. For `k ≤ 8` this is
+    /// the full scan (selection tops heads up to at most `k`, so the
+    /// budget is never binding); past that it pins per-packet work to a
+    /// constant. The default.
+    #[default]
+    Auto,
+    /// Always scan every head — byte-for-byte the paper's behaviour at
+    /// any scale.
+    Full,
+    /// A fixed budget, regardless of `k` (must be positive). `Fixed(c)`
+    /// with `c ≥ k` is again the full scan.
+    Fixed(usize),
+}
+
+/// The [`CandidatePolicy::Auto`] budget for a cluster count `k`.
+///
+/// `min(k, 8)`: within a cluster-head coverage radius `d_c` (Eq. 5 ties
+/// it to the deployment side and `k`), the Q comparison is dominated by
+/// the nearest few heads — the transmission-cost term `y(·,·)` of
+/// Eq. 18 grows with `d²`/`d⁴`, so far heads lose the argmax except
+/// under extreme energy skew. Eight nearest heads cover every head
+/// whose cost term is within the reward scale of the winner for the
+/// paper's densities, while capping per-packet work as `k_opt` grows
+/// with the deployment.
+pub fn auto_candidate_heads(k: usize) -> usize {
+    k.min(8)
+}
+
+impl CandidatePolicy {
+    /// Resolve to a per-packet candidate budget for a round planned with
+    /// `k` clusters; `None` means scan every head.
+    pub fn budget(&self, k: usize) -> Option<usize> {
+        match self {
+            CandidatePolicy::Auto => Some(auto_candidate_heads(k)),
+            CandidatePolicy::Full => None,
+            CandidatePolicy::Fixed(c) => Some(*c),
+        }
+    }
+
+    /// Parse the CLI spelling: `auto`, `full`, or a positive integer.
+    pub fn parse(text: &str) -> Result<CandidatePolicy, String> {
+        match text {
+            "auto" => Ok(CandidatePolicy::Auto),
+            "full" => Ok(CandidatePolicy::Full),
+            _ => match text.parse::<usize>() {
+                Ok(c) if c > 0 => Ok(CandidatePolicy::Fixed(c)),
+                _ => Err(format!(
+                    "expected auto, full or a positive integer, got `{text}`"
+                )),
+            },
+        }
+    }
+}
+
 /// All tunables of the QLEC protocol.
 ///
 /// The reward weights and discount follow Table 2. Two scaling decisions
@@ -56,16 +121,13 @@ pub struct QlecParams {
     /// Explicit cluster count; `None` computes Theorem 1's `k_opt` from
     /// the deployment at the first round.
     pub k_override: Option<usize>,
-    /// `Send-Data` candidate pruning: when `Some(c)`, each packet only
-    /// evaluates the `c` nearest *alive* heads (k-d tree query over the
-    /// round's head set) instead of all k heads per fixed-point sweep.
-    /// `None` (the default) keeps the paper-exact full scan — byte-for-byte
-    /// identical behaviour to a build without this knob. With `c ≥ k` the
-    /// pruned candidate set is the full alive head set, so results are
-    /// again identical; small `c` trades the tail of the Q comparison for
-    /// an O(k/c) speedup per packet, which is what makes 10k-node runs
-    /// practical.
-    pub candidate_heads: Option<usize>,
+    /// `Send-Data` candidate pruning policy (see [`CandidatePolicy`]).
+    /// The default [`CandidatePolicy::Auto`] derives the per-round budget
+    /// from the cluster count (`min(k, 8)`), which keeps runs with
+    /// `k ≤ 8` byte-identical to the paper-exact full scan while making
+    /// 10k-node deployments practical; [`CandidatePolicy::Full`] forces
+    /// the full scan at any scale.
+    pub candidates: CandidatePolicy,
 }
 
 impl QlecParams {
@@ -86,7 +148,7 @@ impl QlecParams {
             hello_bits: 200,
             charge_control_traffic: true,
             k_override: None,
-            candidate_heads: None,
+            candidates: CandidatePolicy::Auto,
         }
     }
 
@@ -139,10 +201,8 @@ impl QlecParams {
                 return Err("k_override must be positive".into());
             }
         }
-        if let Some(c) = self.candidate_heads {
-            if c == 0 {
-                return Err("candidate_heads must be positive".into());
-            }
+        if self.candidates == CandidatePolicy::Fixed(0) {
+            return Err("candidate budget must be positive".into());
         }
         Ok(())
     }
@@ -178,6 +238,38 @@ mod tests {
     }
 
     #[test]
+    fn candidate_policy_resolves_and_parses() {
+        // Auto is inert (budget ≥ any possible head count) up to k = 8,
+        // then pins the budget at 8.
+        for k in 1..=8 {
+            assert_eq!(CandidatePolicy::Auto.budget(k), Some(k));
+        }
+        assert_eq!(CandidatePolicy::Auto.budget(40), Some(8));
+        assert_eq!(CandidatePolicy::Full.budget(40), None);
+        assert_eq!(CandidatePolicy::Fixed(3).budget(40), Some(3));
+        assert_eq!(QlecParams::paper().candidates, CandidatePolicy::Auto);
+
+        assert_eq!(
+            CandidatePolicy::parse("auto").unwrap(),
+            CandidatePolicy::Auto
+        );
+        assert_eq!(
+            CandidatePolicy::parse("full").unwrap(),
+            CandidatePolicy::Full
+        );
+        assert_eq!(
+            CandidatePolicy::parse("12").unwrap(),
+            CandidatePolicy::Fixed(12)
+        );
+        for bad in ["", "0", "-3", "Auto", "8.5"] {
+            assert!(
+                CandidatePolicy::parse(bad).is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
     fn validation_catches_bad_values() {
         for bad in [
             QlecParams {
@@ -209,7 +301,7 @@ mod tests {
                 ..QlecParams::paper()
             },
             QlecParams {
-                candidate_heads: Some(0),
+                candidates: CandidatePolicy::Fixed(0),
                 ..QlecParams::paper()
             },
         ] {

@@ -13,13 +13,14 @@
 
 use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOutcome};
 use crate::kopt;
-use crate::params::QlecParams;
+use crate::params::{CandidatePolicy, QlecParams};
 use crate::qrouting::QRouter;
 use qlec_geom::{KdTree, UniformGrid};
-use qlec_net::protocol::nearest_head;
+use qlec_net::protocol::{nearest_head, PlanScratch, RoutePlanner};
 use qlec_net::{Network, NodeId, Protocol, Target};
 use qlec_obs::{Event, ObserverSet, Phase};
 use rand::RngCore;
+use std::collections::HashMap;
 
 /// QLEC with its feature switchboard (all features on = the paper's
 /// algorithm; see [`crate::ablation`] for the toggled variants).
@@ -55,15 +56,21 @@ pub struct QlecProtocol {
     /// `choose_target` calls, flushed as one span at the round end).
     qrouting_ns: u64,
     /// Per-round k-d tree over the head positions, built only when
-    /// `params.candidate_heads` prunes a head set larger than `c`
+    /// `params.candidates` resolves to a budget smaller than the head set
     /// (`None` otherwise — the paper-exact full scan).
     head_tree: Option<KdTree>,
+    /// The resolved per-packet candidate budget for the round whose
+    /// `head_tree` is live (meaningless while `head_tree` is `None`).
+    candidate_budget: usize,
     /// Tree index → head id for `head_tree` queries.
     head_order: Vec<NodeId>,
     /// Reused scratch for the per-packet k-nearest query.
     knn_buf: Vec<(u32, f64)>,
     /// Reused scratch holding the pruned candidate head set.
     candidate_buf: Vec<NodeId>,
+    /// Resolved engine thread count (see [`Protocol::configure_threads`]);
+    /// sizes the batched head V refreshes.
+    threads: usize,
 }
 
 /// Fluent configuration for [`QlecProtocol`] — the one way to assemble a
@@ -71,9 +78,9 @@ pub struct QlecProtocol {
 ///
 /// Replaces the former constructor zoo (`paper()`, `paper_with_k()`,
 /// `with_features()`, `with_observer()`, `with_aggregate_share()`,
-/// `named()` — all still available as deprecated shims). Defaults are the
-/// paper's Table 2 configuration with every selection feature enabled and
-/// Theorem 1's derived `k_opt`:
+/// `named()` — deprecated for two releases and now removed). Defaults are
+/// the paper's Table 2 configuration with every selection feature enabled
+/// and Theorem 1's derived `k_opt`:
 ///
 /// ```
 /// use qlec_core::QlecProtocol;
@@ -128,11 +135,19 @@ impl QlecBuilder {
         self
     }
 
-    /// Prune each packet's `Send-Data` scan to the `c` nearest alive
-    /// heads (k-d tree query) instead of all k — the 10k-node knob. Off
-    /// by default; see [`QlecParams::candidate_heads`].
+    /// Set the `Send-Data` candidate-pruning policy. The default
+    /// [`CandidatePolicy::Auto`] derives a per-round budget of
+    /// `min(k, 8)` nearest alive heads; see [`QlecParams::candidates`].
+    pub fn candidates(mut self, policy: CandidatePolicy) -> Self {
+        self.params.candidates = policy;
+        self
+    }
+
+    /// Shorthand for [`Self::candidates`]`(CandidatePolicy::Fixed(c))`:
+    /// prune each packet's `Send-Data` scan to the `c` nearest alive
+    /// heads regardless of `k`.
     pub fn candidate_heads(mut self, c: usize) -> Self {
-        self.params.candidate_heads = Some(c);
+        self.params.candidates = CandidatePolicy::Fixed(c);
         self
     }
 
@@ -196,9 +211,11 @@ impl QlecBuilder {
             current_round: 0,
             qrouting_ns: 0,
             head_tree: None,
+            candidate_budget: 0,
             head_order: Vec::new(),
             knn_buf: Vec::new(),
             candidate_buf: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -214,57 +231,9 @@ impl QlecProtocol {
         QlecBuilder::new().params(params).build()
     }
 
-    /// Attach an observer set.
-    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().observer(..)`")]
-    pub fn with_observer(mut self, obs: ObserverSet) -> Self {
-        self.obs = obs;
-        self
-    }
-
-    /// Override the data-fusion share used in the head V update.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `QlecProtocol::builder().aggregate_share(..)`"
-    )]
-    pub fn with_aggregate_share(mut self, share: f64) -> Self {
-        assert!((0.0..=1.0).contains(&share), "share must be in [0,1]");
-        self.aggregate_share = share;
-        self
-    }
-
-    /// QLEC with Table 2 parameters and Theorem 1's `k_opt`.
-    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().build()`")]
-    pub fn paper() -> Self {
-        QlecBuilder::new().build()
-    }
-
-    /// QLEC with Table 2 parameters and a fixed cluster count.
-    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().k(..).build()`")]
-    pub fn paper_with_k(k: usize) -> Self {
-        QlecBuilder::new().k(k).build()
-    }
-
-    /// Builder-style feature override.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `QlecProtocol::builder().features(..).q_routing(..)`"
-    )]
-    pub fn with_features(mut self, features: SelectionFeatures, q_routing: bool) -> Self {
-        self.features = features;
-        self.q_routing = q_routing;
-        self
-    }
-
-    /// Override the displayed protocol name.
-    #[deprecated(since = "0.1.0", note = "use `QlecProtocol::builder().named(..)`")]
-    pub fn named(mut self, name: impl Into<String>) -> Self {
-        self.name = name.into();
-        self
-    }
-
     /// In-crate observer attachment (wrappers like
-    /// [`crate::multihop::MultiHopQlec`] forward to this without touching
-    /// the deprecated public shim).
+    /// [`crate::multihop::MultiHopQlec`] forward to this without exposing
+    /// a public setter).
     pub(crate) fn set_observer(&mut self, obs: ObserverSet) {
         self.obs = obs;
     }
@@ -349,10 +318,11 @@ impl Protocol for QlecProtocol {
         // c-nearest query. Only worth it (and only *valid* as a pure
         // speedup) when the head set is larger than the candidate budget.
         self.head_tree = None;
-        if let Some(c) = self.params.candidate_heads {
+        if let Some(c) = self.params.candidates.budget(k) {
             if self.q_routing && heads.len() > c {
                 let pts = heads.iter().map(|&h| net.node(h).pos).collect();
                 self.head_tree = Some(KdTree::build(pts));
+                self.candidate_budget = c;
                 self.head_order.clear();
                 self.head_order.extend_from_slice(&heads);
             }
@@ -364,13 +334,14 @@ impl Protocol for QlecProtocol {
         // values instead of stale ones.
         if self.q_routing {
             if let Some(router) = self.router.as_mut() {
-                for &h in &heads {
-                    router.head_update(net, h, self.aggregate_share);
-                    if self.obs.is_active() {
+                let deltas =
+                    router.head_update_batch(net, &heads, self.aggregate_share, self.threads);
+                if self.obs.is_active() {
+                    for (&h, &delta) in heads.iter().zip(&deltas) {
                         self.obs.emit(Event::QUpdate {
                             round,
                             node: h.0,
-                            delta: router.last_delta(),
+                            delta,
                         });
                     }
                 }
@@ -403,10 +374,7 @@ impl Protocol for QlecProtocol {
             // c alive candidates; an all-dead window falls back to the
             // full list (the router skips dead heads itself).
             let candidates: &[NodeId] = if let Some(tree) = &self.head_tree {
-                let c = self
-                    .params
-                    .candidate_heads
-                    .expect("tree only built when the knob is set");
+                let c = self.candidate_budget;
                 let window = (c + 8).min(self.head_order.len());
                 tree.k_nearest_into(net.node(src).pos, window, &mut self.knn_buf);
                 self.candidate_buf.clear();
@@ -461,13 +429,13 @@ impl Protocol for QlecProtocol {
         // BS-hop Q after data fusion.
         if let Some(router) = self.router.as_mut() {
             let start_ns = self.obs.now_ns();
-            for &h in heads {
-                router.head_update(net, h, self.aggregate_share);
-                if self.obs.is_active() {
+            let deltas = router.head_update_batch(net, heads, self.aggregate_share, self.threads);
+            if self.obs.is_active() {
+                for (&h, &delta) in heads.iter().zip(&deltas) {
                     self.obs.emit(Event::QUpdate {
                         round,
                         node: h.0,
-                        delta: router.last_delta(),
+                        delta,
                     });
                 }
             }
@@ -478,7 +446,8 @@ impl Protocol for QlecProtocol {
             router.prune_dead_links(net);
             if self.obs.is_active() {
                 // One span for the round's whole Send-Data workload: the
-                // per-packet time accumulated in `choose_target` plus the
+                // per-packet time accumulated in `choose_target` (or
+                // planned and absorbed by the parallel engine) plus the
                 // line-15 head refresh above.
                 let wall_ns = self.qrouting_ns + self.obs.now_ns().saturating_sub(start_ns);
                 self.obs.emit(Event::PhaseTimed {
@@ -489,6 +458,183 @@ impl Protocol for QlecProtocol {
                 });
                 self.qrouting_ns = 0;
             }
+        }
+    }
+
+    fn planner(&self) -> Option<&dyn RoutePlanner> {
+        Some(self)
+    }
+
+    fn absorb_plan(&mut self, src: NodeId, scratch: PlanScratch) {
+        let s = scratch
+            .downcast::<QlecPlanScratch>()
+            .expect("QlecProtocol scratch");
+        if let Some(router) = self.router.as_mut() {
+            router.absorb_plan(src, s.v_src, s.updates, &s.deltas);
+        }
+        self.qrouting_ns += s.ns;
+        if self.obs.is_active() {
+            for &delta in &s.deltas {
+                self.obs.emit(Event::QUpdate {
+                    round: self.current_round,
+                    node: src.0,
+                    delta,
+                });
+            }
+        }
+    }
+
+    fn configure_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+}
+
+/// Per-node planning state for the parallel engine (one per member node
+/// per round, created by [`RoutePlanner::begin_node`]).
+///
+/// `v_src` carries the node's `V*` through its packets' fixed-point
+/// iterations; `overlay` layers this node's pending link-EWMA updates
+/// over the shared table (the shared table itself is only written at
+/// merge time, through the usual `on_hop_result` replay, so cross-node
+/// learning lands between rounds regardless of thread count); `deltas`
+/// and `updates` are the bookkeeping that [`QlecProtocol::absorb_plan`]
+/// commits, and `ns` is the plan-time Send-Data wall clock folded into
+/// the round's Q-routing span.
+struct QlecPlanScratch {
+    v_src: f64,
+    /// Pending link-belief updates, keyed by destination (`u32::MAX` =
+    /// BS) — all entries share `src`, so the source id is implicit.
+    overlay: HashMap<u32, f64>,
+    /// Targets that NACKed the packet currently being planned.
+    nacked: Vec<Target>,
+    knn_buf: Vec<(u32, f64)>,
+    candidate_buf: Vec<NodeId>,
+    /// Signed `V*(src)` change per planned packet, in packet order.
+    deltas: Vec<f64>,
+    /// Elementary Q computations performed while planning.
+    updates: u64,
+    ns: u64,
+}
+
+fn overlay_key(t: Target) -> u32 {
+    match t {
+        Target::Bs => u32::MAX,
+        Target::Head(h) => h.0,
+    }
+}
+
+impl RoutePlanner for QlecProtocol {
+    fn begin_node(&self, _net: &Network, src: NodeId) -> PlanScratch {
+        Box::new(QlecPlanScratch {
+            v_src: self.router.as_ref().map_or(0.0, |r| r.v_of(src)),
+            overlay: HashMap::new(),
+            nacked: Vec::new(),
+            knn_buf: Vec::new(),
+            candidate_buf: Vec::new(),
+            deltas: Vec::new(),
+            updates: 0,
+            ns: 0,
+        })
+    }
+
+    fn begin_packet(&self, _src: NodeId, scratch: &mut PlanScratch) {
+        let s = scratch
+            .downcast_mut::<QlecPlanScratch>()
+            .expect("QlecProtocol scratch");
+        s.nacked.clear();
+    }
+
+    fn plan_target(
+        &self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        _rng: &mut dyn RngCore,
+        scratch: &mut PlanScratch,
+    ) -> Target {
+        if !self.q_routing {
+            return nearest_head(net, src, heads).map_or(Target::Bs, Target::Head);
+        }
+        let s = scratch
+            .downcast_mut::<QlecPlanScratch>()
+            .expect("QlecProtocol scratch");
+        let router = self
+            .router
+            .as_ref()
+            .expect("router initialized in on_round_start");
+        let QlecPlanScratch {
+            v_src,
+            overlay,
+            nacked,
+            knn_buf,
+            candidate_buf,
+            deltas,
+            updates,
+            ns,
+        } = s;
+        // Same pruned-candidate query as `choose_target`, on the
+        // node-private buffers.
+        let candidates: &[NodeId] = if let Some(tree) = &self.head_tree {
+            let c = self.candidate_budget;
+            let window = (c + 8).min(self.head_order.len());
+            tree.k_nearest_into(net.node(src).pos, window, knn_buf);
+            candidate_buf.clear();
+            for &(ti, _) in knn_buf.iter() {
+                let h = self.head_order[ti as usize];
+                if net.node(h).is_alive() {
+                    candidate_buf.push(h);
+                    if candidate_buf.len() == c {
+                        break;
+                    }
+                }
+            }
+            if candidate_buf.is_empty() {
+                heads
+            } else {
+                candidate_buf
+            }
+        } else {
+            heads
+        };
+        let start_ns = self.obs.now_ns();
+        let overlay_ref: &HashMap<u32, f64> = overlay;
+        let p_base = |t: Target| -> f64 {
+            match overlay_ref.get(&overlay_key(t)) {
+                Some(&p) => p,
+                None => router.links().probability(src, t),
+            }
+        };
+        let v_before = *v_src;
+        let target = router.send_data_core(net, src, candidates, nacked, v_src, &p_base, updates);
+        deltas.push(*v_src - v_before);
+        if self.obs.is_active() {
+            *ns += self.obs.now_ns().saturating_sub(start_ns);
+        }
+        target
+    }
+
+    fn plan_hop_result(
+        &self,
+        src: NodeId,
+        target: Target,
+        success: bool,
+        scratch: &mut PlanScratch,
+    ) {
+        let s = scratch
+            .downcast_mut::<QlecPlanScratch>()
+            .expect("QlecProtocol scratch");
+        if let Some(router) = self.router.as_ref() {
+            let key = overlay_key(target);
+            let current = s
+                .overlay
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| router.links().probability(src, target));
+            s.overlay
+                .insert(key, router.links().updated(current, success));
+        }
+        if !success {
+            s.nacked.push(target);
         }
     }
 }
@@ -726,21 +872,5 @@ mod tests {
     fn named_variant_reports_custom_name() {
         let p = QlecProtocol::builder().k(5).named("qlec-ablated").build();
         assert_eq!(p.name(), "qlec-ablated");
-    }
-
-    /// The pre-builder constructor surface must keep compiling and keep
-    /// its behaviour until it is removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let p = QlecProtocol::paper_with_k(7)
-            .with_features(SelectionFeatures::default(), false)
-            .with_aggregate_share(0.25)
-            .named("legacy");
-        assert_eq!(p.name(), "legacy");
-        assert_eq!(p.k(), Some(7));
-        let q = QlecProtocol::paper().with_observer(qlec_obs::ObserverSet::new());
-        assert_eq!(q.name(), "qlec");
-        assert_eq!(q.k(), None);
     }
 }

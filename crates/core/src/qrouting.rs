@@ -76,6 +76,15 @@ impl LinkEstimator {
         *entry += self.weight * (obs - *entry);
     }
 
+    /// The estimate that [`LinkEstimator::record`] would leave behind,
+    /// given the current estimate — the pure EWMA step, exposed so
+    /// plan-time code can maintain a private overlay of pending updates
+    /// without mutating the shared table.
+    pub fn updated(&self, current: f64, success: bool) -> f64 {
+        let obs = if success { 1.0 } else { 0.0 };
+        current + self.weight * (obs - current)
+    }
+
     /// Number of links with recorded evidence.
     pub fn links_tracked(&self) -> usize {
         self.table.len()
@@ -218,13 +227,28 @@ impl QRouter {
         penalize_bs: bool,
         p_ok: f64,
     ) -> f64 {
+        self.q_value_with_p_v(net, src, target, penalize_bs, p_ok, self.v[src.index()])
+    }
+
+    /// [`QRouter::q_value_with_p`] with an explicit `V*(src)` as well, so
+    /// plan-time code can iterate a node's fixed point on a local copy
+    /// without writing through to the shared table.
+    fn q_value_with_p_v(
+        &self,
+        net: &Network,
+        src: NodeId,
+        target: Target,
+        penalize_bs: bool,
+        p_ok: f64,
+        v_src: f64,
+    ) -> f64 {
         let r_t = p_ok * self.reward_success(net, src, target, penalize_bs)
             + (1.0 - p_ok) * self.reward_failure(net, src, target);
         let v_target = match target {
             Target::Bs => 0.0, // terminal
             Target::Head(h) => self.v[h.index()],
         };
-        r_t + self.params.gamma * (p_ok * v_target + (1.0 - p_ok) * self.v[src.index()])
+        r_t + self.params.gamma * (p_ok * v_target + (1.0 - p_ok) * v_src)
     }
 
     /// Algorithm 4 (`Send-Data`): compute Q for every current head and the
@@ -260,14 +284,44 @@ impl QRouter {
         heads: &[NodeId],
         nacked: &[Target],
     ) -> Target {
+        let v_before = self.v[src.index()];
+        let mut v_src = v_before;
+        let mut updates = 0u64;
+        let p_base = |t: Target| self.links.probability(src, t);
+        let action =
+            self.send_data_core(net, src, heads, nacked, &mut v_src, &p_base, &mut updates);
+        self.v[src.index()] = v_src;
+        self.updates.add(updates);
+        self.last_delta = v_src - v_before;
+        self.convergence.observe(self.last_delta.abs());
+        action
+    }
+
+    /// The Algorithm 4 fixed-point iteration, side-effect-free: `V*(src)`
+    /// lives in the caller-owned `v_src`, link beliefs come from the
+    /// caller-supplied `p_base` (so a planning pass can layer pending
+    /// per-packet EWMA updates over the shared table), and elementary
+    /// Q-computation counts accumulate in `updates`. Operation order is
+    /// identical to the former in-place loop, so committing `v_src` back
+    /// afterwards reproduces [`QRouter::send_data_excluding`] bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_data_core(
+        &self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        nacked: &[Target],
+        v_src: &mut f64,
+        p_base: &dyn Fn(Target) -> f64,
+        updates: &mut u64,
+    ) -> Target {
         const MAX_SWEEPS: usize = 60;
         const TOL: f64 = 1e-6;
-        let p_of = |router: &Self, t: Target| -> f64 {
+        let p_of = |t: Target| -> f64 {
             let n = nacked.iter().filter(|&&x| x == t).count() as i32;
-            router.links.probability(src, t) * 0.5f64.powi(n)
+            p_base(t) * 0.5f64.powi(n)
         };
 
-        let v_before = self.v[src.index()];
         let mut action = Target::Bs;
         for _ in 0..MAX_SWEEPS {
             let mut best: Option<(Target, f64)> = None;
@@ -276,28 +330,41 @@ impl QRouter {
                     continue;
                 }
                 let t = Target::Head(h);
-                let q = self.q_value_with_p(net, src, t, true, p_of(self, t));
-                self.updates.bump();
+                let q = self.q_value_with_p_v(net, src, t, true, p_of(t), *v_src);
+                *updates += 1;
                 if best.is_none_or(|(_, bq)| q > bq) {
                     best = Some((t, q));
                 }
             }
-            let q_bs = self.q_value_with_p(net, src, Target::Bs, true, p_of(self, Target::Bs));
-            self.updates.bump();
+            let q_bs = self.q_value_with_p_v(net, src, Target::Bs, true, p_of(Target::Bs), *v_src);
+            *updates += 1;
             if best.is_none_or(|(_, bq)| q_bs > bq) {
                 best = Some((Target::Bs, q_bs));
             }
             let (a, v_new) = best.expect("BS action always exists");
             action = a;
-            let delta = (v_new - self.v[src.index()]).abs();
-            self.v[src.index()] = v_new;
+            let delta = (v_new - *v_src).abs();
+            *v_src = v_new;
             if delta < TOL {
                 break;
             }
         }
-        self.last_delta = self.v[src.index()] - v_before;
-        self.convergence.observe(self.last_delta.abs());
         action
+    }
+
+    /// Commit the outcome of a planning pass that ran
+    /// [`QRouter::send_data_core`] (possibly several times, one per
+    /// packet) on a local `V*` copy: write the final value back, fold in
+    /// the elementary-update count, and replay the per-packet signed
+    /// deltas through the convergence tracker in packet order — exactly
+    /// the bookkeeping the in-place path does per call.
+    pub fn absorb_plan(&mut self, src: NodeId, v_src: f64, updates: u64, deltas: &[f64]) {
+        self.v[src.index()] = v_src;
+        self.updates.add(updates);
+        for &d in deltas {
+            self.last_delta = d;
+            self.convergence.observe(d.abs());
+        }
     }
 
     /// Algorithm 1 line 15: a cluster head refreshes its own V from its
@@ -312,6 +379,18 @@ impl QRouter {
     /// the aggregate, not a full uncompressed retransmission.
     pub fn head_update(&mut self, net: &Network, head: NodeId, aggregate_share: f64) {
         debug_assert!((0.0..=1.0).contains(&aggregate_share));
+        let q = self.head_q(net, head, aggregate_share);
+        self.updates.bump();
+        self.last_delta = q - self.v[head.index()];
+        self.convergence.observe(self.last_delta.abs());
+        self.v[head.index()] = q;
+    }
+
+    /// The pure Q-value behind [`QRouter::head_update`]. Reads only the
+    /// head's own `V` (plus the shared link table and frozen network), so
+    /// distinct heads' values can be computed in any order — or in
+    /// parallel — without changing a single bit.
+    fn head_q(&self, net: &Network, head: NodeId, aggregate_share: f64) -> f64 {
         let p = self.params;
         let p_ok = self.links.probability(head, Target::Bs);
         let r_success = -p.g + p.alpha1 * (self.x(net, head) + p.x_bs)
@@ -319,11 +398,49 @@ impl QRouter {
         let r_failure = -p.g + p.beta1 * self.x(net, head)
             - p.beta2 * aggregate_share * self.y(net, head, Target::Bs);
         let r_t = p_ok * r_success + (1.0 - p_ok) * r_failure;
-        let q = r_t + p.gamma * (1.0 - p_ok) * self.v[head.index()];
-        self.updates.bump();
-        self.last_delta = q - self.v[head.index()];
-        self.convergence.observe(self.last_delta.abs());
-        self.v[head.index()] = q;
+        r_t + p.gamma * (1.0 - p_ok) * self.v[head.index()]
+    }
+
+    /// [`QRouter::head_update`] over a whole head roster: Q-values are
+    /// computed (in parallel when `threads > 1` — each depends only on
+    /// its own head's state) and then applied sequentially in roster
+    /// order, which reproduces the one-at-a-time loop exactly. Returns
+    /// the per-head signed deltas in roster order for event emission.
+    pub fn head_update_batch(
+        &mut self,
+        net: &Network,
+        heads: &[NodeId],
+        aggregate_share: f64,
+        threads: usize,
+    ) -> Vec<f64> {
+        debug_assert!((0.0..=1.0).contains(&aggregate_share));
+        let qs: Vec<f64> = if threads > 1 && heads.len() > 1 {
+            use rayon::prelude::*;
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            pool.install(|| {
+                heads
+                    .par_iter()
+                    .map(|&h| self.head_q(net, h, aggregate_share))
+                    .collect()
+            })
+        } else {
+            heads
+                .iter()
+                .map(|&h| self.head_q(net, h, aggregate_share))
+                .collect()
+        };
+        let mut deltas = Vec::with_capacity(heads.len());
+        for (&h, &q) in heads.iter().zip(&qs) {
+            self.updates.bump();
+            self.last_delta = q - self.v[h.index()];
+            self.convergence.observe(self.last_delta.abs());
+            self.v[h.index()] = q;
+            deltas.push(self.last_delta);
+        }
+        deltas
     }
 
     /// ACK feedback from the simulator.

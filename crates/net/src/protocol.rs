@@ -26,6 +26,61 @@ use crate::node::NodeId;
 use crate::packet::Target;
 use rand::RngCore;
 
+/// Opaque per-node planning state produced by [`RoutePlanner::begin_node`]
+/// and handed back to [`Protocol::absorb_plan`] once the round's
+/// transmissions are merged. `Send` so node plans can be computed on
+/// worker threads.
+pub type PlanScratch = Box<dyn std::any::Any + Send>;
+
+/// Immutable, thread-safe routing front-end for the parallel round engine.
+///
+/// A protocol that can decide per-packet targets from shared state (plus a
+/// private per-node scratch) exposes one of these via
+/// [`Protocol::planner`]; the engine then plans every member node's
+/// packets independently — in node-id order sequentially, or fanned out
+/// across threads — and commits the per-node results back through
+/// [`Protocol::absorb_plan`] in stable node-id order. Because each node's
+/// plan reads only the frozen post-election network, the shared `&self`
+/// state, and its own scratch, the outcome is identical at every thread
+/// count.
+///
+/// Within the planning pass the protocol's mutable state is *not*
+/// consulted or updated: learning feedback reaches the real protocol via
+/// the usual [`Protocol::on_hop_result`] replay during the sequential
+/// merge, and per-node learned state (e.g. value updates) is committed in
+/// `absorb_plan`.
+pub trait RoutePlanner: Sync {
+    /// Create the private scratch for planning `src`'s packets this round.
+    fn begin_node(&self, net: &Network, src: NodeId) -> PlanScratch;
+
+    /// A fresh packet from `src` is about to be planned (reset per-packet
+    /// scratch state such as the NACK list).
+    fn begin_packet(&self, src: NodeId, scratch: &mut PlanScratch);
+
+    /// Plan the routing decision for one attempt of `src`'s current
+    /// packet — the immutable counterpart of [`Protocol::choose_target`].
+    /// `rng` is the node's private decision stream.
+    fn plan_target(
+        &self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+        scratch: &mut PlanScratch,
+    ) -> Target;
+
+    /// Radio-level outcome of the planned attempt (queue verdicts are
+    /// only known at merge time and reach the protocol through
+    /// [`Protocol::on_hop_result`] instead).
+    fn plan_hop_result(
+        &self,
+        src: NodeId,
+        target: Target,
+        success: bool,
+        scratch: &mut PlanScratch,
+    );
+}
+
 /// A clustering/routing protocol under test.
 pub trait Protocol {
     /// Human-readable name used in reports and experiment tables.
@@ -79,6 +134,28 @@ pub trait Protocol {
     fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
         let _ = (net, round, heads);
     }
+
+    /// The protocol's immutable planning front-end, if it has one. `None`
+    /// (the default) makes the engine fall back to sequential per-node
+    /// [`Protocol::choose_target`] calls — still deterministic at every
+    /// thread count, just never fanned out.
+    fn planner(&self) -> Option<&dyn RoutePlanner> {
+        None
+    }
+
+    /// Commit the per-node scratch produced through [`Protocol::planner`]
+    /// this round. Called once per planned member node, in ascending
+    /// node-id order, after the transmission merge.
+    fn absorb_plan(&mut self, src: NodeId, scratch: PlanScratch) {
+        let _ = (src, scratch);
+    }
+
+    /// The engine's resolved worker-thread count for this run (called once
+    /// before the first round). Protocols may size internal fan-out
+    /// (e.g. batched value refreshes) accordingly.
+    fn configure_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
 }
 
 /// Boxed protocols are protocols (lets `Box<dyn Protocol>` flow through
@@ -121,6 +198,18 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn on_round_end(&mut self, net: &mut Network, round: u32, heads: &[NodeId]) {
         (**self).on_round_end(net, round, heads)
+    }
+
+    fn planner(&self) -> Option<&dyn RoutePlanner> {
+        (**self).planner()
+    }
+
+    fn absorb_plan(&mut self, src: NodeId, scratch: PlanScratch) {
+        (**self).absorb_plan(src, scratch)
+    }
+
+    fn configure_threads(&mut self, threads: usize) {
+        (**self).configure_threads(threads)
     }
 }
 
@@ -182,6 +271,40 @@ impl Protocol for GreedyEnergyProtocol {
     ) -> Target {
         nearest_head(net, src, heads).map_or(Target::Bs, Target::Head)
     }
+
+    fn planner(&self) -> Option<&dyn RoutePlanner> {
+        Some(self)
+    }
+}
+
+/// Nearest-head routing is a pure function of the frozen network, so the
+/// planner needs no scratch at all.
+impl RoutePlanner for GreedyEnergyProtocol {
+    fn begin_node(&self, _net: &Network, _src: NodeId) -> PlanScratch {
+        Box::new(())
+    }
+
+    fn begin_packet(&self, _src: NodeId, _scratch: &mut PlanScratch) {}
+
+    fn plan_target(
+        &self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        _rng: &mut dyn RngCore,
+        _scratch: &mut PlanScratch,
+    ) -> Target {
+        nearest_head(net, src, heads).map_or(Target::Bs, Target::Head)
+    }
+
+    fn plan_hop_result(
+        &self,
+        _src: NodeId,
+        _target: Target,
+        _success: bool,
+        _scratch: &mut PlanScratch,
+    ) {
+    }
 }
 
 /// Every node transmits straight to the base station — the no-clustering
@@ -211,6 +334,38 @@ impl Protocol for DirectToBsProtocol {
         _rng: &mut dyn RngCore,
     ) -> Target {
         Target::Bs
+    }
+
+    fn planner(&self) -> Option<&dyn RoutePlanner> {
+        Some(self)
+    }
+}
+
+impl RoutePlanner for DirectToBsProtocol {
+    fn begin_node(&self, _net: &Network, _src: NodeId) -> PlanScratch {
+        Box::new(())
+    }
+
+    fn begin_packet(&self, _src: NodeId, _scratch: &mut PlanScratch) {}
+
+    fn plan_target(
+        &self,
+        _net: &Network,
+        _src: NodeId,
+        _heads: &[NodeId],
+        _rng: &mut dyn RngCore,
+        _scratch: &mut PlanScratch,
+    ) -> Target {
+        Target::Bs
+    }
+
+    fn plan_hop_result(
+        &self,
+        _src: NodeId,
+        _target: Target,
+        _success: bool,
+        _scratch: &mut PlanScratch,
+    ) {
     }
 }
 

@@ -26,14 +26,16 @@ use crate::metrics::{EnergyBreakdown, LifespanInfo, PacketCounters, RoundMetrics
 use crate::network::Network;
 use crate::node::NodeId;
 use crate::packet::{Packet, Target};
-use crate::protocol::Protocol;
+use crate::protocol::{PlanScratch, Protocol, RoutePlanner};
 use crate::queue::{ChQueue, Offer, QueueDrop};
 use crate::traffic::PoissonTraffic;
 use qlec_fault::FaultDriver;
+use qlec_geom::randx::{stream_tag, StreamRng};
 use qlec_geom::stats::Welford;
 use qlec_obs::{Event, ObserverSet, PacketFate, Phase};
 use qlec_radio::link::{AnyLink, LinkModel};
 use rand::{Rng, RngCore};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Simulation parameters. Defaults mirror §5.1/Table 2 where the paper
@@ -76,6 +78,12 @@ pub struct SimConfig {
     /// Whether heads sense and contribute their own packets (fed straight
     /// into their queue, no radio hop).
     pub heads_generate: bool,
+    /// Worker threads for the data-parallel phases of the round engine
+    /// (`0` = use every available core). Pure throughput knob: traffic
+    /// generation and member routing draw from per-(seed, round, node)
+    /// RNG streams and are merged in stable node order, so event streams
+    /// and reports are byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -95,6 +103,7 @@ impl SimConfig {
             aggregate_retries: 2,
             member_retries: 2,
             heads_generate: true,
+            threads: 1,
         }
     }
 
@@ -148,6 +157,9 @@ struct RoundScratch {
     relay_overflow: Vec<f64>,
     /// Alive bitmap at round start (observed runs only).
     alive_before: Vec<bool>,
+    /// node index → position in this round's member-plan list (`-1` =
+    /// not a planned member: a head, a dead node, or no arrivals).
+    plan_index: Vec<i32>,
 }
 
 /// Runs a [`Protocol`] over a [`Network`] for the configured rounds.
@@ -158,6 +170,12 @@ pub struct Simulator {
     obs: ObserverSet,
     faults: Option<FaultDriver>,
     scratch: RoundScratch,
+    /// Worker pool for the data-parallel phases (`None` when the
+    /// resolved thread count is 1).
+    pool: Option<rayon::ThreadPool>,
+    /// Root of the per-(round, node) RNG stream derivation, drawn once
+    /// from the caller's RNG at the start of [`Simulator::run`].
+    stream_seed: u64,
 }
 
 impl Simulator {
@@ -173,6 +191,8 @@ impl Simulator {
             obs: ObserverSet::new(),
             faults: None,
             scratch: RoundScratch::default(),
+            pool: None,
+            stream_seed: 0,
         }
     }
 
@@ -207,6 +227,24 @@ impl Simulator {
         protocol: &mut P,
         rng: &mut dyn RngCore,
     ) -> SimReport {
+        let threads = if self.cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.cfg.threads
+        };
+        if threads > 1 {
+            self.pool = Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("worker pool"),
+            );
+        }
+        protocol.configure_threads(threads);
+        // Root all per-(round, node) streams in one draw so the caller's
+        // RNG advances identically at every thread count.
+        self.stream_seed = rng.next_u64();
+
         let mut rounds_out = Vec::with_capacity(self.cfg.rounds as usize);
         let mut totals = PacketCounters::default();
         let mut latency_all = Welford::new();
@@ -352,9 +390,17 @@ impl Simulator {
         }
 
         // ---- Phase 2: packet generation ------------------------------
+        // Arrival times come from per-(seed, round, node) RNG streams,
+        // not the master RNG, so every node's traffic is independent of
+        // iteration order and thread count. Members with arrivals get a
+        // plan slot for stage 1 below; heads' own packets skip planning
+        // and are resolved live during the merge.
         let traffic = PoissonTraffic::new(cfg.mean_interarrival);
         let mut events = std::mem::take(&mut self.scratch.events);
         events.clear();
+        self.scratch.plan_index.clear();
+        self.scratch.plan_index.resize(self.net.len(), -1);
+        let mut planned: Vec<PlannedNode> = Vec::new();
         for idx in 0..self.net.len() {
             let id = NodeId(idx as u32);
             let node = self.net.node(id);
@@ -365,13 +411,54 @@ impl Simulator {
             if is_head && !cfg.heads_generate {
                 continue;
             }
-            traffic.for_each_arrival(rng, round_start, cfg.slots_per_round, |t| {
-                events.push((t, id));
-            });
+            let mut trng =
+                StreamRng::for_node(self.stream_seed, round, idx as u32, stream_tag::TRAFFIC);
+            if is_head {
+                traffic.for_each_arrival(&mut trng, round_start, cfg.slots_per_round, |t| {
+                    events.push((t, id));
+                });
+            } else {
+                let mut arrivals = Vec::new();
+                traffic.for_each_arrival(&mut trng, round_start, cfg.slots_per_round, |t| {
+                    arrivals.push(t);
+                    events.push((t, id));
+                });
+                if !arrivals.is_empty() {
+                    self.scratch.plan_index[idx] = planned.len() as i32;
+                    planned.push(PlannedNode {
+                        src: id,
+                        arrivals,
+                        packets: Vec::new(),
+                        scratch: None,
+                        cursor: 0,
+                    });
+                }
+            }
         }
         events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         // ---- Phase 2: member hops and head queues --------------------
+        //
+        // Two stages, one semantics at every thread count.
+        //
+        // *Stage 1 — plan.* Every member's packets are routed against the
+        // frozen post-election network: target choices (PROTOCOL stream),
+        // radio samples (LINK stream), and the sender's battery
+        // trajectory, tracked locally with exact `Battery::consume`
+        // arithmetic — exact because a member's battery is drained only
+        // by its own transmissions. Protocols exposing a [`RoutePlanner`]
+        // fan the member nodes out across the worker pool; the rest plan
+        // sequentially through `choose_target`.
+        //
+        // *Stage 2 — merge.* Plans replay in global (time, node) order:
+        // packet ids, battery consumes, head receptions, queue offers,
+        // counters, latency, events, and the per-hop protocol hooks —
+        // all sequential and deterministic. Queue verdicts and head
+        // aliveness are decided here (a head's battery evolves with the
+        // merged receptions): a planned hop onto a head that died
+        // mid-merge is a link drop, and a refused queue offer is
+        // terminal. Planner scratch is absorbed back in ascending node
+        // order.
         let mut counters = PacketCounters::default();
         let mut latency = Welford::new();
         let mut breakdown = EnergyBreakdown::default();
@@ -381,22 +468,92 @@ impl Simulator {
         let radio = self.net.radio;
 
         let tx_span = self.obs.span_start();
-        for &(time, src) in &events {
-            if !self.net.node(src).is_alive() {
-                continue; // died earlier this round; generates nothing
+        let has_planner = protocol.planner().is_some();
+        {
+            let net = &self.net;
+            let head_slot = self.scratch.head_slot.as_slice();
+            let stream_seed = self.stream_seed;
+            let faults_ref = faults.as_ref();
+            let heads_ref = heads.as_slice();
+            if has_planner {
+                let planner = protocol.planner().expect("planner() just returned Some");
+                // `PlanScratch` is `Send` but not `Sync`, so the fan-out
+                // iterates Sync job tuples rather than the nodes proper.
+                let jobs: Vec<(NodeId, &[f64])> = planned
+                    .iter()
+                    .map(|pn| (pn.src, pn.arrivals.as_slice()))
+                    .collect();
+                let plan_one = |job: &(NodeId, &[f64])| {
+                    let (src, arrivals) = *job;
+                    let mut t = PlannerTargeter {
+                        planner,
+                        scratch: planner.begin_node(net, src),
+                    };
+                    let packets = plan_member_packets(
+                        net,
+                        &cfg,
+                        faults_ref,
+                        heads_ref,
+                        head_slot,
+                        stream_seed,
+                        round,
+                        src,
+                        arrivals,
+                        &mut t,
+                    );
+                    (packets, t.scratch)
+                };
+                let results: Vec<(Vec<PacketPlan>, PlanScratch)> = match self.pool.as_ref() {
+                    Some(pool) if jobs.len() > 1 => {
+                        pool.install(|| jobs.par_iter().map(&plan_one).collect())
+                    }
+                    _ => jobs.iter().map(&plan_one).collect(),
+                };
+                drop(jobs);
+                for (pn, (packets, scratch)) in planned.iter_mut().zip(results) {
+                    pn.packets = packets;
+                    pn.scratch = Some(scratch);
+                }
+            } else {
+                for pn in planned.iter_mut() {
+                    let mut t = ChooseTargeter {
+                        protocol: &mut *protocol,
+                    };
+                    pn.packets = plan_member_packets(
+                        net,
+                        &cfg,
+                        faults_ref,
+                        heads_ref,
+                        head_slot,
+                        stream_seed,
+                        round,
+                        pn.src,
+                        &pn.arrivals,
+                        &mut t,
+                    );
+                }
             }
-            counters.generated += 1;
-            let pkt = Packet {
-                id: self.next_packet_id,
-                src,
-                created_at: time,
-                bits: cfg.packet_bits,
-            };
-            self.next_packet_id += 1;
+        }
 
-            let src_slot = self.scratch.head_slot[src.index()];
-            if src_slot >= 0 {
-                // A head's own sensing data goes straight into its queue.
+        for &(time, src) in &events {
+            let pi = self.scratch.plan_index[src.index()];
+            if pi < 0 {
+                // A head's own sensing packet: checked and queued live —
+                // its battery is drained by the merged receptions, so its
+                // aliveness is only known here.
+                if !self.net.node(src).is_alive() {
+                    continue; // died earlier this round; generates nothing
+                }
+                counters.generated += 1;
+                let pkt = Packet {
+                    id: self.next_packet_id,
+                    src,
+                    created_at: time,
+                    bits: cfg.packet_bits,
+                };
+                self.next_packet_id += 1;
+                let src_slot = self.scratch.head_slot[src.index()];
+                debug_assert!(src_slot >= 0, "unplanned generator must be a head");
                 let q = &mut queues[src_slot as usize];
                 let fate = match q.offer(pkt, time) {
                     Offer::Accepted { .. } => None,
@@ -421,21 +578,33 @@ impl Simulator {
                 continue;
             }
 
-            // Member transmission with the MDP's self-loop semantics: on
-            // failure the node still holds the packet and re-decides.
+            let k = {
+                let pn = &mut planned[pi as usize];
+                let k = pn.cursor;
+                pn.cursor += 1;
+                k
+            };
+            if !self.net.node(src).is_alive() {
+                continue; // died earlier this round; generates nothing
+            }
+            let plan = &planned[pi as usize].packets[k];
+            counters.generated += 1;
+            let pkt = Packet {
+                id: self.next_packet_id,
+                src,
+                created_at: time,
+                bits: cfg.packet_bits,
+            };
+            self.next_packet_id += 1;
+
+            // Replay the planned attempts against the live network.
             // Exactly one outcome bucket is incremented per packet,
             // attributed to the *final* attempt's failure cause.
-            #[derive(Clone, Copy)]
-            enum FailCause {
-                Dead,
-                Link,
-                QueueFull,
-                Deadline,
-            }
             let mut fail = FailCause::Link;
             let mut resolved = false;
+            let mut attempt: u32 = 0;
             protocol.on_packet_start(src);
-            for attempt in 0..=cfg.member_retries {
+            for att in plan.iter() {
                 if !self.net.node(src).is_alive() {
                     fail = FailCause::Dead;
                     break;
@@ -451,14 +620,16 @@ impl Simulator {
                     }
                 }
                 let attempt_time = time + attempt as f64 * cfg.hop_delay;
-                let target = protocol.choose_target(&self.net, src, &heads, rng);
-                let d = match target {
-                    Target::Bs => self.net.dist_to_bs(src),
-                    Target::Head(h) => self.net.distance(src, h),
+                let (target, e) = match *att {
+                    PlannedAttempt::Failed { target, e } => (target, e),
+                    PlannedAttempt::DeliveredBs { e } => (Target::Bs, e),
+                    PlannedAttempt::ToHead { h, e } => (Target::Head(h), e),
                 };
-                let e = radio.tx_energy(cfg.packet_bits, d);
                 let sender = self.net.node_mut(src);
                 if !sender.battery.can_supply(e) {
+                    // The planned draw drains the battery flat — the
+                    // plan's own death, or an earlier live continuation
+                    // spent extra energy the plan didn't know about.
                     breakdown.member_tx += sender.battery.consume(e);
                     protocol.on_hop_result(src, target, false);
                     fail = FailCause::Dead;
@@ -466,31 +637,30 @@ impl Simulator {
                 }
                 sender.battery.consume(e);
                 breakdown.member_tx += e;
-                match target {
-                    Target::Bs => {
-                        if sample_hop(faults.as_ref(), &link, rng, d, src.0, None) {
-                            counters.delivered += 1;
-                            let lat = attempt_time + cfg.hop_delay - pkt.created_at;
-                            latency.push(lat);
-                            if self.obs.is_active() {
-                                self.obs.emit(Event::PacketOutcome {
-                                    round,
-                                    src: src.0,
-                                    fate: PacketFate::Delivered { latency_slots: lat },
-                                });
-                            }
-                            protocol.on_hop_result(src, target, true);
-                            resolved = true;
-                        } else {
-                            fail = FailCause::Link;
-                            protocol.on_hop_result(src, target, false);
-                        }
+                match *att {
+                    PlannedAttempt::Failed { .. } => {
+                        fail = FailCause::Link;
+                        protocol.on_hop_result(src, target, false);
                     }
-                    Target::Head(h) => {
-                        let head_alive = self.net.node(h).is_alive();
-                        let radio_ok = sample_hop(faults.as_ref(), &link, rng, d, src.0, Some(h.0));
+                    PlannedAttempt::DeliveredBs { .. } => {
+                        counters.delivered += 1;
+                        let lat = attempt_time + cfg.hop_delay - pkt.created_at;
+                        latency.push(lat);
+                        if self.obs.is_active() {
+                            self.obs.emit(Event::PacketOutcome {
+                                round,
+                                src: src.0,
+                                fate: PacketFate::Delivered { latency_slots: lat },
+                            });
+                        }
+                        protocol.on_hop_result(src, target, true);
+                        resolved = true;
+                    }
+                    PlannedAttempt::ToHead { h, .. } => {
                         let h_slot = self.scratch.head_slot[h.index()];
-                        if !radio_ok || !head_alive || h_slot < 0 {
+                        if !self.net.node(h).is_alive() || h_slot < 0 {
+                            // The head ran dry earlier in the merge: the
+                            // planned hop lands on a dead radio.
                             fail = FailCause::Link;
                             protocol.on_hop_result(src, target, false);
                         } else {
@@ -518,10 +688,108 @@ impl Simulator {
                         }
                     }
                 }
+                attempt += 1;
                 if resolved {
                     break;
                 }
             }
+
+            // Live continuation: the plan ended on a contingency stage 1
+            // could not resolve — a queue refusal or a head that died
+            // mid-merge. The remaining retries re-decide against the
+            // live network (the MDP's self-loop semantics), drawing from
+            // the master RNG; the merge is sequential, so this stays
+            // identical at every thread count.
+            if !resolved && !matches!(fail, FailCause::Dead) {
+                while attempt <= cfg.member_retries {
+                    if !self.net.node(src).is_alive() {
+                        fail = FailCause::Dead;
+                        break;
+                    }
+                    if attempt > 0 {
+                        counters.retried += 1;
+                        if self.obs.is_active() {
+                            self.obs.emit(Event::PacketRetried {
+                                round,
+                                src: src.0,
+                                attempt,
+                            });
+                        }
+                    }
+                    let attempt_time = time + attempt as f64 * cfg.hop_delay;
+                    let target = protocol.choose_target(&self.net, src, &heads, rng);
+                    let d = match target {
+                        Target::Bs => self.net.dist_to_bs(src),
+                        Target::Head(h) => self.net.distance(src, h),
+                    };
+                    let e = radio.tx_energy(cfg.packet_bits, d);
+                    let sender = self.net.node_mut(src);
+                    if !sender.battery.can_supply(e) {
+                        breakdown.member_tx += sender.battery.consume(e);
+                        protocol.on_hop_result(src, target, false);
+                        fail = FailCause::Dead;
+                        break;
+                    }
+                    sender.battery.consume(e);
+                    breakdown.member_tx += e;
+                    match target {
+                        Target::Bs => {
+                            if sample_hop(faults.as_ref(), &link, rng, d, src.0, None) {
+                                counters.delivered += 1;
+                                let lat = attempt_time + cfg.hop_delay - pkt.created_at;
+                                latency.push(lat);
+                                if self.obs.is_active() {
+                                    self.obs.emit(Event::PacketOutcome {
+                                        round,
+                                        src: src.0,
+                                        fate: PacketFate::Delivered { latency_slots: lat },
+                                    });
+                                }
+                                protocol.on_hop_result(src, target, true);
+                                resolved = true;
+                            } else {
+                                fail = FailCause::Link;
+                                protocol.on_hop_result(src, target, false);
+                            }
+                        }
+                        Target::Head(h) => {
+                            let head_alive = self.net.node(h).is_alive();
+                            let radio_ok =
+                                sample_hop(faults.as_ref(), &link, rng, d, src.0, Some(h.0));
+                            let h_slot = self.scratch.head_slot[h.index()];
+                            if !radio_ok || !head_alive || h_slot < 0 {
+                                fail = FailCause::Link;
+                                protocol.on_hop_result(src, target, false);
+                            } else {
+                                breakdown.head_rx += self
+                                    .net
+                                    .node_mut(h)
+                                    .battery
+                                    .consume(radio.rx_energy(cfg.packet_bits));
+                                let q = &mut queues[h_slot as usize];
+                                match q.offer(pkt, attempt_time + cfg.hop_delay) {
+                                    Offer::Accepted { .. } => {
+                                        protocol.on_hop_result(src, target, true);
+                                        resolved = true;
+                                    }
+                                    Offer::Dropped(reason) => {
+                                        fail = match reason {
+                                            QueueDrop::Full => FailCause::QueueFull,
+                                            QueueDrop::Deadline => FailCause::Deadline,
+                                        };
+                                        protocol.on_hop_result(src, target, false);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    attempt += 1;
+                    if resolved {
+                        break;
+                    }
+                }
+            }
+
             if !resolved {
                 let fate = match fail {
                     FailCause::Dead => {
@@ -548,6 +816,14 @@ impl Simulator {
                         fate,
                     });
                 }
+            }
+        }
+
+        // Absorb planner scratch (Q-value writes, link-table overlays)
+        // back into the protocol, in stable ascending node order.
+        for pn in planned.iter_mut() {
+            if let Some(scratch) = pn.scratch.take() {
+                protocol.absorb_plan(pn.src, scratch);
             }
         }
         self.obs.span_end(tx_span, round, Phase::Transmission);
@@ -777,6 +1053,211 @@ fn sample_hop(
     }
     let p = 1.0 - ((1.0 - link.delivery_probability(d)) * mult).min(1.0);
     rng.gen::<f64>() < p
+}
+
+/// Terminal failure cause of a member packet, attributed to its final
+/// attempt.
+#[derive(Clone, Copy)]
+enum FailCause {
+    Dead,
+    Link,
+    QueueFull,
+    Deadline,
+}
+
+/// One planned radio attempt of a member packet (stage 1). `e` is the
+/// *requested* transmit draw; the merge replays it against the live
+/// battery with the same `can_supply`/`consume` guards as a live
+/// attempt, so a battery death planned in stage 1 (or induced by an
+/// earlier live continuation) resolves identically.
+#[derive(Clone, Copy)]
+enum PlannedAttempt {
+    /// The hop failed: a radio/link loss, or the sender's battery could
+    /// not cover the draw (the merge's `can_supply` guard re-detects
+    /// the death).
+    Failed { target: Target, e: f64 },
+    /// A direct hop to the BS succeeded.
+    DeliveredBs { e: f64 },
+    /// The radio hop to head `h` landed; the queue verdict (and the
+    /// head's aliveness at reception) resolve at merge time.
+    ToHead { h: NodeId, e: f64 },
+}
+
+/// Stage-1 plan for one member packet: its attempts in order. Empty when
+/// the sender was already dead at the arrival time (the merge's live
+/// aliveness check skips the packet — a dead plan implies a dead live
+/// battery, since the live trajectory only ever drains more).
+type PacketPlan = Vec<PlannedAttempt>;
+
+/// One member node's stage-1 state for the current round.
+struct PlannedNode {
+    src: NodeId,
+    /// This node's arrival times, ascending.
+    arrivals: Vec<f64>,
+    /// One plan per arrival, same order.
+    packets: Vec<PacketPlan>,
+    /// The planner's scratch, absorbed into the protocol after the merge.
+    scratch: Option<PlanScratch>,
+    /// Merge read position into `packets`.
+    cursor: usize,
+}
+
+/// Stage-1 front-end over the two planning paths: a [`RoutePlanner`]
+/// (immutable, parallel-safe) or the bare `&mut Protocol` fallback.
+trait PlanTargeter {
+    fn begin_packet(&mut self, src: NodeId);
+    fn target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target;
+    fn hop_result(&mut self, src: NodeId, target: Target, success: bool);
+}
+
+struct PlannerTargeter<'a> {
+    planner: &'a dyn RoutePlanner,
+    scratch: PlanScratch,
+}
+
+impl PlanTargeter for PlannerTargeter<'_> {
+    fn begin_packet(&mut self, src: NodeId) {
+        self.planner.begin_packet(src, &mut self.scratch);
+    }
+
+    fn target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target {
+        self.planner
+            .plan_target(net, src, heads, rng, &mut self.scratch)
+    }
+
+    fn hop_result(&mut self, src: NodeId, target: Target, success: bool) {
+        self.planner
+            .plan_hop_result(src, target, success, &mut self.scratch);
+    }
+}
+
+/// Fallback for protocols without a planner: only `choose_target` is
+/// consulted while planning (always sequentially). The per-packet hook
+/// runs here so `choose_target` sees the per-packet state reset of a
+/// live call sequence; the merge replays it again, which is harmless
+/// because the hook is a reset. Per-hop hooks are replayed at merge
+/// time only, uniformly with the planner path.
+struct ChooseTargeter<'a, P: Protocol + ?Sized> {
+    protocol: &'a mut P,
+}
+
+impl<P: Protocol + ?Sized> PlanTargeter for ChooseTargeter<'_, P> {
+    fn begin_packet(&mut self, src: NodeId) {
+        self.protocol.on_packet_start(src);
+    }
+
+    fn target(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Target {
+        self.protocol.choose_target(net, src, heads, rng)
+    }
+
+    fn hop_result(&mut self, _src: NodeId, _target: Target, _success: bool) {}
+}
+
+/// Plan one member's packets against the frozen post-election network
+/// (stage 1 of the transmission phase). The sender's residual is tracked
+/// locally with the exact `Battery::consume` arithmetic, so the merge
+/// replay is bit-identical; head aliveness is frozen here and re-checked
+/// at merge time. Target choices draw from the node's PROTOCOL stream
+/// and radio samples from its LINK stream, making the plan independent
+/// of scheduling and thread count.
+#[allow(clippy::too_many_arguments)]
+fn plan_member_packets(
+    net: &Network,
+    cfg: &SimConfig,
+    faults: Option<&FaultDriver>,
+    heads: &[NodeId],
+    head_slot: &[i32],
+    stream_seed: u64,
+    round: u32,
+    src: NodeId,
+    arrivals: &[f64],
+    targeter: &mut dyn PlanTargeter,
+) -> Vec<PacketPlan> {
+    let link = net.link;
+    let radio = net.radio;
+    let mut prng = StreamRng::for_node(stream_seed, round, src.0, stream_tag::PROTOCOL);
+    let mut lrng = StreamRng::for_node(stream_seed, round, src.0, stream_tag::LINK);
+    let mut residual = net.node(src).battery.residual();
+    let mut packets = Vec::with_capacity(arrivals.len());
+    for _ in arrivals {
+        // Mid-round, a member's `is_alive` reduces to battery state: the
+        // `online` flag cannot change within a round, and it was online
+        // when it generated this arrival.
+        if residual <= 0.0 {
+            packets.push(Vec::new());
+            continue;
+        }
+        targeter.begin_packet(src);
+        let mut attempts = Vec::new();
+        let mut resolved = false;
+        for _ in 0..=cfg.member_retries {
+            if residual <= 0.0 {
+                break;
+            }
+            let target = targeter.target(net, src, heads, &mut prng);
+            let d = match target {
+                Target::Bs => net.dist_to_bs(src),
+                Target::Head(h) => net.distance(src, h),
+            };
+            let e = radio.tx_energy(cfg.packet_bits, d);
+            if residual < e {
+                // Partial supply: this draw drains the battery flat.
+                residual = 0.0;
+                attempts.push(PlannedAttempt::Failed { target, e });
+                targeter.hop_result(src, target, false);
+                break;
+            }
+            residual -= e;
+            match target {
+                Target::Bs => {
+                    if sample_hop(faults, &link, &mut lrng, d, src.0, None) {
+                        attempts.push(PlannedAttempt::DeliveredBs { e });
+                        targeter.hop_result(src, target, true);
+                        resolved = true;
+                    } else {
+                        attempts.push(PlannedAttempt::Failed { target, e });
+                        targeter.hop_result(src, target, false);
+                    }
+                }
+                Target::Head(h) => {
+                    let head_alive = net.node(h).is_alive();
+                    let radio_ok = sample_hop(faults, &link, &mut lrng, d, src.0, Some(h.0));
+                    if !radio_ok || !head_alive || head_slot[h.index()] < 0 {
+                        attempts.push(PlannedAttempt::Failed { target, e });
+                        targeter.hop_result(src, target, false);
+                    } else {
+                        // Optimistic: the queue verdict lands at merge.
+                        attempts.push(PlannedAttempt::ToHead { h, e });
+                        targeter.hop_result(src, target, true);
+                        resolved = true;
+                    }
+                }
+            }
+            if resolved {
+                break;
+            }
+        }
+        packets.push(attempts);
+    }
+    packets
 }
 
 #[cfg(test)]

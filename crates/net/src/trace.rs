@@ -145,6 +145,15 @@ impl<P: Protocol> Protocol for TraceRecorder<P> {
             alive: net.alive_count(),
         });
     }
+
+    // Deliberately NOT forwarding `planner()`: the recorder's job is a
+    // faithful per-decision trace, so it keeps the engine on the
+    // `choose_target` path (the default `None`) even when the wrapped
+    // protocol could plan.
+
+    fn configure_threads(&mut self, threads: usize) {
+        self.inner.configure_threads(threads);
+    }
 }
 
 /// Rebuilds a [`RunTrace`] from the structured event stream.

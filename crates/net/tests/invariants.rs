@@ -128,4 +128,46 @@ proptest! {
         let max_served = (deadline / service_time) as usize;
         prop_assert!(q.processed().len() <= max_served);
     }
+
+    /// `SimConfig::threads` is a pure throughput knob: for arbitrary
+    /// configurations and either reference protocol (both expose a
+    /// `RoutePlanner`, so multi-threaded runs take the rayon fan-out
+    /// path), the report serializes to exactly the single-threaded
+    /// bytes.
+    #[test]
+    fn thread_count_never_changes_the_report(
+        seed in 0u64..500,
+        n in 5usize..40,
+        lambda in 0.5f64..20.0,
+        k in 1usize..6,
+        rounds in 1u32..5,
+        queue_capacity in 1usize..80,
+        member_retries in 0u32..4,
+        greedy in any::<bool>(),
+        threads in 2usize..9,
+    ) {
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = NetworkBuilder::new()
+                .link(AnyLink::DistanceLoss(DistanceLossLink::new(150.0, 3.0, 0.02)))
+                .uniform_cube(&mut rng, n, 200.0, 2.0);
+            let mut cfg = SimConfig::paper(lambda);
+            cfg.rounds = rounds;
+            cfg.queue_capacity = queue_capacity;
+            cfg.member_retries = member_retries;
+            cfg.threads = threads;
+            let mut greedy_p;
+            let mut direct_p;
+            let protocol: &mut dyn Protocol = if greedy {
+                greedy_p = GreedyEnergyProtocol::new(k);
+                &mut greedy_p
+            } else {
+                direct_p = DirectToBsProtocol;
+                &mut direct_p
+            };
+            let report = Simulator::new(net, cfg).run(protocol, &mut rng);
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
 }

@@ -12,8 +12,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Version tag written as the first line of every serialized event
-/// stream. v2 added [`Event::FaultInjected`] and [`Event::PacketRetried`].
-pub const SCHEMA: &str = "qlec-obs/v2";
+/// stream. v2 added [`Event::FaultInjected`] and [`Event::PacketRetried`];
+/// v3 added [`Event::RoundSummary`] (written by aggregate-mode sinks in
+/// place of the per-packet events).
+pub const SCHEMA: &str = "qlec-obs/v3";
 
 /// The simulator phases that get timing spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -139,6 +141,26 @@ pub enum Event {
     /// energy). `attempt` is 1-based over the retries — the first
     /// retry after the initial attempt carries `attempt = 1`.
     PacketRetried { round: u32, src: u32, attempt: u32 },
+    /// Per-round digest of the high-volume events
+    /// ([`Event::PacketOutcome`], [`Event::PacketRetried`],
+    /// [`Event::QUpdate`]). Written by aggregate-mode
+    /// [`crate::JsonLinesSink`]s *instead of* those events, immediately
+    /// before the round's [`Event::RoundEnded`] line, so compact streams
+    /// still close their packet ledger per round.
+    RoundSummary {
+        round: u32,
+        /// Packets that reached a terminal fate this round.
+        packets: u64,
+        /// Of those, packets delivered to the BS.
+        delivered: u64,
+        /// Mean delivery latency in slots (`0.0` when nothing was
+        /// delivered).
+        mean_latency_slots: f64,
+        /// Retransmission attempts across all packets.
+        retries: u64,
+        /// Q-routing value updates that settled.
+        q_updates: u64,
+    },
     /// A timed span closed.
     PhaseTimed {
         round: u32,
@@ -174,6 +196,7 @@ impl Event {
             | Event::NodeDied { round, .. }
             | Event::FaultInjected { round, .. }
             | Event::PacketRetried { round, .. }
+            | Event::RoundSummary { round, .. }
             | Event::PhaseTimed { round, .. }
             | Event::RoundEnded { round, .. } => *round,
         }
@@ -226,6 +249,14 @@ mod tests {
                 src: 6,
                 attempt: 1,
             },
+            Event::RoundSummary {
+                round: 2,
+                packets: 40,
+                delivered: 37,
+                mean_latency_slots: 2.5,
+                retries: 6,
+                q_updates: 80,
+            },
             Event::PhaseTimed {
                 round: 2,
                 phase: Phase::Transmission,
@@ -276,6 +307,18 @@ mod tests {
             }
             .round(),
             7
+        );
+        assert_eq!(
+            Event::RoundSummary {
+                round: 5,
+                packets: 1,
+                delivered: 1,
+                mean_latency_slots: 1.0,
+                retries: 0,
+                q_updates: 2
+            }
+            .round(),
+            5
         );
     }
 

@@ -36,7 +36,7 @@ mod registry;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::ObsError;
 pub use event::{Event, PacketFate, Phase, SCHEMA};
-pub use json_sink::{read_events, JsonLinesSink};
+pub use json_sink::{read_events, EventsMode, JsonLinesSink};
 pub use memory_sink::MemorySink;
 pub use observer::{ObserverSet, SimObserver, SpanToken};
 pub use procinfo::peak_rss_bytes;

@@ -93,6 +93,9 @@ impl SimObserver for MemorySink {
                 r.inc("faults.nodes_affected", nodes.len() as u64);
             }
             Event::PacketRetried { .. } => r.inc("packets.retried", 1),
+            // Aggregate-mode digests of events this sink already counts
+            // live — replaying one into a MemorySink must not double-count.
+            Event::RoundSummary { .. } => {}
             Event::PhaseTimed { phase, wall_ns, .. } => {
                 r.observe(&format!("phase.{}.wall_ns", phase.name()), *wall_ns as f64);
             }

@@ -75,26 +75,6 @@ fn aggregate_share_out_of_range_rejected() {
     let _ = QlecProtocol::builder().k(3).aggregate_share(1.5).build();
 }
 
-/// The deprecated one-shot constructors still compile and behave like the
-/// builder they now delegate to.
-#[test]
-#[allow(deprecated)]
-fn deprecated_constructors_match_builder() {
-    let legacy = {
-        let mut p = QlecProtocol::paper_with_k(4);
-        let mut rng = StdRng::seed_from_u64(11);
-        Simulator::new(net(12), cfg(3)).run(&mut p, &mut rng)
-    };
-    let built = {
-        let mut p = QlecProtocol::builder().k(4).build();
-        let mut rng = StdRng::seed_from_u64(11);
-        Simulator::new(net(12), cfg(3)).run(&mut p, &mut rng)
-    };
-    assert_eq!(legacy.totals.generated, built.totals.generated);
-    assert_eq!(legacy.totals.delivered, built.totals.delivered);
-    assert_eq!(legacy.total_energy(), built.total_energy());
-}
-
 /// The trace's head-duty histogram is consistent with the report's head
 /// counts.
 #[test]

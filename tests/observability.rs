@@ -47,7 +47,7 @@ fn event_stream_replays_the_simulation_report() {
         .into_inner()
         .unwrap();
     let text = String::from_utf8(sink.finish().unwrap()).unwrap();
-    let events = read_events(&text).expect("stream parses against qlec-obs/v2");
+    let events = read_events(&text).expect("stream parses against qlec-obs/v3");
 
     // The alive curve rebuilt from RoundEnded events is the report's.
     let replayed_alive: Vec<(u32, usize)> = events

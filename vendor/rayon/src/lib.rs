@@ -9,6 +9,102 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 = no override (use `available_parallelism`).
+    static NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The effective parallelism for `par_iter` work started on this thread:
+/// the innermost [`ThreadPool::install`] override, or the machine's
+/// available parallelism when none is installed.
+pub fn current_num_threads() -> usize {
+    let forced = NUM_THREADS.with(Cell::get);
+    if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the one knob this
+/// workspace needs: a fixed thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the pool's thread count; 0 means "machine default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here (no OS pool is pre-spawned — the
+    /// stand-in spawns scoped threads per `collect`), but kept `Result`
+    /// to match rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced by the
+/// stand-in, present for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count policy. `par_iter().map(..).collect()` calls
+/// made inside [`ThreadPool::install`] split work across exactly this
+/// pool's thread count instead of the machine default.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured thread count (machine default if built
+    /// with 0).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+
+    /// Run `op` with this pool's thread count installed for any
+    /// `par_iter` work it starts. The previous override is restored on
+    /// exit, including on unwind.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(NUM_THREADS.with(Cell::get));
+        NUM_THREADS.with(|c| c.set(self.current_num_threads()));
+        op()
+    }
+}
+
 pub mod iter {
     //! Parallel iterator shims.
 
@@ -68,9 +164,7 @@ pub mod iter {
             if n == 0 {
                 return std::iter::empty().collect();
             }
-            let threads = std::thread::available_parallelism()
-                .map_or(4, usize::from)
-                .min(n);
+            let threads = crate::current_num_threads().min(n);
             if threads <= 1 {
                 return self.items.iter().map(&self.f).collect();
             }
@@ -98,6 +192,64 @@ pub mod iter {
 pub mod prelude {
     //! One-stop import, mirroring `rayon::prelude`.
     pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use crate::prelude::*;
+    use crate::ThreadPoolBuilder;
+
+    #[test]
+    fn install_overrides_thread_count_and_restores() {
+        let before = crate::current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 7);
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 7);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 7);
+        });
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn install_actually_fans_out_across_requested_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        let xs: Vec<u64> = (0..64).collect();
+        let _: Vec<()> = pool.install(|| {
+            xs.par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .collect()
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct > 1, "expected >1 worker thread, saw {distinct}");
+    }
+
+    #[test]
+    fn zero_threads_falls_back_to_machine_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        let machine = std::thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(pool.current_num_threads(), machine);
+    }
+
+    #[test]
+    fn results_are_identical_across_pool_sizes() {
+        let xs: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(31) ^ 5).collect();
+        for n in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let par: Vec<u64> =
+                pool.install(|| xs.par_iter().map(|&x| x.wrapping_mul(31) ^ 5).collect());
+            assert_eq!(par, seq, "pool size {n}");
+        }
+    }
 }
 
 #[cfg(test)]
