@@ -11,11 +11,13 @@
 //!
 //! Usage: `cargo run --release -p qlec-bench --bin scale -- \
 //!     [--sizes 100,1000,10000] [--threads 1] [--rounds 20] \
-//!     [--candidates auto|full|<n>] [--lambda 5] [--seed 42] \
-//!     [--out BENCH_scale.json] [--validate] [--compare BASE.json]`
+//!     [--candidates auto|legacy-auto|full|<n>] \
+//!     [--head-index incremental,rebuild] [--lambda 5] [--seed 42] \
+//!     [--out BENCH_scale.json] [--append] [--validate] \
+//!     [--compare BASE.json]`
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
-use qlec_core::params::{CandidatePolicy, QlecParams};
+use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
 use qlec_net::Simulator;
 use qlec_obs::{peak_rss_bytes, MemorySink, ObserverSet, Phase};
 use rand::rngs::StdRng;
@@ -27,15 +29,18 @@ use std::time::Instant;
 /// Version tag of the `BENCH_scale.json` artifact. Bump on any field
 /// addition, removal, or semantic change. v2: added `threads` (engine
 /// worker count per run) and replaced `candidate_heads` with the
-/// `candidates` policy spelling (`auto`, `full`, or a fixed budget).
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v2";
+/// `candidates` policy spelling. v3: added `head_index` (spatial-index
+/// maintenance mode per run), admitted `legacy-auto` as a candidates
+/// spelling, and `peak_rss_bytes` is now omitted — not null — on
+/// platforms that cannot report it.
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v3";
 
 /// `--compare` fails on a `packets_per_sec` drop of more than this
 /// fraction below the baseline at any matching point.
 const REGRESSION_TOLERANCE: f64 = 0.20;
 
-/// One (size, threads) point of the sweep.
-#[derive(Debug, Serialize)]
+/// One (size, threads, head-index mode) point of the sweep.
+#[derive(Debug)]
 struct ScaleRun {
     /// Node count N.
     n: usize,
@@ -45,9 +50,11 @@ struct ScaleRun {
     rounds: u32,
     /// Engine worker threads (`SimConfig::threads`; 0 = all cores).
     threads: usize,
-    /// `Send-Data` candidate pruning policy spelling (`auto`, `full`,
-    /// or a fixed budget as an integer string).
+    /// `Send-Data` candidate pruning policy spelling (`auto`,
+    /// `legacy-auto`, `full`, or a fixed budget as an integer string).
     candidates: String,
+    /// Spatial-index maintenance mode (`incremental` or `rebuild`).
+    head_index: String,
     /// End-to-end wall time of the run, seconds.
     wall_s: f64,
     /// Packets generated over the whole run.
@@ -58,12 +65,41 @@ struct ScaleRun {
     pdr: f64,
     /// Alive nodes at the end of the run.
     alive_end: usize,
-    /// Process peak RSS in bytes after this run (Linux `VmHWM`; null
-    /// elsewhere). Monotone across the process, so within one sweep the
-    /// largest N dominates.
+    /// Process peak RSS in bytes after this run (Linux `VmHWM`).
+    /// Monotone across the process, so within one sweep the largest N
+    /// dominates. Omitted from the JSON on platforms without the
+    /// counter.
     peak_rss_bytes: Option<u64>,
     /// Wall nanoseconds per simulation phase, from the obs spans.
     phase_wall: Vec<PhaseWall>,
+}
+
+// Hand-rolled so `peak_rss_bytes: None` drops the field entirely
+// instead of writing `null` (the derive cannot skip fields).
+impl Serialize for ScaleRun {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("n".to_string(), self.n.to_value()),
+            ("k".to_string(), self.k.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("candidates".to_string(), self.candidates.to_value()),
+            ("head_index".to_string(), self.head_index.to_value()),
+            ("wall_s".to_string(), self.wall_s.to_value()),
+            ("packets".to_string(), self.packets.to_value()),
+            (
+                "packets_per_sec".to_string(),
+                self.packets_per_sec.to_value(),
+            ),
+            ("pdr".to_string(), self.pdr.to_value()),
+            ("alive_end".to_string(), self.alive_end.to_value()),
+        ];
+        if let Some(rss) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".to_string(), rss.to_value()));
+        }
+        fields.push(("phase_wall".to_string(), self.phase_wall.to_value()));
+        serde::Value::Object(fields)
+    }
 }
 
 /// The whole artifact.
@@ -79,11 +115,22 @@ struct ScaleReport {
     runs: Vec<ScaleRun>,
 }
 
+/// [`ScaleReport`] with pre-rendered run values: the `--append` merge
+/// path carries the baseline's existing rows through untouched.
+#[derive(Serialize)]
+struct ScaleReportValue {
+    schema: String,
+    lambda: f64,
+    seed: u64,
+    runs: Vec<serde_json::Value>,
+}
+
 /// The artifact spelling of a candidate policy (also the `--candidates`
 /// flag syntax, so baselines and fresh runs compare apples to apples).
 fn policy_label(policy: CandidatePolicy) -> String {
     match policy {
         CandidatePolicy::Auto => "auto".into(),
+        CandidatePolicy::LegacyAuto => "legacy-auto".into(),
         CandidatePolicy::Full => "full".into(),
         CandidatePolicy::Fixed(c) => c.to_string(),
     }
@@ -93,6 +140,7 @@ fn run_size(
     n: usize,
     rounds: u32,
     candidates: CandidatePolicy,
+    head_index: HeadIndexMode,
     threads: usize,
     lambda: f64,
     seed: u64,
@@ -111,6 +159,7 @@ fn run_size(
     obs.attach(sink.clone());
     let params = QlecParams {
         candidates,
+        head_index,
         ..spec.qlec_params()
     };
     let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
@@ -134,6 +183,7 @@ fn run_size(
         rounds,
         threads,
         candidates: policy_label(candidates),
+        head_index: head_index.label().to_string(),
         wall_s,
         packets: report.totals.generated,
         packets_per_sec: report.totals.generated as f64 / wall_s.max(1e-9),
@@ -144,7 +194,7 @@ fn run_size(
     }
 }
 
-/// Check a `BENCH_scale.json` text against the v2 schema. Returns a
+/// Check a `BENCH_scale.json` text against the v3 schema. Returns a
 /// description of the first problem found.
 fn validate_scale_json(text: &str) -> Result<(), String> {
     let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
@@ -186,8 +236,25 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             Some(c) if CandidatePolicy::parse(c).is_ok() => {}
             _ => {
                 return Err(format!(
-                    "runs[{i}].candidates must be auto, full or a positive integer"
+                    "runs[{i}].candidates must be auto, legacy-auto, full or a positive integer"
                 ))
+            }
+        }
+        match run["head_index"].as_str() {
+            Some(m) if HeadIndexMode::parse(m).is_ok() => {}
+            _ => {
+                return Err(format!(
+                    "runs[{i}].head_index must be incremental or rebuild"
+                ))
+            }
+        }
+        // peak_rss_bytes is optional, but when present it must be a
+        // number — v3 forbids the old explicit null.
+        if let Some(rss) = run.get("peak_rss_bytes") {
+            if rss.as_u64().is_none() {
+                return Err(format!(
+                    "runs[{i}].peak_rss_bytes must be a non-negative integer when present"
+                ));
             }
         }
         let walls = run["phase_wall"]
@@ -214,11 +281,12 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
 
 /// Compare a fresh sweep against a committed baseline artifact.
 ///
-/// Points are matched on `(n, threads, candidates)`; `Ok` carries one
-/// message per matched point whose `packets_per_sec` fell more than
-/// [`REGRESSION_TOLERANCE`] below the baseline (empty = gate passes).
-/// `Err` means the comparison itself is impossible — unreadable or
-/// schema-stale baseline, or no point in common.
+/// Points are matched on `(n, threads, candidates, head_index,
+/// rounds)`; `Ok` carries one message per matched point whose
+/// `packets_per_sec` fell more than [`REGRESSION_TOLERANCE`] below the
+/// baseline (empty = gate passes). `Err` means the comparison itself is
+/// impossible — unreadable or schema-stale baseline, or no point in
+/// common.
 fn compare_against_baseline(
     fresh: &[ScaleRun],
     baseline_text: &str,
@@ -236,6 +304,8 @@ fn compare_against_baseline(
             b["n"].as_u64() == Some(run.n as u64)
                 && b["threads"].as_u64() == Some(run.threads as u64)
                 && b["candidates"].as_str() == Some(run.candidates.as_str())
+                && b["head_index"].as_str() == Some(run.head_index.as_str())
+                && b["rounds"].as_u64() == Some(run.rounds as u64)
         }) else {
             continue;
         };
@@ -244,11 +314,12 @@ fn compare_against_baseline(
         let floor = base_pps * (1.0 - REGRESSION_TOLERANCE);
         if run.packets_per_sec < floor {
             regressions.push(format!(
-                "N={} threads={} candidates={}: {:.0} packets/s vs baseline {:.0} \
+                "N={} threads={} candidates={} head-index={}: {:.0} packets/s vs baseline {:.0} \
                  (below the {:.0}% floor {:.0})",
                 run.n,
                 run.threads,
                 run.candidates,
+                run.head_index,
                 run.packets_per_sec,
                 base_pps,
                 (1.0 - REGRESSION_TOLERANCE) * 100.0,
@@ -257,7 +328,10 @@ fn compare_against_baseline(
         }
     }
     if matched == 0 {
-        return Err("no (n, threads, candidates) point in common with the baseline".into());
+        return Err(
+            "no (n, threads, candidates, head_index, rounds) point in common with the baseline"
+                .into(),
+        );
     }
     Ok(regressions)
 }
@@ -269,33 +343,67 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Bad invocation: structured message on stderr, exit 2, no panic.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a comma-separated list of positive integers for `flag`.
+fn positive_list(text: &str, flag: &str) -> Vec<usize> {
+    let items: Vec<usize> = text
+        .split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => die(&format!("{flag} takes positive integers, got `{s}`")),
+        })
+        .collect();
+    if items.is_empty() {
+        die(&format!("{flag} must name at least one value"));
+    }
+    items
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sizes: Vec<usize> = flag_value(&args, "--sizes")
-        .unwrap_or_else(|| "100,1000,10000".into())
-        .split(',')
-        .map(|s| s.trim().parse().expect("--sizes takes integers"))
-        .collect();
+    let sizes = positive_list(
+        &flag_value(&args, "--sizes").unwrap_or_else(|| "100,1000,10000".into()),
+        "--sizes",
+    );
     let threads_list: Vec<usize> = flag_value(&args, "--threads")
         .unwrap_or_else(|| "1".into())
         .split(',')
-        .map(|s| s.trim().parse().expect("--threads takes integers"))
+        .map(|s| match s.trim() {
+            // The engine spells "all cores" as 0; accept `auto` too.
+            "auto" => 0,
+            t => t
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--threads takes integers or auto, got `{t}`"))),
+        })
         .collect();
-    let rounds: u32 =
-        flag_value(&args, "--rounds").map_or(20, |s| s.parse().expect("--rounds takes an integer"));
-    let candidates = flag_value(&args, "--candidates").map_or(CandidatePolicy::Fixed(8), |s| {
-        CandidatePolicy::parse(&s).expect("--candidates takes auto, full or a positive integer")
+    let rounds: u32 = flag_value(&args, "--rounds").map_or(20, |s| match s.parse() {
+        Ok(r) if r > 0 => r,
+        _ => die(&format!("--rounds takes a positive integer, got `{s}`")),
     });
-    let lambda: f64 =
-        flag_value(&args, "--lambda").map_or(5.0, |s| s.parse().expect("--lambda takes a number"));
-    let seed: u64 =
-        flag_value(&args, "--seed").map_or(42, |s| s.parse().expect("--seed takes an integer"));
+    let candidates = flag_value(&args, "--candidates").map_or(CandidatePolicy::Fixed(8), |s| {
+        CandidatePolicy::parse(&s).unwrap_or_else(|e| die(&format!("--candidates: {e}")))
+    });
+    let head_modes: Vec<HeadIndexMode> = flag_value(&args, "--head-index")
+        .unwrap_or_else(|| "incremental".into())
+        .split(',')
+        .map(|s| {
+            HeadIndexMode::parse(s.trim()).unwrap_or_else(|e| die(&format!("--head-index: {e}")))
+        })
+        .collect();
+    let lambda: f64 = flag_value(&args, "--lambda").map_or(5.0, |s| match s.parse() {
+        Ok(l) if l > 0.0 => l,
+        _ => die(&format!("--lambda takes a positive number, got `{s}`")),
+    });
+    let seed: u64 = flag_value(&args, "--seed").map_or(42, |s| {
+        s.parse()
+            .unwrap_or_else(|_| die(&format!("--seed takes an integer, got `{s}`")))
+    });
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".into());
-    assert!(!sizes.is_empty(), "--sizes must name at least one N");
-    assert!(
-        !threads_list.is_empty(),
-        "--threads must name at least one count"
-    );
 
     let mut report = ScaleReport {
         schema: SCALE_SCHEMA.to_string(),
@@ -306,23 +414,26 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &sizes {
         for &threads in &threads_list {
-            let run = run_size(n, rounds, candidates, threads, lambda, seed);
-            eprintln!(
-                "N = {n:>6} × {threads} thread(s): {:.2}s wall, {:.0} packets/s",
-                run.wall_s, run.packets_per_sec
-            );
-            rows.push(vec![
-                run.n.to_string(),
-                run.k.to_string(),
-                run.threads.to_string(),
-                format!("{:.2}s", run.wall_s),
-                run.packets.to_string(),
-                format!("{:.0}", run.packets_per_sec),
-                format!("{:.4}", run.pdr),
-                run.peak_rss_bytes
-                    .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
-            ]);
-            report.runs.push(run);
+            for &mode in &head_modes {
+                let run = run_size(n, rounds, candidates, mode, threads, lambda, seed);
+                eprintln!(
+                    "N = {n:>6} × {threads} thread(s), {}: {:.2}s wall, {:.0} packets/s",
+                    run.head_index, run.wall_s, run.packets_per_sec
+                );
+                rows.push(vec![
+                    run.n.to_string(),
+                    run.k.to_string(),
+                    run.threads.to_string(),
+                    run.head_index.clone(),
+                    format!("{:.2}s", run.wall_s),
+                    run.packets.to_string(),
+                    format!("{:.0}", run.packets_per_sec),
+                    format!("{:.4}", run.pdr),
+                    run.peak_rss_bytes
+                        .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+                ]);
+                report.runs.push(run);
+            }
         }
     }
     print_table(
@@ -334,6 +445,7 @@ fn main() {
             "N",
             "k",
             "thr",
+            "index",
             "wall",
             "packets",
             "pkt/s",
@@ -342,7 +454,33 @@ fn main() {
         ],
         &rows,
     );
-    write_json(&out, &report);
+
+    // --append folds the fresh runs into an existing same-schema
+    // artifact instead of replacing it (used to add the expensive
+    // N = 100k points without re-running the whole sweep).
+    if args.iter().any(|a| a == "--append") {
+        match std::fs::read_to_string(&out) {
+            Ok(existing) => {
+                if let Err(e) = validate_scale_json(&existing) {
+                    die(&format!("--append: existing {out} is invalid: {e}"));
+                }
+                let prior: serde_json::Value =
+                    serde_json::from_str(&existing).expect("validated artifact parses");
+                let mut merged = ScaleReportValue {
+                    schema: SCALE_SCHEMA.to_string(),
+                    lambda,
+                    seed,
+                    runs: prior["runs"].as_array().expect("validated").to_vec(),
+                };
+                merged.runs.extend(report.runs.iter().map(|r| r.to_value()));
+                write_json(&out, &merged);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => write_json(&out, &report),
+            Err(e) => die(&format!("--append: cannot read {out}: {e}")),
+        }
+    } else {
+        write_json(&out, &report);
+    }
 
     if args.iter().any(|a| a == "--validate") {
         let text = std::fs::read_to_string(&out).expect("artifact just written");
@@ -380,9 +518,13 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn tiny_run(threads: usize, mode: HeadIndexMode) -> ScaleRun {
+        run_size(30, 2, CandidatePolicy::Fixed(4), mode, threads, 8.0, 7)
+    }
+
     #[test]
     fn a_tiny_run_produces_a_valid_artifact() {
-        let run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
+        let run = tiny_run(1, HeadIndexMode::Incremental);
         let report = ScaleReport {
             schema: SCALE_SCHEMA.to_string(),
             lambda: 8.0,
@@ -396,15 +538,38 @@ mod tests {
         assert!(r.packets > 0);
         assert_eq!(r.threads, 1);
         assert_eq!(r.candidates, "4");
+        assert_eq!(r.head_index, "incremental");
         assert_eq!(r.phase_wall.len(), Phase::ALL.len());
     }
 
     #[test]
+    fn both_index_modes_produce_identical_reports() {
+        let inc = tiny_run(1, HeadIndexMode::Incremental);
+        let reb = tiny_run(1, HeadIndexMode::Rebuild);
+        assert_eq!(inc.packets, reb.packets);
+        assert_eq!(inc.pdr, reb.pdr);
+        assert_eq!(inc.alive_end, reb.alive_end);
+    }
+
+    #[test]
+    fn peak_rss_is_omitted_when_unavailable() {
+        let mut run = tiny_run(1, HeadIndexMode::Incremental);
+        run.peak_rss_bytes = None;
+        let v = run.to_value();
+        assert!(
+            v.get("peak_rss_bytes").is_none(),
+            "absent RSS must drop the field, not write null"
+        );
+        run.peak_rss_bytes = Some(123);
+        assert_eq!(run.to_value()["peak_rss_bytes"].as_u64(), Some(123));
+    }
+
+    #[test]
     fn compare_flags_only_real_regressions() {
-        let run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
+        let run = tiny_run(1, HeadIndexMode::Incremental);
         let pps = run.packets_per_sec;
         let baseline = |base_pps: f64| {
-            let mut base_run = run_size(30, 2, CandidatePolicy::Fixed(4), 1, 8.0, 7);
+            let mut base_run = tiny_run(1, HeadIndexMode::Incremental);
             base_run.packets_per_sec = base_pps;
             serde_json::to_string(&ScaleReport {
                 schema: SCALE_SCHEMA.to_string(),
@@ -428,18 +593,23 @@ mod tests {
         assert!(compare_against_baseline(fresh, &baseline(pps * 1.2))
             .unwrap()
             .is_empty());
-        // No matching (n, threads, candidates) point → a hard error,
-        // not a silent pass.
-        let other = serde_json::to_string(&ScaleReport {
-            schema: SCALE_SCHEMA.to_string(),
-            lambda: 8.0,
-            seed: 7,
-            runs: vec![run_size(30, 2, CandidatePolicy::Fixed(4), 2, 8.0, 7)],
-        })
-        .unwrap();
-        assert!(compare_against_baseline(fresh, &other).is_err());
+        // No matching point (threads and head-index mode differ) → a
+        // hard error, not a silent pass.
+        for other_run in [
+            tiny_run(2, HeadIndexMode::Incremental),
+            tiny_run(1, HeadIndexMode::Rebuild),
+        ] {
+            let other = serde_json::to_string(&ScaleReport {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                runs: vec![other_run],
+            })
+            .unwrap();
+            assert!(compare_against_baseline(fresh, &other).is_err());
+        }
         // Stale-schema baselines are rejected outright.
-        assert!(compare_against_baseline(fresh, "{\"schema\":\"qlec-bench-scale/v1\"}").is_err());
+        assert!(compare_against_baseline(fresh, "{\"schema\":\"qlec-bench-scale/v2\"}").is_err());
     }
 
     #[test]
@@ -455,6 +625,38 @@ mod tests {
         );
         let err = validate_scale_json(&bad_run).unwrap_err();
         assert!(err.contains("missing numeric field"), "{err}");
+    }
+
+    type Fields = Vec<(String, serde_json::Value)>;
+
+    #[test]
+    fn validator_enforces_v3_fields() {
+        // A v3 row without head_index, and one with an explicit null
+        // peak_rss_bytes, must both be rejected.
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let render = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match base.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            let report = ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                runs: vec![serde_json::Value::Object(fields)],
+            };
+            serde_json::to_string(&report).unwrap()
+        };
+        let no_mode = render(&|fields| fields.retain(|(k, _)| k != "head_index"));
+        let err = validate_scale_json(&no_mode).unwrap_err();
+        assert!(err.contains("head_index"), "{err}");
+        let null_rss = render(&|fields| {
+            fields.retain(|(k, _)| k != "peak_rss_bytes");
+            fields.push(("peak_rss_bytes".into(), serde_json::Value::Null));
+        });
+        let err = validate_scale_json(&null_rss).unwrap_err();
+        assert!(err.contains("peak_rss_bytes"), "{err}");
     }
 
     #[test]

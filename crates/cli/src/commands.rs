@@ -6,7 +6,7 @@ use qlec_clustering::deec::DeecProtocol;
 use qlec_clustering::heed::HeedProtocol;
 use qlec_clustering::leach::LeachProtocol;
 use qlec_clustering::{FcmProtocol, KMeansProtocol};
-use qlec_core::params::{CandidatePolicy, QlecParams};
+use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
 use qlec_core::{kopt, QlecProtocol};
 use qlec_dataset::{generate_china, records, GeneratorConfig};
 use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
@@ -28,7 +28,8 @@ USAGE:
   qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
                     [--seed 42] [--death-line 0] [--threads 1]
-                    [--candidates auto|full|C] [--json]
+                    [--candidates auto|legacy-auto|full|C]
+                    [--head-index incremental|rebuild] [--json]
                     [--trace FILE] [--svg FILE] [--chart FILE]
                     [--events FILE|-] [--events-mode full|sample:R|aggregate]
                     [--metrics FILE] [--faults FILE]
@@ -47,11 +48,16 @@ NOTES:
   events (counter-based, still deterministic); aggregate replaces them
   with one RoundSummary digest per round.
   --threads T fans the round engine's hot phases over T workers
-  (auto = every core). Pure throughput knob: any T produces
-  byte-identical events and reports.
-  --candidates sets QLEC's Send-Data pruning: auto derives min(k, 8)
-  nearest alive heads (default), full is the paper-exact full scan,
-  an integer C pins the budget.
+  (auto = every core; 0 is rejected). Pure throughput knob: any T
+  produces byte-identical events and reports.
+  --candidates sets QLEC's Send-Data pruning: auto derives the
+  Theorem-1 budget k if k <= 8 else min(k, ceil(8 + sqrt(16 ln k)))
+  (default), legacy-auto is the old flat min(k, 8), full is the
+  paper-exact full scan, an integer C pins the budget.
+  --head-index picks how QLEC maintains its spatial indexes:
+  incremental (default) applies per-round deltas with a churn-triggered
+  rebuild fallback, rebuild reconstructs them every round. Both modes
+  produce byte-identical events and reports.
 ";
 
 /// Dispatch a parsed command line.
@@ -71,6 +77,7 @@ fn build_protocol(
     k: usize,
     rounds: u32,
     candidates: CandidatePolicy,
+    head_index: HeadIndexMode,
     obs: &ObserverSet,
 ) -> Result<Box<dyn Protocol>, String> {
     Ok(match name {
@@ -79,6 +86,7 @@ fn build_protocol(
                 .params(QlecParams {
                     total_rounds: rounds,
                     candidates,
+                    head_index,
                     ..QlecParams::paper_with_k(k)
                 })
                 .observer(obs.clone())
@@ -103,6 +111,7 @@ struct RunSetup {
     seed: u64,
     death_line: f64,
     candidates: CandidatePolicy,
+    head_index: HeadIndexMode,
     threads: usize,
 }
 
@@ -123,9 +132,21 @@ impl RunSetup {
                     CandidatePolicy::parse(text).map_err(|e| format!("--candidates: {e}"))?
                 }
             },
+            head_index: match args.get("head-index") {
+                None => HeadIndexMode::default(),
+                Some(text) => {
+                    HeadIndexMode::parse(text).map_err(|e| format!("--head-index: {e}"))?
+                }
+            },
             threads: match args.get("threads") {
                 Some("auto") => 0,
-                _ => args.get_parsed("threads", 1usize)?,
+                None => 1,
+                Some(_) => match args.get_parsed("threads", 1usize)? {
+                    // 0 workers cannot run anything; `auto` is the spelling
+                    // for "use every core".
+                    0 => return Err("--threads must be positive (or `auto`)".into()),
+                    t => t,
+                },
             },
         })
     }
@@ -206,6 +227,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "death-line",
         "threads",
         "candidates",
+        "head-index",
         "json",
         "trace",
         "svg",
@@ -274,7 +296,14 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         None => None,
     };
 
-    let mut protocol = build_protocol(&name, setup.k, setup.rounds, setup.candidates, &obs)?;
+    let mut protocol = build_protocol(
+        &name,
+        setup.k,
+        setup.rounds,
+        setup.candidates,
+        setup.head_index,
+        &obs,
+    )?;
     let report = setup.execute_observed(protocol.as_mut(), obs.clone(), faults);
     obs.flush()
         .map_err(|e| format!("observer flush failed: {e}"))?;
@@ -389,6 +418,7 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
                 setup.k,
                 setup.rounds,
                 CandidatePolicy::Auto,
+                HeadIndexMode::default(),
                 &ObserverSet::new(),
             )?;
             let report = setup_s.execute(protocol.as_mut());
@@ -518,6 +548,49 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_inputs_fail_with_structured_errors() {
+        // Every rejected spelling must name the offending flag so the
+        // shell error is actionable, and none may panic.
+        let err = run(&["run", "--n", "20", "--rounds", "1", "--candidates", "0"]).unwrap_err();
+        assert!(err.contains("--candidates"), "{err}");
+        let err = run(&["run", "--n", "20", "--rounds", "1", "--threads", "0"]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = run(&["run", "--n", "20", "--rounds", "1", "--k", "0"]).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        let err = run(&["run", "--n", "20", "--rounds", "0"]).unwrap_err();
+        assert!(err.contains("--rounds"), "{err}");
+        // The same guards hold on the compare path.
+        let err = run(&["compare", "--n", "20", "--rounds", "1", "--k", "0"]).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+    }
+
+    #[test]
+    fn head_index_flag_is_validated_and_inert() {
+        let err = run(&["run", "--n", "20", "--rounds", "1", "--head-index", "magic"]).unwrap_err();
+        assert!(err.contains("--head-index"), "{err}");
+        let base = run(&[
+            "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
+        ])
+        .unwrap();
+        for mode in ["incremental", "rebuild"] {
+            let out = run(&[
+                "run",
+                "--n",
+                "20",
+                "--rounds",
+                "2",
+                "--lambda",
+                "8",
+                "--head-index",
+                mode,
+                "--json",
+            ])
+            .unwrap();
+            assert_eq!(base, out, "--head-index {mode} must not change the report");
+        }
+    }
+
+    #[test]
     fn candidates_flag_is_validated_and_inert_when_large() {
         assert!(run(&["run", "--n", "20", "--rounds", "1", "--candidates", "0"]).is_err());
         assert!(run(&["run", "--n", "20", "--rounds", "1", "--candidates", "maybe"]).is_err());
@@ -527,7 +600,7 @@ mod tests {
         .unwrap();
         // Default (auto), an over-large fixed budget, and the explicit
         // full scan all resolve to the same scan at k = 5.
-        for spelling in ["auto", "full", "50"] {
+        for spelling in ["auto", "legacy-auto", "full", "50"] {
             let pruned = run(&[
                 "run",
                 "--n",

@@ -31,9 +31,17 @@ use serde::{Deserialize, Serialize};
 
 /// Eq. 4: the minimum residual energy node `i` needs at round `r` (out of
 /// planned `total_rounds`) to be eligible as a cluster head.
+///
+/// Total over all inputs: the decaying fraction `r/R` saturates at 1, so
+/// the threshold is `0.0` for every round at or past the plan horizon
+/// (`r ≥ total_rounds`) — and, by the same saturation, for the degenerate
+/// `total_rounds = 0` (a zero-length plan is always past its horizon).
+/// No input produces NaN or a negative threshold.
 pub fn energy_threshold(initial_energy: f64, r: u32, total_rounds: u32) -> f64 {
-    debug_assert!(total_rounds > 0);
-    let frac = (r as f64 / total_rounds as f64).min(1.0);
+    if r >= total_rounds {
+        return 0.0;
+    }
+    let frac = r as f64 / total_rounds as f64;
     (1.0 - frac * frac) * initial_energy
 }
 
@@ -123,8 +131,13 @@ pub fn select_heads_observed(
     let p_opt = (k as f64 / n as f64).min(1.0);
     let dc = crate::kopt::coverage_radius(net.side_length(), k);
 
-    // Eq. 2 estimate of the average network energy.
-    let r_frac = (round as f64 / params.total_rounds as f64).min(1.0);
+    // Eq. 2 estimate of the average network energy. Saturate past the
+    // plan horizon (and for a degenerate zero-round plan) like Eq. 4.
+    let r_frac = if round >= params.total_rounds {
+        1.0
+    } else {
+        round as f64 / params.total_rounds as f64
+    };
     let avg_energy = (net.total_initial() / n as f64) * (1.0 - r_frac);
 
     // --- Algorithm 2: randomized election --------------------------------
@@ -348,6 +361,45 @@ mod tests {
         assert_eq!(energy_threshold(5.0, 20, 20), 0.0);
         // Beyond the horizon it clamps at zero, never negative.
         assert_eq!(energy_threshold(5.0, 99, 20), 0.0);
+    }
+
+    #[test]
+    fn eq4_threshold_is_total() {
+        // A zero-length plan is always past its horizon: threshold 0, no
+        // NaN (the old code divided 0/0 here in release builds).
+        for r in [0u32, 1, 1000, u32::MAX] {
+            let th = energy_threshold(5.0, r, 0);
+            assert_eq!(th, 0.0, "r={r}, total_rounds=0");
+            assert!(!th.is_nan());
+        }
+        // Extreme but valid inputs stay finite and non-negative.
+        for (r, total) in [(0u32, u32::MAX), (u32::MAX, u32::MAX), (u32::MAX, 1)] {
+            let th = energy_threshold(f64::MAX, r, total);
+            assert!(th.is_finite() && th >= 0.0, "r={r} total={total} → {th}");
+        }
+    }
+
+    #[test]
+    fn selection_survives_zero_round_plan() {
+        // total_rounds = 0 must not divide by zero in the Eq. 2 average
+        // or the Eq. 4 threshold: the plan is past its horizon, so the
+        // threshold bars nobody and the average-energy estimate is 0.
+        let (mut net, grid) = setup(3, 60);
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = QlecParams {
+            total_rounds: 0,
+            ..QlecParams::paper()
+        };
+        let out = select_heads(
+            &mut net,
+            &grid,
+            0,
+            4,
+            &params,
+            SelectionFeatures::default(),
+            &mut rng,
+        );
+        assert!(!out.heads.is_empty(), "top-up must still reach k");
     }
 
     #[test]

@@ -41,6 +41,36 @@ pub fn coverage_radius(m: f64, k: usize) -> f64 {
     (3.0 / (4.0 * std::f64::consts::PI * k as f64)).cbrt() * m
 }
 
+/// Theorem-1-derived Send-Data candidate budget: how many nearest heads a
+/// member must consider so the true Q-routing argmax is almost surely
+/// among them.
+///
+/// Under Eq. 5 the `k` coverage balls of radius `d_c` tile the cube, so a
+/// ball of radius `2·d_c` around any member holds `(2d_c/d_c)³ = 8`
+/// expected heads — independent of `M` and `k` (the deployment side
+/// cancels out of the ratio). Heads are close to a Poisson scatter, so we
+/// pad the mean `λ = 8` with a `√(2λ·ln k)` tail margin: the probability
+/// that more than `8 + √(16·ln k)` heads fall inside the ball is `o(1/k)`
+/// by the Poisson Chernoff bound, i.e. the budget covers the `2·d_c` ball
+/// even in the unluckiest of the `k` clusters. For `k ≤ 8` the budget is
+/// `k` (a full scan), which is what locks bit-identical behavior against
+/// the no-pruning path at small head counts.
+///
+/// ```
+/// use qlec_core::kopt::auto_candidate_budget;
+/// assert_eq!(auto_candidate_budget(5), 5);   // k ≤ 8: full scan
+/// assert_eq!(auto_candidate_budget(50), 16);
+/// assert_eq!(auto_candidate_budget(5000), 20);
+/// ```
+pub fn auto_candidate_budget(k: usize) -> usize {
+    const LAMBDA: f64 = 8.0; // expected heads within 2·d_c (Eq. 5 tiling)
+    if k <= LAMBDA as usize {
+        return k;
+    }
+    let margin = (2.0 * LAMBDA * (k as f64).ln()).sqrt();
+    ((LAMBDA + margin).ceil() as usize).min(k)
+}
+
 /// Theorem 1: the real-valued optimal cluster number.
 ///
 /// ```
@@ -191,5 +221,29 @@ mod tests {
     #[should_panic]
     fn zero_k_coverage_rejected() {
         coverage_radius(200.0, 0);
+    }
+
+    #[test]
+    fn candidate_budget_full_scan_at_small_k() {
+        assert_eq!(auto_candidate_budget(0), 0);
+        for k in 1..=8 {
+            assert_eq!(auto_candidate_budget(k), k, "k ≤ 8 must scan all heads");
+        }
+    }
+
+    #[test]
+    fn candidate_budget_grows_slowly_and_never_exceeds_k() {
+        let mut prev = 0;
+        for &k in &[9usize, 16, 50, 272, 1000, 5000, 100_000] {
+            let c = auto_candidate_budget(k);
+            assert!(c >= prev, "budget must be monotone in k");
+            assert!(c <= k);
+            assert!(c >= 9, "above the full-scan regime the budget exceeds λ");
+            assert!(c <= 32, "O(√log k) growth stays small, got {c} at k={k}");
+            prev = c;
+        }
+        // The values the docs promise.
+        assert_eq!(auto_candidate_budget(50), 16);
+        assert_eq!(auto_candidate_budget(5000), 20);
     }
 }

@@ -13,13 +13,20 @@ use serde::{Deserialize, Serialize};
 /// query); otherwise the full paper-exact scan runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CandidatePolicy {
-    /// Derive the budget from the cluster count:
-    /// [`auto_candidate_heads`]`(k) = min(k, 8)`. For `k ≤ 8` this is
-    /// the full scan (selection tops heads up to at most `k`, so the
-    /// budget is never binding); past that it pins per-packet work to a
-    /// constant. The default.
+    /// Derive the budget from Theorem 1:
+    /// [`crate::kopt::auto_candidate_budget`] counts the heads expected
+    /// within twice the Eq. 5 coverage radius `d_c` (eight, by the
+    /// volume-tiling argument — independent of the deployment side) plus
+    /// a Poisson tail margin that grows as `√ln k`. For `k ≤ 8` the
+    /// budget is `k`, i.e. the full scan — bit-identical to the paper
+    /// path. The default.
     #[default]
     Auto,
+    /// The pre-Theorem-1 heuristic budget,
+    /// [`auto_candidate_heads`]`(k) = min(k, 8)`. Kept under the CLI
+    /// spelling `legacy-auto` so existing experiment configurations
+    /// reproduce byte-for-byte.
+    LegacyAuto,
     /// Always scan every head — byte-for-byte the paper's behaviour at
     /// any scale.
     Full,
@@ -28,16 +35,16 @@ pub enum CandidatePolicy {
     Fixed(usize),
 }
 
-/// The [`CandidatePolicy::Auto`] budget for a cluster count `k`.
+/// The [`CandidatePolicy::LegacyAuto`] budget for a cluster count `k`.
 ///
 /// `min(k, 8)`: within a cluster-head coverage radius `d_c` (Eq. 5 ties
 /// it to the deployment side and `k`), the Q comparison is dominated by
 /// the nearest few heads — the transmission-cost term `y(·,·)` of
 /// Eq. 18 grows with `d²`/`d⁴`, so far heads lose the argmax except
-/// under extreme energy skew. Eight nearest heads cover every head
-/// whose cost term is within the reward scale of the winner for the
-/// paper's densities, while capping per-packet work as `k_opt` grows
-/// with the deployment.
+/// under extreme energy skew. The flat cap ignores how densely heads
+/// pack as `k` grows, which is why [`CandidatePolicy::Auto`] now derives
+/// the budget from Theorem 1 instead; this heuristic survives for
+/// reproducibility of older runs.
 pub fn auto_candidate_heads(k: usize) -> usize {
     k.min(8)
 }
@@ -47,23 +54,81 @@ impl CandidatePolicy {
     /// `k` clusters; `None` means scan every head.
     pub fn budget(&self, k: usize) -> Option<usize> {
         match self {
-            CandidatePolicy::Auto => Some(auto_candidate_heads(k)),
+            CandidatePolicy::Auto => Some(crate::kopt::auto_candidate_budget(k)),
+            CandidatePolicy::LegacyAuto => Some(auto_candidate_heads(k)),
             CandidatePolicy::Full => None,
             CandidatePolicy::Fixed(c) => Some(*c),
         }
     }
 
-    /// Parse the CLI spelling: `auto`, `full`, or a positive integer.
+    /// Parse the CLI spelling: `auto`, `legacy-auto`, `full`, or a
+    /// positive integer.
     pub fn parse(text: &str) -> Result<CandidatePolicy, String> {
         match text {
             "auto" => Ok(CandidatePolicy::Auto),
+            "legacy-auto" => Ok(CandidatePolicy::LegacyAuto),
             "full" => Ok(CandidatePolicy::Full),
             _ => match text.parse::<usize>() {
                 Ok(c) if c > 0 => Ok(CandidatePolicy::Fixed(c)),
                 _ => Err(format!(
-                    "expected auto, full or a positive integer, got `{text}`"
+                    "expected auto, legacy-auto, full or a positive integer, got `{text}`"
                 )),
             },
+        }
+    }
+}
+
+/// How the protocol maintains its per-round spatial indexes (the node
+/// grid backing Algorithm 3 and the Send-Data candidate kd-index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeadIndexMode {
+    /// Rebuild both structures from scratch every round — `O(N + k log k)`
+    /// of index work per round regardless of how little changed. The
+    /// baseline the scale bench compares against.
+    Rebuild,
+    /// Maintain them incrementally: the grid absorbs the round's death
+    /// diff, the head kd-index syncs against the new roster, and both
+    /// fall back to a full rebuild past their churn thresholds. Produces
+    /// byte-identical event streams and reports (queries are ordered by
+    /// `(distance, id)`, independent of tree shape). The default.
+    #[default]
+    Incremental,
+}
+
+impl HeadIndexMode {
+    /// Parse the CLI spelling: `rebuild` or `incremental`.
+    pub fn parse(text: &str) -> Result<HeadIndexMode, String> {
+        match text {
+            "rebuild" => Ok(HeadIndexMode::Rebuild),
+            "incremental" => Ok(HeadIndexMode::Incremental),
+            _ => Err(format!("expected rebuild or incremental, got `{text}`")),
+        }
+    }
+
+    /// Stable lowercase label (used in bench artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HeadIndexMode::Rebuild => "rebuild",
+            HeadIndexMode::Incremental => "incremental",
+        }
+    }
+}
+
+impl Serialize for HeadIndexMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for HeadIndexMode {
+    /// Accepts the [`label`](HeadIndexMode::label) spellings; `Null`
+    /// (i.e. the field absent from a pre-existing serialized config)
+    /// deserializes to the default, [`HeadIndexMode::Incremental`].
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(HeadIndexMode::default()),
+            serde::Value::Str(s) => HeadIndexMode::parse(s).map_err(serde::Error::custom),
+            other => Err(serde::Error::expected("head index mode string", other)),
         }
     }
 }
@@ -123,11 +188,16 @@ pub struct QlecParams {
     pub k_override: Option<usize>,
     /// `Send-Data` candidate pruning policy (see [`CandidatePolicy`]).
     /// The default [`CandidatePolicy::Auto`] derives the per-round budget
-    /// from the cluster count (`min(k, 8)`), which keeps runs with
-    /// `k ≤ 8` byte-identical to the paper-exact full scan while making
-    /// 10k-node deployments practical; [`CandidatePolicy::Full`] forces
-    /// the full scan at any scale.
+    /// from Theorem 1 (full scan for `k ≤ 8`, `8 + O(√ln k)` beyond),
+    /// which keeps runs with `k ≤ 8` byte-identical to the paper-exact
+    /// full scan while making 100k-node deployments practical;
+    /// [`CandidatePolicy::Full`] forces the full scan at any scale.
     pub candidates: CandidatePolicy,
+    /// Spatial-index maintenance strategy (see [`HeadIndexMode`]). Both
+    /// modes produce identical results; `Rebuild` exists as the
+    /// benchmark baseline. Deserialization of pre-existing configs
+    /// (field absent) defaults to [`HeadIndexMode::Incremental`].
+    pub head_index: HeadIndexMode,
 }
 
 impl QlecParams {
@@ -149,6 +219,7 @@ impl QlecParams {
             charge_control_traffic: true,
             k_override: None,
             candidates: CandidatePolicy::Auto,
+            head_index: HeadIndexMode::Incremental,
         }
     }
 
@@ -239,12 +310,20 @@ mod tests {
 
     #[test]
     fn candidate_policy_resolves_and_parses() {
-        // Auto is inert (budget ≥ any possible head count) up to k = 8,
-        // then pins the budget at 8.
+        // Both auto flavours are inert (budget ≥ any possible head
+        // count) up to k = 8 — the bit-identical lock.
         for k in 1..=8 {
             assert_eq!(CandidatePolicy::Auto.budget(k), Some(k));
+            assert_eq!(CandidatePolicy::LegacyAuto.budget(k), Some(k));
         }
-        assert_eq!(CandidatePolicy::Auto.budget(40), Some(8));
+        // Past that they diverge: legacy pins 8, Theorem 1 adds the
+        // Poisson tail margin.
+        assert_eq!(CandidatePolicy::LegacyAuto.budget(40), Some(8));
+        assert_eq!(
+            CandidatePolicy::Auto.budget(40),
+            Some(crate::kopt::auto_candidate_budget(40))
+        );
+        assert_eq!(CandidatePolicy::Auto.budget(40), Some(16));
         assert_eq!(CandidatePolicy::Full.budget(40), None);
         assert_eq!(CandidatePolicy::Fixed(3).budget(40), Some(3));
         assert_eq!(QlecParams::paper().candidates, CandidatePolicy::Auto);
@@ -254,6 +333,10 @@ mod tests {
             CandidatePolicy::Auto
         );
         assert_eq!(
+            CandidatePolicy::parse("legacy-auto").unwrap(),
+            CandidatePolicy::LegacyAuto
+        );
+        assert_eq!(
             CandidatePolicy::parse("full").unwrap(),
             CandidatePolicy::Full
         );
@@ -261,11 +344,42 @@ mod tests {
             CandidatePolicy::parse("12").unwrap(),
             CandidatePolicy::Fixed(12)
         );
-        for bad in ["", "0", "-3", "Auto", "8.5"] {
+        for bad in ["", "0", "-3", "Auto", "8.5", "legacyauto"] {
             assert!(
                 CandidatePolicy::parse(bad).is_err(),
                 "`{bad}` should not parse"
             );
+        }
+    }
+
+    #[test]
+    fn head_index_mode_parses_and_defaults() {
+        assert_eq!(
+            HeadIndexMode::parse("rebuild").unwrap(),
+            HeadIndexMode::Rebuild
+        );
+        assert_eq!(
+            HeadIndexMode::parse("incremental").unwrap(),
+            HeadIndexMode::Incremental
+        );
+        assert!(HeadIndexMode::parse("Rebuild").is_err());
+        assert!(HeadIndexMode::parse("").is_err());
+        assert_eq!(HeadIndexMode::default(), HeadIndexMode::Incremental);
+        assert_eq!(HeadIndexMode::Rebuild.label(), "rebuild");
+        assert_eq!(QlecParams::paper().head_index, HeadIndexMode::Incremental);
+        // Pre-existing serialized configs (no head_index field) still load.
+        let mut v = serde_json::to_value(&QlecParams::paper()).unwrap();
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "head_index");
+        } else {
+            panic!("params must serialize to an object");
+        }
+        let p: QlecParams = serde_json::from_value(v).unwrap();
+        assert_eq!(p.head_index, HeadIndexMode::Incremental);
+        // And the explicit spellings round-trip.
+        for mode in [HeadIndexMode::Rebuild, HeadIndexMode::Incremental] {
+            let v = serde_json::to_value(&mode).unwrap();
+            assert_eq!(serde_json::from_value::<HeadIndexMode>(v).unwrap(), mode);
         }
     }
 

@@ -13,9 +13,9 @@
 
 use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOutcome};
 use crate::kopt;
-use crate::params::{CandidatePolicy, QlecParams};
+use crate::params::{CandidatePolicy, HeadIndexMode, QlecParams};
 use crate::qrouting::QRouter;
-use qlec_geom::{KdTree, UniformGrid};
+use qlec_geom::{IncrementalKdIndex, UniformGrid, Vec3};
 use qlec_net::protocol::{nearest_head, PlanScratch, RoutePlanner};
 use qlec_net::{Network, NodeId, Protocol, Target};
 use qlec_obs::{Event, ObserverSet, Phase};
@@ -55,17 +55,25 @@ pub struct QlecProtocol {
     /// Wall time spent in `Send-Data` this round (accumulated across
     /// `choose_target` calls, flushed as one span at the round end).
     qrouting_ns: u64,
-    /// Per-round k-d tree over the head positions, built only when
-    /// `params.candidates` resolves to a budget smaller than the head set
-    /// (`None` otherwise — the paper-exact full scan).
-    head_tree: Option<KdTree>,
-    /// The resolved per-packet candidate budget for the round whose
-    /// `head_tree` is live (meaningless while `head_tree` is `None`).
+    /// Incremental k-nearest index over head positions, maintained per
+    /// round by rebuild or roster sync according to
+    /// [`QlecParams::head_index`]. Only queried while
+    /// `candidates_active`.
+    head_index: IncrementalKdIndex,
+    /// Whether this round's candidate budget is binding — i.e.
+    /// `params.candidates` resolved to a budget smaller than the head
+    /// set and `head_index` was brought in line with the roster.
+    candidates_active: bool,
+    /// The resolved per-packet candidate budget for the current round
+    /// (meaningless while `candidates_active` is false).
     candidate_budget: usize,
-    /// Tree index → head id for `head_tree` queries.
-    head_order: Vec<NodeId>,
-    /// Reused scratch for the per-packet k-nearest query.
+    /// Which node ids the incremental grid still carries; the per-round
+    /// death diff removes the newly dead (incremental mode only).
+    alive_mask: Vec<bool>,
+    /// Reused scratch for the per-packet k-nearest query (tree window).
     knn_buf: Vec<(u32, f64)>,
+    /// Reused scratch receiving the `(id, dist²)` candidate ranking.
+    knn_out: Vec<(u32, f64)>,
     /// Reused scratch holding the pruned candidate head set.
     candidate_buf: Vec<NodeId>,
     /// Resolved engine thread count (see [`Protocol::configure_threads`]);
@@ -136,10 +144,19 @@ impl QlecBuilder {
     }
 
     /// Set the `Send-Data` candidate-pruning policy. The default
-    /// [`CandidatePolicy::Auto`] derives a per-round budget of
-    /// `min(k, 8)` nearest alive heads; see [`QlecParams::candidates`].
+    /// [`CandidatePolicy::Auto`] derives the per-round budget from
+    /// Theorem 1 (full scan for `k ≤ 8`); see [`QlecParams::candidates`].
     pub fn candidates(mut self, policy: CandidatePolicy) -> Self {
         self.params.candidates = policy;
+        self
+    }
+
+    /// Set the spatial-index maintenance strategy. The default
+    /// [`HeadIndexMode::Incremental`] absorbs per-round diffs;
+    /// [`HeadIndexMode::Rebuild`] rebuilds from scratch every round (the
+    /// benchmark baseline). Results are identical either way.
+    pub fn head_index(mut self, mode: HeadIndexMode) -> Self {
+        self.params.head_index = mode;
         self
     }
 
@@ -210,10 +227,12 @@ impl QlecBuilder {
             obs: self.obs,
             current_round: 0,
             qrouting_ns: 0,
-            head_tree: None,
+            head_index: IncrementalKdIndex::new(),
+            candidates_active: false,
             candidate_budget: 0,
-            head_order: Vec::new(),
+            alive_mask: Vec::new(),
             knn_buf: Vec::new(),
+            knn_out: Vec::new(),
             candidate_buf: Vec::new(),
             threads: 1,
         }
@@ -277,11 +296,37 @@ impl QlecProtocol {
             );
             self.k = Some(k);
         }
-        if self.grid.is_none() {
-            self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
-        }
         if self.router.is_none() {
             self.router = Some(QRouter::new(net, self.params));
+        }
+    }
+
+    /// Bring the Algorithm 3 node grid in line with the network at the
+    /// top of a round. `Rebuild` pays `O(N)` every round (over every
+    /// deployment position, dead or not — matching the grid a fresh
+    /// build would produce); `Incremental` builds once and then only
+    /// removes the nodes that died since the last round. Queries behave
+    /// identically either way: every grid consumer filters dead nodes
+    /// out-of-band (`is_elected` / `is_alive`), so whether a dead node's
+    /// entry is still present is unobservable.
+    fn maintain_grid(&mut self, net: &Network) {
+        match self.params.head_index {
+            HeadIndexMode::Rebuild => {
+                self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
+            }
+            HeadIndexMode::Incremental => {
+                if self.grid.is_none() {
+                    self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
+                    self.alive_mask = vec![true; net.len()];
+                }
+                let grid = self.grid.as_mut().expect("built above");
+                for (i, tracked) in self.alive_mask.iter_mut().enumerate() {
+                    if *tracked && !net.node(NodeId(i as u32)).is_alive() {
+                        grid.remove(i as u32);
+                        *tracked = false;
+                    }
+                }
+            }
         }
     }
 }
@@ -301,7 +346,14 @@ impl Protocol for QlecProtocol {
         self.current_round = round;
         self.qrouting_ns = 0;
         let k = self.k.expect("initialized above");
-        let grid = self.grid.as_ref().expect("initialized above");
+        // Index maintenance, part 1: the Algorithm 3 node grid. Timed
+        // into the round's IndexMaintenance span (which nests inside the
+        // simulator's Election span — this all happens in
+        // `on_round_start`).
+        let grid_start_ns = self.obs.now_ns();
+        self.maintain_grid(net);
+        let mut index_ns = self.obs.now_ns().saturating_sub(grid_start_ns);
+        let grid = self.grid.as_ref().expect("maintained above");
         let outcome = select_heads_observed(
             net,
             grid,
@@ -314,18 +366,32 @@ impl Protocol for QlecProtocol {
         );
         let heads = outcome.heads.clone();
         self.last_selection = Some(outcome);
-        // Candidate pruning: index this round's heads for the per-packet
-        // c-nearest query. Only worth it (and only *valid* as a pure
-        // speedup) when the head set is larger than the candidate budget.
-        self.head_tree = None;
+        // Index maintenance, part 2: the Send-Data candidate index over
+        // this round's heads, for the per-packet c-nearest query. Only
+        // worth it (and only *valid* as a pure speedup) when the head set
+        // is larger than the candidate budget.
+        self.candidates_active = false;
         if let Some(c) = self.params.candidates.budget(k) {
             if self.q_routing && heads.len() > c {
-                let pts = heads.iter().map(|&h| net.node(h).pos).collect();
-                self.head_tree = Some(KdTree::build(pts));
+                let head_start_ns = self.obs.now_ns();
+                let roster: Vec<(u32, Vec3)> =
+                    heads.iter().map(|&h| (h.0, net.node(h).pos)).collect();
+                match self.params.head_index {
+                    HeadIndexMode::Rebuild => self.head_index.rebuild_from(&roster),
+                    HeadIndexMode::Incremental => self.head_index.sync(&roster),
+                }
                 self.candidate_budget = c;
-                self.head_order.clear();
-                self.head_order.extend_from_slice(&heads);
+                self.candidates_active = true;
+                index_ns += self.obs.now_ns().saturating_sub(head_start_ns);
             }
+        }
+        if self.obs.is_active() {
+            self.obs.emit(Event::PhaseTimed {
+                round,
+                phase: Phase::IndexMaintenance,
+                wall_ns: index_ns,
+                sim_time: self.obs.sim_time(),
+            });
         }
         // Refresh each head's V at promotion: a node's V from its member
         // days values a different action set; the head's state is "hold
@@ -373,13 +439,18 @@ impl Protocol for QlecProtocol {
             // window is padded so a few mid-round head deaths still leave
             // c alive candidates; an all-dead window falls back to the
             // full list (the router skips dead heads itself).
-            let candidates: &[NodeId] = if let Some(tree) = &self.head_tree {
+            let candidates: &[NodeId] = if self.candidates_active {
                 let c = self.candidate_budget;
-                let window = (c + 8).min(self.head_order.len());
-                tree.k_nearest_into(net.node(src).pos, window, &mut self.knn_buf);
+                let window = (c + 8).min(self.head_index.len());
+                self.head_index.k_nearest_into(
+                    net.node(src).pos,
+                    window,
+                    &mut self.knn_buf,
+                    &mut self.knn_out,
+                );
                 self.candidate_buf.clear();
-                for &(ti, _) in &self.knn_buf {
-                    let h = self.head_order[ti as usize];
+                for &(id, _) in &self.knn_out {
+                    let h = NodeId(id);
                     if net.node(h).is_alive() {
                         self.candidate_buf.push(h);
                         if self.candidate_buf.len() == c {
@@ -508,6 +579,7 @@ struct QlecPlanScratch {
     /// Targets that NACKed the packet currently being planned.
     nacked: Vec<Target>,
     knn_buf: Vec<(u32, f64)>,
+    knn_out: Vec<(u32, f64)>,
     candidate_buf: Vec<NodeId>,
     /// Signed `V*(src)` change per planned packet, in packet order.
     deltas: Vec<f64>,
@@ -530,6 +602,7 @@ impl RoutePlanner for QlecProtocol {
             overlay: HashMap::new(),
             nacked: Vec::new(),
             knn_buf: Vec::new(),
+            knn_out: Vec::new(),
             candidate_buf: Vec::new(),
             deltas: Vec::new(),
             updates: 0,
@@ -567,20 +640,23 @@ impl RoutePlanner for QlecProtocol {
             overlay,
             nacked,
             knn_buf,
+            knn_out,
             candidate_buf,
             deltas,
             updates,
             ns,
         } = s;
         // Same pruned-candidate query as `choose_target`, on the
-        // node-private buffers.
-        let candidates: &[NodeId] = if let Some(tree) = &self.head_tree {
+        // node-private buffers (the index itself is only read — `&self`
+        // planning stays free of interior mutation).
+        let candidates: &[NodeId] = if self.candidates_active {
             let c = self.candidate_budget;
-            let window = (c + 8).min(self.head_order.len());
-            tree.k_nearest_into(net.node(src).pos, window, knn_buf);
+            let window = (c + 8).min(self.head_index.len());
+            self.head_index
+                .k_nearest_into(net.node(src).pos, window, knn_buf, knn_out);
             candidate_buf.clear();
-            for &(ti, _) in knn_buf.iter() {
-                let h = self.head_order[ti as usize];
+            for &(id, _) in knn_out.iter() {
+                let h = NodeId(id);
                 if net.node(h).is_alive() {
                     candidate_buf.push(h);
                     if candidate_buf.len() == c {
@@ -866,6 +942,37 @@ mod tests {
         cfg.rounds = 10;
         let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
         assert!(report.totals.is_conserved());
+    }
+
+    #[test]
+    fn rebuild_and_incremental_modes_agree() {
+        // The two index-maintenance strategies are different *engines*
+        // for the same queries: identical RNG streams must give
+        // identical reports, including with a binding candidate budget
+        // (k = 12 > budget 3 forces the head index into use) and enough
+        // rounds for deaths to exercise the grid's incremental removal.
+        use crate::params::HeadIndexMode;
+        let run = |mode: HeadIndexMode| {
+            let net = paper_net(31, AnyLink::Ideal(IdealLink));
+            let mut rng = StdRng::seed_from_u64(32);
+            let mut p = QlecProtocol::builder()
+                .k(12)
+                .candidate_heads(3)
+                .head_index(mode)
+                .build();
+            let mut cfg = SimConfig::paper(5.0);
+            cfg.rounds = 30;
+            Simulator::new(net, cfg).run(&mut p, &mut rng)
+        };
+        let rebuild = run(HeadIndexMode::Rebuild);
+        let incremental = run(HeadIndexMode::Incremental);
+        assert_eq!(rebuild.consumption_rates, incremental.consumption_rates);
+        assert_eq!(rebuild.pdr(), incremental.pdr());
+        assert_eq!(rebuild.mean_head_count(), incremental.mean_head_count());
+        assert_eq!(
+            rebuild.rounds.last().map(|r| r.alive_end),
+            incremental.rounds.last().map(|r| r.alive_end)
+        );
     }
 
     #[test]

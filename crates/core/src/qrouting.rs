@@ -353,7 +353,7 @@ impl QRouter {
     }
 
     /// Commit the outcome of a planning pass that ran
-    /// [`QRouter::send_data_core`] (possibly several times, one per
+    /// `QRouter::send_data_core` (possibly several times, one per
     /// packet) on a local `V*` copy: write the final value back, fold in
     /// the elementary-update count, and replay the per-packet signed
     /// deltas through the convergence tracker in packet order — exactly
@@ -378,7 +378,10 @@ impl QRouter {
     /// through `V*(h_j)` reflects the *marginal* cost its packet adds to
     /// the aggregate, not a full uncompressed retransmission.
     pub fn head_update(&mut self, net: &Network, head: NodeId, aggregate_share: f64) {
-        debug_assert!((0.0..=1.0).contains(&aggregate_share));
+        assert!(
+            (0.0..=1.0).contains(&aggregate_share),
+            "aggregate_share must be in [0,1], got {aggregate_share}"
+        );
         let q = self.head_q(net, head, aggregate_share);
         self.updates.bump();
         self.last_delta = q - self.v[head.index()];
@@ -413,7 +416,10 @@ impl QRouter {
         aggregate_share: f64,
         threads: usize,
     ) -> Vec<f64> {
-        debug_assert!((0.0..=1.0).contains(&aggregate_share));
+        assert!(
+            (0.0..=1.0).contains(&aggregate_share),
+            "aggregate_share must be in [0,1], got {aggregate_share}"
+        );
         let qs: Vec<f64> = if threads > 1 && heads.len() > 1 {
             use rayon::prelude::*;
             let pool = rayon::ThreadPoolBuilder::new()

@@ -1,4 +1,4 @@
-//! Uniform-grid spatial index for fixed point sets.
+//! Uniform-grid spatial index with incremental maintenance.
 //!
 //! Algorithm 3 of the paper (redundancy reduction) requires, for every
 //! freshly elected cluster head, the set of nodes within the cluster
@@ -7,21 +7,48 @@
 //! `O(N·k)` scan per round is affordable but wasteful; the grid makes each
 //! query touch only the cells overlapping the query ball.
 //!
-//! The index is built once per deployment (node positions are static in the
-//! paper's model) and queried many times per round.
+//! The index is built once per deployment and queried many times per round.
+//! At 100k nodes a full rebuild every round costs `O(N)` even when only a
+//! handful of nodes died, so the grid also supports *incremental*
+//! maintenance: [`UniformGrid::insert`], [`UniformGrid::remove`] and
+//! [`UniformGrid::move_point`] update the index in `O(1)` amortised time
+//! per mutation, stamped by a [generation counter](UniformGrid::generation).
+//! Point indices are stable for the lifetime of the grid — removal leaves a
+//! tombstone, it never renumbers — so callers that identify points by index
+//! (the protocol maps grid index to `NodeId` directly) stay correct across
+//! any mutation sequence. Once accumulated churn exceeds
+//! [`rebuild_threshold`](UniformGrid::set_rebuild_threshold) × live points,
+//! the grid re-bins itself in one `O(N)` pass, restoring pristine query
+//! speed; the cell geometry (bounds, dims) is fixed at build time, and
+//! points outside the original bounds clamp to edge cells — exactly how
+//! queries clamp, so correctness is unaffected.
 
 use crate::aabb::Aabb;
 use crate::vec3::Vec3;
+use std::collections::HashMap;
 
-/// A uniform spatial hash over a fixed set of points.
+/// Sentinel for "this point has no CSR home cell" (inserted after build).
+const NO_HOME: u32 = u32::MAX;
+
+/// Default churn fraction that triggers a full re-bin.
+const DEFAULT_REBUILD_THRESHOLD: f64 = 0.25;
+
+/// A uniform spatial hash over a point set, with incremental updates.
 ///
 /// ```
 /// use qlec_geom::{UniformGrid, Vec3};
 /// let points = vec![Vec3::ZERO, Vec3::splat(10.0), Vec3::splat(100.0)];
-/// let grid = UniformGrid::build(points, 4);
+/// let mut grid = UniformGrid::build(points, 4);
 /// let near_origin = grid.within_radius(Vec3::ZERO, 20.0);
 /// assert_eq!(near_origin.len(), 2); // the origin and (10,10,10)
 /// assert_eq!(grid.nearest(Vec3::splat(90.0)), Some(2));
+///
+/// // Incremental maintenance: indices are stable across mutations.
+/// grid.remove(1);
+/// assert_eq!(grid.within_radius(Vec3::ZERO, 20.0), vec![0]);
+/// let idx = grid.insert(Vec3::splat(12.0));
+/// assert_eq!(idx, 3);
+/// assert_eq!(grid.nearest(Vec3::splat(11.0)), Some(3));
 /// ```
 #[derive(Debug, Clone)]
 pub struct UniformGrid {
@@ -35,6 +62,31 @@ pub struct UniformGrid {
     starts: Vec<u32>,
     entries: Vec<u32>,
     points: Vec<Vec3>,
+    /// Liveness per point slot; `remove` tombstones, never renumbers.
+    alive: Vec<bool>,
+    /// The CSR cell each point was binned into at the last (re)build, or
+    /// [`NO_HOME`] for points inserted since.
+    home: Vec<u32>,
+    /// The cell each live point currently belongs to.
+    cur_cell: Vec<u32>,
+    /// Points currently registered outside their CSR home cell
+    /// (inserted or moved since the last re-bin), keyed by current cell.
+    overflow: HashMap<u32, Vec<u32>>,
+    /// Total entries across `overflow` (fast skip when zero).
+    overflow_len: usize,
+    /// CSR entries that no longer reflect their point (dead or moved away).
+    stale: usize,
+    /// Live points.
+    alive_count: usize,
+    /// Mutations since the last re-bin; drives the rebuild threshold.
+    churn: usize,
+    /// Bumped on every successful mutation.
+    generation: u64,
+    /// Full re-bins performed since construction.
+    rebuilds: u64,
+    /// Churn fraction (of live points) above which a mutation triggers a
+    /// full re-bin.
+    rebuild_threshold: f64,
 }
 
 impl UniformGrid {
@@ -77,53 +129,207 @@ impl UniformGrid {
                 1.0
             },
         );
-        let ncells = dims[0] * dims[1] * dims[2];
 
-        // Counting sort of points into cells.
-        let mut counts = vec![0u32; ncells + 1];
-        let cell_of = |p: Vec3| -> usize {
-            let rel = p - bounds.min();
-            let ix = ((rel.x / cell.x) as usize).min(dims[0] - 1);
-            let iy = ((rel.y / cell.y) as usize).min(dims[1] - 1);
-            let iz = ((rel.z / cell.z) as usize).min(dims[2] - 1);
-            (iz * dims[1] + iy) * dims[0] + ix
-        };
-        for &p in &points {
-            counts[cell_of(p) + 1] += 1;
-        }
-        for i in 1..=ncells {
-            counts[i] += counts[i - 1];
-        }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut entries = vec![0u32; points.len()];
-        for (i, &p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            entries[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-
-        UniformGrid {
+        let n = points.len();
+        let mut grid = UniformGrid {
             bounds,
             dims,
             cell,
-            starts,
-            entries,
+            starts: Vec::new(),
+            entries: Vec::new(),
             points,
+            alive: vec![true; n],
+            home: vec![NO_HOME; n],
+            cur_cell: vec![0; n],
+            overflow: HashMap::new(),
+            overflow_len: 0,
+            stale: 0,
+            alive_count: n,
+            churn: 0,
+            generation: 0,
+            rebuilds: 0,
+            rebuild_threshold: DEFAULT_REBUILD_THRESHOLD,
+        };
+        for i in 0..n {
+            grid.cur_cell[i] = grid.cell_of(grid.points[i]);
+        }
+        grid.rebin();
+        grid.rebuilds = 0; // the initial binning is not a "rebuild"
+        grid
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Vec3) -> u32 {
+        let rel = p - self.bounds.min();
+        let ix = ((rel.x / self.cell.x) as usize).min(self.dims[0] - 1);
+        let iy = ((rel.y / self.cell.y) as usize).min(self.dims[1] - 1);
+        let iz = ((rel.z / self.cell.z) as usize).min(self.dims[2] - 1);
+        ((iz * self.dims[1] + iy) * self.dims[0] + ix) as u32
+    }
+
+    /// Whether `idx` is currently registered in an overflow list rather
+    /// than (validly) in the CSR layout. Only meaningful for live points.
+    #[inline]
+    fn in_overflow(&self, idx: usize) -> bool {
+        self.home[idx] == NO_HOME || self.cur_cell[idx] != self.home[idx]
+    }
+
+    fn overflow_remove(&mut self, cell: u32, idx: u32) {
+        let v = self
+            .overflow
+            .get_mut(&cell)
+            .expect("overflow list must exist for a registered point");
+        let pos = v
+            .iter()
+            .position(|&e| e == idx)
+            .expect("point must be present in its overflow cell");
+        v.swap_remove(pos);
+        if v.is_empty() {
+            self.overflow.remove(&cell);
+        }
+        self.overflow_len -= 1;
+    }
+
+    /// Counting-sort re-bin of all live points at their current positions.
+    /// Cell geometry (bounds, dims) is unchanged; dead slots are dropped
+    /// from the CSR layout, so queries after a re-bin pay no filtering
+    /// cost. Indices are unaffected.
+    fn rebin(&mut self) {
+        let ncells = self.dims[0] * self.dims[1] * self.dims[2];
+        let mut counts = vec![0u32; ncells + 1];
+        for i in 0..self.points.len() {
+            if self.alive[i] {
+                counts[self.cur_cell[i] as usize + 1] += 1;
+            }
+        }
+        for c in 1..=ncells {
+            counts[c] += counts[c - 1];
+        }
+        self.starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; self.alive_count];
+        for i in 0..self.points.len() {
+            if self.alive[i] {
+                let c = self.cur_cell[i] as usize;
+                entries[cursor[c] as usize] = i as u32;
+                cursor[c] += 1;
+                self.home[i] = self.cur_cell[i];
+            }
+        }
+        self.entries = entries;
+        self.overflow.clear();
+        self.overflow_len = 0;
+        self.stale = 0;
+        self.churn = 0;
+        self.rebuilds += 1;
+    }
+
+    #[inline]
+    fn note_churn(&mut self) {
+        self.churn += 1;
+        self.generation += 1;
+        let budget = (self.rebuild_threshold * self.alive_count.max(1) as f64).ceil() as usize;
+        if self.churn > budget {
+            self.rebin();
         }
     }
 
-    /// Number of indexed points.
+    /// Insert a point, returning its (stable) index. Positions outside the
+    /// build-time bounds are legal: they bin into the clamped edge cell,
+    /// which is exactly where queries look for them.
+    pub fn insert(&mut self, p: Vec3) -> u32 {
+        let idx = self.points.len() as u32;
+        self.points.push(p);
+        self.alive.push(true);
+        self.home.push(NO_HOME);
+        let c = self.cell_of(p);
+        self.cur_cell.push(c);
+        self.overflow.entry(c).or_default().push(idx);
+        self.overflow_len += 1;
+        self.alive_count += 1;
+        self.note_churn();
+        idx
+    }
+
+    /// Remove the point at `idx` (tombstone; indices of other points are
+    /// unaffected). Returns `false` if it was already removed.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        let i = idx as usize;
+        if !self.alive[i] {
+            return false;
+        }
+        if self.in_overflow(i) {
+            self.overflow_remove(self.cur_cell[i], idx);
+        } else {
+            self.stale += 1; // its CSR entry now needs filtering
+        }
+        self.alive[i] = false;
+        self.alive_count -= 1;
+        self.note_churn();
+        true
+    }
+
+    /// Move the live point at `idx` to position `p`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds or the point was removed.
+    pub fn move_point(&mut self, idx: u32, p: Vec3) {
+        let i = idx as usize;
+        assert!(self.alive[i], "cannot move a removed point");
+        self.points[i] = p;
+        let new_c = self.cell_of(p);
+        let old_c = self.cur_cell[i];
+        if new_c != old_c {
+            if self.in_overflow(i) {
+                self.overflow_remove(old_c, idx);
+            } else {
+                self.stale += 1; // left its CSR home cell
+            }
+            if new_c == self.home[i] {
+                self.stale -= 1; // back home: its CSR entry is valid again
+            } else {
+                self.overflow.entry(new_c).or_default().push(idx);
+                self.overflow_len += 1;
+            }
+            self.cur_cell[i] = new_c;
+        }
+        self.note_churn();
+    }
+
+    /// Monotone counter bumped by every `insert` / `remove` / `move_point`.
+    /// Callers caching derived state can compare generations instead of
+    /// diffing point sets.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of full re-bins triggered by churn since construction.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Set the churn fraction (of live points) above which a mutation
+    /// triggers a full re-bin. Must be positive; default 0.25.
+    pub fn set_rebuild_threshold(&mut self, t: f64) {
+        assert!(t > 0.0, "rebuild threshold must be positive");
+        self.rebuild_threshold = t;
+    }
+
+    /// Number of live (non-removed) points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.alive_count
     }
 
-    /// Whether the index is empty.
+    /// Whether the index holds no live points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.alive_count == 0
     }
 
-    /// The indexed points, in the order indices refer to.
+    /// The point slots, in the order indices refer to. Includes removed
+    /// slots (their last position); check liveness out-of-band if needed.
     pub fn points(&self) -> &[Vec3] {
         &self.points
     }
@@ -137,13 +343,13 @@ impl UniformGrid {
         (a.min(self.dims[axis] - 1), b.min(self.dims[axis] - 1))
     }
 
-    /// Indices of all points within `radius` of `center` (inclusive),
+    /// Indices of all live points within `radius` of `center` (inclusive),
     /// appended to `out` in unspecified order. `out` is cleared first.
     ///
     /// This is the HELLO-broadcast primitive of Algorithm 3.
     pub fn within_radius_into(&self, center: Vec3, radius: f64, out: &mut Vec<u32>) {
         out.clear();
-        if self.points.is_empty() || radius < 0.0 {
+        if self.alive_count == 0 || radius < 0.0 {
             return;
         }
         let r_sq = radius * radius;
@@ -156,9 +362,31 @@ impl UniformGrid {
                     let c = (iz * self.dims[1] + iy) * self.dims[0] + ix;
                     let s = self.starts[c] as usize;
                     let e = self.starts[c + 1] as usize;
-                    for &idx in &self.entries[s..e] {
-                        if self.points[idx as usize].dist_sq(center) <= r_sq {
-                            out.push(idx);
+                    if self.stale == 0 {
+                        // Fast path: every CSR entry is live and at home.
+                        for &idx in &self.entries[s..e] {
+                            if self.points[idx as usize].dist_sq(center) <= r_sq {
+                                out.push(idx);
+                            }
+                        }
+                    } else {
+                        for &idx in &self.entries[s..e] {
+                            let i = idx as usize;
+                            if self.alive[i]
+                                && self.cur_cell[i] as usize == c
+                                && self.points[i].dist_sq(center) <= r_sq
+                            {
+                                out.push(idx);
+                            }
+                        }
+                    }
+                    if self.overflow_len > 0 {
+                        if let Some(v) = self.overflow.get(&(c as u32)) {
+                            for &idx in v {
+                                if self.points[idx as usize].dist_sq(center) <= r_sq {
+                                    out.push(idx);
+                                }
+                            }
                         }
                     }
                 }
@@ -173,12 +401,12 @@ impl UniformGrid {
         out
     }
 
-    /// Index of the point nearest to `q`, or `None` if empty.
+    /// Index of the live point nearest to `q`, or `None` if empty.
     ///
     /// Expanding-ring search over grid shells; falls back to a full scan
     /// once the ring covers the whole grid (worst case, still correct).
     pub fn nearest(&self, q: Vec3) -> Option<u32> {
-        if self.points.is_empty() {
+        if self.alive_count == 0 {
             return None;
         }
         // Simple and robust: expanding radius doubling from one cell size.
@@ -201,11 +429,13 @@ impl UniformGrid {
             }
             if radius > max_radius {
                 // Exhaustive fallback (ring already covered everything).
-                return (0..self.points.len() as u32).min_by(|&a, &b| {
-                    self.points[a as usize]
-                        .dist_sq(q)
-                        .total_cmp(&self.points[b as usize].dist_sq(q))
-                });
+                return (0..self.points.len() as u32)
+                    .filter(|&i| self.alive[i as usize])
+                    .min_by(|&a, &b| {
+                        self.points[a as usize]
+                            .dist_sq(q)
+                            .total_cmp(&self.points[b as usize].dist_sq(q))
+                    });
             }
             radius *= 2.0;
         }
@@ -217,13 +447,13 @@ mod tests {
     use super::*;
     use crate::sample::uniform_points_in_aabb;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
-    fn brute_within(points: &[Vec3], c: Vec3, r: f64) -> Vec<u32> {
+    fn brute_within(points: &[Vec3], alive: impl Fn(usize) -> bool, c: Vec3, r: f64) -> Vec<u32> {
         let mut v: Vec<u32> = points
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.dist_sq(c) <= r * r)
+            .filter(|(i, p)| alive(*i) && p.dist_sq(c) <= r * r)
             .map(|(i, _)| i as u32)
             .collect();
         v.sort_unstable();
@@ -258,7 +488,7 @@ mod tests {
                 got.sort_unstable();
                 assert_eq!(
                     got,
-                    brute_within(&pts, center, r),
+                    brute_within(&pts, |_| true, center, r),
                     "center {center:?} r {r}"
                 );
             }
@@ -300,7 +530,7 @@ mod tests {
             .collect();
         let g = UniformGrid::build(pts.clone(), 4);
         let got = g.within_radius(Vec3::new(50.0, 5.0, 0.0), 10.0);
-        let want = brute_within(&pts, Vec3::new(50.0, 5.0, 0.0), 10.0);
+        let want = brute_within(&pts, |_| true, Vec3::new(50.0, 5.0, 0.0), 10.0);
         let mut got = got;
         got.sort_unstable();
         assert_eq!(got, want);
@@ -311,5 +541,112 @@ mod tests {
         let pts = vec![Vec3::ONE; 10];
         let g = UniformGrid::build(pts, 2);
         assert_eq!(g.within_radius(Vec3::ONE, 0.5).len(), 10);
+    }
+
+    #[test]
+    fn remove_tombstones_and_keeps_indices_stable() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let b = Aabb::cube(150.0);
+        let pts = uniform_points_in_aabb(&mut rng, &b, 400);
+        let mut g = UniformGrid::build(pts.clone(), 8);
+        // Keep churn below the threshold so no re-bin hides filtering bugs.
+        g.set_rebuild_threshold(0.9);
+        let mut dead = vec![false; pts.len()];
+        for i in (0..pts.len()).step_by(3) {
+            assert!(g.remove(i as u32));
+            assert!(!g.remove(i as u32), "double remove must report false");
+            dead[i] = true;
+        }
+        assert_eq!(g.len(), pts.len() - dead.iter().filter(|&&d| d).count());
+        for center in uniform_points_in_aabb(&mut rng, &b, 30) {
+            for &r in &[10.0, 40.0, 200.0] {
+                let mut got = g.within_radius(center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, |i| !dead[i], center, r));
+            }
+            if let Some(n) = g.nearest(center) {
+                assert!(!dead[n as usize], "nearest must skip removed points");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_and_move_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let b = Aabb::cube(120.0);
+        let base = uniform_points_in_aabb(&mut rng, &b, 300);
+        let mut g = UniformGrid::build(base.clone(), 8);
+        g.set_rebuild_threshold(0.9);
+        let mut pts = base;
+        // Insert some points, including out-of-bounds positions.
+        for p in uniform_points_in_aabb(&mut rng, &Aabb::cube(200.0), 40) {
+            let idx = g.insert(p);
+            assert_eq!(idx as usize, pts.len());
+            pts.push(p);
+        }
+        // Move a slice of points around, some back and forth.
+        for i in (0..pts.len()).step_by(7) {
+            let p = Vec3::new(
+                rng.gen_range(-20.0..160.0),
+                rng.gen_range(-20.0..160.0),
+                rng.gen_range(-20.0..160.0),
+            );
+            g.move_point(i as u32, p);
+            pts[i] = p;
+        }
+        for i in (0..pts.len()).step_by(14) {
+            // Move back to the original-ish cell region.
+            let p = Vec3::splat((i % 100) as f64);
+            g.move_point(i as u32, p);
+            pts[i] = p;
+        }
+        for center in uniform_points_in_aabb(&mut rng, &b, 25) {
+            for &r in &[15.0, 60.0, 400.0] {
+                let mut got = g.within_radius(center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, |_| true, center, r));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_triggers_rebuild_and_queries_survive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let b = Aabb::cube(100.0);
+        let base = uniform_points_in_aabb(&mut rng, &b, 200);
+        let mut g = UniformGrid::build(base.clone(), 8);
+        g.set_rebuild_threshold(0.1);
+        assert_eq!(g.rebuilds(), 0);
+        let gen0 = g.generation();
+        let mut pts = base;
+        let mut dead = vec![false; pts.len()];
+        for i in 0..100 {
+            if i % 2 == 0 {
+                g.remove(i as u32);
+                dead[i] = true;
+            } else {
+                let p = uniform_points_in_aabb(&mut rng, &b, 1)[0];
+                g.move_point(i as u32, p);
+                pts[i] = p;
+            }
+        }
+        assert!(g.rebuilds() > 0, "10% threshold must have re-binned");
+        assert_eq!(g.generation(), gen0 + 100);
+        for center in uniform_points_in_aabb(&mut rng, &b, 20) {
+            let mut got = g.within_radius(center, 30.0);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, |i| !dead[i], center, 30.0));
+        }
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut g = UniformGrid::build(vec![Vec3::ZERO, Vec3::ONE], 4);
+        assert_eq!(g.generation(), 0);
+        let i = g.insert(Vec3::splat(2.0));
+        g.move_point(i, Vec3::splat(3.0));
+        g.remove(i);
+        g.remove(i); // no-op: already removed
+        assert_eq!(g.generation(), 3);
     }
 }

@@ -30,6 +30,13 @@ pub struct KdTree {
     root: i32,
 }
 
+impl Default for KdTree {
+    /// An empty tree (same as `KdTree::build(Vec::new())`).
+    fn default() -> Self {
+        KdTree::build(Vec::new())
+    }
+}
+
 impl KdTree {
     /// Build a balanced tree over `points` (median splitting on the widest
     /// axis of each partition).

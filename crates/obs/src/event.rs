@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 /// Version tag written as the first line of every serialized event
 /// stream. v2 added [`Event::FaultInjected`] and [`Event::PacketRetried`];
 /// v3 added [`Event::RoundSummary`] (written by aggregate-mode sinks in
-/// place of the per-packet events).
+/// place of the per-packet events) and, later, the
+/// [`Phase::IndexMaintenance`] span (a new enum value inside an existing
+/// field — readers of v3 streams tolerate it, so no bump).
 pub const SCHEMA: &str = "qlec-obs/v3";
 
 /// The simulator phases that get timing spans.
@@ -32,6 +34,10 @@ pub enum Phase {
     Transmission,
     /// Data fusion and aggregate forwarding to the BS.
     Aggregation,
+    /// Spatial-index maintenance: the per-round grid upkeep and head
+    /// kd-index rebuild/sync (emitted by `qlec-core`; nested inside the
+    /// Election span, since it runs during `on_round_start`).
+    IndexMaintenance,
 }
 
 impl Phase {
@@ -43,16 +49,18 @@ impl Phase {
             Phase::QRouting => "qrouting",
             Phase::Transmission => "transmission",
             Phase::Aggregation => "aggregation",
+            Phase::IndexMaintenance => "index",
         }
     }
 
     /// All phases, for exhaustive reporting.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Election,
         Phase::Broadcast,
         Phase::QRouting,
         Phase::Transmission,
         Phase::Aggregation,
+        Phase::IndexMaintenance,
     ];
 }
 

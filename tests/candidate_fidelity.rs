@@ -1,0 +1,74 @@
+//! Fidelity of the Theorem-1 `Send-Data` candidate budget.
+//!
+//! `CandidatePolicy::Auto` restricts each member's Q-routing argmax to
+//! the `ceil(8 + √(16·ln k))` nearest alive heads (16 of 50 at
+//! N = 1000). The bound says the true argmax falls outside that set
+//! with probability `o(1/k)`, so over a long congested run the pruned
+//! policy must track the paper-exact full scan closely: this test pins
+//! the delivery-rate gap, and `EXPERIMENTS.md` records the measured
+//! release-mode numbers behind the tolerance.
+
+use qlec::core::params::{CandidatePolicy, QlecParams};
+use qlec::core::QlecProtocol;
+use qlec::net::{NetworkBuilder, SimConfig, SimReport, Simulator};
+use qlec::radio::link::{AnyLink, DistanceLossLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 1000;
+const K: usize = 50;
+const ROUNDS: u32 = 50;
+const LAMBDA: f64 = 10.0;
+
+/// Measured across seeds {7, 42, 99} in release mode the absolute PDR
+/// gap stays below 0.11% at λ = 10 and below 0.7% at the fully
+/// saturated λ = 5 (and its sign varies — pruning is not a
+/// one-directional loss). 2% leaves seed-to-seed headroom without
+/// letting a real fidelity break through.
+const PDR_TOLERANCE: f64 = 0.02;
+
+fn run_policy(candidates: CandidatePolicy) -> SimReport {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = NetworkBuilder::new()
+        .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)))
+        .uniform_cube(&mut rng, N, 200.0, 5.0);
+    let mut cfg = SimConfig::paper(LAMBDA);
+    cfg.rounds = ROUNDS;
+    cfg.threads = 2;
+    let mut protocol = QlecProtocol::builder()
+        .params(QlecParams {
+            total_rounds: ROUNDS,
+            candidates,
+            ..QlecParams::paper_with_k(K)
+        })
+        .build();
+    Simulator::new(net, cfg).run(&mut protocol, &mut rng)
+}
+
+#[test]
+fn theorem1_budget_tracks_the_full_scan() {
+    let full = run_policy(CandidatePolicy::Full);
+    let auto = run_policy(CandidatePolicy::Auto);
+    // Both runs must exercise real congested traffic to make the
+    // comparison meaningful.
+    assert!(full.totals.generated > 100_000, "{}", full.totals.generated);
+    assert!((0.5..1.0).contains(&full.pdr()), "full PDR {}", full.pdr());
+    let gap = (full.pdr() - auto.pdr()).abs();
+    assert!(
+        gap <= PDR_TOLERANCE,
+        "pruned PDR {} vs full-scan PDR {}: gap {gap} exceeds {PDR_TOLERANCE}",
+        auto.pdr(),
+        full.pdr()
+    );
+    // Head selection is upstream of Send-Data pruning, so the head
+    // trajectory must be untouched by the policy.
+    assert_eq!(full.mean_head_count(), auto.mean_head_count());
+    // Pruning must not silently change the death trajectory either.
+    let alive = |r: &SimReport| r.rounds.last().map_or(N, |x| x.alive_end);
+    assert!(
+        (alive(&full) as i64 - alive(&auto) as i64).abs() <= N as i64 / 100,
+        "alive at end: full {} vs auto {}",
+        alive(&full),
+        alive(&auto)
+    );
+}

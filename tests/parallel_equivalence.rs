@@ -8,6 +8,7 @@
 //! paper scale (N = 100) and the pruned large-N configuration
 //! (N = 1000, auto candidate pruning active).
 
+use qlec::core::params::HeadIndexMode;
 use qlec::core::QlecProtocol;
 use qlec::net::trace::TraceRecorder;
 use qlec::net::{NetworkBuilder, SimConfig, Simulator};
@@ -45,6 +46,7 @@ fn run_once(
     rounds: u32,
     lambda: f64,
     threads: usize,
+    head_index: HeadIndexMode,
     fallback: bool,
 ) -> (String, String) {
     let mut rng = StdRng::seed_from_u64(17);
@@ -60,7 +62,10 @@ fn run_once(
     let mut cfg = SimConfig::paper(lambda);
     cfg.rounds = rounds;
     cfg.threads = threads;
-    let builder = QlecProtocol::builder().k(k).observer(obs.clone());
+    let builder = QlecProtocol::builder()
+        .k(k)
+        .head_index(head_index)
+        .observer(obs.clone());
     let report = if fallback {
         let mut p = TraceRecorder::new(builder.build());
         Simulator::new(net, cfg)
@@ -82,7 +87,8 @@ fn run_once(
 /// and sanity-check that the baseline stream actually exercised the
 /// transmission phase (an empty stream would vacuously pass).
 fn assert_thread_invariant(n: usize, k: usize, rounds: u32, lambda: f64, fallback: bool) {
-    let (base_stream, base_report) = run_once(n, k, rounds, lambda, 1, fallback);
+    let mode = HeadIndexMode::default();
+    let (base_stream, base_report) = run_once(n, k, rounds, lambda, 1, mode, fallback);
     let events = read_events(&base_stream).expect("baseline stream parses");
     let packets = events
         .iter()
@@ -92,7 +98,7 @@ fn assert_thread_invariant(n: usize, k: usize, rounds: u32, lambda: f64, fallbac
     // 8 workers exceeds the container's core count, 0 = auto; both must
     // reproduce the single-thread bytes exactly.
     for threads in [2, 8, 0] {
-        let (stream, report) = run_once(n, k, rounds, lambda, threads, fallback);
+        let (stream, report) = run_once(n, k, rounds, lambda, threads, mode, fallback);
         assert!(
             stream == base_stream,
             "event stream diverged at threads = {threads} (N = {n})"
@@ -100,6 +106,40 @@ fn assert_thread_invariant(n: usize, k: usize, rounds: u32, lambda: f64, fallbac
         assert_eq!(
             report, base_report,
             "report diverged at threads = {threads} (N = {n})"
+        );
+    }
+}
+
+/// Assert that the incremental head indexes reproduce the rebuild-mode
+/// bytes exactly — same event stream, same report — at every thread
+/// count. This is the tentpole's behavioral contract: the index
+/// maintenance strategy is a pure throughput knob, like `threads`.
+fn assert_index_mode_invariant(n: usize, k: usize, rounds: u32, lambda: f64) {
+    for threads in [1, 2] {
+        let (rebuild_stream, rebuild_report) =
+            run_once(n, k, rounds, lambda, threads, HeadIndexMode::Rebuild, false);
+        let events = read_events(&rebuild_stream).expect("rebuild stream parses");
+        let packets = events
+            .iter()
+            .filter(|e| matches!(e, Event::PacketOutcome { .. }))
+            .count();
+        assert!(packets > 100, "baseline must carry real traffic: {packets}");
+        let (inc_stream, inc_report) = run_once(
+            n,
+            k,
+            rounds,
+            lambda,
+            threads,
+            HeadIndexMode::Incremental,
+            false,
+        );
+        assert!(
+            inc_stream == rebuild_stream,
+            "event stream diverged between index modes (N = {n}, threads = {threads})"
+        );
+        assert_eq!(
+            inc_report, rebuild_report,
+            "report diverged between index modes (N = {n}, threads = {threads})"
         );
     }
 }
@@ -124,4 +164,20 @@ fn planner_path_is_thread_invariant_at_n1000() {
 #[test]
 fn fallback_path_is_thread_invariant() {
     assert_thread_invariant(100, 5, 5, 1.0, true);
+}
+
+/// Paper scale: k = 5 keeps candidate pruning inert, so this locks the
+/// grid's tombstone path (dead nodes removed in place vs a fresh build
+/// every round) to byte-identical behavior.
+#[test]
+fn index_modes_agree_at_n100() {
+    assert_index_mode_invariant(100, 5, 8, 1.0);
+}
+
+/// Large-N configuration: k = 50 activates the Theorem-1 candidate
+/// budget, so the incremental kd-index's tombstone + extras query path
+/// must reproduce the fresh-rebuild candidate sets exactly.
+#[test]
+fn index_modes_agree_at_n1000() {
+    assert_index_mode_invariant(1000, 50, 3, 5.0);
 }
