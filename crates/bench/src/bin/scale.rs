@@ -13,13 +13,21 @@
 //!     [--sizes 100,1000,10000] [--threads 1] [--rounds 20] \
 //!     [--candidates auto|legacy-auto|full|<n>] \
 //!     [--head-index incremental,rebuild] [--lambda 5] [--seed 42] \
-//!     [--out BENCH_scale.json] [--append] [--validate] \
-//!     [--compare BASE.json]`
+//!     [--events-sink sync,async] [--out BENCH_scale.json] [--append] \
+//!     [--validate] [--compare BASE.json]`
+//!
+//! `--events-sink` re-runs each point once per named pipeline with a
+//! full-mode events stream (into the bit bucket) and records what that
+//! stream costs the hot simulation thread, so the artifact can show the
+//! async pipeline's hot-thread win over the synchronous sink.
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
 use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
 use qlec_net::Simulator;
-use qlec_obs::{peak_rss_bytes, MemorySink, ObserverSet, Phase};
+use qlec_obs::{
+    peak_rss_bytes, AsyncJsonLinesSink, JsonLinesSink, MeasuredSink, MemorySink, ObserverSet,
+    Phase, PhaseProfiler, SinkStats,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -32,8 +40,13 @@ use std::time::Instant;
 /// `candidates` policy spelling. v3: added `head_index` (spatial-index
 /// maintenance mode per run), admitted `legacy-auto` as a candidates
 /// spelling, and `peak_rss_bytes` is now omitted — not null — on
-/// platforms that cannot report it.
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v3";
+/// platforms that cannot report it. v4: added per-phase-per-thread
+/// busy spans (`phase_threads`), merge-stage counters
+/// (`merge_conflicts`, `merge_retargets`), round-latency quantiles
+/// (`round_p50_ns`/`round_p90_ns`/`round_p99_ns`), and optional
+/// `events_pipeline` rows measuring the hot-thread cost of the sync vs
+/// async full-events sinks (present when `--events-sink` was passed).
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v4";
 
 /// `--compare` fails on a `packets_per_sec` drop of more than this
 /// fraction below the baseline at any matching point.
@@ -72,6 +85,62 @@ struct ScaleRun {
     peak_rss_bytes: Option<u64>,
     /// Wall nanoseconds per simulation phase, from the obs spans.
     phase_wall: Vec<PhaseWall>,
+    /// Busy nanoseconds per (phase path, worker slot), from the
+    /// profiler — reveals fan-out imbalance the wall numbers hide.
+    phase_threads: Vec<PhaseThreadBusy>,
+    /// Merge-stage conflicts (packets rerouted or dropped because their
+    /// planned head was gone by merge time).
+    merge_conflicts: u64,
+    /// Live-continuation retargets applied during the merge.
+    merge_retargets: u64,
+    /// Round-latency quantiles (ns) over the run's rounds.
+    round_p50_ns: f64,
+    round_p90_ns: f64,
+    round_p99_ns: f64,
+    /// Hot-thread cost of the full-events sink pipelines; empty unless
+    /// `--events-sink` requested the extra measured runs.
+    events_pipeline: Vec<EventsPipelineRow>,
+}
+
+/// Busy time one worker slot spent in one profiler phase path.
+#[derive(Debug, Serialize)]
+struct PhaseThreadBusy {
+    /// `/`-separated profiler path (`"transmission/plan"`).
+    phase: String,
+    /// Worker slot (0 = the simulation thread).
+    thread: usize,
+    busy_ns: u64,
+}
+
+/// One measured full-events run: how much the event sink costs the hot
+/// simulation thread, and (async only) the writer-queue counters.
+#[derive(Debug)]
+struct EventsPipelineRow {
+    /// `sync` or `async` (block backpressure).
+    sink: String,
+    /// Events that crossed the hot thread's `on_event`.
+    events: u64,
+    /// Nanoseconds the hot thread spent inside `on_event`.
+    hot_ns: u64,
+    /// Queue counters, async pipeline only.
+    queue: Option<SinkStats>,
+}
+
+// Hand-rolled so the sync row simply has no `queue` field.
+impl Serialize for EventsPipelineRow {
+    fn to_value(&self) -> serde::Value {
+        let per_event = self.hot_ns as f64 / self.events.max(1) as f64;
+        let mut fields = vec![
+            ("sink".to_string(), self.sink.to_value()),
+            ("events".to_string(), self.events.to_value()),
+            ("hot_ns".to_string(), self.hot_ns.to_value()),
+            ("hot_ns_per_event".to_string(), per_event.to_value()),
+        ];
+        if let Some(q) = &self.queue {
+            fields.push(("queue".to_string(), q.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 // Hand-rolled so `peak_rss_bytes: None` drops the field entirely
@@ -98,6 +167,24 @@ impl Serialize for ScaleRun {
             fields.push(("peak_rss_bytes".to_string(), rss.to_value()));
         }
         fields.push(("phase_wall".to_string(), self.phase_wall.to_value()));
+        fields.push(("phase_threads".to_string(), self.phase_threads.to_value()));
+        fields.push((
+            "merge_conflicts".to_string(),
+            self.merge_conflicts.to_value(),
+        ));
+        fields.push((
+            "merge_retargets".to_string(),
+            self.merge_retargets.to_value(),
+        ));
+        fields.push(("round_p50_ns".to_string(), self.round_p50_ns.to_value()));
+        fields.push(("round_p90_ns".to_string(), self.round_p90_ns.to_value()));
+        fields.push(("round_p99_ns".to_string(), self.round_p99_ns.to_value()));
+        if !self.events_pipeline.is_empty() {
+            fields.push((
+                "events_pipeline".to_string(),
+                self.events_pipeline.to_value(),
+            ));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -155,7 +242,8 @@ fn run_size(
     spec.sim.threads = threads;
     let net = spec.network(seed);
     let sink = Arc::new(Mutex::new(MemorySink::new()));
-    let mut obs = ObserverSet::new();
+    let profiler = Arc::new(PhaseProfiler::new());
+    let mut obs = ObserverSet::new().with_profiler(profiler.clone());
     obs.attach(sink.clone());
     let params = QlecParams {
         candidates,
@@ -177,6 +265,25 @@ fn run_size(
             mean_wall_ns: sink.phase_wall_ns(p) as f64,
         })
         .collect();
+    let profile = profiler.report();
+    let phase_threads = profile
+        .phases
+        .iter()
+        .flat_map(|row| {
+            row.busy.iter().map(|b| PhaseThreadBusy {
+                phase: row.path.clone(),
+                thread: b.thread,
+                busy_ns: b.busy_ns,
+            })
+        })
+        .collect();
+    let counter = |name: &str| -> u64 {
+        profile
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
     ScaleRun {
         n,
         k,
@@ -191,10 +298,102 @@ fn run_size(
         alive_end: report.rounds.last().map_or(n, |r| r.alive_end),
         peak_rss_bytes: peak_rss_bytes(),
         phase_wall,
+        phase_threads,
+        merge_conflicts: counter("merge.conflicts"),
+        merge_retargets: counter("merge.retargets"),
+        round_p50_ns: profile.round_latency.p50_ns,
+        round_p90_ns: profile.round_latency.p90_ns,
+        round_p99_ns: profile.round_latency.p99_ns,
+        events_pipeline: Vec::new(),
     }
 }
 
-/// Check a `BENCH_scale.json` text against the v3 schema. Returns a
+/// Re-run one sweep point once per requested sink pipeline with a
+/// full-mode JSON events stream into the bit bucket, measuring what the
+/// sink costs the *hot* simulation thread. Block backpressure keeps the
+/// async stream complete, so the two rows describe identical event
+/// loads.
+#[allow(clippy::too_many_arguments)]
+fn run_events_pipeline(
+    n: usize,
+    rounds: u32,
+    candidates: CandidatePolicy,
+    head_index: HeadIndexMode,
+    threads: usize,
+    lambda: f64,
+    seed: u64,
+    kinds: &[String],
+) -> Vec<EventsPipelineRow> {
+    enum Handle {
+        Sync(Arc<Mutex<MeasuredSink<JsonLinesSink<std::io::Sink>>>>),
+        Async(Arc<Mutex<MeasuredSink<AsyncJsonLinesSink>>>),
+    }
+    kinds
+        .iter()
+        .map(|kind| {
+            let k = (n / 20).max(2);
+            let mut spec = RunSpec::builder(lambda)
+                .nodes(n)
+                .k(k)
+                .rounds(rounds)
+                .seeds(vec![seed])
+                .build();
+            spec.sim.threads = threads;
+            let net = spec.network(seed);
+            let inner = JsonLinesSink::new(std::io::sink()).expect("bit bucket accepts header");
+            let mut obs = ObserverSet::new();
+            let handle = match kind.as_str() {
+                "sync" => {
+                    let s = Arc::new(Mutex::new(MeasuredSink::new(inner)));
+                    obs.attach(s.clone());
+                    Handle::Sync(s)
+                }
+                "async" => {
+                    let s = Arc::new(Mutex::new(MeasuredSink::new(AsyncJsonLinesSink::new(
+                        inner,
+                    ))));
+                    obs.attach(s.clone());
+                    Handle::Async(s)
+                }
+                other => die(&format!("--events-sink takes sync or async, got `{other}`")),
+            };
+            let params = QlecParams {
+                candidates,
+                head_index,
+                ..spec.qlec_params()
+            };
+            let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+            let _ = Simulator::new(net, spec.sim)
+                .observed(obs.clone())
+                .run(protocol.as_mut(), &mut rng);
+            obs.flush().expect("events pipeline flush");
+            match handle {
+                Handle::Sync(s) => {
+                    let g = s.lock().expect("measured sink poisoned");
+                    EventsPipelineRow {
+                        sink: "sync".to_string(),
+                        events: g.events(),
+                        hot_ns: g.hot_ns(),
+                        queue: None,
+                    }
+                }
+                Handle::Async(s) => {
+                    let g = s.lock().expect("measured sink poisoned");
+                    let stats = g.get_ref().stats();
+                    EventsPipelineRow {
+                        sink: "async".to_string(),
+                        events: g.events(),
+                        hot_ns: g.hot_ns(),
+                        queue: Some(stats),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Check a `BENCH_scale.json` text against the v4 schema. Returns a
 /// description of the first problem found.
 fn validate_scale_json(text: &str) -> Result<(), String> {
     let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
@@ -227,6 +426,11 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "packets_per_sec",
             "pdr",
             "alive_end",
+            "merge_conflicts",
+            "merge_retargets",
+            "round_p50_ns",
+            "round_p90_ns",
+            "round_p99_ns",
         ] {
             if run[key].as_f64().is_none() {
                 return Err(format!("runs[{i}] missing numeric field {key:?}"));
@@ -273,6 +477,56 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
         for p in &phases {
             if !seen.contains(p) {
                 return Err(format!("runs[{i}] missing phase {p:?}"));
+            }
+        }
+        let spans = run["phase_threads"]
+            .as_array()
+            .ok_or_else(|| format!("runs[{i}].phase_threads must be an array"))?;
+        for s in spans {
+            if s["phase"].as_str().is_none() {
+                return Err(format!(
+                    "runs[{i}] phase_threads entry without a phase path"
+                ));
+            }
+            for key in ["thread", "busy_ns"] {
+                if s[key].as_u64().is_none() {
+                    return Err(format!(
+                        "runs[{i}] phase_threads entry missing numeric {key:?}"
+                    ));
+                }
+            }
+        }
+        // events_pipeline is optional (only measured runs carry it);
+        // when present the rows must be well-formed.
+        if let Some(pipeline) = run.get("events_pipeline") {
+            let rows = pipeline
+                .as_array()
+                .ok_or_else(|| format!("runs[{i}].events_pipeline must be an array"))?;
+            for row in rows {
+                match row["sink"].as_str() {
+                    Some("sync") | Some("async") => {}
+                    _ => {
+                        return Err(format!(
+                            "runs[{i}] events_pipeline sink must be sync or async"
+                        ))
+                    }
+                }
+                for key in ["events", "hot_ns", "hot_ns_per_event"] {
+                    if row[key].as_f64().is_none() {
+                        return Err(format!(
+                            "runs[{i}] events_pipeline row missing numeric {key:?}"
+                        ));
+                    }
+                }
+                if row["sink"].as_str() == Some("async") {
+                    for key in ["enqueued", "processed", "dropped", "blocked", "max_depth"] {
+                        if row["queue"][key].as_u64().is_none() {
+                            return Err(format!(
+                                "runs[{i}] async events_pipeline row missing queue.{key}"
+                            ));
+                        }
+                    }
+                }
             }
         }
     }
@@ -404,6 +658,14 @@ fn main() {
             .unwrap_or_else(|_| die(&format!("--seed takes an integer, got `{s}`")))
     });
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".into());
+    let events_sinks: Option<Vec<String>> = flag_value(&args, "--events-sink").map(|text| {
+        text.split(',')
+            .map(|s| match s.trim() {
+                kind @ ("sync" | "async") => kind.to_string(),
+                other => die(&format!("--events-sink takes sync or async, got `{other}`")),
+            })
+            .collect()
+    });
 
     let mut report = ScaleReport {
         schema: SCALE_SCHEMA.to_string(),
@@ -415,11 +677,26 @@ fn main() {
     for &n in &sizes {
         for &threads in &threads_list {
             for &mode in &head_modes {
-                let run = run_size(n, rounds, candidates, mode, threads, lambda, seed);
+                let mut run = run_size(n, rounds, candidates, mode, threads, lambda, seed);
                 eprintln!(
                     "N = {n:>6} × {threads} thread(s), {}: {:.2}s wall, {:.0} packets/s",
                     run.head_index, run.wall_s, run.packets_per_sec
                 );
+                if let Some(kinds) = &events_sinks {
+                    run.events_pipeline = run_events_pipeline(
+                        n, rounds, candidates, mode, threads, lambda, seed, kinds,
+                    );
+                    for row in &run.events_pipeline {
+                        eprintln!(
+                            "    events via {:<5}: {:>9} events, {:.1} ms on the hot thread \
+                             ({:.0} ns/event)",
+                            row.sink,
+                            row.events,
+                            row.hot_ns as f64 / 1e6,
+                            row.hot_ns as f64 / row.events.max(1) as f64,
+                        );
+                    }
+                }
                 rows.push(vec![
                     run.n.to_string(),
                     run.k.to_string(),
@@ -540,6 +817,47 @@ mod tests {
         assert_eq!(r.candidates, "4");
         assert_eq!(r.head_index, "incremental");
         assert_eq!(r.phase_wall.len(), Phase::ALL.len());
+        assert!(
+            r.phase_threads
+                .iter()
+                .any(|s| s.phase == "transmission/plan"),
+            "profiler spans must reach the artifact: {:?}",
+            r.phase_threads
+        );
+        assert!(r.round_p50_ns > 0.0);
+        assert!(r.round_p99_ns >= r.round_p50_ns);
+    }
+
+    #[test]
+    fn events_pipeline_rows_measure_both_sinks() {
+        let kinds = ["sync".to_string(), "async".to_string()];
+        let rows = run_events_pipeline(
+            30,
+            2,
+            CandidatePolicy::Fixed(4),
+            HeadIndexMode::Incremental,
+            1,
+            8.0,
+            7,
+            &kinds,
+        );
+        assert_eq!(rows.len(), 2);
+        let sync = &rows[0];
+        let asynk = &rows[1];
+        assert_eq!(sync.sink, "sync");
+        assert!(sync.events > 0);
+        assert!(sync.queue.is_none());
+        assert_eq!(asynk.sink, "async");
+        // Identical simulation, identical event load.
+        assert_eq!(asynk.events, sync.events);
+        let queue = asynk.queue.as_ref().expect("async row carries counters");
+        assert_eq!(queue.enqueued, asynk.events);
+        assert_eq!(queue.processed, asynk.events);
+        assert_eq!(queue.dropped, 0);
+        // Serialized, only the async row has a queue object.
+        assert!(sync.to_value().get("queue").is_none());
+        assert!(asynk.to_value().get("queue").is_some());
+        assert!(sync.to_value()["hot_ns_per_event"].as_f64().unwrap() > 0.0);
     }
 
     #[test]
@@ -657,6 +975,80 @@ mod tests {
         });
         let err = validate_scale_json(&null_rss).unwrap_err();
         assert!(err.contains("peak_rss_bytes"), "{err}");
+    }
+
+    #[test]
+    fn validator_enforces_v4_fields() {
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let render = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match base.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            let report = ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                runs: vec![serde_json::Value::Object(fields)],
+            };
+            serde_json::to_string(&report).unwrap()
+        };
+        for missing in [
+            "phase_threads",
+            "merge_conflicts",
+            "merge_retargets",
+            "round_p50_ns",
+            "round_p99_ns",
+        ] {
+            let text = render(&|fields| fields.retain(|(k, _)| k != missing));
+            let err = validate_scale_json(&text).unwrap_err();
+            assert!(err.contains(missing), "{missing}: {err}");
+        }
+        // An events_pipeline row that claims async must carry counters.
+        let bad_pipeline = render(&|fields| {
+            fields.push((
+                "events_pipeline".into(),
+                serde_json::to_value(&vec![EventsPipelineRow {
+                    sink: "async".into(),
+                    events: 10,
+                    hot_ns: 100,
+                    queue: None,
+                }])
+                .unwrap(),
+            ));
+        });
+        let err = validate_scale_json(&bad_pipeline).unwrap_err();
+        assert!(err.contains("queue"), "{err}");
+        // A well-formed pipeline pair passes.
+        let good_pipeline = render(&|fields| {
+            fields.push((
+                "events_pipeline".into(),
+                serde_json::to_value(&vec![
+                    EventsPipelineRow {
+                        sink: "sync".into(),
+                        events: 10,
+                        hot_ns: 100,
+                        queue: None,
+                    },
+                    EventsPipelineRow {
+                        sink: "async".into(),
+                        events: 10,
+                        hot_ns: 50,
+                        queue: Some(SinkStats {
+                            enqueued: 10,
+                            processed: 10,
+                            dropped: 0,
+                            blocked: 0,
+                            max_depth: 3,
+                            written_lines: 10,
+                        }),
+                    },
+                ])
+                .unwrap(),
+            ));
+        });
+        validate_scale_json(&good_pipeline).expect("well-formed pipeline rows validate");
     }
 
     #[test]

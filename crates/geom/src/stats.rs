@@ -23,13 +23,67 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(w.mean(), Some(2.0));
 /// assert_eq!(w.variance(), Some(1.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Welford {
+    /// Same as [`Welford::new`] — the ±∞ min/max sentinels are part of
+    /// the invariant (`derive(Default)`'s all-zero min/max would corrupt
+    /// the first `push`).
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
+// Hand-rolled: the empty accumulator's min/max sentinels are ±∞, which
+// JSON cannot carry — they serialize as `null` (and deserialize back to
+// the sentinels), so a report with a packet-free round (e.g. a BS-outage
+// window suppressing every delivery) still serializes.
+impl Serialize for Welford {
+    fn to_value(&self) -> serde::Value {
+        let bound = |x: f64| {
+            if self.n == 0 {
+                serde::Value::Null
+            } else {
+                serde::Value::Float(x)
+            }
+        };
+        serde::Value::Object(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("m2".to_string(), self.m2.to_value()),
+            ("min".to_string(), bound(self.min)),
+            ("max".to_string(), bound(self.max)),
+        ])
+    }
+}
+
+impl Deserialize for Welford {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("Welford: missing field `{name}`")))
+        };
+        let bound = |name: &str, sentinel: f64| -> Result<f64, serde::Error> {
+            match field(name)? {
+                serde::Value::Null => Ok(sentinel),
+                other => f64::from_value(other),
+            }
+        };
+        Ok(Welford {
+            n: u64::from_value(field("n")?)?,
+            mean: f64::from_value(field("mean")?)?,
+            m2: f64::from_value(field("m2")?)?,
+            min: bound("min", f64::INFINITY)?,
+            max: bound("max", f64::NEG_INFINITY)?,
+        })
+    }
 }
 
 impl Welford {
@@ -253,6 +307,40 @@ mod tests {
         let before = a;
         a.merge(&Welford::new());
         assert_eq!(a.count(), before.count());
+    }
+
+    #[test]
+    fn empty_welford_serializes_and_round_trips() {
+        // An empty accumulator's ±∞ sentinels must not leak into JSON
+        // (serde_json refuses non-finite floats): min/max become null.
+        let empty = Welford::new();
+        let v = empty.to_value();
+        assert_eq!(v.get("min"), Some(&serde::Value::Null));
+        assert_eq!(v.get("max"), Some(&serde::Value::Null));
+        let back = Welford::from_value(&v).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), None);
+        let mut w = back;
+        w.push(-2.0);
+        assert_eq!(w.min(), Some(-2.0));
+        assert_eq!(w.max(), Some(-2.0));
+
+        // Non-empty accumulators keep real numeric bounds.
+        let mut full = Welford::new();
+        full.push(1.0);
+        full.push(4.0);
+        let v = full.to_value();
+        let back = Welford::from_value(&v).unwrap();
+        assert_eq!(back.count(), 2);
+        assert_eq!(back.min(), Some(1.0));
+        assert_eq!(back.max(), Some(4.0));
+        assert_eq!(back.mean(), full.mean());
+
+        // `Default` must agree with `new()` — the all-zero derive would
+        // poison the first push's min/max.
+        let mut d = Welford::default();
+        d.push(5.0);
+        assert_eq!(d.min(), Some(5.0));
     }
 
     #[test]

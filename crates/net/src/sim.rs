@@ -241,6 +241,9 @@ impl Simulator {
             );
         }
         protocol.configure_threads(threads);
+        if let Some(prof) = self.obs.profiler() {
+            prof.set_threads(threads);
+        }
         // Root all per-(round, node) streams in one draw so the caller's
         // RNG advances identically at every thread count.
         self.stream_seed = rng.next_u64();
@@ -304,6 +307,12 @@ impl Simulator {
         round: u32,
     ) -> (RoundMetrics, Welford) {
         let cfg = self.cfg;
+        // Out-of-band phase profiling: busy/wall accounting goes to the
+        // shared profiler directly, never into the event stream, so the
+        // deterministic `--events` bytes are identical with and without
+        // a profiler attached.
+        let prof = self.obs.profiler().cloned();
+        let round_t0 = prof.as_ref().map(|p| p.now_ns());
 
         // ---- Phase 0: scheduled fault injection ----------------------
         // Applied before anything else so crashed/blacked-out nodes are
@@ -362,7 +371,11 @@ impl Simulator {
         self.net.reset_roles();
         let election_span = self.obs.span_start();
         let heads = protocol.on_round_start(&mut self.net, round, rng);
-        self.obs.span_end(election_span, round, Phase::Election);
+        let election_wall = self.obs.span_end(election_span, round, Phase::Election);
+        if let Some(p) = &prof {
+            // Election runs on the simulation thread: busy == wall.
+            p.record_busy("election", 0, election_wall);
+        }
         if self.obs.is_active() {
             for &h in &heads {
                 self.obs.emit(Event::HeadElected {
@@ -395,6 +408,7 @@ impl Simulator {
         // iteration order and thread count. Members with arrivals get a
         // plan slot for stage 1 below; heads' own packets skip planning
         // and are resolved live during the merge.
+        let traffic_t0 = prof.as_ref().map(|p| p.now_ns());
         let traffic = PoissonTraffic::new(cfg.mean_interarrival);
         let mut events = std::mem::take(&mut self.scratch.events);
         events.clear();
@@ -436,6 +450,11 @@ impl Simulator {
             }
         }
         events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if let (Some(p), Some(t0)) = (&prof, traffic_t0) {
+            let dt = p.now_ns().saturating_sub(t0);
+            p.record_wall("traffic", dt);
+            p.record_busy("traffic", 0, dt);
+        }
 
         // ---- Phase 2: member hops and head queues --------------------
         //
@@ -469,6 +488,8 @@ impl Simulator {
 
         let tx_span = self.obs.span_start();
         let has_planner = protocol.planner().is_some();
+        let prof_ref = prof.as_deref();
+        let plan_t0 = prof_ref.map(|p| p.now_ns());
         {
             let net = &self.net;
             let head_slot = self.scratch.head_slot.as_slice();
@@ -484,6 +505,9 @@ impl Simulator {
                     .map(|pn| (pn.src, pn.arrivals.as_slice()))
                     .collect();
                 let plan_one = |job: &(NodeId, &[f64])| {
+                    // Worker-local busy measurement: clock reads only,
+                    // no shared state touched from the fan-out.
+                    let t0 = prof_ref.map(|p| p.now_ns());
                     let (src, arrivals) = *job;
                     let mut t = PlannerTargeter {
                         planner,
@@ -501,16 +525,36 @@ impl Simulator {
                         arrivals,
                         &mut t,
                     );
-                    (packets, t.scratch)
+                    let busy_ns = match (prof_ref, t0) {
+                        (Some(p), Some(t0)) => p.now_ns().saturating_sub(t0),
+                        _ => 0,
+                    };
+                    (packets, t.scratch, busy_ns)
                 };
-                let results: Vec<(Vec<PacketPlan>, PlanScratch)> = match self.pool.as_ref() {
+                let results: Vec<(Vec<PacketPlan>, PlanScratch, u64)> = match self.pool.as_ref() {
                     Some(pool) if jobs.len() > 1 => {
                         pool.install(|| jobs.par_iter().map(&plan_one).collect())
                     }
                     _ => jobs.iter().map(&plan_one).collect(),
                 };
                 drop(jobs);
-                for (pn, (packets, scratch)) in planned.iter_mut().zip(results) {
+                if let Some(p) = prof_ref {
+                    // Attribute each job's busy time to the worker slot
+                    // that ran it. The vendored rayon splits jobs into
+                    // contiguous chunks of ceil(J / W) with
+                    // W = current_num_threads().min(J), so job i runs on
+                    // slot i / chunk_len; the sequential path is slot 0.
+                    let n_jobs = results.len();
+                    let workers = match self.pool.as_ref() {
+                        Some(pool) if n_jobs > 1 => pool.current_num_threads().min(n_jobs),
+                        _ => 1,
+                    };
+                    let chunk_len = n_jobs.div_ceil(workers.max(1)).max(1);
+                    for (i, (_, _, busy_ns)) in results.iter().enumerate() {
+                        p.record_busy("transmission/plan", i / chunk_len, *busy_ns);
+                    }
+                }
+                for (pn, (packets, scratch, _)) in planned.iter_mut().zip(results) {
                     pn.packets = packets;
                     pn.scratch = Some(scratch);
                 }
@@ -534,6 +578,22 @@ impl Simulator {
                 }
             }
         }
+        if let (Some(p), Some(t0)) = (&prof, plan_t0) {
+            let dt = p.now_ns().saturating_sub(t0);
+            p.record_wall("transmission/plan", dt);
+            if !has_planner {
+                // The choose_target fallback plans on the simulation
+                // thread; the planner path recorded per-job busy above.
+                p.record_busy("transmission/plan", 0, dt);
+            }
+        }
+
+        // Merge-stage evidence for restructuring work: how often a plan
+        // ran into merge-time reality (dead head / refused queue), and
+        // how many packets entered the live-retargeting continuation.
+        let merge_t0 = prof.as_ref().map(|p| p.now_ns());
+        let mut merge_conflicts: u64 = 0;
+        let mut merge_retargets: u64 = 0;
 
         for &(time, src) in &events {
             let pi = self.scratch.plan_index[src.index()];
@@ -661,6 +721,7 @@ impl Simulator {
                         if !self.net.node(h).is_alive() || h_slot < 0 {
                             // The head ran dry earlier in the merge: the
                             // planned hop lands on a dead radio.
+                            merge_conflicts += 1;
                             fail = FailCause::Link;
                             protocol.on_hop_result(src, target, false);
                         } else {
@@ -678,6 +739,10 @@ impl Simulator {
                                     resolved = true;
                                 }
                                 Offer::Dropped(reason) => {
+                                    // A planned hop refused by the live
+                                    // queue state — stage 1 could not
+                                    // have known.
+                                    merge_conflicts += 1;
                                     fail = match reason {
                                         QueueDrop::Full => FailCause::QueueFull,
                                         QueueDrop::Deadline => FailCause::Deadline,
@@ -701,6 +766,9 @@ impl Simulator {
             // the master RNG; the merge is sequential, so this stays
             // identical at every thread count.
             if !resolved && !matches!(fail, FailCause::Dead) {
+                if attempt <= cfg.member_retries {
+                    merge_retargets += 1;
+                }
                 while attempt <= cfg.member_retries {
                     if !self.net.node(src).is_alive() {
                         fail = FailCause::Dead;
@@ -817,6 +885,14 @@ impl Simulator {
                     });
                 }
             }
+        }
+
+        if let (Some(p), Some(t0)) = (&prof, merge_t0) {
+            let dt = p.now_ns().saturating_sub(t0);
+            p.record_wall("transmission/merge", dt);
+            p.record_busy("transmission/merge", 0, dt);
+            p.inc("merge.conflicts", merge_conflicts);
+            p.inc("merge.retargets", merge_retargets);
         }
 
         // Absorb planner scratch (Q-value writes, link-table overlays)
@@ -979,7 +1055,11 @@ impl Simulator {
                 }
             }
         }
-        self.obs.span_end(agg_span, round, Phase::Aggregation);
+        let agg_wall = self.obs.span_end(agg_span, round, Phase::Aggregation);
+        if let Some(p) = &prof {
+            // Aggregation runs on the simulation thread: busy == wall.
+            p.record_busy("aggregation", 0, agg_wall);
+        }
 
         protocol.on_round_end(&mut self.net, round, &heads);
 
@@ -1022,6 +1102,9 @@ impl Simulator {
         self.scratch.events = events;
         self.scratch.queues = queues;
         self.scratch.relay_overflow = relay_overflow;
+        if let (Some(p), Some(t0)) = (&prof, round_t0) {
+            p.record_round(p.now_ns().saturating_sub(t0));
+        }
         (metrics, latency)
     }
 }

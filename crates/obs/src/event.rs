@@ -53,6 +53,21 @@ impl Phase {
         }
     }
 
+    /// Hierarchical profile-tree path. Phases that run nested inside
+    /// another span (the HELLO broadcast and index maintenance inside
+    /// election, Q-routing inside transmission) render as children of
+    /// that span in the [`crate::PhaseProfiler`] report.
+    pub fn path(&self) -> &'static str {
+        match self {
+            Phase::Election => "election",
+            Phase::Broadcast => "election/broadcast",
+            Phase::QRouting => "transmission/qrouting",
+            Phase::Transmission => "transmission",
+            Phase::Aggregation => "aggregation",
+            Phase::IndexMaintenance => "election/index",
+        }
+    }
+
     /// All phases, for exhaustive reporting.
     pub const ALL: [Phase; 6] = [
         Phase::Election,
@@ -334,6 +349,21 @@ mod tests {
     fn phase_names_are_distinct() {
         let names: std::collections::BTreeSet<_> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn phase_paths_are_distinct_and_nest_under_real_parents() {
+        let paths: std::collections::BTreeSet<_> = Phase::ALL.iter().map(|p| p.path()).collect();
+        assert_eq!(paths.len(), Phase::ALL.len());
+        for p in Phase::ALL {
+            if let Some((parent, _)) = p.path().rsplit_once('/') {
+                assert!(
+                    Phase::ALL.iter().any(|q| q.path() == parent),
+                    "{} nests under unknown parent {parent}",
+                    p.path()
+                );
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,8 @@ pub struct JsonLinesSink<W: Write + Send> {
     /// High-volume events seen so far (drives [`EventsMode::Sample`]).
     hv_seen: u64,
     agg: RoundAgg,
+    /// Event lines successfully written (excludes the schema header).
+    written: u64,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
@@ -118,6 +120,7 @@ impl<W: Write + Send> JsonLinesSink<W> {
             mode: EventsMode::Full,
             hv_seen: 0,
             agg: RoundAgg::default(),
+            written: 0,
         })
     }
 
@@ -144,12 +147,19 @@ impl<W: Write + Send> JsonLinesSink<W> {
         Ok(self.out)
     }
 
+    /// Event lines successfully written so far (the schema header does
+    /// not count).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
     fn write_event(&mut self, event: &Event) {
         let result = serde_json::to_string(event)
             .map_err(ObsError::from)
             .and_then(|line| writeln!(self.out, "{line}").map_err(ObsError::from));
-        if let Err(e) = result {
-            self.error = Some(e);
+        match result {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
         }
     }
 }

@@ -16,14 +16,19 @@
 //! * **Spans** ([`Clock`], [`ObserverSet::span_start`]) — wall-clock
 //!   phase timings stamped with simulation time.
 //! * **Sinks** — [`JsonLinesSink`] (versioned JSON-lines streams, see
-//!   [`SCHEMA`]) and [`MemorySink`] (in-run aggregation + summary
-//!   table).
+//!   [`SCHEMA`]), [`AsyncJsonLinesSink`] (the same stream produced on a
+//!   dedicated writer thread behind a bounded queue), and
+//!   [`MemorySink`] (in-run aggregation + summary table).
+//! * **Profiling** ([`PhaseProfiler`], [`ProfileReport`]) — per-phase,
+//!   per-worker-slot busy/wall accounting with round-latency quantiles,
+//!   collected out-of-band from the event stream.
 //!
 //! The event schema and metric-name vocabulary are documented in this
 //! crate's `README.md`.
 
 #![forbid(unsafe_code)]
 
+mod async_sink;
 mod clock;
 mod error;
 mod event;
@@ -31,13 +36,21 @@ mod json_sink;
 mod memory_sink;
 mod observer;
 mod procinfo;
+mod profiler;
 mod registry;
 
+pub use async_sink::{
+    AsyncJsonLinesSink, Backpressure, SinkStats, BATCH_EVENTS, DEFAULT_QUEUE_CAPACITY,
+};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::ObsError;
 pub use event::{Event, PacketFate, Phase, SCHEMA};
 pub use json_sink::{read_events, EventsMode, JsonLinesSink};
 pub use memory_sink::MemorySink;
-pub use observer::{ObserverSet, SimObserver, SpanToken};
+pub use observer::{MeasuredSink, ObserverSet, SimObserver, SpanToken};
 pub use procinfo::peak_rss_bytes;
+pub use profiler::{
+    CounterRow, PhaseProfiler, PhaseRow, ProfileReport, RoundLatency, ThreadBusy, ThreadUtil,
+    PROFILE_SCHEMA,
+};
 pub use registry::{Histogram, Registry};

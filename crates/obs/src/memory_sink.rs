@@ -297,6 +297,34 @@ mod tests {
     }
 
     #[test]
+    fn pdr_is_zero_not_nan_when_no_packets_were_generated() {
+        // A zero-traffic run (λ so sparse that no packet arrives inside
+        // the horizon) must summarize cleanly: 0/0 is reported as 0.0.
+        let mut sink = MemorySink::new();
+        assert_eq!(sink.pdr(), 0.0);
+        feed(
+            &mut sink,
+            &[
+                Event::RoundStarted {
+                    round: 0,
+                    alive: 10,
+                    sim_time: 0.0,
+                },
+                Event::RoundEnded {
+                    round: 0,
+                    alive: 10,
+                    energy_j: 0.0,
+                    heads: vec![1],
+                    residuals_j: vec![5.0; 10],
+                },
+            ],
+        );
+        assert_eq!(sink.pdr(), 0.0, "still no packets generated");
+        assert!(sink.pdr().is_finite());
+        assert!(sink.summary().contains("derived.pdr"));
+    }
+
+    #[test]
     fn summary_mentions_key_metrics() {
         let mut sink = MemorySink::new();
         feed(

@@ -13,6 +13,7 @@
 
 use crate::clock::{Clock, WallClock};
 use crate::event::{Event, Phase};
+use crate::profiler::PhaseProfiler;
 use crate::ObsError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,6 +48,10 @@ pub struct ObserverSet {
     /// Current simulation time in slots, shared across clones
     /// (bit-cast `f64`).
     sim_time_bits: Arc<AtomicU64>,
+    /// Out-of-band phase profiler; every [`Event::PhaseTimed`] that
+    /// passes through [`ObserverSet::emit`] also lands here, and the
+    /// simulator records per-worker busy times into it directly.
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl Default for ObserverSet {
@@ -62,6 +67,7 @@ impl ObserverSet {
             sinks: Vec::new(),
             clock: Arc::new(WallClock::new()),
             sim_time_bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+            profiler: None,
         }
     }
 
@@ -71,17 +77,32 @@ impl ObserverSet {
         self
     }
 
+    /// Attach a shared [`PhaseProfiler`]. The set becomes active (spans
+    /// are timed and events constructed) even with no sinks, so a
+    /// profile-only run still measures every phase; the profiler never
+    /// writes to the event stream itself.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<PhaseProfiler>> {
+        self.profiler.as_ref()
+    }
+
     /// Attach a shared sink. The caller keeps its `Arc` to read results
     /// back after the run.
     pub fn attach(&mut self, sink: Arc<Mutex<dyn SimObserver>>) {
         self.sinks.push(sink);
     }
 
-    /// Whether any sink is attached. Emission sites branch on this so a
-    /// run without observers never constructs an event.
+    /// Whether any sink or profiler is attached. Emission sites branch
+    /// on this so a run without observers never constructs an event; a
+    /// profiler counts because it consumes the `PhaseTimed` emissions.
     #[inline]
     pub fn is_active(&self) -> bool {
-        !self.sinks.is_empty()
+        !self.sinks.is_empty() || self.profiler.is_some()
     }
 
     /// Number of attached sinks.
@@ -94,8 +115,17 @@ impl ObserverSet {
         self.sinks.is_empty()
     }
 
-    /// Fan an event out to every sink. No-op when inactive.
+    /// Fan an event out to every sink. No-op when inactive. Phase
+    /// timings additionally feed the attached profiler's wall
+    /// accumulator (keyed by [`Phase::path`]), so sub-phase spans
+    /// emitted by lower layers show up in the profile tree without
+    /// those layers knowing about the profiler.
     pub fn emit(&self, event: Event) {
+        if let Some(prof) = &self.profiler {
+            if let Event::PhaseTimed { phase, wall_ns, .. } = &event {
+                prof.record_wall(phase.path(), *wall_ns);
+            }
+        }
         for sink in &self.sinks {
             sink.lock()
                 .expect("observer sink poisoned")
@@ -133,10 +163,12 @@ impl ObserverSet {
     }
 
     /// Close a span: emits [`Event::PhaseTimed`] with the elapsed wall
-    /// time and the current simulation-time hint. No-op when inactive.
-    pub fn span_end(&self, token: SpanToken, round: u32, phase: Phase) {
+    /// time and the current simulation-time hint, and returns that wall
+    /// time so callers can attribute it as busy time without a second
+    /// clock read. No-op (returning 0) when inactive.
+    pub fn span_end(&self, token: SpanToken, round: u32, phase: Phase) -> u64 {
         if !self.is_active() {
-            return;
+            return 0;
         }
         let wall_ns = self.clock.now_ns().saturating_sub(token.start_ns);
         self.emit(Event::PhaseTimed {
@@ -145,6 +177,7 @@ impl ObserverSet {
             wall_ns,
             sim_time: self.sim_time(),
         });
+        wall_ns
     }
 
     /// Flush every sink, returning the first error.
@@ -161,7 +194,66 @@ impl std::fmt::Debug for ObserverSet {
         f.debug_struct("ObserverSet")
             .field("sinks", &self.sinks.len())
             .field("sim_time", &self.sim_time())
+            .field("profiler", &self.profiler.is_some())
             .finish()
+    }
+}
+
+/// Wraps a sink and measures the *hot-thread* cost of handing events to
+/// it: `hot_ns` accumulates the wall time spent inside the inner sink's
+/// `on_event` — serialization + I/O for a synchronous JSON sink, clone +
+/// enqueue for an async one. This is the instrument behind the bench
+/// harness's sink-pipeline comparison ("instrumentation cost is itself
+/// measured").
+#[derive(Debug)]
+pub struct MeasuredSink<S: SimObserver> {
+    inner: S,
+    events: u64,
+    hot_ns: u64,
+}
+
+impl<S: SimObserver> MeasuredSink<S> {
+    /// Wrap a sink.
+    pub fn new(inner: S) -> Self {
+        MeasuredSink {
+            inner,
+            events: 0,
+            hot_ns: 0,
+        }
+    }
+
+    /// Events handed to the inner sink so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Cumulative wall ns the hot thread spent inside the inner sink's
+    /// `on_event`.
+    pub fn hot_ns(&self) -> u64 {
+        self.hot_ns
+    }
+
+    /// Borrow the inner sink.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SimObserver> SimObserver for MeasuredSink<S> {
+    fn on_event(&mut self, event: &Event) {
+        let t0 = std::time::Instant::now();
+        self.inner.on_event(event);
+        self.hot_ns += t0.elapsed().as_nanos() as u64;
+        self.events += 1;
+    }
+
+    fn flush(&mut self) -> Result<(), ObsError> {
+        self.inner.flush()
     }
 }
 
@@ -236,6 +328,50 @@ mod tests {
                 sim_time: 300.0
             }
         );
+    }
+
+    #[test]
+    fn a_profiler_activates_the_set_and_receives_span_walls() {
+        let clock = Arc::new(ManualClock::new());
+        let prof = Arc::new(crate::PhaseProfiler::with_clock(clock.clone()));
+        let obs = ObserverSet::new()
+            .with_clock(clock.clone())
+            .with_profiler(prof.clone());
+        // No sinks, but the profiler makes the set active: spans are
+        // timed and their walls land in the profiler.
+        assert!(obs.is_active());
+        assert!(obs.is_empty(), "no sinks attached");
+        let token = obs.span_start();
+        clock.advance(250);
+        let wall = obs.span_end(token, 0, Phase::Transmission);
+        assert_eq!(wall, 250, "span_end returns the measured wall");
+        // Hand-rolled PhaseTimed emissions (the qlec-core style) are
+        // routed to the profiler too, under the hierarchical path.
+        obs.emit(Event::PhaseTimed {
+            round: 0,
+            phase: Phase::IndexMaintenance,
+            wall_ns: 40,
+            sim_time: 0.0,
+        });
+        let report = prof.report();
+        let paths: Vec<(&str, u64)> = report
+            .phases
+            .iter()
+            .map(|p| (p.path.as_str(), p.wall_ns))
+            .collect();
+        assert_eq!(paths, vec![("election/index", 40), ("transmission", 250)]);
+    }
+
+    #[test]
+    fn measured_sink_counts_events_and_forwards_flush() {
+        let mut sink = MeasuredSink::new(Collector::default());
+        sink.on_event(&Event::NodeDied { round: 0, node: 1 });
+        sink.on_event(&Event::NodeDied { round: 0, node: 2 });
+        assert_eq!(sink.events(), 2);
+        assert!(sink.flush().is_ok());
+        assert_eq!(sink.get_ref().events.len(), 2);
+        let inner = sink.into_inner();
+        assert!(inner.flushed);
     }
 
     #[test]

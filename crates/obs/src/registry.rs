@@ -81,6 +81,53 @@ impl Histogram {
     pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
         self.buckets.iter().map(|(&b, &c)| (b, c))
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the log₂
+    /// buckets: nearest-rank selection of the bucket, then linear
+    /// interpolation across the bucket's `[2^i, 2^{i+1})` range by the
+    /// rank's position among the bucket's samples. The estimate is
+    /// clamped to the exact `[min, max]`, so the extreme quantiles are
+    /// exact; interior ones carry bucket resolution (a factor-of-2
+    /// band). `None` when the histogram is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Nearest rank, 1-based: the smallest r with r ≥ q·count.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&bucket, &c) in &self.buckets {
+            if seen + c < rank {
+                seen += c;
+                continue;
+            }
+            if bucket == Self::UNDERFLOW {
+                // All samples here are ≤ 0; the bucket has no interior
+                // structure, so report the exact minimum.
+                return Some(self.min);
+            }
+            let lo = (bucket as f64).exp2();
+            let hi = ((bucket + 1) as f64).exp2();
+            let frac = (rank - seen) as f64 / c as f64;
+            return Some((lo + frac * (hi - lo)).clamp(self.min, self.max));
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Named counters, gauges, and histograms.
@@ -157,7 +204,8 @@ impl Registry {
     }
 
     /// Render everything as a fixed-width text table (one metric per
-    /// line; histograms show count/mean/min/max).
+    /// line; histograms show count/mean/min/max plus bucket-resolution
+    /// p50/p90/p99 estimates).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let width = self
@@ -177,11 +225,14 @@ impl Registry {
         for (name, h) in self.histograms() {
             let _ = writeln!(
                 out,
-                "{name:<width$}  count={} mean={:.6} min={:.6} max={:.6}",
+                "{name:<width$}  count={} mean={:.6} min={:.6} max={:.6} p50={:.6} p90={:.6} p99={:.6}",
                 h.count(),
                 h.mean().unwrap_or(0.0),
                 h.min().unwrap_or(0.0),
                 h.max().unwrap_or(0.0),
+                h.p50().unwrap_or(0.0),
+                h.p90().unwrap_or(0.0),
+                h.p99().unwrap_or(0.0),
             );
         }
         out
@@ -232,6 +283,72 @@ mod tests {
         h.observe(f64::NAN);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_are_empty_safe_and_range_checked() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::default();
+        h.observe(4.0);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        // A single sample is every quantile (clamped to min == max).
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.p50(), Some(4.0));
+        assert_eq!(h.p99(), Some(4.0));
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        // 90 samples in [1, 2), 10 samples in [1024, 2048): p50 must sit
+        // in the low band, p99 in the high band, both clamped to the
+        // exact extremes.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1.5);
+        }
+        for _ in 0..10 {
+            h.observe(1500.0);
+        }
+        let p50 = h.p50().unwrap();
+        assert!((1.0..2.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99().unwrap();
+        assert!((1024.0..=1500.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), Some(1500.0), "max quantile is exact");
+        assert_eq!(
+            h.quantile(0.0),
+            Some(1.5),
+            "min-ward quantile clamps to min"
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 4 samples all in bucket [4, 8): ranks 1..4 interpolate across
+        // the bucket at 1/4, 2/4, 3/4, 4/4 — monotone in q.
+        let mut h = Histogram::default();
+        for v in [4.0, 5.0, 6.0, 7.0] {
+            h.observe(v);
+        }
+        let qs: Vec<f64> = [0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone: {qs:?}");
+        assert!(qs.iter().all(|&v| (4.0..=7.0).contains(&v)), "{qs:?}");
+    }
+
+    #[test]
+    fn quantiles_report_min_for_the_underflow_bucket() {
+        let mut h = Histogram::default();
+        h.observe(-3.0);
+        h.observe(0.0);
+        h.observe(16.0);
+        // Rank 1..2 fall in the underflow bucket → exact minimum.
+        assert_eq!(h.quantile(0.3), Some(-3.0));
+        assert_eq!(h.quantile(1.0), Some(16.0));
     }
 
     #[test]

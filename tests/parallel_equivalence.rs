@@ -11,8 +11,8 @@
 use qlec::core::params::HeadIndexMode;
 use qlec::core::QlecProtocol;
 use qlec::net::trace::TraceRecorder;
-use qlec::net::{NetworkBuilder, SimConfig, Simulator};
-use qlec::obs::{read_events, Event, JsonLinesSink, ObserverSet};
+use qlec::net::{FaultDriver, FaultEvent, FaultPlan, NetworkBuilder, SimConfig, Simulator};
+use qlec::obs::{read_events, AsyncJsonLinesSink, Event, EventsMode, JsonLinesSink, ObserverSet};
 use qlec::radio::link::{AnyLink, DistanceLossLink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +35,26 @@ impl Write for SharedBuf {
     }
 }
 
+/// Stream-shaping options for [`run_once_with`]: which events-mode
+/// filter the sink applies, whether the sink sits behind the async
+/// (block-backpressure) pipeline, and an optional fault plan to replay.
+#[derive(Clone)]
+struct RunOpts {
+    events_mode: EventsMode,
+    async_sink: bool,
+    faults: Option<FaultPlan>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            events_mode: EventsMode::Full,
+            async_sink: false,
+            faults: None,
+        }
+    }
+}
+
 /// One observed run: returns the deterministic JSON-lines event stream
 /// and the serialized report. `fallback` wraps the protocol in a
 /// [`TraceRecorder`], which deliberately hides the planner and keeps the
@@ -49,6 +69,29 @@ fn run_once(
     head_index: HeadIndexMode,
     fallback: bool,
 ) -> (String, String) {
+    run_once_with(
+        n,
+        k,
+        rounds,
+        lambda,
+        threads,
+        head_index,
+        fallback,
+        RunOpts::default(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once_with(
+    n: usize,
+    k: usize,
+    rounds: u32,
+    lambda: f64,
+    threads: usize,
+    head_index: HeadIndexMode,
+    fallback: bool,
+    opts: RunOpts,
+) -> (String, String) {
     let mut rng = StdRng::seed_from_u64(17);
     let net = NetworkBuilder::new()
         .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)))
@@ -56,9 +99,14 @@ fn run_once(
     let buf = SharedBuf::default();
     let sink = JsonLinesSink::new(buf.clone())
         .expect("in-memory sink")
-        .deterministic();
+        .deterministic()
+        .with_mode(opts.events_mode);
     let mut obs = ObserverSet::new();
-    obs.attach(Arc::new(Mutex::new(sink)));
+    if opts.async_sink {
+        obs.attach(Arc::new(Mutex::new(AsyncJsonLinesSink::new(sink))));
+    } else {
+        obs.attach(Arc::new(Mutex::new(sink)));
+    }
     let mut cfg = SimConfig::paper(lambda);
     cfg.rounds = rounds;
     cfg.threads = threads;
@@ -66,16 +114,16 @@ fn run_once(
         .k(k)
         .head_index(head_index)
         .observer(obs.clone());
+    let mut sim = Simulator::new(net, cfg).observed(obs.clone());
+    if let Some(plan) = &opts.faults {
+        sim = sim.with_faults(FaultDriver::new(plan.clone()).expect("plan validates"));
+    }
     let report = if fallback {
         let mut p = TraceRecorder::new(builder.build());
-        Simulator::new(net, cfg)
-            .observed(obs.clone())
-            .run(&mut p, &mut rng)
+        sim.run(&mut p, &mut rng)
     } else {
         let mut p = builder.build();
-        Simulator::new(net, cfg)
-            .observed(obs.clone())
-            .run(&mut p, &mut rng)
+        sim.run(&mut p, &mut rng)
     };
     obs.flush().expect("sink flush");
     let stream = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 stream");
@@ -180,4 +228,107 @@ fn index_modes_agree_at_n100() {
 #[test]
 fn index_modes_agree_at_n1000() {
     assert_index_mode_invariant(1000, 50, 3, 5.0);
+}
+
+/// Aggregate-mode streams under an active fault plan are byte-identical
+/// across threads {1, 2} and across the sync vs async (block) sink:
+/// neither the events-mode filter, nor fault injection, nor the writer
+/// pipeline may depend on where serialization happens or how the hot
+/// phases are fanned out.
+#[test]
+fn aggregate_stream_under_faults_is_sink_and_thread_invariant() {
+    let plan = FaultPlan::named(
+        "equivalence",
+        vec![
+            FaultEvent::NodeCrash { round: 1, node: 3 },
+            FaultEvent::BsOutage {
+                from_round: 2,
+                to_round: 2,
+            },
+        ],
+    );
+    let mut base: Option<(String, String)> = None;
+    for threads in [1, 2] {
+        for async_sink in [false, true] {
+            let (stream, report) = run_once_with(
+                100,
+                5,
+                4,
+                1.0,
+                threads,
+                HeadIndexMode::default(),
+                false,
+                RunOpts {
+                    events_mode: EventsMode::Aggregate,
+                    async_sink,
+                    faults: Some(plan.clone()),
+                },
+            );
+            match &base {
+                None => {
+                    let events = read_events(&stream).expect("baseline stream parses");
+                    assert!(
+                        events
+                            .iter()
+                            .any(|e| matches!(e, Event::RoundSummary { .. })),
+                        "aggregate mode must digest rounds"
+                    );
+                    assert_eq!(
+                        events
+                            .iter()
+                            .filter(|e| matches!(e, Event::FaultInjected { .. }))
+                            .count(),
+                        2,
+                        "both plan entries must be visible in the stream"
+                    );
+                    assert!(
+                        !events
+                            .iter()
+                            .any(|e| matches!(e, Event::PacketOutcome { .. })),
+                        "aggregate mode suppresses per-packet events"
+                    );
+                    base = Some((stream, report));
+                }
+                Some((base_stream, base_report)) => {
+                    assert!(
+                        stream == *base_stream,
+                        "stream diverged (threads = {threads}, async = {async_sink})"
+                    );
+                    assert_eq!(
+                        report, *base_report,
+                        "report diverged (threads = {threads}, async = {async_sink})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Full-mode streams through the async (block) pipeline reproduce the
+/// synchronous sink's bytes at multiple thread counts: the pipeline is
+/// pure plumbing, never a filter.
+#[test]
+fn async_pipeline_is_byte_identical_in_full_mode() {
+    for threads in [1, 2] {
+        let (sync_stream, sync_report) =
+            run_once(100, 5, 4, 1.0, threads, HeadIndexMode::default(), false);
+        let (async_stream, async_report) = run_once_with(
+            100,
+            5,
+            4,
+            1.0,
+            threads,
+            HeadIndexMode::default(),
+            false,
+            RunOpts {
+                async_sink: true,
+                ..RunOpts::default()
+            },
+        );
+        assert!(
+            async_stream == sync_stream,
+            "async pipeline changed the stream (threads = {threads})"
+        );
+        assert_eq!(async_report, sync_report);
+    }
 }
