@@ -19,7 +19,10 @@ fn bench_round(c: &mut Criterion) {
                 let net = spec.network(1);
                 let mut protocol = kind.build(&spec.qlec_params());
                 let mut rng = StdRng::seed_from_u64(2);
-                let report = Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng);
+                let report = Simulator::builder(net)
+                    .config(spec.sim)
+                    .build()
+                    .run(protocol.as_mut(), &mut rng);
                 black_box(report.totals.generated)
             })
         });

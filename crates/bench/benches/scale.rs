@@ -28,7 +28,10 @@ fn bench_scale(c: &mut Criterion) {
                 };
                 let mut protocol = ProtocolKind::Qlec.build(&params);
                 let mut rng = StdRng::seed_from_u64(2);
-                let report = Simulator::new(net, spec.sim).run(protocol.as_mut(), &mut rng);
+                let report = Simulator::builder(net)
+                    .config(spec.sim)
+                    .build()
+                    .run(protocol.as_mut(), &mut rng);
                 black_box(report.totals.generated)
             })
         });

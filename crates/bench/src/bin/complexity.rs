@@ -33,7 +33,10 @@ fn run_once(n: usize, k: usize, lambda: f64, rounds: u32, seed: u64) -> (f64, u6
     let mut cfg = SimConfig::paper(lambda);
     cfg.rounds = rounds;
     let start = Instant::now();
-    let report = Simulator::new(net, cfg).run(&mut protocol, &mut rng);
+    let report = Simulator::builder(net)
+        .config(cfg)
+        .build()
+        .run(&mut protocol, &mut rng);
     let secs = start.elapsed().as_secs_f64();
     (secs, protocol.q_updates(), report.totals.generated)
 }

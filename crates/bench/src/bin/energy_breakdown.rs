@@ -21,7 +21,10 @@ fn main() {
                 let net = spec.network(1);
                 let mut p = kind.build(&spec.qlec_params());
                 let mut rng = StdRng::seed_from_u64(2);
-                let rep = Simulator::new(net, spec.sim).run(p.as_mut(), &mut rng);
+                let rep = Simulator::builder(net)
+                    .config(spec.sim)
+                    .build()
+                    .run(p.as_mut(), &mut rng);
                 let t = &rep.totals;
                 println!(
                     "retries={retries} λ={lambda:>3} {:<8} pdr={:.4} E={:7.2} qfull={:6} dl={:5} link={:5} agg={:5} min_resid_last={:.3}",

@@ -91,7 +91,10 @@ fn main() {
     let bs = net.bs_pos();
     let bounds = net.bounds();
     let mut rng2 = StdRng::seed_from_u64(0xF165);
-    let report = Simulator::new(net, cfg).run(&mut protocol, &mut rng2);
+    let report = Simulator::builder(net)
+        .config(cfg)
+        .build()
+        .run(&mut protocol, &mut rng2);
     println!(
         "run: PDR {:.4}, total energy {:.2} J, mean heads {:.1}",
         report.pdr(),

@@ -52,7 +52,10 @@ fn run_cell_hetero(
             cfg.death_line = 3.5;
             cfg.stop_when_dead = true;
             let mut rng2 = StdRng::seed_from_u64(seed ^ 0x5EED);
-            Simulator::new(net, cfg).run(protocol.as_mut(), &mut rng2)
+            Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(protocol.as_mut(), &mut rng2)
         })
         .collect();
     aggregate(kind.to_string(), 5.0, &reports)

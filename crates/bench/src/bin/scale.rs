@@ -14,12 +14,21 @@
 //!     [--candidates auto|legacy-auto|full|<n>] \
 //!     [--head-index incremental,rebuild] [--lambda 5] [--seed 42] \
 //!     [--events-sink sync,async] [--out BENCH_scale.json] [--append] \
-//!     [--validate] [--compare BASE.json]`
+//!     [--validate] [--compare BASE.json] [--gate-thread-scaling 1.3]`
 //!
 //! `--events-sink` re-runs each point once per named pipeline with a
 //! full-mode events stream (into the bit bucket) and records what that
 //! stream costs the hot simulation thread, so the artifact can show the
 //! async pipeline's hot-thread win over the synchronous sink.
+//!
+//! When the sweep includes a `threads = 1` point alongside multi-thread
+//! points at the same (N, candidates, head-index, rounds) coordinates,
+//! the artifact gains `thread_scaling` summary rows: headline pkt/s
+//! speedup plus per-phase wall speedups against the single-threaded
+//! baseline. `--gate-thread-scaling FLOOR` turns those rows into a CI
+//! gate — every multi-thread point must reach FLOOR × the threads = 1
+//! throughput, and a sweep with nothing to compare is an error, not a
+//! silent pass.
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
 use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
@@ -46,7 +55,12 @@ use std::time::Instant;
 /// (`round_p50_ns`/`round_p90_ns`/`round_p99_ns`), and optional
 /// `events_pipeline` rows measuring the hot-thread cost of the sync vs
 /// async full-events sinks (present when `--events-sink` was passed).
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v4";
+/// v5: added `threads_resolved` (the worker count the engine actually
+/// used — never 0, so `auto` sweeps record what they ran on), the
+/// sharded-merge counters (`merge_shards`, `merge_shard_max`), and the
+/// top-level `thread_scaling` summary array (always present; empty when
+/// the sweep has no `threads = 1` baseline to compare against).
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v5";
 
 /// `--compare` fails on a `packets_per_sec` drop of more than this
 /// fraction below the baseline at any matching point.
@@ -63,6 +77,9 @@ struct ScaleRun {
     rounds: u32,
     /// Engine worker threads (`SimConfig::threads`; 0 = all cores).
     threads: usize,
+    /// The worker count the engine actually used (`SimReport::threads`)
+    /// — never 0, so an `auto` sweep records the machine it ran on.
+    threads_resolved: usize,
     /// `Send-Data` candidate pruning policy spelling (`auto`,
     /// `legacy-auto`, `full`, or a fixed budget as an integer string).
     candidates: String,
@@ -93,6 +110,11 @@ struct ScaleRun {
     merge_conflicts: u64,
     /// Live-continuation retargets applied during the merge.
     merge_retargets: u64,
+    /// Disjoint-head commit groups the sharded merge processed (0 when
+    /// the run took the sequential merge path, i.e. one worker).
+    merge_shards: u64,
+    /// Packets in the largest single commit group — shard imbalance.
+    merge_shard_max: u64,
     /// Round-latency quantiles (ns) over the run's rounds.
     round_p50_ns: f64,
     round_p90_ns: f64,
@@ -152,6 +174,10 @@ impl Serialize for ScaleRun {
             ("k".to_string(), self.k.to_value()),
             ("rounds".to_string(), self.rounds.to_value()),
             ("threads".to_string(), self.threads.to_value()),
+            (
+                "threads_resolved".to_string(),
+                self.threads_resolved.to_value(),
+            ),
             ("candidates".to_string(), self.candidates.to_value()),
             ("head_index".to_string(), self.head_index.to_value()),
             ("wall_s".to_string(), self.wall_s.to_value()),
@@ -176,6 +202,11 @@ impl Serialize for ScaleRun {
             "merge_retargets".to_string(),
             self.merge_retargets.to_value(),
         ));
+        fields.push(("merge_shards".to_string(), self.merge_shards.to_value()));
+        fields.push((
+            "merge_shard_max".to_string(),
+            self.merge_shard_max.to_value(),
+        ));
         fields.push(("round_p50_ns".to_string(), self.round_p50_ns.to_value()));
         fields.push(("round_p90_ns".to_string(), self.round_p90_ns.to_value()));
         fields.push(("round_p99_ns".to_string(), self.round_p99_ns.to_value()));
@@ -198,6 +229,9 @@ struct ScaleReport {
     lambda: f64,
     /// Deployment/protocol base seed.
     seed: u64,
+    /// Speedups of the multi-thread points over their `threads = 1`
+    /// baselines; empty when the sweep has nothing to compare.
+    thread_scaling: Vec<serde_json::Value>,
     /// One entry per requested size, in request order.
     runs: Vec<ScaleRun>,
 }
@@ -209,7 +243,114 @@ struct ScaleReportValue {
     schema: String,
     lambda: f64,
     seed: u64,
+    thread_scaling: Vec<serde_json::Value>,
     runs: Vec<serde_json::Value>,
+}
+
+/// Compute the `thread_scaling` summary rows from rendered run rows.
+///
+/// Every run with `threads != 1` is paired with the `threads = 1` run
+/// at the same `(n, candidates, head_index, rounds)` coordinates (a
+/// `threads = 0` auto run counts as a scaled point — its baseline is
+/// still the explicit single-thread row). Unpaired points contribute
+/// nothing: speedup against a missing baseline is unmeasurable, not
+/// 1.0. Each row carries the headline pkt/s speedup plus per-phase
+/// wall speedups for every phase both runs actually spent time in.
+///
+/// Operating on rendered [`serde_json::Value`] rows (not [`ScaleRun`])
+/// means the `--append` path contributes its carried-through baseline
+/// rows on equal footing with fresh ones.
+fn thread_scaling_rows(runs: &[serde_json::Value]) -> Vec<serde_json::Value> {
+    let coords = |r: &serde_json::Value| {
+        (
+            r["n"].as_u64(),
+            r["candidates"].as_str().map(str::to_string),
+            r["head_index"].as_str().map(str::to_string),
+            r["rounds"].as_u64(),
+        )
+    };
+    let phase_wall = |r: &serde_json::Value, phase: &str| -> f64 {
+        r["phase_wall"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|w| w["phase"].as_str() == Some(phase))
+            .and_then(|w| w["mean_wall_ns"].as_f64())
+            .unwrap_or(0.0)
+    };
+    let mut rows = Vec::new();
+    for run in runs {
+        if run["threads"].as_u64() == Some(1) {
+            continue;
+        }
+        let Some(base) = runs
+            .iter()
+            .find(|b| b["threads"].as_u64() == Some(1) && coords(b) == coords(run))
+        else {
+            continue;
+        };
+        let pps = run["packets_per_sec"].as_f64().unwrap_or(0.0);
+        let base_pps = base["packets_per_sec"].as_f64().unwrap_or(0.0);
+        if base_pps <= 0.0 {
+            continue;
+        }
+        let phases: Vec<serde_json::Value> = Phase::ALL
+            .iter()
+            .filter_map(|&p| {
+                let b = phase_wall(base, p.name());
+                let s = phase_wall(run, p.name());
+                (b > 0.0 && s > 0.0).then(|| {
+                    serde_json::Value::Object(vec![
+                        ("phase".to_string(), p.name().to_value()),
+                        ("speedup".to_string(), (b / s).to_value()),
+                    ])
+                })
+            })
+            .collect();
+        rows.push(serde_json::Value::Object(vec![
+            ("n".to_string(), run["n"].clone()),
+            ("threads".to_string(), run["threads"].clone()),
+            (
+                "threads_resolved".to_string(),
+                run["threads_resolved"].clone(),
+            ),
+            ("candidates".to_string(), run["candidates"].clone()),
+            ("head_index".to_string(), run["head_index"].clone()),
+            ("packets_per_sec".to_string(), pps.to_value()),
+            ("baseline_packets_per_sec".to_string(), base_pps.to_value()),
+            ("speedup".to_string(), (pps / base_pps).to_value()),
+            ("phases".to_string(), serde_json::Value::Array(phases)),
+        ]));
+    }
+    rows
+}
+
+/// `--gate-thread-scaling`: every multi-thread point must reach
+/// `floor` × its single-threaded pkt/s. `Ok` carries one message per
+/// failing point (empty = gate passes); `Err` means the sweep produced
+/// nothing to gate, which would otherwise pass vacuously.
+fn gate_thread_scaling(rows: &[serde_json::Value], floor: f64) -> Result<Vec<String>, String> {
+    if rows.is_empty() {
+        return Err(
+            "nothing to gate: the sweep needs a threads = 1 point and a multi-thread point \
+             at the same coordinates (e.g. --threads 1,4)"
+                .into(),
+        );
+    }
+    Ok(rows
+        .iter()
+        .filter(|row| row["speedup"].as_f64().unwrap_or(0.0) < floor)
+        .map(|row| {
+            format!(
+                "N={} threads={}: {:.2}x pkt/s vs threads=1 ({:.0} vs {:.0}), below the {floor:.2}x floor",
+                row["n"].as_u64().unwrap_or(0),
+                row["threads"].as_u64().unwrap_or(0),
+                row["speedup"].as_f64().unwrap_or(0.0),
+                row["packets_per_sec"].as_f64().unwrap_or(0.0),
+                row["baseline_packets_per_sec"].as_f64().unwrap_or(0.0),
+            )
+        })
+        .collect())
 }
 
 /// The artifact spelling of a candidate policy (also the `--candidates`
@@ -253,8 +394,10 @@ fn run_size(
     let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let start = Instant::now();
-    let report = Simulator::new(net, spec.sim)
-        .observed(obs)
+    let report = Simulator::builder(net)
+        .config(spec.sim)
+        .observers(obs)
+        .build()
         .run(protocol.as_mut(), &mut rng);
     let wall_s = start.elapsed().as_secs_f64();
     let sink = sink.lock().expect("metrics sink poisoned");
@@ -289,6 +432,7 @@ fn run_size(
         k,
         rounds,
         threads,
+        threads_resolved: report.threads,
         candidates: policy_label(candidates),
         head_index: head_index.label().to_string(),
         wall_s,
@@ -301,6 +445,8 @@ fn run_size(
         phase_threads,
         merge_conflicts: counter("merge.conflicts"),
         merge_retargets: counter("merge.retargets"),
+        merge_shards: counter("merge.shards"),
+        merge_shard_max: counter("merge.shard_max"),
         round_p50_ns: profile.round_latency.p50_ns,
         round_p90_ns: profile.round_latency.p90_ns,
         round_p99_ns: profile.round_latency.p99_ns,
@@ -364,8 +510,10 @@ fn run_events_pipeline(
             };
             let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-            let _ = Simulator::new(net, spec.sim)
-                .observed(obs.clone())
+            let _ = Simulator::builder(net)
+                .config(spec.sim)
+                .observers(obs.clone())
+                .build()
                 .run(protocol.as_mut(), &mut rng);
             obs.flush().expect("events pipeline flush");
             match handle {
@@ -393,7 +541,7 @@ fn run_events_pipeline(
         .collect()
 }
 
-/// Check a `BENCH_scale.json` text against the v4 schema. Returns a
+/// Check a `BENCH_scale.json` text against the v5 schema. Returns a
 /// description of the first problem found.
 fn validate_scale_json(text: &str) -> Result<(), String> {
     let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
@@ -414,6 +562,35 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
     if runs.is_empty() {
         return Err("runs must be non-empty".into());
     }
+    // v5: the thread-scaling summary is always present — an empty array
+    // when the sweep had no threads = 1 baseline, never a missing key.
+    let scaling = v["thread_scaling"].as_array().ok_or_else(|| {
+        "thread_scaling must be an array (empty when the sweep has no baseline)".to_string()
+    })?;
+    for (i, row) in scaling.iter().enumerate() {
+        for key in [
+            "n",
+            "threads",
+            "threads_resolved",
+            "packets_per_sec",
+            "baseline_packets_per_sec",
+            "speedup",
+        ] {
+            if row[key].as_f64().is_none() {
+                return Err(format!("thread_scaling[{i}] missing numeric field {key:?}"));
+            }
+        }
+        let phases = row["phases"]
+            .as_array()
+            .ok_or_else(|| format!("thread_scaling[{i}].phases must be an array"))?;
+        for p in phases {
+            if p["phase"].as_str().is_none() || p["speedup"].as_f64().is_none() {
+                return Err(format!(
+                    "thread_scaling[{i}] phase entries need a phase name and a numeric speedup"
+                ));
+            }
+        }
+    }
     let phases: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
     for (i, run) in runs.iter().enumerate() {
         for key in [
@@ -421,6 +598,7 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "k",
             "rounds",
             "threads",
+            "threads_resolved",
             "wall_s",
             "packets",
             "packets_per_sec",
@@ -428,6 +606,8 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "alive_end",
             "merge_conflicts",
             "merge_retargets",
+            "merge_shards",
+            "merge_shard_max",
             "round_p50_ns",
             "round_p90_ns",
             "round_p99_ns",
@@ -435,6 +615,11 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             if run[key].as_f64().is_none() {
                 return Err(format!("runs[{i}] missing numeric field {key:?}"));
             }
+        }
+        // "auto" resolves to a concrete worker count before the first
+        // round, so a recorded 0 means the run never resolved it.
+        if run["threads_resolved"].as_u64() == Some(0) {
+            return Err(format!("runs[{i}].threads_resolved must be >= 1"));
         }
         match run["candidates"].as_str() {
             Some(c) if CandidatePolicy::parse(c).is_ok() => {}
@@ -667,10 +852,19 @@ fn main() {
             .collect()
     });
 
+    let gate_floor: Option<f64> =
+        flag_value(&args, "--gate-thread-scaling").map(|s| match s.parse::<f64>() {
+            Ok(f) if f > 0.0 => f,
+            _ => die(&format!(
+                "--gate-thread-scaling takes a positive number, got `{s}`"
+            )),
+        });
+
     let mut report = ScaleReport {
         schema: SCALE_SCHEMA.to_string(),
         lambda,
         seed,
+        thread_scaling: Vec::new(),
         runs: Vec::new(),
     };
     let mut rows = Vec::new();
@@ -734,8 +928,11 @@ fn main() {
 
     // --append folds the fresh runs into an existing same-schema
     // artifact instead of replacing it (used to add the expensive
-    // N = 100k points without re-running the whole sweep).
-    if args.iter().any(|a| a == "--append") {
+    // N = 100k points without re-running the whole sweep). The
+    // thread-scaling summary is recomputed over the merged run set, so
+    // appended points pick up baselines from the prior rows too.
+    let fresh: Vec<serde_json::Value> = report.runs.iter().map(|r| r.to_value()).collect();
+    let all_runs = if args.iter().any(|a| a == "--append") {
         match std::fs::read_to_string(&out) {
             Ok(existing) => {
                 if let Err(e) = validate_scale_json(&existing) {
@@ -743,21 +940,35 @@ fn main() {
                 }
                 let prior: serde_json::Value =
                     serde_json::from_str(&existing).expect("validated artifact parses");
-                let mut merged = ScaleReportValue {
-                    schema: SCALE_SCHEMA.to_string(),
-                    lambda,
-                    seed,
-                    runs: prior["runs"].as_array().expect("validated").to_vec(),
-                };
-                merged.runs.extend(report.runs.iter().map(|r| r.to_value()));
-                write_json(&out, &merged);
+                let mut merged = prior["runs"].as_array().expect("validated").to_vec();
+                merged.extend(fresh);
+                merged
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => write_json(&out, &report),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => fresh,
             Err(e) => die(&format!("--append: cannot read {out}: {e}")),
         }
     } else {
-        write_json(&out, &report);
+        fresh
+    };
+    let scaling = thread_scaling_rows(&all_runs);
+    for row in &scaling {
+        eprintln!(
+            "thread scaling: N = {:>6} × {} thread(s): {:.2}x pkt/s vs threads = 1",
+            row["n"].as_u64().unwrap_or(0),
+            row["threads"].as_u64().unwrap_or(0),
+            row["speedup"].as_f64().unwrap_or(0.0),
+        );
     }
+    write_json(
+        &out,
+        &ScaleReportValue {
+            schema: SCALE_SCHEMA.to_string(),
+            lambda,
+            seed,
+            thread_scaling: scaling.clone(),
+            runs: all_runs,
+        },
+    );
 
     if args.iter().any(|a| a == "--validate") {
         let text = std::fs::read_to_string(&out).expect("artifact just written");
@@ -767,6 +978,21 @@ fn main() {
                 eprintln!("error: {out} failed schema validation: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+
+    if let Some(floor) = gate_floor {
+        match gate_thread_scaling(&scaling, floor) {
+            Ok(failures) if failures.is_empty() => {
+                println!("[thread-scaling gate passes at {floor:.2}x]");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("error: thread scaling: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => die(&e),
         }
     }
 
@@ -806,6 +1032,7 @@ mod tests {
             schema: SCALE_SCHEMA.to_string(),
             lambda: 8.0,
             seed: 7,
+            thread_scaling: Vec::new(),
             runs: vec![run],
         };
         let text = serde_json::to_string_pretty(&report).unwrap();
@@ -814,6 +1041,7 @@ mod tests {
         assert!(r.wall_s > 0.0);
         assert!(r.packets > 0);
         assert_eq!(r.threads, 1);
+        assert_eq!(r.threads_resolved, 1);
         assert_eq!(r.candidates, "4");
         assert_eq!(r.head_index, "incremental");
         assert_eq!(r.phase_wall.len(), Phase::ALL.len());
@@ -893,6 +1121,7 @@ mod tests {
                 schema: SCALE_SCHEMA.to_string(),
                 lambda: 8.0,
                 seed: 7,
+                thread_scaling: Vec::new(),
                 runs: vec![base_run],
             })
             .unwrap()
@@ -921,6 +1150,7 @@ mod tests {
                 schema: SCALE_SCHEMA.to_string(),
                 lambda: 8.0,
                 seed: 7,
+                thread_scaling: Vec::new(),
                 runs: vec![other_run],
             })
             .unwrap();
@@ -939,7 +1169,7 @@ mod tests {
         assert!(validate_scale_json(&no_runs).is_err());
         let bad_run = format!(
             "{{\"schema\":\"{SCALE_SCHEMA}\",\"lambda\":5.0,\"seed\":1,\
-             \"runs\":[{{\"n\":10}}]}}"
+             \"thread_scaling\":[],\"runs\":[{{\"n\":10}}]}}"
         );
         let err = validate_scale_json(&bad_run).unwrap_err();
         assert!(err.contains("missing numeric field"), "{err}");
@@ -962,6 +1192,7 @@ mod tests {
                 schema: SCALE_SCHEMA.to_string(),
                 lambda: 8.0,
                 seed: 7,
+                thread_scaling: Vec::new(),
                 runs: vec![serde_json::Value::Object(fields)],
             };
             serde_json::to_string(&report).unwrap()
@@ -990,6 +1221,7 @@ mod tests {
                 schema: SCALE_SCHEMA.to_string(),
                 lambda: 8.0,
                 seed: 7,
+                thread_scaling: Vec::new(),
                 runs: vec![serde_json::Value::Object(fields)],
             };
             serde_json::to_string(&report).unwrap()
@@ -1049,6 +1281,99 @@ mod tests {
             ));
         });
         validate_scale_json(&good_pipeline).expect("well-formed pipeline rows validate");
+    }
+
+    #[test]
+    fn validator_enforces_v5_fields() {
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let render = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match base.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            let report = ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![serde_json::Value::Object(fields)],
+            };
+            serde_json::to_string(&report).unwrap()
+        };
+        for missing in ["threads_resolved", "merge_shards", "merge_shard_max"] {
+            let text = render(&|fields| fields.retain(|(k, _)| k != missing));
+            let err = validate_scale_json(&text).unwrap_err();
+            assert!(err.contains(missing), "{missing}: {err}");
+        }
+        // A recorded 0 means the run never resolved `auto` — rejected.
+        let zero = render(&|fields| {
+            fields.retain(|(k, _)| k != "threads_resolved");
+            fields.push(("threads_resolved".into(), 0u64.to_value()));
+        });
+        let err = validate_scale_json(&zero).unwrap_err();
+        assert!(err.contains("threads_resolved"), "{err}");
+        // The thread_scaling key itself is mandatory, even when empty.
+        let valid = render(&|_| {});
+        let mut v: serde_json::Value = serde_json::from_str(&valid).unwrap();
+        if let serde_json::Value::Object(top) = &mut v {
+            top.retain(|(k, _)| k != "thread_scaling");
+        }
+        let err = validate_scale_json(&serde_json::to_string(&v).unwrap()).unwrap_err();
+        assert!(err.contains("thread_scaling"), "{err}");
+        // A malformed scaling row (no speedup) is rejected.
+        let mut v: serde_json::Value = serde_json::from_str(&valid).unwrap();
+        if let serde_json::Value::Object(top) = &mut v {
+            top.retain(|(k, _)| k != "thread_scaling");
+            top.push((
+                "thread_scaling".into(),
+                serde_json::Value::Array(vec![serde_json::Value::Object(vec![(
+                    "n".into(),
+                    30u64.to_value(),
+                )])]),
+            ));
+        }
+        let err = validate_scale_json(&serde_json::to_string(&v).unwrap()).unwrap_err();
+        assert!(err.contains("thread_scaling[0]"), "{err}");
+    }
+
+    #[test]
+    fn thread_scaling_rows_pair_points_with_their_baselines() {
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let mut fast = tiny_run(2, HeadIndexMode::Incremental);
+        // Pin the headline numbers so the speedup is exact.
+        fast.packets_per_sec = base.packets_per_sec * 2.0;
+        let rows = thread_scaling_rows(&[base.to_value(), fast.to_value()]);
+        assert_eq!(rows.len(), 1, "one scaled point, one row");
+        let row = &rows[0];
+        assert_eq!(row["n"].as_u64(), Some(30));
+        assert_eq!(row["threads"].as_u64(), Some(2));
+        assert_eq!(row["threads_resolved"].as_u64(), Some(2));
+        let speedup = row["speedup"].as_f64().unwrap();
+        assert!((speedup - 2.0).abs() < 1e-9, "{speedup}");
+        let phases = row["phases"].as_array().unwrap();
+        assert!(!phases.is_empty(), "both runs spent time in some phase");
+        for p in phases {
+            assert!(p["speedup"].as_f64().unwrap() > 0.0);
+        }
+        // A scaled point with no threads = 1 partner contributes
+        // nothing (a rebuild-mode run has different coordinates).
+        let orphan = tiny_run(2, HeadIndexMode::Rebuild);
+        assert!(thread_scaling_rows(&[base.to_value(), orphan.to_value()]).is_empty());
+        // The gate: passes under the measured speedup, fails above it,
+        // and refuses to pass vacuously on an empty summary.
+        assert_eq!(
+            gate_thread_scaling(&rows, 1.5).unwrap(),
+            Vec::<String>::new()
+        );
+        let failures = gate_thread_scaling(&rows, 2.5).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("below the 2.50x floor"),
+            "{}",
+            failures[0]
+        );
+        assert!(gate_thread_scaling(&[], 1.3).is_err());
     }
 
     #[test]

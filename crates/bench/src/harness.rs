@@ -329,12 +329,12 @@ pub fn run_cell(kind: ProtocolKind, spec: &RunSpec) -> CellResult {
             let mut protocol = kind.build_observed(&spec.qlec_params(), &obs);
             // Offset the protocol RNG from the deployment RNG.
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-            let mut sim = Simulator::new(net, spec.sim).observed(obs);
+            let mut sim = Simulator::builder(net).config(spec.sim).observers(obs);
             if let Some(plan) = &spec.faults {
                 let driver = FaultDriver::new(plan.clone()).expect("invalid fault plan");
-                sim = sim.with_faults(driver);
+                sim = sim.faults(driver);
             }
-            let report = sim.run(protocol.as_mut(), &mut rng);
+            let report = sim.build().run(protocol.as_mut(), &mut rng);
             let sink = sink.lock().expect("metrics sink poisoned");
             let walls = Phase::ALL.iter().map(|&p| sink.phase_wall_ns(p)).collect();
             (report, walls)

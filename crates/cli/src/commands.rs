@@ -2,6 +2,7 @@
 //! text to print (testable without spawning the binary).
 
 use crate::args::ParsedArgs;
+use crate::spec::{SimSpec, SPEC_FIELDS};
 use qlec_clustering::deec::DeecProtocol;
 use qlec_clustering::heed::HeedProtocol;
 use qlec_clustering::leach::LeachProtocol;
@@ -28,7 +29,8 @@ pub const USAGE: &str = "\
 qlec-sim — QLEC (ICPP 2019) reproduction CLI
 
 USAGE:
-  qlec-sim run      [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
+  qlec-sim run      [--spec FILE.json]
+                    [--protocol qlec|fcm|kmeans|leach|deec|heed] [--n 100]
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
                     [--seed 42] [--death-line 0] [--threads 1]
                     [--candidates auto|legacy-auto|full|C]
@@ -44,6 +46,13 @@ USAGE:
   qlec-sim help
 
 NOTES:
+  --spec loads the whole run description (protocol, deployment, traffic,
+  engine knobs) from one typed JSON file — the same shape `SimSpec`
+  serializes, every field optional with the flag defaults, unknown
+  fields rejected. It replaces the per-run flags: combining --spec with
+  any of them is an error. Artifact flags (--events, --trace, --json,
+  ...) still apply, so one spec file reproduces one experiment under
+  any output set.
   --faults loads a JSON fault plan (see crates/fault/README.md and
   examples/faults.json) and replays it during the run.
   --events - streams the event log to stdout with wall-clock timings
@@ -114,100 +123,57 @@ fn build_protocol(
     })
 }
 
-struct RunSetup {
-    n: usize,
-    m: f64,
-    energy: f64,
-    k: usize,
-    lambda: f64,
-    rounds: u32,
-    seed: u64,
-    death_line: f64,
-    candidates: CandidatePolicy,
-    head_index: HeadIndexMode,
-    threads: usize,
+/// Resolve the run description: `--spec FILE.json` loads the whole
+/// [`SimSpec`]; otherwise the individual flags assemble one. Mixing the
+/// two is rejected per offending flag, so a spec file stays the single
+/// source of truth for the experiment it names.
+fn load_spec(args: &ParsedArgs) -> Result<SimSpec, String> {
+    let Some(path) = args.get("spec") else {
+        return SimSpec::from_args(args);
+    };
+    if path.is_empty() {
+        return Err("--spec needs a file path".into());
+    }
+    for field in SPEC_FIELDS {
+        let flag = field.replace('_', "-");
+        if args.has(&flag) {
+            return Err(format!(
+                "--spec conflicts with --{flag}: put the value in the spec file"
+            ));
+        }
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec {path}: {e}"))?;
+    SimSpec::from_json(&text).map_err(|e| format!("{path}: not a run spec: {e}"))
 }
 
-impl RunSetup {
-    fn from_args(args: &ParsedArgs) -> Result<RunSetup, String> {
-        Ok(RunSetup {
-            n: args.get_parsed("n", 100usize)?,
-            m: args.get_parsed("m", 200.0f64)?,
-            energy: args.get_parsed("energy", 5.0f64)?,
-            k: args.get_parsed("k", 5usize)?,
-            lambda: args.get_parsed("lambda", 5.0f64)?,
-            rounds: args.get_parsed("rounds", 20u32)?,
-            seed: args.get_parsed("seed", 42u64)?,
-            death_line: args.get_parsed("death-line", 0.0f64)?,
-            candidates: match args.get("candidates") {
-                None => CandidatePolicy::Auto,
-                Some(text) => {
-                    CandidatePolicy::parse(text).map_err(|e| format!("--candidates: {e}"))?
-                }
-            },
-            head_index: match args.get("head-index") {
-                None => HeadIndexMode::default(),
-                Some(text) => {
-                    HeadIndexMode::parse(text).map_err(|e| format!("--head-index: {e}"))?
-                }
-            },
-            threads: match args.get("threads") {
-                Some("auto") => 0,
-                None => 1,
-                Some(_) => match args.get_parsed("threads", 1usize)? {
-                    // 0 workers cannot run anything; `auto` is the spelling
-                    // for "use every core".
-                    0 => return Err("--threads must be positive (or `auto`)".into()),
-                    t => t,
-                },
-            },
-        })
-    }
+/// Run the spec'd simulation with no observers (the `compare` path).
+fn execute(spec: &SimSpec, protocol: &mut dyn Protocol) -> SimReport {
+    execute_observed(spec, protocol, ObserverSet::new(), None)
+}
 
-    fn validate(&self) -> Result<(), String> {
-        if self.n == 0 {
-            return Err("--n must be positive".into());
-        }
-        if self.k == 0 || self.k > self.n {
-            return Err("--k must be in 1..=n".into());
-        }
-        if self.m <= 0.0 || self.m.is_nan() {
-            return Err("--m must be positive".into());
-        }
-        if self.lambda <= 0.0 || self.lambda.is_nan() {
-            return Err("--lambda must be positive".into());
-        }
-        if self.rounds == 0 {
-            return Err("--rounds must be positive".into());
-        }
-        Ok(())
+/// Run the spec'd simulation: deployment from the seed, paper-shaped
+/// config with the spec's overrides, faults bound if a plan was loaded.
+fn execute_observed(
+    spec: &SimSpec,
+    protocol: &mut dyn Protocol,
+    obs: ObserverSet,
+    faults: Option<FaultPlan>,
+) -> SimReport {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let net = NetworkBuilder::new()
+        .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(spec.m)))
+        .uniform_cube(&mut rng, spec.n, spec.m, spec.energy);
+    let mut cfg = SimConfig::paper(spec.lambda);
+    cfg.rounds = spec.rounds;
+    cfg.death_line = spec.death_line;
+    cfg.stop_when_dead = spec.death_line > 0.0;
+    cfg.threads = spec.threads;
+    let mut sim = Simulator::builder(net).config(cfg).observers(obs);
+    if let Some(plan) = faults {
+        sim = sim.faults(FaultDriver::new(plan).expect("plan validated on load"));
     }
-
-    fn execute(&self, protocol: &mut dyn Protocol) -> SimReport {
-        self.execute_observed(protocol, ObserverSet::new(), None)
-    }
-
-    fn execute_observed(
-        &self,
-        protocol: &mut dyn Protocol,
-        obs: ObserverSet,
-        faults: Option<FaultPlan>,
-    ) -> SimReport {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let net = NetworkBuilder::new()
-            .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(self.m)))
-            .uniform_cube(&mut rng, self.n, self.m, self.energy);
-        let mut cfg = SimConfig::paper(self.lambda);
-        cfg.rounds = self.rounds;
-        cfg.death_line = self.death_line;
-        cfg.stop_when_dead = self.death_line > 0.0;
-        cfg.threads = self.threads;
-        let mut sim = Simulator::new(net, cfg).observed(obs);
-        if let Some(plan) = faults {
-            sim = sim.with_faults(FaultDriver::new(plan).expect("plan validated on load"));
-        }
-        sim.run(protocol, &mut rng)
-    }
+    sim.build().run(protocol, &mut rng)
 }
 
 /// Load and validate the `--faults` plan, if requested.
@@ -294,11 +260,12 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "profile",
         "metrics",
         "faults",
+        "spec",
     ])?;
-    let setup = RunSetup::from_args(args)?;
+    let setup = load_spec(args)?;
     setup.validate()?;
     let faults = load_faults(args)?;
-    let name = args.get("protocol").unwrap_or("qlec").to_string();
+    let name = setup.protocol.clone();
 
     // Flags that need a file path must have one before the run starts.
     let file_arg = |key: &str| -> Result<Option<&str>, String> {
@@ -379,7 +346,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         setup.head_index,
         &obs,
     )?;
-    let report = setup.execute_observed(protocol.as_mut(), obs.clone(), faults);
+    let report = execute_observed(&setup, protocol.as_mut(), obs.clone(), faults);
     obs.flush()
         .map_err(|e| format!("observer flush failed: {e}"))?;
 
@@ -488,7 +455,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
 
 fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
     args.ensure_known(&["n", "m", "energy", "k", "lambda", "rounds", "seeds"])?;
-    let setup = RunSetup::from_args(args)?;
+    let setup = SimSpec::from_args(args)?;
     setup.validate()?;
     let seeds = args.get_parsed("seeds", 3u64)?;
     if seeds == 0 {
@@ -507,9 +474,9 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
         let mut latency = 0.0;
         let mut min_res = 0.0;
         for s in 0..seeds {
-            let mut setup_s = RunSetup {
+            let mut setup_s = SimSpec {
                 seed: setup.seed + s,
-                ..setup
+                ..setup.clone()
             };
             setup_s.death_line = 0.0;
             let mut protocol = build_protocol(
@@ -520,7 +487,7 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
                 HeadIndexMode::default(),
                 &ObserverSet::new(),
             )?;
-            let report = setup_s.execute(protocol.as_mut());
+            let report = execute(&setup_s, protocol.as_mut());
             pdr += report.pdr();
             energy += report.total_energy();
             latency += report.mean_latency().unwrap_or(0.0);
@@ -719,10 +686,24 @@ mod tests {
 
     #[test]
     fn threads_flag_does_not_change_results() {
+        // The report's `threads` field *records the resolved worker
+        // count*, so it legitimately differs between runs; everything
+        // else must be identical at any setting.
+        let timeless = |json: &str| -> String {
+            json.lines()
+                .filter(|l| !l.contains("\"threads\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let resolved = |json: &str| -> u64 {
+            let v: serde_json::Value = serde_json::from_str(json).unwrap();
+            v["threads"].as_u64().unwrap()
+        };
         let base = run(&[
             "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
         ])
         .unwrap();
+        assert_eq!(resolved(&base), 1, "default is one worker");
         for t in ["4", "auto"] {
             let parallel = run(&[
                 "run",
@@ -737,7 +718,17 @@ mod tests {
                 "--json",
             ])
             .unwrap();
-            assert_eq!(base, parallel, "--threads {t} must not change the report");
+            assert_eq!(
+                timeless(&base),
+                timeless(&parallel),
+                "--threads {t} must not change the results"
+            );
+            // `auto` must report what it resolved to, never 0.
+            let r = resolved(&parallel);
+            match t {
+                "4" => assert_eq!(r, 4),
+                _ => assert!(r >= 1, "auto resolved to {r}"),
+            }
         }
         assert!(run(&["run", "--n", "10", "--rounds", "1", "--threads", "x"]).is_err());
     }
@@ -766,6 +757,58 @@ mod tests {
         assert!(out.contains("k_opt = 11.15"), "{out}");
         let out = run(&["kopt", "--d-to-bs", "133"]).unwrap();
         assert!(out.contains("use k = 5"), "{out}");
+    }
+
+    #[test]
+    fn spec_file_reproduces_the_flag_run() {
+        let path = std::env::temp_dir().join("qlec_test_spec_equiv.json");
+        let flags = [
+            "run", "--n", "20", "--k", "4", "--lambda", "8", "--rounds", "2", "--seed", "7",
+        ];
+        let spec = SimSpec::from_args(&ParsedArgs::parse(flags.iter().copied()).unwrap()).unwrap();
+        std::fs::write(&path, spec.to_json()).unwrap();
+        let mut by_flags: Vec<&str> = flags.to_vec();
+        by_flags.push("--json");
+        let by_spec = ["run", "--spec", path.to_str().unwrap(), "--json"];
+        assert_eq!(
+            run(&by_flags).unwrap(),
+            run(&by_spec).unwrap(),
+            "--spec must reproduce the flag run byte-for-byte"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn spec_conflicts_with_run_flags() {
+        let path = std::env::temp_dir().join("qlec_test_spec_conflict.json");
+        std::fs::write(&path, SimSpec::default().to_json()).unwrap();
+        let path_s = path.to_str().unwrap();
+        for (flag, value) in [("--n", "20"), ("--protocol", "fcm"), ("--death-line", "1")] {
+            let err = run(&["run", "--spec", path_s, flag, value]).unwrap_err();
+            assert!(err.contains("--spec conflicts"), "({flag}) {err}");
+            assert!(err.contains(flag), "names the offending flag: {err}");
+        }
+        // Artifact and fault flags still compose with --spec.
+        assert!(run(&["run", "--spec", path_s, "--json"]).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn spec_errors_are_structured() {
+        let err = run(&["run", "--spec"]).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+        let err = run(&["run", "--spec", "/no/such/spec.json"]).unwrap_err();
+        assert!(err.contains("cannot read spec"), "{err}");
+        let bad = std::env::temp_dir().join("qlec_test_spec_bad.json");
+        std::fs::write(&bad, r#"{"lamda": 3.0}"#).unwrap();
+        let err = run(&["run", "--spec", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("not a run spec"), "{err}");
+        assert!(err.contains("unknown spec field"), "{err}");
+        // Spec-borne values hit the same cross-field validation as flags.
+        std::fs::write(&bad, r#"{"k": 50, "n": 10}"#).unwrap();
+        let err = run(&["run", "--spec", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        let _ = std::fs::remove_file(bad);
     }
 
     #[test]

@@ -14,3 +14,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod spec;

@@ -1,0 +1,80 @@
+//! Binary-level `--spec` equivalence: the typed spec file must drive the
+//! exact run the individual flags describe, down to the byte on the
+//! deterministic `--events -` stream. This is the same check CI's
+//! spec-equivalence job performs against the release binary, kept here
+//! in-tree so a plain `cargo test` exercises it too.
+
+use qlec_cli::args::ParsedArgs;
+use qlec_cli::spec::SimSpec;
+use std::process::Command;
+
+fn run_binary(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_qlec-sim"))
+        .args(args)
+        .output()
+        .expect("qlec-sim runs");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn spec_run_streams_identical_events() {
+    let flags = [
+        "run",
+        "--protocol",
+        "qlec",
+        "--n",
+        "25",
+        "--k",
+        "4",
+        "--lambda",
+        "6",
+        "--rounds",
+        "3",
+        "--seed",
+        "11",
+        "--threads",
+        "2",
+    ];
+    let spec = SimSpec::from_args(&ParsedArgs::parse(flags.iter().copied()).unwrap()).unwrap();
+    let spec_path = std::env::temp_dir().join("qlec_bin_spec_equiv.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+
+    let mut by_flags: Vec<&str> = flags.to_vec();
+    by_flags.extend_from_slice(&["--events", "-"]);
+    let (flag_stream, flag_err, flag_ok) = run_binary(&by_flags);
+    assert!(flag_ok, "flag run failed: {flag_err}");
+
+    let by_spec = [
+        "run",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--events",
+        "-",
+    ];
+    let (spec_stream, spec_err, spec_ok) = run_binary(&by_spec);
+    assert!(spec_ok, "spec run failed: {spec_err}");
+
+    assert!(
+        flag_stream.lines().count() > 50,
+        "stream suspiciously short:\n{flag_stream}"
+    );
+    assert_eq!(
+        flag_stream, spec_stream,
+        "--spec must reproduce the flag run's event stream byte-for-byte"
+    );
+    let _ = std::fs::remove_file(spec_path);
+}
+
+#[test]
+fn spec_flag_conflict_exits_nonzero() {
+    let spec_path = std::env::temp_dir().join("qlec_bin_spec_conflict.json");
+    std::fs::write(&spec_path, SimSpec::default().to_json()).unwrap();
+    let (_, err, ok) = run_binary(&["run", "--spec", spec_path.to_str().unwrap(), "--n", "30"]);
+    assert!(!ok, "conflicting flags must fail");
+    assert!(err.contains("--spec conflicts"), "{err}");
+    let _ = std::fs::remove_file(spec_path);
+}

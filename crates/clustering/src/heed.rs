@@ -332,7 +332,10 @@ mod tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 5;
         let mut p = HeedProtocol::with_target_k(200.0, 5);
-        let report = Simulator::new(n, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(n)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         assert!(report.totals.is_conserved());
         assert!(report.pdr() > 0.8, "HEED PDR {}", report.pdr());
         assert_eq!(report.protocol, "heed");

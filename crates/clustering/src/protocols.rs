@@ -287,7 +287,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 4;
-        let report = Simulator::new(n, cfg).run(&mut KMeansProtocol::new(5), &mut rng);
+        let report = Simulator::builder(n)
+            .config(cfg)
+            .build()
+            .run(&mut KMeansProtocol::new(5), &mut rng);
         assert!(report.totals.is_conserved());
         assert!(report.pdr() > 0.8, "PDR {}", report.pdr());
     }
@@ -374,7 +377,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(16);
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 4;
-        let report = Simulator::new(n, cfg).run(&mut FcmProtocol::new(5), &mut rng);
+        let report = Simulator::builder(n)
+            .config(cfg)
+            .build()
+            .run(&mut FcmProtocol::new(5), &mut rng);
         assert!(report.totals.is_conserved());
         assert!(report.totals.delivered > 0);
     }
@@ -393,9 +399,15 @@ mod tests {
         for p in [true, false] {
             let net2 = n.clone();
             let report = if p {
-                Simulator::new(net2, cfg).run(&mut KMeansProtocol::new(5), &mut rng)
+                Simulator::builder(net2)
+                    .config(cfg)
+                    .build()
+                    .run(&mut KMeansProtocol::new(5), &mut rng)
             } else {
-                Simulator::new(net2, cfg).run(&mut FcmProtocol::new(5), &mut rng)
+                Simulator::builder(net2)
+                    .config(cfg)
+                    .build()
+                    .run(&mut FcmProtocol::new(5), &mut rng)
             };
             assert!(report.totals.is_conserved());
         }

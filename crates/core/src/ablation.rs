@@ -109,7 +109,10 @@ mod tests {
             assert_eq!(p.name(), ab.label());
             let mut cfg = SimConfig::paper(5.0);
             cfg.rounds = 5;
-            let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+            let report = Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng);
             assert!(report.totals.is_conserved(), "{:?}", ab);
             assert!(report.totals.delivered > 0, "{:?}", ab);
         }
@@ -124,7 +127,10 @@ mod tests {
         let mut p = Ablation::QRouting.protocol(QlecParams::paper_with_k(4));
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 3;
-        let _ = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         // Head updates still run at round end (line 15 belongs to the
         // algorithm skeleton), but no member Send-Data updates happen:
         // with 4 heads × 3 rounds the count stays tiny compared to the

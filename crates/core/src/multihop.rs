@@ -399,12 +399,12 @@ mod tests {
         let mut cfg = SimConfig::paper(20.0);
         cfg.rounds = 8;
         let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
-        let direct = Simulator::new(mk_net(1), cfg).run(
+        let direct = Simulator::builder(mk_net(1)).config(cfg).build().run(
             &mut QlecProtocol::builder().k(5).q_routing(false).build(),
             &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(1 ^ 0xAA);
-        let multi = Simulator::new(mk_net(1), cfg).run(
+        let multi = Simulator::builder(mk_net(1)).config(cfg).build().run(
             &mut MultiHopQlec::paper_with_k(5).with_features(SelectionFeatures::default(), false),
             &mut rng,
         );
@@ -442,13 +442,17 @@ mod tests {
         };
         let direct = mean(&|s| {
             let mut rng = StdRng::seed_from_u64(s ^ 0x55);
-            Simulator::new(mk_net(s), cfg)
+            Simulator::builder(mk_net(s))
+                .config(cfg)
+                .build()
                 .run(&mut QlecProtocol::builder().k(5).build(), &mut rng)
                 .total_energy()
         });
         let multi = mean(&|s| {
             let mut rng = StdRng::seed_from_u64(s ^ 0x55);
-            Simulator::new(mk_net(s), cfg)
+            Simulator::builder(mk_net(s))
+                .config(cfg)
+                .build()
                 .run(&mut MultiHopQlec::paper_with_k(5), &mut rng)
                 .total_energy()
         });

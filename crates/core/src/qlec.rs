@@ -14,7 +14,7 @@
 use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOutcome};
 use crate::kopt;
 use crate::params::{CandidatePolicy, HeadIndexMode, QlecParams};
-use crate::qrouting::QRouter;
+use crate::qrouting::{ActionConst, QRouter};
 use qlec_geom::{IncrementalKdIndex, UniformGrid, Vec3};
 use qlec_net::protocol::{nearest_head, PlanScratch, RoutePlanner};
 use qlec_net::{Network, NodeId, Protocol, Target};
@@ -76,8 +76,20 @@ pub struct QlecProtocol {
     knn_out: Vec<(u32, f64)>,
     /// Reused scratch holding the pruned candidate head set.
     candidate_buf: Vec<NodeId>,
+    /// Per-round cache of the k-nearest head ranking per source node,
+    /// used by merge-time retargets when `threads > 1`. The ranking
+    /// depends only on the source position and `head_index` — both
+    /// frozen between `on_round_start` calls — so the first retarget of
+    /// a node this round pays the tree walk and later ones reuse it; the
+    /// alive filter stays live either way, so the candidate set (and
+    /// every downstream byte) matches the uncached query exactly.
+    retarget_knn: HashMap<u32, Vec<(u32, f64)>>,
+    /// Reused per-action constant buffer for the cached `Send-Data`
+    /// kernel ([`QRouter::send_data_excluding_cached`], `threads > 1`).
+    action_buf: Vec<ActionConst>,
     /// Resolved engine thread count (see [`Protocol::configure_threads`]);
-    /// sizes the batched head V refreshes.
+    /// sizes the batched head V refreshes and selects the cached
+    /// `Send-Data` kernel (`threads > 1`) over the reference one.
     threads: usize,
 }
 
@@ -234,6 +246,8 @@ impl QlecBuilder {
             knn_buf: Vec::new(),
             knn_out: Vec::new(),
             candidate_buf: Vec::new(),
+            retarget_knn: HashMap::new(),
+            action_buf: Vec::new(),
             threads: 1,
         }
     }
@@ -371,6 +385,7 @@ impl Protocol for QlecProtocol {
         // worth it (and only *valid* as a pure speedup) when the head set
         // is larger than the candidate budget.
         self.candidates_active = false;
+        self.retarget_knn.clear();
         if let Some(c) = self.params.candidates.budget(k) {
             if self.q_routing && heads.len() > c {
                 let head_start_ns = self.obs.now_ns();
@@ -441,20 +456,47 @@ impl Protocol for QlecProtocol {
             // full list (the router skips dead heads itself).
             let candidates: &[NodeId] = if self.candidates_active {
                 let c = self.candidate_budget;
-                let window = (c + 8).min(self.head_index.len());
-                self.head_index.k_nearest_into(
-                    net.node(src).pos,
-                    window,
-                    &mut self.knn_buf,
-                    &mut self.knn_out,
-                );
-                self.candidate_buf.clear();
-                for &(id, _) in &self.knn_out {
-                    let h = NodeId(id);
-                    if net.node(h).is_alive() {
-                        self.candidate_buf.push(h);
-                        if self.candidate_buf.len() == c {
-                            break;
+                if self.threads > 1 {
+                    // Merge-time retargets re-query the same frozen index
+                    // per source node; cache the ranking for the round
+                    // and keep only the alive filter live.
+                    if !self.retarget_knn.contains_key(&src.0) {
+                        let window = (c + 8).min(self.head_index.len());
+                        self.head_index.k_nearest_into(
+                            net.node(src).pos,
+                            window,
+                            &mut self.knn_buf,
+                            &mut self.knn_out,
+                        );
+                        self.retarget_knn.insert(src.0, self.knn_out.clone());
+                    }
+                    let knn = &self.retarget_knn[&src.0];
+                    self.candidate_buf.clear();
+                    for &(id, _) in knn {
+                        let h = NodeId(id);
+                        if net.node(h).is_alive() {
+                            self.candidate_buf.push(h);
+                            if self.candidate_buf.len() == c {
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    let window = (c + 8).min(self.head_index.len());
+                    self.head_index.k_nearest_into(
+                        net.node(src).pos,
+                        window,
+                        &mut self.knn_buf,
+                        &mut self.knn_out,
+                    );
+                    self.candidate_buf.clear();
+                    for &(id, _) in &self.knn_out {
+                        let h = NodeId(id);
+                        if net.node(h).is_alive() {
+                            self.candidate_buf.push(h);
+                            if self.candidate_buf.len() == c {
+                                break;
+                            }
                         }
                     }
                 }
@@ -471,7 +513,17 @@ impl Protocol for QlecProtocol {
                 .router
                 .as_mut()
                 .expect("router initialized in on_round_start");
-            let target = router.send_data_excluding(net, src, candidates, excluded);
+            let target = if self.threads > 1 {
+                router.send_data_excluding_cached(
+                    net,
+                    src,
+                    candidates,
+                    excluded,
+                    &mut self.action_buf,
+                )
+            } else {
+                router.send_data_excluding(net, src, candidates, excluded)
+            };
             if self.obs.is_active() {
                 self.qrouting_ns += self.obs.now_ns().saturating_sub(start_ns);
                 self.obs.emit(Event::QUpdate {
@@ -581,6 +633,15 @@ struct QlecPlanScratch {
     knn_buf: Vec<(u32, f64)>,
     knn_out: Vec<(u32, f64)>,
     candidate_buf: Vec<NodeId>,
+    /// Whether `candidate_buf` already holds this node's pruned set.
+    /// Planning sees a frozen network, so the query — and the alive
+    /// filter — return the same set for every attempt of every packet of
+    /// the node; with `threads > 1` the first attempt pays the tree walk
+    /// and the rest reuse it (`threads = 1` keeps the per-attempt
+    /// reference query it is differentially tested against).
+    knn_ready: bool,
+    /// Per-action constant buffer for the cached `Send-Data` kernel.
+    action_buf: Vec<ActionConst>,
     /// Signed `V*(src)` change per planned packet, in packet order.
     deltas: Vec<f64>,
     /// Elementary Q computations performed while planning.
@@ -604,6 +665,8 @@ impl RoutePlanner for QlecProtocol {
             knn_buf: Vec::new(),
             knn_out: Vec::new(),
             candidate_buf: Vec::new(),
+            knn_ready: false,
+            action_buf: Vec::new(),
             deltas: Vec::new(),
             updates: 0,
             ns: 0,
@@ -642,27 +705,35 @@ impl RoutePlanner for QlecProtocol {
             knn_buf,
             knn_out,
             candidate_buf,
+            knn_ready,
+            action_buf,
             deltas,
             updates,
             ns,
         } = s;
         // Same pruned-candidate query as `choose_target`, on the
         // node-private buffers (the index itself is only read — `&self`
-        // planning stays free of interior mutation).
+        // planning stays free of interior mutation). With `threads > 1`
+        // the set is computed once per node (the network is frozen while
+        // planning, so per-attempt re-queries are pure repetition).
+        let cache_set = self.threads > 1;
         let candidates: &[NodeId] = if self.candidates_active {
-            let c = self.candidate_budget;
-            let window = (c + 8).min(self.head_index.len());
-            self.head_index
-                .k_nearest_into(net.node(src).pos, window, knn_buf, knn_out);
-            candidate_buf.clear();
-            for &(id, _) in knn_out.iter() {
-                let h = NodeId(id);
-                if net.node(h).is_alive() {
-                    candidate_buf.push(h);
-                    if candidate_buf.len() == c {
-                        break;
+            if !(cache_set && *knn_ready) {
+                let c = self.candidate_budget;
+                let window = (c + 8).min(self.head_index.len());
+                self.head_index
+                    .k_nearest_into(net.node(src).pos, window, knn_buf, knn_out);
+                candidate_buf.clear();
+                for &(id, _) in knn_out.iter() {
+                    let h = NodeId(id);
+                    if net.node(h).is_alive() {
+                        candidate_buf.push(h);
+                        if candidate_buf.len() == c {
+                            break;
+                        }
                     }
                 }
+                *knn_ready = true;
             }
             if candidate_buf.is_empty() {
                 heads
@@ -681,7 +752,13 @@ impl RoutePlanner for QlecProtocol {
             }
         };
         let v_before = *v_src;
-        let target = router.send_data_core(net, src, candidates, nacked, v_src, &p_base, updates);
+        let target = if cache_set {
+            router.send_data_core_cached(
+                net, src, candidates, nacked, v_src, &p_base, updates, action_buf,
+            )
+        } else {
+            router.send_data_core(net, src, candidates, nacked, v_src, &p_base, updates)
+        };
         deltas.push(*v_src - v_before);
         if self.obs.is_active() {
             *ns += self.obs.now_ns().saturating_sub(start_ns);
@@ -735,7 +812,10 @@ mod tests {
         let net = paper_net(1, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(2);
         let mut p = QlecProtocol::builder().k(5).build();
-        let report = Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(SimConfig::paper(5.0))
+            .build()
+            .run(&mut p, &mut rng);
         assert!(report.totals.is_conserved());
         assert!(report.pdr() > 0.9, "QLEC idle PDR {}", report.pdr());
         assert_eq!(report.protocol, "qlec");
@@ -750,7 +830,10 @@ mod tests {
         assert_eq!(p.k(), None);
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 1;
-        let _ = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         let k = p.k().expect("k computed on first round");
         // Centre-BS Theorem 1 value for N=100, M=200 (see kopt.rs note).
         assert!((8..=14).contains(&k), "derived k_opt = {k}");
@@ -761,7 +844,10 @@ mod tests {
         let net = paper_net(5, AnyLink::Ideal(IdealLink));
         let mut rng = StdRng::seed_from_u64(6);
         let mut p = QlecProtocol::builder().k(5).build();
-        let report = Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(SimConfig::paper(5.0))
+            .build()
+            .run(&mut p, &mut rng);
         let mean = report.mean_head_count();
         assert!((4.0..=6.0).contains(&mean), "mean head count {mean}");
     }
@@ -773,7 +859,10 @@ mod tests {
         let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 5;
-        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         // Direct-to-BS member hops would show up as delivered packets with
         // sub-slot latency; with ideal links and the l penalty every
         // member packet should go through a head. We check the lifespan
@@ -793,7 +882,11 @@ mod tests {
             let mut p = QlecProtocol::builder().k(5).q_routing(q_routing).build();
             let mut cfg = SimConfig::paper(2.0); // congested
             cfg.rounds = 10;
-            Simulator::new(net, cfg).run(&mut p, &mut rng).pdr()
+            Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng)
+                .pdr()
         };
         // Average over seeds to damp randomized-election noise.
         let seeds = [10u64, 11, 12];
@@ -820,7 +913,11 @@ mod tests {
             let mut p = QlecProtocol::builder().k(5).q_routing(q_routing).build();
             let mut cfg = SimConfig::paper(4.0);
             cfg.rounds = 10;
-            Simulator::new(net, cfg).run(&mut p, &mut rng).pdr()
+            Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng)
+                .pdr()
         };
         let seeds = [10u64, 11, 12];
         let with_q: f64 = seeds.iter().map(|&s| run(true, s)).sum::<f64>() / seeds.len() as f64;
@@ -846,7 +943,10 @@ mod tests {
             let mut p = b.build();
             let mut cfg = SimConfig::paper(5.0);
             cfg.rounds = 10;
-            Simulator::new(net, cfg).run(&mut p, &mut rng)
+            Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng)
         };
         let off = run(None);
         let inert = run(Some(50)); // ≥ any head count at k = 5
@@ -869,7 +969,10 @@ mod tests {
                 b = b.candidate_heads(2);
             }
             let mut p = b.build();
-            Simulator::new(net, SimConfig::paper(5.0)).run(&mut p, &mut rng)
+            Simulator::builder(net)
+                .config(SimConfig::paper(5.0))
+                .build()
+                .run(&mut p, &mut rng)
         };
         let full = run(false);
         let pruned = run(true);
@@ -897,7 +1000,10 @@ mod tests {
         let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 400;
-        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         assert_eq!(
             report.rounds.last().expect("ran").alive_end,
             0,
@@ -915,11 +1021,11 @@ mod tests {
         let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 20;
-        let sim = Simulator::new(net, cfg);
+        let sim = Simulator::builder(net).config(cfg);
         let _ = sim; // run consumes; rebuild to inspect final network
         let net = paper_net(15, AnyLink::Ideal(IdealLink));
-        let sim = Simulator::new(net, cfg);
-        let report = sim.run(&mut p, &mut rng);
+        let sim = Simulator::builder(net).config(cfg);
+        let report = sim.build().run(&mut p, &mut rng);
         // ~5 heads × 20 rounds = ~100 head-slots across 100 nodes: the
         // rotation should touch a sizable fraction of the network.
         let served = report
@@ -940,7 +1046,10 @@ mod tests {
         let mut p = QlecProtocol::builder().k(5).build();
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 10;
-        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         assert!(report.totals.is_conserved());
     }
 
@@ -962,7 +1071,10 @@ mod tests {
                 .build();
             let mut cfg = SimConfig::paper(5.0);
             cfg.rounds = 30;
-            Simulator::new(net, cfg).run(&mut p, &mut rng)
+            Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng)
         };
         let rebuild = run(HeadIndexMode::Rebuild);
         let incremental = run(HeadIndexMode::Incremental);

@@ -103,6 +103,19 @@ impl LinkEstimator {
     }
 }
 
+/// Sweep-invariant constants of one `Send-Data` action, hoisted by
+/// [`QRouter::send_data_core_cached`]: the (NACK-halved) link belief, the
+/// Eq. 16 expected reward, and the target's `V*` — everything in the
+/// Q-value except the failure self-loop term that the fixed point
+/// iterates on.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionConst {
+    target: Target,
+    p_ok: f64,
+    r_t: f64,
+    v_target: f64,
+}
+
 /// The per-network Q-routing state: one V value per node plus the BS.
 #[derive(Debug, Clone)]
 pub struct QRouter {
@@ -340,6 +353,128 @@ impl QRouter {
             *updates += 1;
             if best.is_none_or(|(_, bq)| q_bs > bq) {
                 best = Some((Target::Bs, q_bs));
+            }
+            let (a, v_new) = best.expect("BS action always exists");
+            action = a;
+            let delta = (v_new - *v_src).abs();
+            *v_src = v_new;
+            if delta < TOL {
+                break;
+            }
+        }
+        action
+    }
+
+    /// [`QRouter::send_data_excluding`] on the cached-constant kernel
+    /// ([`QRouter::send_data_core_cached`]): same decision, same
+    /// bookkeeping, bit-identical numbers. The parallel engine
+    /// (`threads > 1`) routes its merge-time retargets through this
+    /// entry point; the single-threaded path keeps the straightforward
+    /// reference kernel it is differentially tested against.
+    pub fn send_data_excluding_cached(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        nacked: &[Target],
+        scratch: &mut Vec<ActionConst>,
+    ) -> Target {
+        let v_before = self.v[src.index()];
+        let mut v_src = v_before;
+        let mut updates = 0u64;
+        let p_base = |t: Target| self.links.probability(src, t);
+        let action = self.send_data_core_cached(
+            net,
+            src,
+            heads,
+            nacked,
+            &mut v_src,
+            &p_base,
+            &mut updates,
+            scratch,
+        );
+        self.v[src.index()] = v_src;
+        self.updates.add(updates);
+        self.last_delta = v_src - v_before;
+        self.convergence.observe(self.last_delta.abs());
+        action
+    }
+
+    /// [`QRouter::send_data_core`] with the per-action constants hoisted
+    /// out of the sweep loop. Within one call the network is frozen
+    /// (`&Network`) and the NACK list fixed, so each action's link belief
+    /// `P`, Eq. 16 expected reward `R_t`, and target `V*` are sweep
+    /// invariants — only the failure self-loop term `γ·(1−P)·V*(src)`
+    /// changes as the fixed point iterates. The reference kernel
+    /// recomputes all of them every sweep (each reward carries a distance
+    /// square root and two battery reads); hoisting preserves the exact
+    /// expression tree `R_t + γ·(P·V*(target) + (1−P)·V*(src))`, so every
+    /// intermediate f64 — and the elementary-update count, the paper's
+    /// `X` — is bit-identical to [`QRouter::send_data_core`]. Locked by
+    /// the `cached_kernel_is_bit_identical` test below and, end to end,
+    /// by the thread-equivalence byte diffs.
+    ///
+    /// `scratch` is the caller-owned action buffer (cleared here), so
+    /// per-packet calls allocate nothing in steady state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_data_core_cached(
+        &self,
+        net: &Network,
+        src: NodeId,
+        heads: &[NodeId],
+        nacked: &[Target],
+        v_src: &mut f64,
+        p_base: &dyn Fn(Target) -> f64,
+        updates: &mut u64,
+        scratch: &mut Vec<ActionConst>,
+    ) -> Target {
+        const MAX_SWEEPS: usize = 60;
+        const TOL: f64 = 1e-6;
+        let p_of = |t: Target| -> f64 {
+            let n = nacked.iter().filter(|&&x| x == t).count() as i32;
+            p_base(t) * 0.5f64.powi(n)
+        };
+
+        // Dead heads are skipped here exactly as the reference skips them
+        // per sweep — before the elementary-update counter — and the BS
+        // action comes last, preserving the argmax comparison order.
+        scratch.clear();
+        for &h in heads {
+            if !net.node(h).is_alive() {
+                continue;
+            }
+            let t = Target::Head(h);
+            let p_ok = p_of(t);
+            let r_t = p_ok * self.reward_success(net, src, t, true)
+                + (1.0 - p_ok) * self.reward_failure(net, src, t);
+            scratch.push(ActionConst {
+                target: t,
+                p_ok,
+                r_t,
+                v_target: self.v[h.index()],
+            });
+        }
+        {
+            let p_ok = p_of(Target::Bs);
+            let r_t = p_ok * self.reward_success(net, src, Target::Bs, true)
+                + (1.0 - p_ok) * self.reward_failure(net, src, Target::Bs);
+            scratch.push(ActionConst {
+                target: Target::Bs,
+                p_ok,
+                r_t,
+                v_target: 0.0, // terminal
+            });
+        }
+
+        let mut action = Target::Bs;
+        for _ in 0..MAX_SWEEPS {
+            let mut best: Option<(Target, f64)> = None;
+            for a in scratch.iter() {
+                let q = a.r_t + self.params.gamma * (a.p_ok * a.v_target + (1.0 - a.p_ok) * *v_src);
+                *updates += 1;
+                if best.is_none_or(|(_, bq)| q > bq) {
+                    best = Some((a.target, q));
+                }
             }
             let (a, v_new) = best.expect("BS action always exists");
             action = a;
@@ -690,6 +825,70 @@ mod tests {
         }
         assert!(converged_at.is_some(), "V never converged");
         assert!(r.updates.total() > 0);
+    }
+
+    #[test]
+    fn cached_kernel_is_bit_identical() {
+        // The cached-constant kernel must reproduce the reference kernel
+        // bit for bit: same action, same V*(src) bits, same elementary
+        // update count, same signed delta — across evolving link
+        // evidence, NACK lists, dead heads, and an empty head set.
+        let mut net = NetworkBuilder::new()
+            .bs_at(Vec3::new(60.0, 40.0, 0.0))
+            .from_nodes(&[
+                (Vec3::new(0.0, 0.0, 0.0), 5.0),
+                (Vec3::new(30.0, 10.0, 0.0), 5.0),
+                (Vec3::new(150.0, 0.0, 20.0), 5.0),
+                (Vec3::new(80.0, 80.0, 80.0), 5.0),
+                (Vec3::new(10.0, 90.0, 40.0), 2.5),
+            ]);
+        net.node_mut(NodeId(3)).battery.consume(4.0);
+        let src = NodeId(0);
+        let all_heads = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let mut reference = router(&net);
+        let mut cached = reference.clone();
+        let mut scratch = Vec::new();
+        // Deterministic pseudo-random hop results / NACK churn.
+        let mut x: u64 = 0x9E37_79B9;
+        let mut nacked: Vec<Target> = Vec::new();
+        for step in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let heads: &[NodeId] = match step % 4 {
+                0 => &all_heads,
+                1 => &all_heads[..2],
+                2 => &all_heads[2..],
+                _ => &[],
+            };
+            if step % 7 == 0 {
+                nacked.clear();
+            }
+            let a = reference.send_data_excluding(&net, src, heads, &nacked);
+            let b = cached.send_data_excluding_cached(&net, src, heads, &nacked, &mut scratch);
+            assert_eq!(a, b, "action diverged at step {step}");
+            assert_eq!(
+                reference.v_of(src).to_bits(),
+                cached.v_of(src).to_bits(),
+                "V*(src) bits diverged at step {step}"
+            );
+            assert_eq!(
+                reference.updates.total(),
+                cached.updates.total(),
+                "update counts diverged at step {step}"
+            );
+            assert_eq!(
+                reference.last_delta().to_bits(),
+                cached.last_delta().to_bits(),
+                "last_delta bits diverged at step {step}"
+            );
+            let success = x & 1 == 0;
+            reference.on_hop_result(src, a, success);
+            cached.on_hop_result(src, b, success);
+            if !success {
+                nacked.push(a);
+            }
+        }
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //! * [`queue`] — the bounded FIFO cluster-head queue with service times,
 //! * [`protocol`] — the protocol trait and simple reference protocols,
 //! * [`metrics`] — round metrics, lifespan tracking, report aggregation,
-//! * [`sim`] — the round engine tying everything together,
+//! * [`sim`] — the round engine tying everything together (stage-1
+//!   planning; the stage-2 merge lives in the crate-private `merge`
+//!   module with an explicit `MergePlan`/`MergeOutcome` API),
 //! * [`trace`] — opt-in per-round JSON traces for external plotting.
 
+pub(crate) mod merge;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -44,4 +47,4 @@ pub use node::{Node, NodeId, Role};
 pub use packet::{Packet, Target};
 pub use protocol::Protocol;
 pub use qlec_fault::{FaultDriver, FaultEvent, FaultPlan};
-pub use sim::{SimConfig, Simulator};
+pub use sim::{SimBuilder, SimConfig, Simulator};

@@ -22,18 +22,20 @@
 //! show up in the metric; the shared end-of-round fusion wait, identical
 //! across protocols, does not.
 
+use crate::merge::{
+    self, sample_hop, MergePlan, MergeState, PacketPlan, PlannedAttempt, PlannedNode,
+};
 use crate::metrics::{EnergyBreakdown, LifespanInfo, PacketCounters, RoundMetrics, SimReport};
 use crate::network::Network;
 use crate::node::NodeId;
-use crate::packet::{Packet, Target};
+use crate::packet::Target;
 use crate::protocol::{PlanScratch, Protocol, RoutePlanner};
-use crate::queue::{ChQueue, Offer, QueueDrop};
+use crate::queue::ChQueue;
 use crate::traffic::PoissonTraffic;
 use qlec_fault::FaultDriver;
 use qlec_geom::randx::{stream_tag, StreamRng};
 use qlec_geom::stats::Welford;
 use qlec_obs::{Event, ObserverSet, PacketFate, Phase};
-use qlec_radio::link::{AnyLink, LinkModel};
 use rand::{Rng, RngCore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -178,32 +180,53 @@ pub struct Simulator {
     stream_seed: u64,
 }
 
-impl Simulator {
-    /// Create a simulator. Panics on invalid configuration.
-    pub fn new(net: Network, cfg: SimConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid SimConfig: {e}");
-        }
-        Simulator {
-            net,
-            cfg,
-            next_packet_id: 0,
-            obs: ObserverSet::new(),
-            faults: None,
-            scratch: RoundScratch::default(),
-            pool: None,
-            stream_seed: 0,
-        }
+/// Fluent assembly of a [`Simulator`] — network, configuration, faults,
+/// observers, and threads in one place, mirroring `QlecBuilder`:
+///
+/// ```
+/// use qlec_net::{NetworkBuilder, SimConfig, Simulator};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let net = NetworkBuilder::new().uniform_cube(&mut rng, 50, 200.0, 5.0);
+/// let sim = Simulator::builder(net)
+///     .config(SimConfig::paper(2.0))
+///     .threads(2)
+///     .build();
+/// ```
+///
+/// Replaces the former `Simulator::builder(net).config(cfg).faults(..)
+/// .observed(..)` chain (deprecated shims remain for this release).
+pub struct SimBuilder {
+    net: Network,
+    cfg: SimConfig,
+    faults: Option<FaultDriver>,
+    obs: ObserverSet,
+}
+
+impl SimBuilder {
+    /// Replace the full simulation configuration (validated at
+    /// [`Self::build`]). Defaults to [`SimConfig::default`].
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Override the worker-thread count (`0` = use every available
+    /// core) on top of whatever [`Self::config`] set — the common case
+    /// where the config is paper-shaped and only the throughput knob
+    /// varies.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
     }
 
     /// Attach a fault driver (`qlec-fault`): its plan's scheduled events
     /// — node crashes, battery drains, link degradations, region
     /// blackouts, BS outages — are applied at the start of each round and
-    /// during that round's transmissions. The driver is bound to this
-    /// network's node positions here, so region blackouts resolve against
-    /// the actual deployment.
-    pub fn with_faults(mut self, mut driver: FaultDriver) -> Self {
-        driver.bind(&self.net.positions());
+    /// during that round's transmissions. The driver is bound to the
+    /// network's node positions at [`Self::build`], so region blackouts
+    /// resolve against the actual deployment.
+    pub fn faults(mut self, driver: FaultDriver) -> Self {
         self.faults = Some(driver);
         self
     }
@@ -211,6 +234,66 @@ impl Simulator {
     /// Attach an observer set; every structured event of the run is
     /// fanned out to its sinks. An empty set (the default) costs one
     /// predictable branch per emission site.
+    pub fn observers(mut self, obs: ObserverSet) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Validate the configuration and assemble the simulator.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration fails [`SimConfig::validate`].
+    pub fn build(self) -> Simulator {
+        if let Err(e) = self.cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let mut sim = Simulator {
+            net: self.net,
+            cfg: self.cfg,
+            next_packet_id: 0,
+            obs: self.obs,
+            faults: None,
+            scratch: RoundScratch::default(),
+            pool: None,
+            stream_seed: 0,
+        };
+        if let Some(mut driver) = self.faults {
+            driver.bind(&sim.net.positions());
+            sim.faults = Some(driver);
+        }
+        sim
+    }
+}
+
+impl Simulator {
+    /// Start configuring a simulator over a deployed network — see
+    /// [`SimBuilder`].
+    pub fn builder(net: Network) -> SimBuilder {
+        SimBuilder {
+            net,
+            cfg: SimConfig::default(),
+            faults: None,
+            obs: ObserverSet::new(),
+        }
+    }
+
+    /// Create a simulator. Panics on invalid configuration.
+    #[deprecated(note = "use Simulator::builder(net).config(cfg).build()")]
+    pub fn new(net: Network, cfg: SimConfig) -> Self {
+        Simulator::builder(net).config(cfg).build()
+    }
+
+    /// Attach a fault driver — see [`SimBuilder::faults`].
+    #[deprecated(note = "use SimBuilder::faults before build()")]
+    pub fn with_faults(mut self, mut driver: FaultDriver) -> Self {
+        driver.bind(&self.net.positions());
+        self.faults = Some(driver);
+        self
+    }
+
+    /// Attach an observer set — see [`SimBuilder::observers`].
+    #[deprecated(note = "use SimBuilder::observers before build()")]
     pub fn observed(mut self, obs: ObserverSet) -> Self {
         self.obs = obs;
         self
@@ -296,6 +379,7 @@ impl Simulator {
             lifespan,
             consumption_rates,
             horizon: self.cfg.rounds,
+            threads,
         }
     }
 
@@ -588,311 +672,51 @@ impl Simulator {
             }
         }
 
-        // Merge-stage evidence for restructuring work: how often a plan
-        // ran into merge-time reality (dead head / refused queue), and
-        // how many packets entered the live-retargeting continuation.
+        // ---- Stage 2: the merge (crate::merge) -----------------------
+        // One explicit API: the immutable round inputs (MergePlan), the
+        // mutable simulation state (MergeState), and the outcome counters
+        // the profiler and the equivalence tests consume (MergeOutcome).
+        // The pool path adds the parallel per-head shard pre-pass; both
+        // paths run the same ordered commit walk, so the event stream is
+        // byte-identical by construction.
         let merge_t0 = prof.as_ref().map(|p| p.now_ns());
-        let mut merge_conflicts: u64 = 0;
-        let mut merge_retargets: u64 = 0;
-
-        for &(time, src) in &events {
-            let pi = self.scratch.plan_index[src.index()];
-            if pi < 0 {
-                // A head's own sensing packet: checked and queued live —
-                // its battery is drained by the merged receptions, so its
-                // aliveness is only known here.
-                if !self.net.node(src).is_alive() {
-                    continue; // died earlier this round; generates nothing
-                }
-                counters.generated += 1;
-                let pkt = Packet {
-                    id: self.next_packet_id,
-                    src,
-                    created_at: time,
-                    bits: cfg.packet_bits,
-                };
-                self.next_packet_id += 1;
-                let src_slot = self.scratch.head_slot[src.index()];
-                debug_assert!(src_slot >= 0, "unplanned generator must be a head");
-                let q = &mut queues[src_slot as usize];
-                let fate = match q.offer(pkt, time) {
-                    Offer::Accepted { .. } => None,
-                    Offer::Dropped(QueueDrop::Full) => {
-                        counters.dropped_queue_full += 1;
-                        Some(PacketFate::DroppedQueueFull)
-                    }
-                    Offer::Dropped(QueueDrop::Deadline) => {
-                        counters.dropped_deadline += 1;
-                        Some(PacketFate::DroppedDeadline)
-                    }
-                };
-                if self.obs.is_active() {
-                    if let Some(fate) = fate {
-                        self.obs.emit(Event::PacketOutcome {
-                            round,
-                            src: src.0,
-                            fate,
-                        });
-                    }
-                }
-                continue;
-            }
-
-            let k = {
-                let pn = &mut planned[pi as usize];
-                let k = pn.cursor;
-                pn.cursor += 1;
-                k
+        let outcome = {
+            let mplan = MergePlan {
+                events: &events,
+                plan_index: &self.scratch.plan_index,
+                head_slot: &self.scratch.head_slot,
+                heads: &heads,
+                round,
+                cfg: &cfg,
             };
-            if !self.net.node(src).is_alive() {
-                continue; // died earlier this round; generates nothing
-            }
-            let plan = &planned[pi as usize].packets[k];
-            counters.generated += 1;
-            let pkt = Packet {
-                id: self.next_packet_id,
-                src,
-                created_at: time,
-                bits: cfg.packet_bits,
+            let mut st = MergeState {
+                net: &mut self.net,
+                protocol,
+                rng,
+                faults: faults.as_ref(),
+                queues: &mut queues,
+                obs: &self.obs,
+                counters: &mut counters,
+                latency: &mut latency,
+                breakdown: &mut breakdown,
+                next_packet_id: &mut self.next_packet_id,
             };
-            self.next_packet_id += 1;
-
-            // Replay the planned attempts against the live network.
-            // Exactly one outcome bucket is incremented per packet,
-            // attributed to the *final* attempt's failure cause.
-            let mut fail = FailCause::Link;
-            let mut resolved = false;
-            let mut attempt: u32 = 0;
-            protocol.on_packet_start(src);
-            for att in plan.iter() {
-                if !self.net.node(src).is_alive() {
-                    fail = FailCause::Dead;
-                    break;
-                }
-                if attempt > 0 {
-                    counters.retried += 1;
-                    if self.obs.is_active() {
-                        self.obs.emit(Event::PacketRetried {
-                            round,
-                            src: src.0,
-                            attempt,
-                        });
-                    }
-                }
-                let attempt_time = time + attempt as f64 * cfg.hop_delay;
-                let (target, e) = match *att {
-                    PlannedAttempt::Failed { target, e } => (target, e),
-                    PlannedAttempt::DeliveredBs { e } => (Target::Bs, e),
-                    PlannedAttempt::ToHead { h, e } => (Target::Head(h), e),
-                };
-                let sender = self.net.node_mut(src);
-                if !sender.battery.can_supply(e) {
-                    // The planned draw drains the battery flat — the
-                    // plan's own death, or an earlier live continuation
-                    // spent extra energy the plan didn't know about.
-                    breakdown.member_tx += sender.battery.consume(e);
-                    protocol.on_hop_result(src, target, false);
-                    fail = FailCause::Dead;
-                    break;
-                }
-                sender.battery.consume(e);
-                breakdown.member_tx += e;
-                match *att {
-                    PlannedAttempt::Failed { .. } => {
-                        fail = FailCause::Link;
-                        protocol.on_hop_result(src, target, false);
-                    }
-                    PlannedAttempt::DeliveredBs { .. } => {
-                        counters.delivered += 1;
-                        let lat = attempt_time + cfg.hop_delay - pkt.created_at;
-                        latency.push(lat);
-                        if self.obs.is_active() {
-                            self.obs.emit(Event::PacketOutcome {
-                                round,
-                                src: src.0,
-                                fate: PacketFate::Delivered { latency_slots: lat },
-                            });
-                        }
-                        protocol.on_hop_result(src, target, true);
-                        resolved = true;
-                    }
-                    PlannedAttempt::ToHead { h, .. } => {
-                        let h_slot = self.scratch.head_slot[h.index()];
-                        if !self.net.node(h).is_alive() || h_slot < 0 {
-                            // The head ran dry earlier in the merge: the
-                            // planned hop lands on a dead radio.
-                            merge_conflicts += 1;
-                            fail = FailCause::Link;
-                            protocol.on_hop_result(src, target, false);
-                        } else {
-                            // Reception costs the head energy even if its
-                            // queue then refuses the packet.
-                            breakdown.head_rx += self
-                                .net
-                                .node_mut(h)
-                                .battery
-                                .consume(radio.rx_energy(cfg.packet_bits));
-                            let q = &mut queues[h_slot as usize];
-                            match q.offer(pkt, attempt_time + cfg.hop_delay) {
-                                Offer::Accepted { .. } => {
-                                    protocol.on_hop_result(src, target, true);
-                                    resolved = true;
-                                }
-                                Offer::Dropped(reason) => {
-                                    // A planned hop refused by the live
-                                    // queue state — stage 1 could not
-                                    // have known.
-                                    merge_conflicts += 1;
-                                    fail = match reason {
-                                        QueueDrop::Full => FailCause::QueueFull,
-                                        QueueDrop::Deadline => FailCause::Deadline,
-                                    };
-                                    protocol.on_hop_result(src, target, false);
-                                }
-                            }
-                        }
-                    }
-                }
-                attempt += 1;
-                if resolved {
-                    break;
-                }
+            match self.pool.as_ref() {
+                Some(pool) => merge::commit_sharded(pool, &mplan, &mut planned, &mut st),
+                None => merge::commit_sequential(&mplan, &mut planned, &mut st),
             }
-
-            // Live continuation: the plan ended on a contingency stage 1
-            // could not resolve — a queue refusal or a head that died
-            // mid-merge. The remaining retries re-decide against the
-            // live network (the MDP's self-loop semantics), drawing from
-            // the master RNG; the merge is sequential, so this stays
-            // identical at every thread count.
-            if !resolved && !matches!(fail, FailCause::Dead) {
-                if attempt <= cfg.member_retries {
-                    merge_retargets += 1;
-                }
-                while attempt <= cfg.member_retries {
-                    if !self.net.node(src).is_alive() {
-                        fail = FailCause::Dead;
-                        break;
-                    }
-                    if attempt > 0 {
-                        counters.retried += 1;
-                        if self.obs.is_active() {
-                            self.obs.emit(Event::PacketRetried {
-                                round,
-                                src: src.0,
-                                attempt,
-                            });
-                        }
-                    }
-                    let attempt_time = time + attempt as f64 * cfg.hop_delay;
-                    let target = protocol.choose_target(&self.net, src, &heads, rng);
-                    let d = match target {
-                        Target::Bs => self.net.dist_to_bs(src),
-                        Target::Head(h) => self.net.distance(src, h),
-                    };
-                    let e = radio.tx_energy(cfg.packet_bits, d);
-                    let sender = self.net.node_mut(src);
-                    if !sender.battery.can_supply(e) {
-                        breakdown.member_tx += sender.battery.consume(e);
-                        protocol.on_hop_result(src, target, false);
-                        fail = FailCause::Dead;
-                        break;
-                    }
-                    sender.battery.consume(e);
-                    breakdown.member_tx += e;
-                    match target {
-                        Target::Bs => {
-                            if sample_hop(faults.as_ref(), &link, rng, d, src.0, None) {
-                                counters.delivered += 1;
-                                let lat = attempt_time + cfg.hop_delay - pkt.created_at;
-                                latency.push(lat);
-                                if self.obs.is_active() {
-                                    self.obs.emit(Event::PacketOutcome {
-                                        round,
-                                        src: src.0,
-                                        fate: PacketFate::Delivered { latency_slots: lat },
-                                    });
-                                }
-                                protocol.on_hop_result(src, target, true);
-                                resolved = true;
-                            } else {
-                                fail = FailCause::Link;
-                                protocol.on_hop_result(src, target, false);
-                            }
-                        }
-                        Target::Head(h) => {
-                            let head_alive = self.net.node(h).is_alive();
-                            let radio_ok =
-                                sample_hop(faults.as_ref(), &link, rng, d, src.0, Some(h.0));
-                            let h_slot = self.scratch.head_slot[h.index()];
-                            if !radio_ok || !head_alive || h_slot < 0 {
-                                fail = FailCause::Link;
-                                protocol.on_hop_result(src, target, false);
-                            } else {
-                                breakdown.head_rx += self
-                                    .net
-                                    .node_mut(h)
-                                    .battery
-                                    .consume(radio.rx_energy(cfg.packet_bits));
-                                let q = &mut queues[h_slot as usize];
-                                match q.offer(pkt, attempt_time + cfg.hop_delay) {
-                                    Offer::Accepted { .. } => {
-                                        protocol.on_hop_result(src, target, true);
-                                        resolved = true;
-                                    }
-                                    Offer::Dropped(reason) => {
-                                        fail = match reason {
-                                            QueueDrop::Full => FailCause::QueueFull,
-                                            QueueDrop::Deadline => FailCause::Deadline,
-                                        };
-                                        protocol.on_hop_result(src, target, false);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    attempt += 1;
-                    if resolved {
-                        break;
-                    }
-                }
-            }
-
-            if !resolved {
-                let fate = match fail {
-                    FailCause::Dead => {
-                        counters.dropped_dead += 1;
-                        PacketFate::DroppedDead
-                    }
-                    FailCause::Link => {
-                        counters.dropped_link += 1;
-                        PacketFate::DroppedLink
-                    }
-                    FailCause::QueueFull => {
-                        counters.dropped_queue_full += 1;
-                        PacketFate::DroppedQueueFull
-                    }
-                    FailCause::Deadline => {
-                        counters.dropped_deadline += 1;
-                        PacketFate::DroppedDeadline
-                    }
-                };
-                if self.obs.is_active() {
-                    self.obs.emit(Event::PacketOutcome {
-                        round,
-                        src: src.0,
-                        fate,
-                    });
-                }
-            }
-        }
+        };
 
         if let (Some(p), Some(t0)) = (&prof, merge_t0) {
             let dt = p.now_ns().saturating_sub(t0);
             p.record_wall("transmission/merge", dt);
             p.record_busy("transmission/merge", 0, dt);
-            p.inc("merge.conflicts", merge_conflicts);
-            p.inc("merge.retargets", merge_retargets);
+            p.inc("merge.conflicts", outcome.conflicts);
+            p.inc("merge.retargets", outcome.retargets);
+            if self.pool.is_some() {
+                p.inc("merge.shards", outcome.shards);
+                p.inc("merge.shard_max", outcome.largest_shard);
+            }
         }
 
         // Absorb planner scratch (Q-value writes, link-table overlays)
@@ -1109,82 +933,6 @@ impl Simulator {
     }
 }
 
-/// Sample one radio transmission, honouring any active fault directives:
-/// a BS outage fails every hop whose receiver is the BS (the caller has
-/// already charged the transmit energy), and an active per-pair
-/// degradation scales the loss rate — `p_eff = 1 − min(1, (1 − p) · mult)`.
-/// When no directive covers the pair this is exactly `link.sample` with
-/// an identical RNG draw count, so rounds (and whole runs) without active
-/// faults reproduce the baseline random sequence.
-fn sample_hop(
-    faults: Option<&FaultDriver>,
-    link: &AnyLink,
-    rng: &mut dyn RngCore,
-    d: f64,
-    src: u32,
-    dst: Option<u32>,
-) -> bool {
-    let Some(f) = faults else {
-        return link.sample(rng, d);
-    };
-    if dst.is_none() && f.bs_down() {
-        return false;
-    }
-    let mult = f.loss_multiplier(src, dst);
-    if mult == 1.0 {
-        return link.sample(rng, d);
-    }
-    let p = 1.0 - ((1.0 - link.delivery_probability(d)) * mult).min(1.0);
-    rng.gen::<f64>() < p
-}
-
-/// Terminal failure cause of a member packet, attributed to its final
-/// attempt.
-#[derive(Clone, Copy)]
-enum FailCause {
-    Dead,
-    Link,
-    QueueFull,
-    Deadline,
-}
-
-/// One planned radio attempt of a member packet (stage 1). `e` is the
-/// *requested* transmit draw; the merge replays it against the live
-/// battery with the same `can_supply`/`consume` guards as a live
-/// attempt, so a battery death planned in stage 1 (or induced by an
-/// earlier live continuation) resolves identically.
-#[derive(Clone, Copy)]
-enum PlannedAttempt {
-    /// The hop failed: a radio/link loss, or the sender's battery could
-    /// not cover the draw (the merge's `can_supply` guard re-detects
-    /// the death).
-    Failed { target: Target, e: f64 },
-    /// A direct hop to the BS succeeded.
-    DeliveredBs { e: f64 },
-    /// The radio hop to head `h` landed; the queue verdict (and the
-    /// head's aliveness at reception) resolve at merge time.
-    ToHead { h: NodeId, e: f64 },
-}
-
-/// Stage-1 plan for one member packet: its attempts in order. Empty when
-/// the sender was already dead at the arrival time (the merge's live
-/// aliveness check skips the packet — a dead plan implies a dead live
-/// battery, since the live trajectory only ever drains more).
-type PacketPlan = Vec<PlannedAttempt>;
-
-/// One member node's stage-1 state for the current round.
-struct PlannedNode {
-    src: NodeId,
-    /// This node's arrival times, ascending.
-    arrivals: Vec<f64>,
-    /// One plan per arrival, same order.
-    packets: Vec<PacketPlan>,
-    /// The planner's scratch, absorbed into the protocol after the merge.
-    scratch: Option<PlanScratch>,
-    /// Merge read position into `packets`.
-    cursor: usize,
-}
-
 /// Stage-1 front-end over the two planning paths: a [`RoutePlanner`]
 /// (immutable, parallel-safe) or the bare `&mut Protocol` fallback.
 trait PlanTargeter {
@@ -1361,7 +1109,10 @@ mod tests {
 
     fn run(net: Network, cfg: SimConfig, protocol: &mut dyn Protocol, seed: u64) -> SimReport {
         let mut rng = StdRng::seed_from_u64(seed);
-        Simulator::new(net, cfg).run(protocol, &mut rng)
+        Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(protocol, &mut rng)
     }
 
     #[test]
@@ -1540,7 +1291,7 @@ mod tests {
         let net = small_net(21, AnyLink::Ideal(IdealLink));
         let mut cfg = SimConfig::paper(5.0);
         cfg.compression = 2.0;
-        let _ = Simulator::new(net, cfg);
+        let _ = Simulator::builder(net).config(cfg).build();
     }
 }
 
@@ -1573,14 +1324,14 @@ mod fault_tests {
         cfg.rounds = 6;
         let run = |faulted: bool| {
             let mut rng = StdRng::seed_from_u64(9);
-            let mut sim = Simulator::new(net(31, AnyLink::Ideal(IdealLink)), cfg);
+            let mut sim = Simulator::builder(net(31, AnyLink::Ideal(IdealLink))).config(cfg);
             if faulted {
-                sim = sim.with_faults(driver(vec![FaultEvent::NodeCrash {
+                sim = sim.faults(driver(vec![FaultEvent::NodeCrash {
                     round: crash_round,
                     node: victim.0,
                 }]));
             }
-            sim.run(&mut GreedyEnergyProtocol::new(4), &mut rng)
+            sim.build().run(&mut GreedyEnergyProtocol::new(4), &mut rng)
         };
         let report = run(true);
         assert!(report.totals.is_conserved());
@@ -1601,15 +1352,14 @@ mod fault_tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 2;
         let mut rng = StdRng::seed_from_u64(11);
-        let sim =
-            Simulator::new(net(33, AnyLink::Ideal(IdealLink)), cfg).with_faults(driver(vec![
-                FaultEvent::BatteryDrain {
-                    round: 1,
-                    node: 0,
-                    joules: 3.0,
-                },
-            ]));
-        let report = sim.run(&mut GreedyEnergyProtocol::new(3), &mut rng);
+        let sim = Simulator::builder(net(33, AnyLink::Ideal(IdealLink)))
+            .config(cfg)
+            .faults(driver(vec![FaultEvent::BatteryDrain {
+                round: 1,
+                node: 0,
+                joules: 3.0,
+            }]));
+        let report = sim.build().run(&mut GreedyEnergyProtocol::new(3), &mut rng);
         // The drain shows up in the node's consumption rate…
         assert!(
             report.consumption_rates[0] > 3.0 / 5.0,
@@ -1631,14 +1381,13 @@ mod fault_tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 3;
         let mut rng = StdRng::seed_from_u64(13);
-        let sim =
-            Simulator::new(net(35, AnyLink::Ideal(IdealLink)), cfg).with_faults(driver(vec![
-                FaultEvent::BsOutage {
-                    from_round: 1,
-                    to_round: 1,
-                },
-            ]));
-        let report = sim.run(&mut DirectToBsProtocol, &mut rng);
+        let sim = Simulator::builder(net(35, AnyLink::Ideal(IdealLink)))
+            .config(cfg)
+            .faults(driver(vec![FaultEvent::BsOutage {
+                from_round: 1,
+                to_round: 1,
+            }]));
+        let report = sim.build().run(&mut DirectToBsProtocol, &mut rng);
         assert!(report.totals.is_conserved());
         assert_eq!(report.rounds[0].packets.pdr(), 1.0, "before the outage");
         assert_eq!(
@@ -1665,11 +1414,16 @@ mod fault_tests {
             .collect();
         let link = AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0));
         let mut rng = StdRng::seed_from_u64(17);
-        let faulted = Simulator::new(net(37, link), cfg)
-            .with_faults(driver(events))
+        let faulted = Simulator::builder(net(37, link))
+            .config(cfg)
+            .faults(driver(events))
+            .build()
             .run(&mut DirectToBsProtocol, &mut rng);
         let mut rng = StdRng::seed_from_u64(17);
-        let clean = Simulator::new(net(37, link), cfg).run(&mut DirectToBsProtocol, &mut rng);
+        let clean = Simulator::builder(net(37, link))
+            .config(cfg)
+            .build()
+            .run(&mut DirectToBsProtocol, &mut rng);
         assert!(faulted.totals.is_conserved());
         assert!(clean.totals.is_conserved());
         assert!(
@@ -1687,12 +1441,16 @@ mod fault_tests {
         cfg.rounds = 3;
         let link = AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0));
         let mut rng = StdRng::seed_from_u64(21);
-        let with_empty = Simulator::new(net(39, link), cfg)
-            .with_faults(driver(Vec::new()))
+        let with_empty = Simulator::builder(net(39, link))
+            .config(cfg)
+            .faults(driver(Vec::new()))
+            .build()
             .run(&mut GreedyEnergyProtocol::new(4), &mut rng);
         let mut rng = StdRng::seed_from_u64(21);
-        let without =
-            Simulator::new(net(39, link), cfg).run(&mut GreedyEnergyProtocol::new(4), &mut rng);
+        let without = Simulator::builder(net(39, link))
+            .config(cfg)
+            .build()
+            .run(&mut GreedyEnergyProtocol::new(4), &mut rng);
         assert_eq!(
             serde_json::to_string(&with_empty.totals).unwrap(),
             serde_json::to_string(&without.totals).unwrap(),
@@ -1720,7 +1478,10 @@ mod head_load_tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = 3;
         let mut p = GreedyEnergyProtocol::new(4);
-        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         for r in &report.rounds {
             assert_eq!(r.head_loads.len(), r.head_count);
             let accepted: u64 = r.head_loads.iter().map(|h| h.accepted).sum();
@@ -1748,7 +1509,10 @@ mod head_load_tests {
         let mut cfg = SimConfig::paper(0.5); // saturating traffic
         cfg.rounds = 2;
         let mut p = GreedyEnergyProtocol::new(2);
-        let report = Simulator::new(net, cfg).run(&mut p, &mut rng);
+        let report = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut p, &mut rng);
         let peak = report
             .rounds
             .iter()

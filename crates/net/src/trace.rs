@@ -225,7 +225,10 @@ mod tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = rounds;
         let mut recorder = TraceRecorder::new(GreedyEnergyProtocol::new(3));
-        let _ = Simulator::new(net, cfg).run(&mut recorder, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut recorder, &mut rng);
         let (_, trace) = recorder.into_parts();
         (trace, n)
     }
@@ -280,7 +283,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let net = mk_net(&mut rng);
         let mut recorder = TraceRecorder::new(GreedyEnergyProtocol::new(3));
-        let _ = Simulator::new(net, cfg).run(&mut recorder, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut recorder, &mut rng);
         let (_, recorded) = recorder.into_parts();
 
         // Sink path, same seed.
@@ -290,7 +296,11 @@ mod tests {
         let mut obs = ObserverSet::new();
         obs.attach(sink.clone());
         let mut p = GreedyEnergyProtocol::new(3);
-        let _ = Simulator::new(net, cfg).observed(obs).run(&mut p, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .observers(obs)
+            .build()
+            .run(&mut p, &mut rng);
         let sunk = sink.lock().unwrap().trace().clone();
 
         assert_eq!(sunk.protocol, recorded.protocol);

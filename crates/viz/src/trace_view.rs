@@ -159,7 +159,10 @@ mod tests {
         let mut cfg = SimConfig::paper(5.0);
         cfg.rounds = rounds;
         let mut rec = TraceRecorder::new(GreedyEnergyProtocol::new(3));
-        let _ = Simulator::new(net, cfg).run(&mut rec, &mut rng);
+        let _ = Simulator::builder(net)
+            .config(cfg)
+            .build()
+            .run(&mut rec, &mut rng);
         rec.into_parts().1
     }
 

@@ -21,7 +21,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(99);
         let net = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
         let mut protocol = QlecProtocol::builder().k(5).build();
-        let report = Simulator::new(net, SimConfig::paper(lambda)).run(&mut protocol, &mut rng);
+        let report = Simulator::builder(net)
+            .config(SimConfig::paper(lambda))
+            .build()
+            .run(&mut protocol, &mut rng);
         println!(
             "{:>6.1}  {:>9.4}  {:>10.2}  {:>12.2}  {:>10}  {:>10}",
             lambda,

@@ -107,7 +107,10 @@ fn main() {
                 octant = OctantProtocol::new();
                 &mut octant
             };
-            let report = Simulator::new(net, SimConfig::paper(5.0)).run(p, &mut rng);
+            let report = Simulator::builder(net)
+                .config(SimConfig::paper(5.0))
+                .build()
+                .run(p, &mut rng);
             assert!(report.totals.is_conserved());
             println!(
                 "{:<8}  {:>8.4}  {:>11.2}  {:>18.3}",

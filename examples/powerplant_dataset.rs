@@ -78,7 +78,10 @@ fn main() {
     });
     let mut sim_cfg = SimConfig::paper(5.0);
     sim_cfg.rounds = 10;
-    let report = Simulator::new(net, sim_cfg).run(&mut protocol, &mut rng);
+    let report = Simulator::builder(net)
+        .config(sim_cfg)
+        .build()
+        .run(&mut protocol, &mut rng);
 
     // 5. The Fig. 4 quantity: per-node consumption rate.
     let summary = Summary::of(&report.consumption_rates).expect("finite rates");

@@ -19,7 +19,10 @@ const LAMBDA: f64 = 4.0;
 fn run(protocol: &mut dyn Protocol, seed: u64) -> (String, f64, f64, f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let net = NetworkBuilder::new().uniform_cube(&mut rng, 100, 200.0, 5.0);
-    let report = Simulator::new(net, SimConfig::paper(LAMBDA)).run(protocol, &mut rng);
+    let report = Simulator::builder(net)
+        .config(SimConfig::paper(LAMBDA))
+        .build()
+        .run(protocol, &mut rng);
     assert!(report.totals.is_conserved());
     (
         report.protocol.clone(),

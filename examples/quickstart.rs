@@ -28,7 +28,10 @@ fn main() {
 
     // 20 rounds at a moderate congestion level (λ = 5 slots between
     // packets per node on average).
-    let report = Simulator::new(network, SimConfig::paper(5.0)).run(&mut protocol, &mut rng);
+    let report = Simulator::builder(network)
+        .config(SimConfig::paper(5.0))
+        .build()
+        .run(&mut protocol, &mut rng);
 
     println!("\nresults over {} rounds:", report.rounds.len());
     println!("  packets generated   : {}", report.totals.generated);

@@ -58,7 +58,10 @@ fn lifespan_of(protocol: &mut dyn Protocol, seed: u64) -> (String, u32, f64, f64
     cfg.rounds = HORIZON;
     cfg.death_line = 2.5;
     cfg.stop_when_dead = true;
-    let report = Simulator::new(net, cfg).run(protocol, &mut rng);
+    let report = Simulator::builder(net)
+        .config(cfg)
+        .build()
+        .run(protocol, &mut rng);
     (
         report.protocol.clone(),
         report.lifespan_rounds(),

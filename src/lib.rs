@@ -34,7 +34,7 @@
 //! // A few rounds of Poisson traffic at λ = 5.
 //! let mut cfg = SimConfig::paper(5.0);
 //! cfg.rounds = 3;
-//! let report = Simulator::new(network, cfg).run(&mut protocol, &mut rng);
+//! let report = Simulator::builder(network).config(cfg).build().run(&mut protocol, &mut rng);
 //!
 //! assert!(report.totals.is_conserved());
 //! println!("PDR {:.3}, energy {:.2} J", report.pdr(), report.total_energy());

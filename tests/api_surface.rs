@@ -30,7 +30,10 @@ fn boxed_protocols_run_and_trace() {
     let boxed: Box<dyn Protocol> = Box::new(GreedyEnergyProtocol::new(3));
     let mut recorder = TraceRecorder::new(boxed);
     let mut rng = StdRng::seed_from_u64(2);
-    let report = Simulator::new(net(1), cfg(3)).run(&mut recorder, &mut rng);
+    let report = Simulator::builder(net(1))
+        .config(cfg(3))
+        .build()
+        .run(&mut recorder, &mut rng);
     assert!(report.totals.is_conserved());
     let (_, trace) = recorder.into_parts();
     assert_eq!(trace.rounds.len(), 3);
@@ -44,12 +47,18 @@ fn boxing_does_not_change_behaviour() {
     let run_concrete = {
         let mut p = GreedyEnergyProtocol::new(3);
         let mut rng = StdRng::seed_from_u64(3);
-        Simulator::new(net(4), cfg(3)).run(&mut p, &mut rng)
+        Simulator::builder(net(4))
+            .config(cfg(3))
+            .build()
+            .run(&mut p, &mut rng)
     };
     let run_boxed = {
         let mut p: Box<dyn Protocol> = Box::new(GreedyEnergyProtocol::new(3));
         let mut rng = StdRng::seed_from_u64(3);
-        Simulator::new(net(4), cfg(3)).run(&mut p, &mut rng)
+        Simulator::builder(net(4))
+            .config(cfg(3))
+            .build()
+            .run(&mut p, &mut rng)
     };
     assert_eq!(run_concrete.totals.generated, run_boxed.totals.generated);
     assert_eq!(run_concrete.totals.delivered, run_boxed.totals.delivered);
@@ -63,7 +72,10 @@ fn aggregate_share_override_is_accepted() {
     for share in [0.0, 0.5, 1.0] {
         let mut p = QlecProtocol::builder().k(3).aggregate_share(share).build();
         let mut rng = StdRng::seed_from_u64(5);
-        let report = Simulator::new(net(6), cfg(3)).run(&mut p, &mut rng);
+        let report = Simulator::builder(net(6))
+            .config(cfg(3))
+            .build()
+            .run(&mut p, &mut rng);
         assert!(report.totals.is_conserved(), "share {share}");
         assert!(report.totals.delivered > 0, "share {share}");
     }
@@ -83,7 +95,10 @@ fn trace_head_duty_matches_report() {
     let mut rng = StdRng::seed_from_u64(7);
     let n = net(8);
     let n_nodes = n.len();
-    let report = Simulator::new(n, cfg(4)).run(&mut recorder, &mut rng);
+    let report = Simulator::builder(n)
+        .config(cfg(4))
+        .build()
+        .run(&mut recorder, &mut rng);
     let (_, trace) = recorder.into_parts();
     let duty: u32 = trace.head_duty_counts(n_nodes).iter().sum();
     let heads_served: usize = report.rounds.iter().map(|r| r.head_count).sum();

@@ -42,7 +42,10 @@ fn run_policy(candidates: CandidatePolicy) -> SimReport {
             ..QlecParams::paper_with_k(K)
         })
         .build();
-    Simulator::new(net, cfg).run(&mut protocol, &mut rng)
+    Simulator::builder(net)
+        .config(cfg)
+        .build()
+        .run(&mut protocol, &mut rng)
 }
 
 #[test]

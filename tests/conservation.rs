@@ -52,7 +52,7 @@ proptest! {
             .total_rounds(rounds)
             .observer(obs.clone())
             .build();
-        let report = Simulator::new(net, cfg).observed(obs).run(&mut protocol, &mut rng);
+        let report = Simulator::builder(net).config(cfg).observers(obs).build().run(&mut protocol, &mut rng);
 
         // Ledger 1: the simulator's counters, per round and in total.
         prop_assert!(report.totals.is_conserved(), "{:?}", report.totals);

@@ -76,7 +76,10 @@ fn qlec_on_dataset_shows_even_consumption() {
     });
     let mut sim_cfg = SimConfig::paper(6.0);
     sim_cfg.rounds = 8;
-    let report = Simulator::new(net, sim_cfg).run(&mut protocol, &mut rng);
+    let report = Simulator::builder(net)
+        .config(sim_cfg)
+        .build()
+        .run(&mut protocol, &mut rng);
 
     assert!(report.totals.is_conserved());
     assert!(report.totals.delivered > 0);

@@ -20,7 +20,10 @@ fn paper_network(seed: u64) -> Network {
 
 fn run(protocol: &mut dyn Protocol, net: Network, cfg: SimConfig, seed: u64) -> SimReport {
     let mut rng = StdRng::seed_from_u64(seed);
-    Simulator::new(net, cfg).run(protocol, &mut rng)
+    Simulator::builder(net)
+        .config(cfg)
+        .build()
+        .run(protocol, &mut rng)
 }
 
 /// Every protocol, same deployment: conservation and sane metric ranges.

@@ -39,9 +39,11 @@ fn run_observed(plan: FaultPlan, seed: u64, rounds: u32) -> Vec<Event> {
         .observer(obs.clone())
         .build();
     let mut rng = StdRng::seed_from_u64(seed);
-    Simulator::new(net(seed, 40, AnyLink::Ideal(IdealLink)), cfg(rounds, 4.0))
-        .observed(obs.clone())
-        .with_faults(FaultDriver::new(plan).unwrap())
+    Simulator::builder(net(seed, 40, AnyLink::Ideal(IdealLink)))
+        .config(cfg(rounds, 4.0))
+        .observers(obs.clone())
+        .faults(FaultDriver::new(plan).unwrap())
+        .build()
         .run(&mut protocol, &mut rng);
     obs.flush().unwrap();
     drop(protocol);
@@ -178,9 +180,11 @@ fn same_plan_and_seed_streams_are_byte_identical() {
             .build();
         let mut rng = StdRng::seed_from_u64(77);
         let link = AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0));
-        Simulator::new(net(7, 40, link), cfg(6, 4.0))
-            .observed(obs.clone())
-            .with_faults(FaultDriver::new(p).unwrap())
+        Simulator::builder(net(7, 40, link))
+            .config(cfg(6, 4.0))
+            .observers(obs.clone())
+            .faults(FaultDriver::new(p).unwrap())
+            .build()
             .run(&mut protocol, &mut rng);
         obs.flush().unwrap();
         drop(protocol);
@@ -231,8 +235,10 @@ fn bs_outage_window_is_exact() {
     );
     let mut protocol = DirectToBsProtocol;
     let mut rng = StdRng::seed_from_u64(5);
-    let report = Simulator::new(net(5, 25, AnyLink::Ideal(IdealLink)), cfg(4, 3.0))
-        .with_faults(FaultDriver::new(plan).unwrap())
+    let report = Simulator::builder(net(5, 25, AnyLink::Ideal(IdealLink)))
+        .config(cfg(4, 3.0))
+        .faults(FaultDriver::new(plan).unwrap())
+        .build()
         .run(&mut protocol, &mut rng);
     for r in &report.rounds {
         let in_window = (1..=2).contains(&r.round);

@@ -34,8 +34,10 @@ fn event_stream_replays_the_simulation_report() {
         .total_rounds(rounds)
         .observer(obs.clone())
         .build();
-    let report = Simulator::new(net, cfg)
-        .observed(obs.clone())
+    let report = Simulator::builder(net)
+        .config(cfg)
+        .observers(obs.clone())
+        .build()
         .run(&mut protocol, &mut rng);
     obs.flush().unwrap();
 
