@@ -106,7 +106,10 @@ fn main() {
     print_table(
         "(extra) mean delivered-packet latency (slots) vs λ",
         &headers,
-        &by(&pdr_cells, &|c| format!("{:.2}", c.latency_mean_slots)),
+        &by(&pdr_cells, &|c| {
+            c.latency_mean_slots
+                .map_or("n/a".to_string(), |l| format!("{l:.2}"))
+        }),
     );
     print_table(
         "Fig. 3(c): network lifespan (rounds to death line) vs λ",

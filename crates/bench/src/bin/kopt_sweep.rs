@@ -59,7 +59,8 @@ fn main() {
                 k.to_string(),
                 format!("{:.4}", c.pdr_mean),
                 format!("{:.3}", c.energy_mean_j),
-                format!("{:.2}", c.latency_mean_slots),
+                c.latency_mean_slots
+                    .map_or("n/a".to_string(), |l| format!("{l:.2}")),
                 format!("{:.1}", c.head_count_mean),
             ]
         })

@@ -12,7 +12,8 @@
 //! Usage: `cargo run --release -p qlec-bench --bin scale -- \
 //!     [--sizes 100,1000,10000] [--threads 1] [--rounds 20] \
 //!     [--candidates auto|legacy-auto|full|<n>] \
-//!     [--head-index incremental,rebuild] [--lambda 5] [--seed 42] \
+//!     [--head-index incremental,rebuild] [--q-rows sparse,dense] \
+//!     [--lambda 5] [--seed 42] \
 //!     [--events-sink sync,async] [--out BENCH_scale.json] [--append] \
 //!     [--validate] [--compare BASE.json] [--gate-thread-scaling 1.3]`
 //!
@@ -31,7 +32,7 @@
 //! silent pass.
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
-use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
+use qlec_core::params::{CandidatePolicy, HeadIndexMode, QRowsMode, QlecParams};
 use qlec_net::Simulator;
 use qlec_obs::{
     peak_rss_bytes, AsyncJsonLinesSink, JsonLinesSink, MeasuredSink, MemorySink, ObserverSet,
@@ -60,11 +61,30 @@ use std::time::Instant;
 /// sharded-merge counters (`merge_shards`, `merge_shard_max`), and the
 /// top-level `thread_scaling` summary array (always present; empty when
 /// the sweep has no `threads = 1` baseline to compare against).
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v5";
+/// v6: added `q_rows` (`dense` or `sparse`, the decision-Q diagnostic
+/// layout) to every run and to the `--compare` matching key, and
+/// `--compare` now also gates `peak_rss_bytes` at scale — a matched
+/// point with `n ≥ 100 000` fails when its fresh peak RSS grows more
+/// than 25 % past the baseline's (skipped when either side lacks the
+/// counter).
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v6";
 
 /// `--compare` fails on a `packets_per_sec` drop of more than this
 /// fraction below the baseline at any matching point.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// `--compare` fails on a `peak_rss_bytes` *growth* of more than this
+/// fraction past the baseline at any matching point at or above
+/// [`RSS_GATE_MIN_N`] nodes — memory is the whole point of the sparse
+/// layouts, so a silent quadratic reappearing must fail CI. Both sides
+/// must carry the counter; a platform without it skips the gate, never
+/// fails it.
+const RSS_TOLERANCE: f64 = 0.25;
+
+/// Smallest `n` the RSS gate applies to. Below this the process
+/// high-water mark is dominated by allocator noise and (within one
+/// sweep) by whatever larger size ran first, not by per-node state.
+const RSS_GATE_MIN_N: usize = 100_000;
 
 /// One (size, threads, head-index mode) point of the sweep.
 #[derive(Debug)]
@@ -85,6 +105,8 @@ struct ScaleRun {
     candidates: String,
     /// Spatial-index maintenance mode (`incremental` or `rebuild`).
     head_index: String,
+    /// Decision-Q diagnostic row layout (`sparse` or `dense`).
+    q_rows: String,
     /// End-to-end wall time of the run, seconds.
     wall_s: f64,
     /// Packets generated over the whole run.
@@ -180,6 +202,7 @@ impl Serialize for ScaleRun {
             ),
             ("candidates".to_string(), self.candidates.to_value()),
             ("head_index".to_string(), self.head_index.to_value()),
+            ("q_rows".to_string(), self.q_rows.to_value()),
             ("wall_s".to_string(), self.wall_s.to_value()),
             ("packets".to_string(), self.packets.to_value()),
             (
@@ -266,6 +289,7 @@ fn thread_scaling_rows(runs: &[serde_json::Value]) -> Vec<serde_json::Value> {
             r["n"].as_u64(),
             r["candidates"].as_str().map(str::to_string),
             r["head_index"].as_str().map(str::to_string),
+            r["q_rows"].as_str().map(str::to_string),
             r["rounds"].as_u64(),
         )
     };
@@ -364,11 +388,13 @@ fn policy_label(policy: CandidatePolicy) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_size(
     n: usize,
     rounds: u32,
     candidates: CandidatePolicy,
     head_index: HeadIndexMode,
+    q_rows: QRowsMode,
     threads: usize,
     lambda: f64,
     seed: u64,
@@ -389,6 +415,7 @@ fn run_size(
     let params = QlecParams {
         candidates,
         head_index,
+        q_rows,
         ..spec.qlec_params()
     };
     let mut protocol = ProtocolKind::Qlec.build_observed(&params, &obs);
@@ -435,6 +462,7 @@ fn run_size(
         threads_resolved: report.threads,
         candidates: policy_label(candidates),
         head_index: head_index.label().to_string(),
+        q_rows: q_rows.label().to_string(),
         wall_s,
         packets: report.totals.generated,
         packets_per_sec: report.totals.generated as f64 / wall_s.max(1e-9),
@@ -637,6 +665,10 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
                 ))
             }
         }
+        match run["q_rows"].as_str() {
+            Some(m) if QRowsMode::parse(m).is_ok() => {}
+            _ => return Err(format!("runs[{i}].q_rows must be sparse or dense")),
+        }
         // peak_rss_bytes is optional, but when present it must be a
         // number — v3 forbids the old explicit null.
         if let Some(rss) = run.get("peak_rss_bytes") {
@@ -720,12 +752,14 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
 
 /// Compare a fresh sweep against a committed baseline artifact.
 ///
-/// Points are matched on `(n, threads, candidates, head_index,
+/// Points are matched on `(n, threads, candidates, head_index, q_rows,
 /// rounds)`; `Ok` carries one message per matched point whose
 /// `packets_per_sec` fell more than [`REGRESSION_TOLERANCE`] below the
-/// baseline (empty = gate passes). `Err` means the comparison itself is
-/// impossible — unreadable or schema-stale baseline, or no point in
-/// common.
+/// baseline, or — at `n ≥` [`RSS_GATE_MIN_N`], when both sides carry
+/// the counter — whose `peak_rss_bytes` grew more than
+/// [`RSS_TOLERANCE`] past it (empty = gate passes). `Err` means the
+/// comparison itself is impossible — unreadable or schema-stale
+/// baseline, or no point in common.
 fn compare_against_baseline(
     fresh: &[ScaleRun],
     baseline_text: &str,
@@ -744,6 +778,7 @@ fn compare_against_baseline(
                 && b["threads"].as_u64() == Some(run.threads as u64)
                 && b["candidates"].as_str() == Some(run.candidates.as_str())
                 && b["head_index"].as_str() == Some(run.head_index.as_str())
+                && b["q_rows"].as_str() == Some(run.q_rows.as_str())
                 && b["rounds"].as_u64() == Some(run.rounds as u64)
         }) else {
             continue;
@@ -753,22 +788,45 @@ fn compare_against_baseline(
         let floor = base_pps * (1.0 - REGRESSION_TOLERANCE);
         if run.packets_per_sec < floor {
             regressions.push(format!(
-                "N={} threads={} candidates={} head-index={}: {:.0} packets/s vs baseline {:.0} \
-                 (below the {:.0}% floor {:.0})",
+                "N={} threads={} candidates={} head-index={} q-rows={}: {:.0} packets/s vs \
+                 baseline {:.0} (below the {:.0}% floor {:.0})",
                 run.n,
                 run.threads,
                 run.candidates,
                 run.head_index,
+                run.q_rows,
                 run.packets_per_sec,
                 base_pps,
                 (1.0 - REGRESSION_TOLERANCE) * 100.0,
                 floor,
             ));
         }
+        if run.n >= RSS_GATE_MIN_N {
+            if let (Some(rss), Some(base_rss)) = (run.peak_rss_bytes, b["peak_rss_bytes"].as_u64())
+            {
+                let ceiling = base_rss as f64 * (1.0 + RSS_TOLERANCE);
+                if rss as f64 > ceiling {
+                    regressions.push(format!(
+                        "N={} threads={} candidates={} head-index={} q-rows={}: peak RSS \
+                         {:.1} MB vs baseline {:.1} MB (above the +{:.0}% ceiling {:.1} MB)",
+                        run.n,
+                        run.threads,
+                        run.candidates,
+                        run.head_index,
+                        run.q_rows,
+                        rss as f64 / 1e6,
+                        base_rss as f64 / 1e6,
+                        RSS_TOLERANCE * 100.0,
+                        ceiling / 1e6,
+                    ));
+                }
+            }
+        }
     }
     if matched == 0 {
         return Err(
-            "no (n, threads, candidates, head_index, rounds) point in common with the baseline"
+            "no (n, threads, candidates, head_index, q_rows, rounds) point in common with the \
+             baseline"
                 .into(),
         );
     }
@@ -834,6 +892,28 @@ fn main() {
             HeadIndexMode::parse(s.trim()).unwrap_or_else(|e| die(&format!("--head-index: {e}")))
         })
         .collect();
+    let q_rows_modes: Vec<QRowsMode> = flag_value(&args, "--q-rows")
+        .unwrap_or_else(|| "sparse".into())
+        .split(',')
+        .map(|s| QRowsMode::parse(s.trim()).unwrap_or_else(|e| die(&format!("--q-rows: {e}"))))
+        .collect();
+    // Refuse an infeasible sweep up front — the dense oracle needs
+    // n·(n+1) Q-entries, which the protocol rejects past its hard cap.
+    if q_rows_modes.contains(&QRowsMode::Dense) {
+        for &n in &sizes {
+            let feasible = n
+                .checked_add(1)
+                .and_then(|cols| n.checked_mul(cols))
+                .is_some_and(|entries| entries <= qlec_core::qrouting::MAX_DENSE_Q_ENTRIES);
+            if !feasible {
+                die(&format!(
+                    "--q-rows dense needs {n}·({n}+1) Q-entries at N = {n}, above the {}-entry \
+                     cap; drop dense or the size",
+                    qlec_core::qrouting::MAX_DENSE_Q_ENTRIES
+                ));
+            }
+        }
+    }
     let lambda: f64 = flag_value(&args, "--lambda").map_or(5.0, |s| match s.parse() {
         Ok(l) if l > 0.0 => l,
         _ => die(&format!("--lambda takes a positive number, got `{s}`")),
@@ -871,39 +951,44 @@ fn main() {
     for &n in &sizes {
         for &threads in &threads_list {
             for &mode in &head_modes {
-                let mut run = run_size(n, rounds, candidates, mode, threads, lambda, seed);
-                eprintln!(
-                    "N = {n:>6} × {threads} thread(s), {}: {:.2}s wall, {:.0} packets/s",
-                    run.head_index, run.wall_s, run.packets_per_sec
-                );
-                if let Some(kinds) = &events_sinks {
-                    run.events_pipeline = run_events_pipeline(
-                        n, rounds, candidates, mode, threads, lambda, seed, kinds,
+                for &q_mode in &q_rows_modes {
+                    let mut run =
+                        run_size(n, rounds, candidates, mode, q_mode, threads, lambda, seed);
+                    eprintln!(
+                        "N = {n:>6} × {threads} thread(s), {}, q-rows {}: {:.2}s wall, \
+                         {:.0} packets/s",
+                        run.head_index, run.q_rows, run.wall_s, run.packets_per_sec
                     );
-                    for row in &run.events_pipeline {
-                        eprintln!(
-                            "    events via {:<5}: {:>9} events, {:.1} ms on the hot thread \
-                             ({:.0} ns/event)",
-                            row.sink,
-                            row.events,
-                            row.hot_ns as f64 / 1e6,
-                            row.hot_ns as f64 / row.events.max(1) as f64,
+                    if let Some(kinds) = &events_sinks {
+                        run.events_pipeline = run_events_pipeline(
+                            n, rounds, candidates, mode, threads, lambda, seed, kinds,
                         );
+                        for row in &run.events_pipeline {
+                            eprintln!(
+                                "    events via {:<5}: {:>9} events, {:.1} ms on the hot thread \
+                                 ({:.0} ns/event)",
+                                row.sink,
+                                row.events,
+                                row.hot_ns as f64 / 1e6,
+                                row.hot_ns as f64 / row.events.max(1) as f64,
+                            );
+                        }
                     }
+                    rows.push(vec![
+                        run.n.to_string(),
+                        run.k.to_string(),
+                        run.threads.to_string(),
+                        run.head_index.clone(),
+                        run.q_rows.clone(),
+                        format!("{:.2}s", run.wall_s),
+                        run.packets.to_string(),
+                        format!("{:.0}", run.packets_per_sec),
+                        format!("{:.4}", run.pdr),
+                        run.peak_rss_bytes
+                            .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
+                    ]);
+                    report.runs.push(run);
                 }
-                rows.push(vec![
-                    run.n.to_string(),
-                    run.k.to_string(),
-                    run.threads.to_string(),
-                    run.head_index.clone(),
-                    format!("{:.2}s", run.wall_s),
-                    run.packets.to_string(),
-                    format!("{:.0}", run.packets_per_sec),
-                    format!("{:.4}", run.pdr),
-                    run.peak_rss_bytes
-                        .map_or("n/a".into(), |b| format!("{:.1}", b as f64 / 1e6)),
-                ]);
-                report.runs.push(run);
             }
         }
     }
@@ -917,6 +1002,7 @@ fn main() {
             "k",
             "thr",
             "index",
+            "q-rows",
             "wall",
             "packets",
             "pkt/s",
@@ -1022,7 +1108,20 @@ mod tests {
     use super::*;
 
     fn tiny_run(threads: usize, mode: HeadIndexMode) -> ScaleRun {
-        run_size(30, 2, CandidatePolicy::Fixed(4), mode, threads, 8.0, 7)
+        tiny_run_q(threads, mode, QRowsMode::Sparse)
+    }
+
+    fn tiny_run_q(threads: usize, mode: HeadIndexMode, q_rows: QRowsMode) -> ScaleRun {
+        run_size(
+            30,
+            2,
+            CandidatePolicy::Fixed(4),
+            mode,
+            q_rows,
+            threads,
+            8.0,
+            7,
+        )
     }
 
     #[test]
@@ -1044,6 +1143,7 @@ mod tests {
         assert_eq!(r.threads_resolved, 1);
         assert_eq!(r.candidates, "4");
         assert_eq!(r.head_index, "incremental");
+        assert_eq!(r.q_rows, "sparse");
         assert_eq!(r.phase_wall.len(), Phase::ALL.len());
         assert!(
             r.phase_threads
@@ -1140,11 +1240,12 @@ mod tests {
         assert!(compare_against_baseline(fresh, &baseline(pps * 1.2))
             .unwrap()
             .is_empty());
-        // No matching point (threads and head-index mode differ) → a
-        // hard error, not a silent pass.
+        // No matching point (threads, head-index mode, or q-rows layout
+        // differ) → a hard error, not a silent pass.
         for other_run in [
             tiny_run(2, HeadIndexMode::Incremental),
             tiny_run(1, HeadIndexMode::Rebuild),
+            tiny_run_q(1, HeadIndexMode::Incremental, QRowsMode::Dense),
         ] {
             let other = serde_json::to_string(&ScaleReport {
                 schema: SCALE_SCHEMA.to_string(),
@@ -1335,6 +1436,118 @@ mod tests {
         }
         let err = validate_scale_json(&serde_json::to_string(&v).unwrap()).unwrap_err();
         assert!(err.contains("thread_scaling[0]"), "{err}");
+    }
+
+    #[test]
+    fn validator_enforces_v6_fields() {
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let render = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match base.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            let report = ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![serde_json::Value::Object(fields)],
+            };
+            serde_json::to_string(&report).unwrap()
+        };
+        // A v6 row must name its Q-row layout …
+        let no_q_rows = render(&|fields| fields.retain(|(k, _)| k != "q_rows"));
+        let err = validate_scale_json(&no_q_rows).unwrap_err();
+        assert!(err.contains("q_rows"), "{err}");
+        // … with a recognized spelling.
+        let bad_q_rows = render(&|fields| {
+            fields.retain(|(k, _)| k != "q_rows");
+            fields.push(("q_rows".into(), "huge".to_value()));
+        });
+        let err = validate_scale_json(&bad_q_rows).unwrap_err();
+        assert!(err.contains("sparse or dense"), "{err}");
+        validate_scale_json(&render(&|_| {})).expect("untouched row validates");
+    }
+
+    /// The v6 peak-RSS gate: at `n ≥ 100 000` a matched point whose
+    /// fresh RSS grew more than 25 % past the baseline fails; growth
+    /// within tolerance, a small-`n` point, or a baseline without the
+    /// counter all pass.
+    #[test]
+    fn compare_gates_peak_rss_growth_at_scale() {
+        let mut run = tiny_run(1, HeadIndexMode::Incremental);
+        run.n = RSS_GATE_MIN_N;
+        run.peak_rss_bytes = Some(1_000_000_000);
+        let baseline = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match run.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            serde_json::to_string(&ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![serde_json::Value::Object(fields)],
+            })
+            .unwrap()
+        };
+        let with_rss = |rss: Option<u64>| {
+            baseline(&move |fields| {
+                fields.retain(|(k, _)| k != "peak_rss_bytes");
+                if let Some(b) = rss {
+                    fields.push(("peak_rss_bytes".into(), b.to_value()));
+                }
+            })
+        };
+        let fresh = std::slice::from_ref(&run);
+        // Identical RSS: passes.
+        assert!(
+            compare_against_baseline(fresh, &with_rss(Some(1_000_000_000)))
+                .unwrap()
+                .is_empty()
+        );
+        // +11 % growth (baseline 0.9 GB): inside the 25 % ceiling.
+        assert!(
+            compare_against_baseline(fresh, &with_rss(Some(900_000_000)))
+                .unwrap()
+                .is_empty()
+        );
+        // +43 % growth (baseline 0.7 GB): gate fires with the point named.
+        let msgs = compare_against_baseline(fresh, &with_rss(Some(700_000_000))).unwrap();
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("peak RSS"), "{}", msgs[0]);
+        assert!(msgs[0].contains("q-rows=sparse"), "{}", msgs[0]);
+        // A baseline without the counter cannot gate — skip, not fail.
+        assert!(compare_against_baseline(fresh, &with_rss(None))
+            .unwrap()
+            .is_empty());
+        // Below the gate's n floor the same growth is allocator noise.
+        let mut small = tiny_run(1, HeadIndexMode::Incremental);
+        small.peak_rss_bytes = Some(1_000_000_000);
+        let small_base = {
+            let mut fields = match small.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!(),
+            };
+            fields.retain(|(k, _)| k != "peak_rss_bytes");
+            fields.push(("peak_rss_bytes".into(), 700_000_000u64.to_value()));
+            serde_json::to_string(&ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![serde_json::Value::Object(fields)],
+            })
+            .unwrap()
+        };
+        assert!(
+            compare_against_baseline(std::slice::from_ref(&small), &small_base)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

@@ -304,7 +304,10 @@ pub struct CellResult {
     pub pdr_std: f64,
     pub energy_mean_j: f64,
     pub energy_std_j: f64,
-    pub latency_mean_slots: f64,
+    /// `None` when no seed delivered a single packet (e.g. a
+    /// full-blackout fault plan) — serialized as JSON `null`, never a
+    /// fake `0.0`.
+    pub latency_mean_slots: Option<f64>,
     pub lifespan_mean_rounds: f64,
     pub head_count_mean: f64,
     /// Mean retransmission attempts per run (member + aggregate hops) —
@@ -380,7 +383,7 @@ pub fn aggregate(protocol: String, lambda: f64, reports: &[SimReport]) -> CellRe
         pdr_std: pdr.std_dev().unwrap_or(0.0),
         energy_mean_j: energy.mean().unwrap_or(0.0),
         energy_std_j: energy.std_dev().unwrap_or(0.0),
-        latency_mean_slots: latency.mean().unwrap_or(0.0),
+        latency_mean_slots: latency.mean(),
         lifespan_mean_rounds: lifespan.mean().unwrap_or(0.0),
         head_count_mean: heads.mean().unwrap_or(0.0),
         retries_mean: retries.mean().unwrap_or(0.0),

@@ -7,7 +7,7 @@ use qlec_clustering::deec::DeecProtocol;
 use qlec_clustering::heed::HeedProtocol;
 use qlec_clustering::leach::LeachProtocol;
 use qlec_clustering::{FcmProtocol, KMeansProtocol};
-use qlec_core::params::{CandidatePolicy, HeadIndexMode, QlecParams};
+use qlec_core::params::{CandidatePolicy, HeadIndexMode, QRowsMode, QlecParams};
 use qlec_core::{kopt, QlecProtocol};
 use qlec_dataset::{generate_china, records, GeneratorConfig};
 use qlec_geom::sample::MEAN_DIST_TO_CENTER_UNIT_CUBE;
@@ -34,7 +34,8 @@ USAGE:
                     [--m 200] [--energy 5] [--k 5] [--lambda 5] [--rounds 20]
                     [--seed 42] [--death-line 0] [--threads 1]
                     [--candidates auto|legacy-auto|full|C]
-                    [--head-index incremental|rebuild] [--json]
+                    [--head-index incremental|rebuild] [--q-rows sparse|dense]
+                    [--json]
                     [--trace FILE] [--svg FILE] [--chart FILE]
                     [--events FILE|-] [--events-mode full|sample:R|aggregate]
                     [--sink sync|async|async:drop] [--profile FILE]
@@ -80,6 +81,11 @@ NOTES:
   incremental (default) applies per-round deltas with a churn-triggered
   rebuild fallback, rebuild reconstructs them every round. Both modes
   produce byte-identical events and reports.
+  --q-rows picks the decision-Q row-store layout: sparse (default)
+  holds only each node's candidate-budget targets and scales to any N,
+  dense allocates N x (N+1) values and is refused above its entry cap.
+  The store is diagnostic-only: both layouts produce byte-identical
+  events and reports.
 ";
 
 /// Dispatch a parsed command line.
@@ -94,14 +100,32 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, String> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_protocol(
     name: &str,
+    n: usize,
     k: usize,
     rounds: u32,
     candidates: CandidatePolicy,
     head_index: HeadIndexMode,
+    q_rows: QRowsMode,
     obs: &ObserverSet,
 ) -> Result<Box<dyn Protocol>, String> {
+    // Refuse an infeasible dense row store up front — the protocol would
+    // otherwise panic mid-run on its first round.
+    if name == "qlec" && q_rows == QRowsMode::Dense {
+        let feasible = n
+            .checked_add(1)
+            .and_then(|cols| n.checked_mul(cols))
+            .is_some_and(|entries| entries <= qlec_core::qrouting::MAX_DENSE_Q_ENTRIES);
+        if !feasible {
+            return Err(format!(
+                "--q-rows dense needs {n}·({n}+1) Q-entries at n = {n}, above the \
+                 {}-entry cap; use --q-rows sparse",
+                qlec_core::qrouting::MAX_DENSE_Q_ENTRIES
+            ));
+        }
+    }
     Ok(match name {
         "qlec" => Box::new(
             QlecProtocol::builder()
@@ -109,6 +133,7 @@ fn build_protocol(
                     total_rounds: rounds,
                     candidates,
                     head_index,
+                    q_rows,
                     ..QlecParams::paper_with_k(k)
                 })
                 .observer(obs.clone())
@@ -250,6 +275,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
         "threads",
         "candidates",
         "head-index",
+        "q-rows",
         "json",
         "trace",
         "svg",
@@ -340,10 +366,12 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
 
     let mut protocol = build_protocol(
         &name,
+        setup.n,
         setup.k,
         setup.rounds,
         setup.candidates,
         setup.head_index,
+        setup.q_rows,
         &obs,
     )?;
     let report = execute_observed(&setup, protocol.as_mut(), obs.clone(), faults);
@@ -436,11 +464,16 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, String> {
             "  member tx {:.3} | head rx {:.3} | fusion {:.3} | aggregates {:.3} | control {:.3}",
             b.member_tx, b.head_rx, b.aggregation, b.aggregate_tx, b.other
         );
-        let _ = writeln!(
-            out,
-            "mean latency    : {:.2} slots",
-            report.mean_latency().unwrap_or(0.0)
-        );
+        // A run that delivered nothing (e.g. a full-blackout fault plan)
+        // has no latency to report — say so instead of printing a fake 0.
+        match report.mean_latency() {
+            Some(latency) => {
+                let _ = writeln!(out, "mean latency    : {latency:.2} slots");
+            }
+            None => {
+                let _ = writeln!(out, "mean latency    : n/a (nothing delivered)");
+            }
+        }
         let _ = writeln!(out, "mean heads/round: {:.1}", report.mean_head_count());
         if setup.death_line > 0.0 {
             let _ = writeln!(out, "lifespan        : {} rounds", report.lifespan_rounds());
@@ -471,7 +504,10 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
     for name in ["qlec", "fcm", "kmeans", "leach", "deec", "heed"] {
         let mut pdr = 0.0;
         let mut energy = 0.0;
+        // Latency averages only over seeds that delivered anything; a
+        // protocol with zero deliveries across every seed shows n/a.
         let mut latency = 0.0;
+        let mut latency_seeds = 0usize;
         let mut min_res = 0.0;
         for s in 0..seeds {
             let mut setup_s = SimSpec {
@@ -481,26 +517,36 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, String> {
             setup_s.death_line = 0.0;
             let mut protocol = build_protocol(
                 name,
+                setup.n,
                 setup.k,
                 setup.rounds,
                 CandidatePolicy::Auto,
                 HeadIndexMode::default(),
+                QRowsMode::default(),
                 &ObserverSet::new(),
             )?;
             let report = execute(&setup_s, protocol.as_mut());
             pdr += report.pdr();
             energy += report.total_energy();
-            latency += report.mean_latency().unwrap_or(0.0);
+            if let Some(l) = report.mean_latency() {
+                latency += l;
+                latency_seeds += 1;
+            }
             min_res += report.rounds.last().map(|r| r.min_residual).unwrap_or(0.0);
         }
         let n = seeds as f64;
+        let latency_cell = if latency_seeds > 0 {
+            format!("{:.2}", latency / latency_seeds as f64)
+        } else {
+            "n/a".to_string()
+        };
         let _ = writeln!(
             out,
-            "{:<8}  {:>8.4}  {:>11.3}  {:>13.2}  {:>17.3}",
+            "{:<8}  {:>8.4}  {:>11.3}  {:>13}  {:>17.3}",
             name,
             pdr / n,
             energy / n,
-            latency / n,
+            latency_cell,
             min_res / n
         );
     }
@@ -654,6 +700,31 @@ mod tests {
             .unwrap();
             assert_eq!(base, out, "--head-index {mode} must not change the report");
         }
+    }
+
+    #[test]
+    fn q_rows_flag_is_validated_and_inert() {
+        let err = run(&["run", "--n", "20", "--rounds", "1", "--q-rows", "huge"]).unwrap_err();
+        assert!(err.contains("--q-rows"), "{err}");
+        let base = run(&[
+            "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--json",
+        ])
+        .unwrap();
+        for mode in ["sparse", "dense"] {
+            let out = run(&[
+                "run", "--n", "20", "--rounds", "2", "--lambda", "8", "--q-rows", mode, "--json",
+            ])
+            .unwrap();
+            assert_eq!(base, out, "--q-rows {mode} must not change the report");
+        }
+    }
+
+    #[test]
+    fn dense_q_rows_refused_at_scale_before_the_run() {
+        // 100k nodes would need ~10^10 dense entries; the refusal must
+        // arrive as a flag error, not a mid-run panic.
+        let err = run(&["run", "--n", "100000", "--rounds", "1", "--q-rows", "dense"]).unwrap_err();
+        assert!(err.contains("--q-rows sparse"), "{err}");
     }
 
     #[test]

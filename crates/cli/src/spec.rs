@@ -13,14 +13,15 @@
 //!
 //! The JSON shape uses the CLI spellings everywhere — `"candidates"`
 //! accepts `"auto"`, `"legacy-auto"`, `"full"`, or a positive integer;
-//! `"head_index"` accepts `"incremental"` or `"rebuild"`; `"threads"`
+//! `"head_index"` accepts `"incremental"` or `"rebuild"`; `"q_rows"`
+//! accepts `"sparse"` or `"dense"`; `"threads"`
 //! accepts a positive integer or `"auto"` — and every field is optional
 //! with the same defaults as the flags, so `{}` is the default run.
 //! Unknown keys are rejected (a typoed field must not silently fall back
 //! to its default).
 
 use crate::args::ParsedArgs;
-use qlec_core::params::{CandidatePolicy, HeadIndexMode};
+use qlec_core::params::{CandidatePolicy, HeadIndexMode, QRowsMode};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Everything `qlec-sim run` needs to know about the experiment itself.
@@ -53,6 +54,9 @@ pub struct SimSpec {
     pub candidates: CandidatePolicy,
     /// QLEC spatial-index maintenance mode.
     pub head_index: HeadIndexMode,
+    /// QLEC decision-Q row-store layout (`sparse` scales to any `N`;
+    /// `dense` is the small-deployment oracle, refused past its cap).
+    pub q_rows: QRowsMode,
     /// Worker threads for the round engine (`0` = auto, every core).
     pub threads: usize,
 }
@@ -71,6 +75,7 @@ impl Default for SimSpec {
             death_line: 0.0,
             candidates: CandidatePolicy::Auto,
             head_index: HeadIndexMode::default(),
+            q_rows: QRowsMode::default(),
             threads: 1,
         }
     }
@@ -91,6 +96,7 @@ pub const SPEC_FIELDS: &[&str] = &[
     "death_line",
     "candidates",
     "head_index",
+    "q_rows",
     "threads",
 ];
 
@@ -120,6 +126,10 @@ impl SimSpec {
                 Some(text) => {
                     HeadIndexMode::parse(text).map_err(|e| format!("--head-index: {e}"))?
                 }
+            },
+            q_rows: match args.get("q-rows") {
+                None => d.q_rows,
+                Some(text) => QRowsMode::parse(text).map_err(|e| format!("--q-rows: {e}"))?,
             },
             threads: match args.get("threads") {
                 Some("auto") => 0,
@@ -193,6 +203,7 @@ impl Serialize for SimSpec {
             ("death_line".to_string(), Value::Float(self.death_line)),
             ("candidates".to_string(), candidates),
             ("head_index".to_string(), self.head_index.to_value()),
+            ("q_rows".to_string(), self.q_rows.to_value()),
             ("threads".to_string(), threads),
         ])
     }
@@ -267,6 +278,7 @@ impl Deserialize for SimSpec {
             death_line: f64_field("death_line", d.death_line)?,
             candidates,
             head_index: HeadIndexMode::from_value(v.get("head_index").unwrap_or(&Value::Null))?,
+            q_rows: QRowsMode::from_value(v.get("q_rows").unwrap_or(&Value::Null))?,
             threads,
         })
     }
@@ -313,6 +325,8 @@ mod tests {
             "12",
             "--head-index",
             "rebuild",
+            "--q-rows",
+            "dense",
             "--threads",
             "auto",
         ]);
@@ -321,6 +335,7 @@ mod tests {
         assert_eq!(spec.n, 64);
         assert_eq!(spec.candidates, CandidatePolicy::Fixed(12));
         assert_eq!(spec.head_index, HeadIndexMode::Rebuild);
+        assert_eq!(spec.q_rows, QRowsMode::Dense);
         assert_eq!(spec.threads, 0, "auto spells 0");
         let back = SimSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back, "spec JSON round-trips losslessly");
@@ -343,6 +358,7 @@ mod tests {
         assert!(SimSpec::from_json(r#"{"candidates": "maybe"}"#).is_err());
         assert!(SimSpec::from_json(r#"{"candidates": 0}"#).is_err());
         assert!(SimSpec::from_json(r#"{"head_index": "magic"}"#).is_err());
+        assert!(SimSpec::from_json(r#"{"q_rows": "huge"}"#).is_err());
         assert!(SimSpec::from_json(r#"{"n": -5}"#).is_err());
         assert!(SimSpec::from_json("[]").is_err());
         assert!(SimSpec::from_json("not json").is_err());

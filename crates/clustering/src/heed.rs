@@ -128,9 +128,10 @@ impl Protocol for HeedProtocol {
         }
         let grid = self.grid.as_ref().expect("built above");
         let e_max = net
-            .nodes()
+            .arena()
+            .batteries()
             .iter()
-            .map(|n| n.battery.initial())
+            .map(|b| b.initial())
             .fold(0.0f64, f64::max)
             .max(f64::EPSILON);
 

@@ -180,7 +180,7 @@ mod tests {
             net.reset_roles();
             p.on_round_start(&mut net, r, &mut rng);
         }
-        let served = net.nodes().iter().filter(|n| n.head_count > 0).count();
+        let served = net.iter().filter(|n| n.head_count > 0).count();
         assert!(served >= 45, "only {served}/50 nodes ever served as head");
     }
 

@@ -129,9 +129,10 @@ impl FcmProtocol {
 
     fn hierarchy(&self, net: &Network) -> Hierarchy {
         let max_r = net
-            .nodes()
+            .arena()
+            .positions()
             .iter()
-            .map(|n| n.pos.dist(net.bs_pos()))
+            .map(|p| p.dist(net.bs_pos()))
             .fold(0.0f64, f64::max)
             .max(1e-9);
         Hierarchy::new(self.levels, max_r)

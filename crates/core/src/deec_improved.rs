@@ -115,6 +115,10 @@ pub fn select_heads(
 /// [`select_heads`] with an observer: times the Algorithm 3 HELLO
 /// broadcast as [`Phase::Broadcast`] and emits one
 /// [`Event::HeadWithdrawn`] per head the redundancy reduction removes.
+///
+/// Scans the network for the alive roster itself; callers that already
+/// maintain one (the protocol's incremental election index) should use
+/// [`select_heads_from_roster`] and skip the `O(N)` re-scan.
 #[allow(clippy::too_many_arguments)]
 pub fn select_heads_observed(
     net: &mut Network,
@@ -126,7 +130,41 @@ pub fn select_heads_observed(
     rng: &mut dyn RngCore,
     obs: &ObserverSet,
 ) -> SelectionOutcome {
+    let alive: Vec<NodeId> = net.alive_ids().collect();
+    select_heads_from_roster(net, grid, &alive, round, k, params, features, rng, obs)
+}
+
+/// [`select_heads_observed`] driven by a caller-maintained alive roster.
+///
+/// `alive` must hold exactly the network's alive node ids in ascending
+/// order — the order Algorithm 2 consumes randomness in, so a correct
+/// roster is byte-identical to the self-scanning entry point while the
+/// caller amortizes the per-round `O(N)` alive scan into whatever diff
+/// bookkeeping it already does (see the protocol's incremental index
+/// maintenance). Every per-node pass below (election, top-up ranking,
+/// the last-resort promotion) walks this roster instead of re-scanning
+/// all `N` deployment slots.
+#[allow(clippy::too_many_arguments)]
+pub fn select_heads_from_roster(
+    net: &mut Network,
+    grid: &UniformGrid,
+    alive: &[NodeId],
+    round: u32,
+    k: usize,
+    params: &QlecParams,
+    features: SelectionFeatures,
+    rng: &mut dyn RngCore,
+    obs: &ObserverSet,
+) -> SelectionOutcome {
     assert!(k > 0, "target head count must be positive");
+    debug_assert!(
+        alive.windows(2).all(|w| w[0] < w[1]),
+        "alive roster must be strictly ascending"
+    );
+    debug_assert!(
+        alive.iter().all(|&id| net.node(id).is_alive()) && alive.len() == net.alive_count(),
+        "alive roster out of sync with the network"
+    );
     let n = net.len().max(1);
     let p_opt = (k as f64 / n as f64).min(1.0);
     let dc = crate::kopt::coverage_radius(net.side_length(), k);
@@ -142,12 +180,9 @@ pub fn select_heads_observed(
 
     // --- Algorithm 2: randomized election --------------------------------
     let mut elected: Vec<NodeId> = Vec::new();
-    let ids: Vec<NodeId> = net.ids().collect();
-    for id in &ids {
+    for id in alive {
         let node = net.node(*id);
-        if !node.is_alive() {
-            continue;
-        }
+        debug_assert!(node.is_alive(), "roster carries a dead node");
         if features.energy_threshold {
             let th = energy_threshold(node.battery.initial(), round, params.total_rounds);
             if node.residual() < th {
@@ -209,8 +244,9 @@ pub fn select_heads_observed(
     // the network melts down.
     let mut topped_up = 0usize;
     if features.top_up && heads.len() < k {
-        let mut candidates: Vec<(bool, NodeId)> = net
-            .alive_ids()
+        let mut candidates: Vec<(bool, NodeId)> = alive
+            .iter()
+            .copied()
             .filter(|id| !heads.contains(id))
             .map(|id| {
                 let node = net.node(id);
@@ -251,7 +287,7 @@ pub fn select_heads_observed(
     // Last resort: an empty head set stalls the round — promote the single
     // richest alive node (unconditionally eligible).
     if heads.is_empty() {
-        if let Some(best) = net.alive_ids().max_by(|&a, &b| {
+        if let Some(best) = alive.iter().copied().max_by(|&a, &b| {
             net.node(a)
                 .residual()
                 .total_cmp(&net.node(b).residual())

@@ -31,5 +31,6 @@ pub mod params;
 pub mod qlec;
 pub mod qrouting;
 
-pub use params::QlecParams;
+pub use params::{QRowsMode, QlecParams};
 pub use qlec::{QlecBuilder, QlecProtocol};
+pub use qrouting::QRowStore;

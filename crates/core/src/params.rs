@@ -133,6 +133,67 @@ impl Deserialize for HeadIndexMode {
     }
 }
 
+/// How the per-round decision-Q diagnostic store lays out its rows (see
+/// `crate::qrouting::QRowStore`).
+///
+/// The hot routing path keeps only the per-node `V` vector; the row store
+/// is a write-only record of each round's decision Q-values, so the two
+/// layouts produce byte-identical event streams by construction. `Dense`
+/// allocates one `QTable` row per node with one column per possible
+/// target (`N + 1` with the BS) — quadratic, so it is refused above a
+/// hard entry cap and survives as the small-`k` golden oracle the sparse
+/// layout is differentially tested against. `Sparse` holds only the
+/// ≤ C candidate heads each node actually routed through (Theorem 1
+/// budget), keeping the store linear in `N` at any scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QRowsMode {
+    /// One dense row per node (`N × (N + 1)` values). Small deployments
+    /// only; creation fails past the entry cap.
+    Dense,
+    /// Per-node [`qlec_mdp::SparseQRow`] sized by the Theorem-1 candidate
+    /// budget. The default.
+    #[default]
+    Sparse,
+}
+
+impl QRowsMode {
+    /// Parse the CLI spelling: `dense` or `sparse`.
+    pub fn parse(text: &str) -> Result<QRowsMode, String> {
+        match text {
+            "dense" => Ok(QRowsMode::Dense),
+            "sparse" => Ok(QRowsMode::Sparse),
+            _ => Err(format!("expected dense or sparse, got `{text}`")),
+        }
+    }
+
+    /// Stable lowercase label (used in bench artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QRowsMode::Dense => "dense",
+            QRowsMode::Sparse => "sparse",
+        }
+    }
+}
+
+impl Serialize for QRowsMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for QRowsMode {
+    /// Accepts the [`label`](QRowsMode::label) spellings; `Null` (i.e.
+    /// the field absent from a pre-existing serialized config)
+    /// deserializes to the default, [`QRowsMode::Sparse`].
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(QRowsMode::default()),
+            serde::Value::Str(s) => QRowsMode::parse(s).map_err(serde::Error::custom),
+            other => Err(serde::Error::expected("q-rows mode string", other)),
+        }
+    }
+}
+
 /// All tunables of the QLEC protocol.
 ///
 /// The reward weights and discount follow Table 2. Two scaling decisions
@@ -198,6 +259,12 @@ pub struct QlecParams {
     /// benchmark baseline. Deserialization of pre-existing configs
     /// (field absent) defaults to [`HeadIndexMode::Incremental`].
     pub head_index: HeadIndexMode,
+    /// Layout of the per-round decision-Q diagnostic store (see
+    /// [`QRowsMode`]). Both layouts record the same values and leave the
+    /// event stream untouched; `Dense` is refused above its entry cap.
+    /// Deserialization of pre-existing configs (field absent) defaults to
+    /// [`QRowsMode::Sparse`].
+    pub q_rows: QRowsMode,
 }
 
 impl QlecParams {
@@ -220,6 +287,7 @@ impl QlecParams {
             k_override: None,
             candidates: CandidatePolicy::Auto,
             head_index: HeadIndexMode::Incremental,
+            q_rows: QRowsMode::Sparse,
         }
     }
 
@@ -380,6 +448,31 @@ mod tests {
         for mode in [HeadIndexMode::Rebuild, HeadIndexMode::Incremental] {
             let v = serde_json::to_value(&mode).unwrap();
             assert_eq!(serde_json::from_value::<HeadIndexMode>(v).unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn q_rows_mode_parses_and_defaults() {
+        assert_eq!(QRowsMode::parse("dense").unwrap(), QRowsMode::Dense);
+        assert_eq!(QRowsMode::parse("sparse").unwrap(), QRowsMode::Sparse);
+        assert!(QRowsMode::parse("Dense").is_err());
+        assert!(QRowsMode::parse("").is_err());
+        assert_eq!(QRowsMode::default(), QRowsMode::Sparse);
+        assert_eq!(QRowsMode::Dense.label(), "dense");
+        assert_eq!(QlecParams::paper().q_rows, QRowsMode::Sparse);
+        // Pre-existing serialized configs (no q_rows field) still load.
+        let mut v = serde_json::to_value(&QlecParams::paper()).unwrap();
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "q_rows");
+        } else {
+            panic!("params must serialize to an object");
+        }
+        let p: QlecParams = serde_json::from_value(v).unwrap();
+        assert_eq!(p.q_rows, QRowsMode::Sparse);
+        // And the explicit spellings round-trip.
+        for mode in [QRowsMode::Dense, QRowsMode::Sparse] {
+            let v = serde_json::to_value(&mode).unwrap();
+            assert_eq!(serde_json::from_value::<QRowsMode>(v).unwrap(), mode);
         }
     }
 

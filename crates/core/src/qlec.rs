@@ -11,10 +11,10 @@
 //! 4. heads forward their fused aggregates directly to the BS and update
 //!    their own V values — lines 13–15.
 
-use crate::deec_improved::{select_heads_observed, SelectionFeatures, SelectionOutcome};
+use crate::deec_improved::{select_heads_from_roster, SelectionFeatures, SelectionOutcome};
 use crate::kopt;
-use crate::params::{CandidatePolicy, HeadIndexMode, QlecParams};
-use crate::qrouting::{ActionConst, QRouter};
+use crate::params::{CandidatePolicy, HeadIndexMode, QRowsMode, QlecParams};
+use crate::qrouting::{ActionConst, QRouter, QRowStore};
 use qlec_geom::{IncrementalKdIndex, UniformGrid, Vec3};
 use qlec_net::protocol::{nearest_head, PlanScratch, RoutePlanner};
 use qlec_net::{Network, NodeId, Protocol, Target};
@@ -70,6 +70,21 @@ pub struct QlecProtocol {
     /// Which node ids the incremental grid still carries; the per-round
     /// death diff removes the newly dead (incremental mode only).
     alive_mask: Vec<bool>,
+    /// Election-phase alive roster: exactly the alive node ids, ascending.
+    /// `Incremental` mode maintains it by the same per-round diff that
+    /// feeds the grid (deaths retained out, blackout revivals re-merged);
+    /// `Rebuild` re-scans every round (the benchmark baseline). Algorithm
+    /// 2+3 head selection walks this roster instead of re-scanning all
+    /// `N` deployment slots.
+    alive_roster: Vec<NodeId>,
+    /// Per-node alive flag backing `alive_roster` diffs. Unlike
+    /// `alive_mask` (one-way, mirroring the grid's remove-only
+    /// maintenance) this tracks revivals too, so the roster always equals
+    /// the true alive set.
+    roster_alive: Vec<bool>,
+    /// Per-round decision-Q diagnostic store (see [`QRowStore`]); layout
+    /// per [`QlecParams::q_rows`]. Write-only on the decision path.
+    q_rows_store: Option<QRowStore>,
     /// Reused scratch for the per-packet k-nearest query (tree window).
     knn_buf: Vec<(u32, f64)>,
     /// Reused scratch receiving the `(id, dist²)` candidate ranking.
@@ -203,6 +218,18 @@ impl QlecBuilder {
         self
     }
 
+    /// Set the decision-Q row-store layout. The default
+    /// [`QRowsMode::Sparse`] scales to any deployment;
+    /// [`QRowsMode::Dense`] is the small-deployment golden oracle and
+    /// makes the first round panic past the dense entry cap (CLI callers
+    /// pre-validate with [`crate::qrouting::MAX_DENSE_Q_ENTRIES`]).
+    /// Either way the store is write-only on the decision path, so runs
+    /// are byte-identical across layouts.
+    pub fn q_rows(mut self, mode: QRowsMode) -> Self {
+        self.params.q_rows = mode;
+        self
+    }
+
     /// Override the displayed protocol name (ablation labelling).
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -243,6 +270,9 @@ impl QlecBuilder {
             candidates_active: false,
             candidate_budget: 0,
             alive_mask: Vec::new(),
+            alive_roster: Vec::new(),
+            roster_alive: Vec::new(),
+            q_rows_store: None,
             knn_buf: Vec::new(),
             knn_out: Vec::new(),
             candidate_buf: Vec::new(),
@@ -293,6 +323,11 @@ impl QlecProtocol {
         self.router.as_ref()
     }
 
+    /// The decision-Q row store (populated after the first round).
+    pub fn q_rows(&self) -> Option<&QRowStore> {
+        self.q_rows_store.as_ref()
+    }
+
     /// Total elementary Q updates so far — the paper's `X`.
     pub fn q_updates(&self) -> u64 {
         self.router.as_ref().map_or(0, |r| r.updates.total())
@@ -313,6 +348,19 @@ impl QlecProtocol {
         if self.router.is_none() {
             self.router = Some(QRouter::new(net, self.params));
         }
+        if self.q_rows_store.is_none() {
+            let k = self.k.expect("set above");
+            // A row must hold one round's distinct targets: the pruned
+            // candidate window (budget + the query's death padding) or
+            // the full head set when pruning is off, plus the BS.
+            let budget = match self.params.candidates.budget(k) {
+                Some(c) => c + 9,
+                None => k + 9,
+            };
+            let store = QRowStore::new(net.len(), budget, self.params.q_rows)
+                .unwrap_or_else(|e| panic!("{e}"));
+            self.q_rows_store = Some(store);
+        }
     }
 
     /// Bring the Algorithm 3 node grid in line with the network at the
@@ -323,22 +371,57 @@ impl QlecProtocol {
     /// identically either way: every grid consumer filters dead nodes
     /// out-of-band (`is_elected` / `is_alive`), so whether a dead node's
     /// entry is still present is unobservable.
+    /// Also brings `alive_roster` in line with the network (both modes),
+    /// folding the roster diff into the same per-node pass as the grid's
+    /// death diff so the round pays one alive scan, not one per consumer.
     fn maintain_grid(&mut self, net: &Network) {
         match self.params.head_index {
             HeadIndexMode::Rebuild => {
                 self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
+                // Baseline mode: fresh roster scan every round.
+                self.alive_roster.clear();
+                self.alive_roster.extend(net.alive_ids());
             }
             HeadIndexMode::Incremental => {
                 if self.grid.is_none() {
                     self.grid = Some(UniformGrid::build(net.iter_positions(), 8));
                     self.alive_mask = vec![true; net.len()];
+                    self.roster_alive = vec![true; net.len()];
+                    self.alive_roster = net.ids().collect();
                 }
                 let grid = self.grid.as_mut().expect("built above");
-                for (i, tracked) in self.alive_mask.iter_mut().enumerate() {
-                    if *tracked && !net.node(NodeId(i as u32)).is_alive() {
+                let mut deaths = 0usize;
+                let mut revivals = 0usize;
+                for i in 0..net.len() {
+                    let now = net.node(NodeId(i as u32)).is_alive();
+                    if self.alive_mask[i] && !now {
                         grid.remove(i as u32);
-                        *tracked = false;
+                        self.alive_mask[i] = false;
                     }
+                    if self.roster_alive[i] != now {
+                        self.roster_alive[i] = now;
+                        if now {
+                            revivals += 1;
+                        } else {
+                            deaths += 1;
+                        }
+                    }
+                }
+                // Deaths compact in place; a (rare) blackout revival
+                // re-merges by rebuilding from the flags — both keep the
+                // roster exactly the ascending alive set.
+                if revivals > 0 {
+                    self.alive_roster.clear();
+                    self.alive_roster.extend(
+                        self.roster_alive
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &a)| a)
+                            .map(|(i, _)| NodeId(i as u32)),
+                    );
+                } else if deaths > 0 {
+                    let flags = &self.roster_alive;
+                    self.alive_roster.retain(|id| flags[id.0 as usize]);
                 }
             }
         }
@@ -359,6 +442,9 @@ impl Protocol for QlecProtocol {
         self.ensure_initialized(net);
         self.current_round = round;
         self.qrouting_ns = 0;
+        if let Some(store) = self.q_rows_store.as_mut() {
+            store.begin_round(round);
+        }
         let k = self.k.expect("initialized above");
         // Index maintenance, part 1: the Algorithm 3 node grid. Timed
         // into the round's IndexMaintenance span (which nests inside the
@@ -368,9 +454,10 @@ impl Protocol for QlecProtocol {
         self.maintain_grid(net);
         let mut index_ns = self.obs.now_ns().saturating_sub(grid_start_ns);
         let grid = self.grid.as_ref().expect("maintained above");
-        let outcome = select_heads_observed(
+        let outcome = select_heads_from_roster(
             net,
             grid,
+            &self.alive_roster,
             round,
             k,
             &self.params,
@@ -417,6 +504,11 @@ impl Protocol for QlecProtocol {
             if let Some(router) = self.router.as_mut() {
                 let deltas =
                     router.head_update_batch(net, &heads, self.aggregate_share, self.threads);
+                if let Some(store) = self.q_rows_store.as_mut() {
+                    for &h in &heads {
+                        store.record(h.0, u32::MAX, router.v_of(h));
+                    }
+                }
                 if self.obs.is_active() {
                     for (&h, &delta) in heads.iter().zip(&deltas) {
                         self.obs.emit(Event::QUpdate {
@@ -524,6 +616,9 @@ impl Protocol for QlecProtocol {
             } else {
                 router.send_data_excluding(net, src, candidates, excluded)
             };
+            if let Some(store) = self.q_rows_store.as_mut() {
+                store.record(src.0, overlay_key(target), router.v_of(src));
+            }
             if self.obs.is_active() {
                 self.qrouting_ns += self.obs.now_ns().saturating_sub(start_ns);
                 self.obs.emit(Event::QUpdate {
@@ -553,6 +648,11 @@ impl Protocol for QlecProtocol {
         if let Some(router) = self.router.as_mut() {
             let start_ns = self.obs.now_ns();
             let deltas = router.head_update_batch(net, heads, self.aggregate_share, self.threads);
+            if let Some(store) = self.q_rows_store.as_mut() {
+                for &h in heads {
+                    store.record(h.0, u32::MAX, router.v_of(h));
+                }
+            }
             if self.obs.is_active() {
                 for (&h, &delta) in heads.iter().zip(&deltas) {
                     self.obs.emit(Event::QUpdate {
@@ -594,6 +694,11 @@ impl Protocol for QlecProtocol {
             .expect("QlecProtocol scratch");
         if let Some(router) = self.router.as_mut() {
             router.absorb_plan(src, s.v_src, s.updates, &s.deltas);
+        }
+        if let Some(store) = self.q_rows_store.as_mut() {
+            for &(key, q) in &s.decisions {
+                store.record(src.0, key, q);
+            }
         }
         self.qrouting_ns += s.ns;
         if self.obs.is_active() {
@@ -644,6 +749,10 @@ struct QlecPlanScratch {
     action_buf: Vec<ActionConst>,
     /// Signed `V*(src)` change per planned packet, in packet order.
     deltas: Vec<f64>,
+    /// `(target key, V*(src) after)` per planned decision, in packet
+    /// order — absorbed into the Q-row store on the main thread so store
+    /// contents match the single-threaded commit path.
+    decisions: Vec<(u32, f64)>,
     /// Elementary Q computations performed while planning.
     updates: u64,
     ns: u64,
@@ -668,6 +777,7 @@ impl RoutePlanner for QlecProtocol {
             knn_ready: false,
             action_buf: Vec::new(),
             deltas: Vec::new(),
+            decisions: Vec::new(),
             updates: 0,
             ns: 0,
         })
@@ -708,6 +818,7 @@ impl RoutePlanner for QlecProtocol {
             knn_ready,
             action_buf,
             deltas,
+            decisions,
             updates,
             ns,
         } = s;
@@ -760,6 +871,7 @@ impl RoutePlanner for QlecProtocol {
             router.send_data_core(net, src, candidates, nacked, v_src, &p_base, updates)
         };
         deltas.push(*v_src - v_before);
+        decisions.push((overlay_key(target), *v_src));
         if self.obs.is_active() {
             *ns += self.obs.now_ns().saturating_sub(start_ns);
         }
@@ -1085,6 +1197,46 @@ mod tests {
             rebuild.rounds.last().map(|r| r.alive_end),
             incremental.rounds.last().map(|r| r.alive_end)
         );
+    }
+
+    #[test]
+    fn q_rows_layouts_run_identically_and_record_the_same_rows() {
+        // The store is write-only on the decision path, so dense and
+        // sparse layouts must leave every simulation observable untouched
+        // — and, since they record the same decisions, their final-round
+        // rows must agree entry for entry.
+        let run = |mode: QRowsMode| {
+            let net = paper_net(41, AnyLink::Ideal(IdealLink));
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut p = QlecProtocol::builder().k(5).q_rows(mode).build();
+            let mut cfg = SimConfig::paper(5.0);
+            cfg.rounds = 10;
+            let report = Simulator::builder(net)
+                .config(cfg)
+                .build()
+                .run(&mut p, &mut rng);
+            (report, p)
+        };
+        let (dense_report, dense_p) = run(QRowsMode::Dense);
+        let (sparse_report, sparse_p) = run(QRowsMode::Sparse);
+        assert_eq!(
+            dense_report.consumption_rates,
+            sparse_report.consumption_rates
+        );
+        assert_eq!(dense_report.pdr(), sparse_report.pdr());
+        assert_eq!(
+            dense_report.mean_head_count(),
+            sparse_report.mean_head_count()
+        );
+        let dense = dense_p.q_rows().expect("store populated");
+        let sparse = sparse_p.q_rows().expect("store populated");
+        assert_eq!(dense.mode(), QRowsMode::Dense);
+        assert_eq!(sparse.mode(), QRowsMode::Sparse);
+        assert_eq!(dense.rows_touched(), sparse.rows_touched());
+        assert!(dense.rows_touched() > 0, "final round recorded decisions");
+        for i in 0..dense.len() as u32 {
+            assert_eq!(dense.row(i), sparse.row(i), "node {i}");
+        }
     }
 
     #[test]

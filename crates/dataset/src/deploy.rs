@@ -128,7 +128,7 @@ mod tests {
             NetworkBuilder::new(),
         );
         assert_eq!(net.len(), plants.len());
-        for n in net.nodes() {
+        for n in net.iter() {
             assert!(n.battery.initial() >= 0.5);
             assert!(n.pos.x >= 0.0 && n.pos.y >= 0.0 && n.pos.z >= 0.0);
         }
@@ -147,13 +147,10 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.capacity_mw.total_cmp(&b.1.capacity_mw))
             .unwrap();
-        let e_big = net.nodes()[big_i].battery.initial();
+        let e_big = net.arena().batteries()[big_i].initial();
         assert!((e_big - big.capacity_mw * cfg.joules_per_mw).abs() < 1e-9);
-        let distinct: std::collections::BTreeSet<u64> = net
-            .nodes()
-            .iter()
-            .map(|n| n.battery.initial().to_bits())
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            net.iter().map(|n| n.battery.initial().to_bits()).collect();
         assert!(distinct.len() > 100, "energies should be heterogeneous");
     }
 
@@ -164,7 +161,7 @@ mod tests {
         let cfg = DeployConfig::default();
         let net = to_network(&mut rng, &plants, &cfg, NetworkBuilder::new());
         let max_z = cfg.max_height_m * cfg.distance_scale;
-        let zs: Vec<f64> = net.nodes().iter().map(|n| n.pos.z).collect();
+        let zs: Vec<f64> = net.iter().map(|n| n.pos.z).collect();
         assert!(zs.iter().all(|&z| (0.0..=max_z + 1e-12).contains(&z)));
         // Not all equal — the network is genuinely 3-D.
         let spread =

@@ -22,6 +22,14 @@
 //! speed; the cell geometry (bounds, dims) is fixed at build time, and
 //! points outside the original bounds clamp to edge cells — exactly how
 //! queries clamp, so correctness is unaffected.
+//!
+//! Out-of-bounds (and non-finite) positions are therefore *legal but
+//! observable*: every registration that had to clamp — at build, on
+//! [`UniformGrid::insert`], or on [`UniformGrid::move_point`] — bumps a
+//! counter exposed via [`UniformGrid::clamped_registrations`]. Callers
+//! feeding drifting mobility traces can watch that counter instead of
+//! discovering silently-misbinned points; query-side clamping (a search
+//! ball poking past the boundary) is by design and is not counted.
 
 use crate::aabb::Aabb;
 use crate::vec3::Vec3;
@@ -84,6 +92,10 @@ pub struct UniformGrid {
     generation: u64,
     /// Full re-bins performed since construction.
     rebuilds: u64,
+    /// Registrations (build/insert/move) whose position fell outside the
+    /// build-time bounds — or was non-finite — and clamped to an edge
+    /// cell. See [`UniformGrid::clamped_registrations`].
+    clamped: u64,
     /// Churn fraction (of live points) above which a mutation triggers a
     /// full re-bin.
     rebuild_threshold: f64,
@@ -148,16 +160,26 @@ impl UniformGrid {
             churn: 0,
             generation: 0,
             rebuilds: 0,
+            clamped: 0,
             rebuild_threshold: DEFAULT_REBUILD_THRESHOLD,
         };
         for i in 0..n {
-            grid.cur_cell[i] = grid.cell_of(grid.points[i]);
+            grid.cur_cell[i] = grid.register_cell_of(grid.points[i]);
         }
         grid.rebin();
         grid.rebuilds = 0; // the initial binning is not a "rebuild"
         grid
     }
 
+    /// Cell index for position `p`, clamping to the edge cells.
+    ///
+    /// The clamp is deliberate and double-ended: a negative or NaN axis
+    /// value saturates to 0 through the `as usize` cast, an over-large
+    /// one is capped at `dims - 1`, so *every* position maps to a valid
+    /// cell — the same cell the clamped query walk inspects, which keeps
+    /// out-of-bounds points findable. Mutation paths detect the clamp
+    /// separately (see [`UniformGrid::register_cell_of`]) so it is
+    /// counted, never silent.
     #[inline]
     fn cell_of(&self, p: Vec3) -> u32 {
         let rel = p - self.bounds.min();
@@ -165,6 +187,18 @@ impl UniformGrid {
         let iy = ((rel.y / self.cell.y) as usize).min(self.dims[1] - 1);
         let iz = ((rel.z / self.cell.z) as usize).min(self.dims[2] - 1);
         ((iz * self.dims[1] + iy) * self.dims[0] + ix) as u32
+    }
+
+    /// [`Self::cell_of`] for registration paths: additionally bumps the
+    /// clamp counter when `p` lies outside the build-time bounds.
+    /// `Aabb::contains` is inclusive and rejects NaN (all comparisons
+    /// fail), so non-finite positions are counted too.
+    #[inline]
+    fn register_cell_of(&mut self, p: Vec3) -> u32 {
+        if !self.bounds.contains(p) {
+            self.clamped += 1;
+        }
+        self.cell_of(p)
     }
 
     /// Whether `idx` is currently registered in an overflow list rather
@@ -242,7 +276,7 @@ impl UniformGrid {
         self.points.push(p);
         self.alive.push(true);
         self.home.push(NO_HOME);
-        let c = self.cell_of(p);
+        let c = self.register_cell_of(p);
         self.cur_cell.push(c);
         self.overflow.entry(c).or_default().push(idx);
         self.overflow_len += 1;
@@ -280,7 +314,7 @@ impl UniformGrid {
         let i = idx as usize;
         assert!(self.alive[i], "cannot move a removed point");
         self.points[i] = p;
-        let new_c = self.cell_of(p);
+        let new_c = self.register_cell_of(p);
         let old_c = self.cur_cell[i];
         if new_c != old_c {
             if self.in_overflow(i) {
@@ -309,6 +343,17 @@ impl UniformGrid {
     /// Number of full re-bins triggered by churn since construction.
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// How many registrations (build-time binning, [`Self::insert`],
+    /// [`Self::move_point`]) carried a position outside the build-time
+    /// bounds — including NaN/infinite coordinates — and were clamped to
+    /// an edge cell. The clamp itself is by design (the point stays
+    /// findable, because queries clamp identically); the counter makes a
+    /// drifting mobility trace observable instead of silently piling
+    /// nodes into boundary cells. Monotone; never reset by re-bins.
+    pub fn clamped_registrations(&self) -> u64 {
+        self.clamped
     }
 
     /// Set the churn fraction (of live points) above which a mutation
@@ -637,6 +682,65 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, brute_within(&pts, |i| !dead[i], center, 30.0));
         }
+    }
+
+    #[test]
+    fn out_of_bounds_registrations_are_counted_and_findable() {
+        // Build over a unit-ish box; in-bounds registrations never count.
+        let base = vec![Vec3::ZERO, Vec3::splat(10.0)];
+        let mut g = UniformGrid::build(base, 4);
+        g.set_rebuild_threshold(0.9);
+        assert_eq!(g.clamped_registrations(), 0);
+
+        // Negative coordinates: clamped to the edge cell, counted once,
+        // and still returned by queries covering that corner.
+        let neg = g.insert(Vec3::new(-5.0, -1.0, -0.25));
+        assert_eq!(g.clamped_registrations(), 1);
+        assert!(g.within_radius(Vec3::ZERO, 6.0).contains(&neg));
+
+        // Past the max corner: same deal.
+        g.move_point(neg, Vec3::splat(25.0));
+        assert_eq!(g.clamped_registrations(), 2);
+        assert!(g.within_radius(Vec3::splat(10.0), 30.0).contains(&neg));
+
+        // Moving back in-bounds does not count.
+        g.move_point(neg, Vec3::splat(5.0));
+        assert_eq!(g.clamped_registrations(), 2);
+
+        // The counter survives a churn-triggered re-bin.
+        g.set_rebuild_threshold(0.01);
+        g.move_point(neg, Vec3::splat(6.0));
+        assert!(g.rebuilds() > 0, "tiny threshold must have re-binned");
+        assert_eq!(g.clamped_registrations(), 2);
+    }
+
+    #[test]
+    fn nan_positions_clamp_without_panicking() {
+        let mut g = UniformGrid::build(vec![Vec3::ZERO, Vec3::splat(10.0)], 4);
+        g.set_rebuild_threshold(0.9);
+        let nan = g.insert(Vec3::new(f64::NAN, 5.0, 5.0));
+        assert_eq!(g.clamped_registrations(), 1);
+        // A NaN coordinate fails every distance comparison, so the point
+        // is unreachable by queries — but nothing panics, other points
+        // stay correct, and the registration was counted.
+        assert!(!g.within_radius(Vec3::splat(5.0), 1e9).contains(&nan));
+        assert_eq!(g.nearest(Vec3::ZERO), Some(0));
+        assert!(g.remove(nan));
+        assert_eq!(g.nearest(Vec3::splat(9.0)), Some(1));
+    }
+
+    #[test]
+    fn build_time_clamps_are_counted_with_explicit_bounds() {
+        // build_with_dims takes caller-supplied bounds, so build-time
+        // positions can fall outside them (UniformGrid::build computes
+        // enclosing bounds and never clamps at build).
+        let pts = vec![Vec3::splat(5.0), Vec3::splat(50.0), Vec3::splat(-3.0)];
+        let g =
+            UniformGrid::build_with_dims(pts, Aabb::new(Vec3::ZERO, Vec3::splat(10.0)), [2, 2, 2]);
+        assert_eq!(g.clamped_registrations(), 2);
+        // Clamped points live in edge cells and remain findable.
+        assert!(g.within_radius(Vec3::splat(10.0), 80.0).contains(&1));
+        assert!(g.within_radius(Vec3::ZERO, 10.0).contains(&2));
     }
 
     #[test]

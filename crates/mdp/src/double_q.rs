@@ -70,6 +70,8 @@ pub fn double_q_learning<M: FiniteMdp, R: Rng + ?Sized>(
     assert!((0.0..1.0).contains(&cfg.gamma), "gamma must be in [0,1)");
     assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0,1]");
     let (ns, na) = (mdp.n_states(), mdp.n_actions());
+    // QTable::zeros routes through the checked try_zeros path; the row
+    // buffer is single-dimension and cannot overflow.
     let mut q_a = QTable::zeros(ns, na);
     let mut q_b = QTable::zeros(ns, na);
     let mut updates = 0u64;

@@ -15,6 +15,8 @@
 //!
 //! * [`mdp::FiniteMdp`] — an explicit finite MDP (transition triples),
 //! * [`qtable::QTable`] — a dense `states × actions` action-value table,
+//! * [`sparse::SparseQRow`] — a budgeted sparse row (Theorem-1 candidate
+//!   working set) with the dense table kept as the small-k golden oracle,
 //! * [`solver`] — value iteration and expected (model-based) Q-updates,
 //! * [`qlearning`] — classic sample-based Q-learning for comparison,
 //! * [`double_q`] — Double Q-learning (overestimation-bias control),
@@ -36,7 +38,9 @@ pub mod qlearning;
 pub mod qtable;
 pub mod sarsa;
 pub mod solver;
+pub mod sparse;
 
 pub use convergence::{ConvergenceTracker, UpdateCounter};
 pub use mdp::{FiniteMdp, Transition};
-pub use qtable::QTable;
+pub use qtable::{MdpError, QTable};
+pub use sparse::SparseQRow;

@@ -38,7 +38,7 @@ pub fn evaluate_policy<M: FiniteMdp>(
         "policy must cover every state"
     );
     assert!((0.0..1.0).contains(&gamma));
-    let mut v = vec![0.0; mdp.n_states()];
+    let mut v = vec![0.0; mdp.n_states()]; // one dimension, no product to overflow
     for _ in 0..max_sweeps {
         let mut max_delta = 0.0f64;
         for s in 0..mdp.n_states() {
@@ -66,6 +66,8 @@ pub fn policy_iteration<M: FiniteMdp>(
     assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1)");
     assert!(mdp.n_actions() > 0, "MDP needs at least one action");
     let ns = mdp.n_states();
+    // Both single-dimension (no `ns * na` product): allocation length
+    // cannot overflow the way the dense tables' could.
     let mut policy = vec![0usize; ns];
     let mut v = vec![0.0; ns];
     let mut converged = false;

@@ -8,6 +8,39 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Structured failure building tabular storage.
+///
+/// Dense action-value tables multiply two caller-supplied dimensions; on
+/// a 64-bit host `n_states * n_actions` can wrap (or produce a byte
+/// count past the allocator's `isize::MAX` ceiling) long before either
+/// factor looks suspicious — `QTable::zeros(usize::MAX, 2)` used to wrap
+/// to a *small* table whose `idx()` arithmetic then aliased rows. Every
+/// construction path now goes through [`QTable::try_zeros`], which
+/// reports the offending shape instead of wrapping or aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdpError {
+    /// `n_states × actions` overflows, or its byte size exceeds what a
+    /// single allocation may hold.
+    TableTooLarge { n_states: usize, n_actions: usize },
+}
+
+impl std::fmt::Display for MdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdpError::TableTooLarge {
+                n_states,
+                n_actions,
+            } => write!(
+                f,
+                "Q-table shape {n_states} states x {n_actions} actions \
+                 overflows a single allocation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MdpError {}
+
 /// A dense `states × actions` table of action values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QTable {
@@ -18,13 +51,36 @@ pub struct QTable {
 
 impl QTable {
     /// All-zero table — the paper initializes "all the V values and Q
-    /// values … to 0" (§4.2).
-    pub fn zeros(n_states: usize, n_actions: usize) -> Self {
-        QTable {
+    /// values … to 0" (§4.2). Fails with [`MdpError::TableTooLarge`]
+    /// when `n_states * n_actions` overflows `usize` or the resulting
+    /// byte size cannot be represented by one allocation (`isize::MAX`),
+    /// instead of silently wrapping the length arithmetic.
+    pub fn try_zeros(n_states: usize, n_actions: usize) -> Result<Self, MdpError> {
+        let len = n_states
+            .checked_mul(n_actions)
+            .filter(|&len| {
+                len.checked_mul(std::mem::size_of::<f64>())
+                    .is_some_and(|bytes| isize::try_from(bytes).is_ok())
+            })
+            .ok_or(MdpError::TableTooLarge {
+                n_states,
+                n_actions,
+            })?;
+        Ok(QTable {
             n_states,
             n_actions,
-            q: vec![0.0; n_states * n_actions],
-        }
+            q: vec![0.0; len],
+        })
+    }
+
+    /// [`QTable::try_zeros`] for shapes known to be small (the exact
+    /// solvers' `n_states × n_actions` reference problems).
+    ///
+    /// # Panics
+    /// Panics with the structured [`MdpError`] message when the shape
+    /// overflows — it no longer wraps to an aliased small table.
+    pub fn zeros(n_states: usize, n_actions: usize) -> Self {
+        Self::try_zeros(n_states, n_actions).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of states (rows).
@@ -129,6 +185,34 @@ impl QTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_zeros_rejects_overflowing_shapes() {
+        // The product wraps `usize`: usize::MAX * 2 ≡ usize::MAX - 1, a
+        // small-looking length that would alias rows.
+        assert_eq!(
+            QTable::try_zeros(usize::MAX, 2),
+            Err(MdpError::TableTooLarge {
+                n_states: usize::MAX,
+                n_actions: 2
+            })
+        );
+        // The product fits `usize` but the byte size exceeds the
+        // allocator's `isize::MAX` ceiling.
+        assert!(QTable::try_zeros(1 << 40, 1 << 22).is_err());
+        // The error renders the offending shape.
+        let msg = QTable::try_zeros(usize::MAX, 2).unwrap_err().to_string();
+        assert!(msg.contains("overflows"), "{msg}");
+        // Ordinary shapes still build, including degenerate empties.
+        assert!(QTable::try_zeros(3, 4).is_ok());
+        assert!(QTable::try_zeros(0, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows a single allocation")]
+    fn zeros_panics_with_structured_message_on_overflow() {
+        let _ = QTable::zeros(usize::MAX, 2);
+    }
 
     #[test]
     fn zeros_and_shape() {

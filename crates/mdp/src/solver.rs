@@ -90,8 +90,8 @@ pub fn value_iteration<M: FiniteMdp>(
     );
     let ns = mdp.n_states();
     let na = mdp.n_actions();
-    let mut q = QTable::zeros(ns, na);
-    let mut v = vec![0.0; ns];
+    let mut q = QTable::zeros(ns, na); // checked shape: panics structurally, never wraps
+    let mut v = vec![0.0; ns]; // one dimension, no product to overflow
     let mut tracker = ConvergenceTracker::new(tolerance);
     let mut counter = UpdateCounter::new();
     let mut converged = false;

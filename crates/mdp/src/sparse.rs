@@ -1,0 +1,276 @@
+//! Budgeted sparse action-value rows.
+//!
+//! At 1M-node scale the dense per-node Q-rows of [`crate::QTable`] are
+//! the RSS blocker: one row per node over the full head set allocates
+//! `N × (k+1)` doubles, and Theorem 1 says each `Send-Data` decision
+//! only ever consults the `C = min(k, ⌈8 + √(16 ln k)⌉)` nearest
+//! candidate heads anyway. [`SparseQRow`] stores exactly that working
+//! set: at most `budget` `(action, value)` entries, absent actions read
+//! as the paper's 0.0 initialization, and the greedy/update semantics
+//! mirror the dense table entry-for-entry so the dense `QTable` can stay
+//! in service as the small-k golden oracle (see
+//! `crates/mdp/tests/sparse_vs_dense.rs`).
+//!
+//! Entries are kept sorted by ascending action id in one small `Vec`:
+//! with `C ≤ a few dozen` a binary search + `memmove` beats any hash
+//! map, the iteration order is deterministic, and a full row is ~2
+//! cache lines.
+
+use serde::{Deserialize, Serialize};
+
+/// One sparse action-value row holding at most `budget` entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseQRow {
+    budget: usize,
+    /// `(action, value)` sorted by ascending action id.
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseQRow {
+    /// An empty row that will hold at most `budget` entries.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero — a row that can store nothing cannot
+    /// represent any decision.
+    pub fn new(budget: usize) -> Self {
+        assert!(budget > 0, "sparse row budget must be positive");
+        SparseQRow {
+            budget,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entry budget this row was built with.
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of stored entries (`≤ budget`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no action has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read `Q(a)`. Absent actions read as the 0.0 initialization, like
+    /// an untouched dense cell.
+    #[inline]
+    pub fn get(&self, action: u32) -> f64 {
+        match self.entries.binary_search_by_key(&action, |&(a, _)| a) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether `action` currently has a stored entry.
+    #[inline]
+    pub fn contains(&self, action: u32) -> bool {
+        self.entries
+            .binary_search_by_key(&action, |&(a, _)| a)
+            .is_ok()
+    }
+
+    /// Write `Q(a)`; returns the absolute change against the previous
+    /// reading (0.0 for an absent action), matching
+    /// [`crate::QTable::set`] so convergence tracking sees the same
+    /// deltas either way.
+    ///
+    /// When the row is full and `action` is new, the weakest stored
+    /// entry — smallest value, ties broken toward the *highest* action
+    /// id — is evicted first. The Theorem-1 budget makes this rare (one
+    /// round's candidate set fits), and evicting the weakest keeps the
+    /// row's argmax unchanged by construction.
+    pub fn set(&mut self, action: u32, value: f64) -> f64 {
+        debug_assert!(value.is_finite(), "Q value must be finite, got {value}");
+        match self.entries.binary_search_by_key(&action, |&(a, _)| a) {
+            Ok(i) => {
+                let delta = (value - self.entries[i].1).abs();
+                self.entries[i].1 = value;
+                delta
+            }
+            Err(i) => {
+                if self.entries.len() == self.budget {
+                    let evict = self.weakest().expect("full row is non-empty");
+                    self.entries.remove(evict);
+                    // Recompute the insertion point: the removal may
+                    // have shifted it.
+                    match self.entries.binary_search_by_key(&action, |&(a, _)| a) {
+                        Ok(_) => unreachable!("action was absent before eviction"),
+                        Err(j) => self.entries.insert(j, (action, value)),
+                    }
+                } else {
+                    self.entries.insert(i, (action, value));
+                }
+                value.abs()
+            }
+        }
+    }
+
+    /// Index of the weakest entry: smallest value, ties toward the
+    /// highest action id (so the eviction mirror-images the greedy
+    /// tie-break).
+    fn weakest(&self) -> Option<usize> {
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, &(_, q)) in self.entries.iter().enumerate() {
+            match worst {
+                Some((_, wq)) if q > wq => {}
+                _ => worst = Some((i, q)),
+            }
+        }
+        worst.map(|(i, _)| i)
+    }
+
+    /// Greedy action over the *stored* entries: `argmax_a Q(a)`, lowest
+    /// action id wins ties — the same deterministic tie-break as
+    /// [`crate::QTable::greedy`]. `None` for an empty row.
+    pub fn greedy(&self) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for &(a, q) in &self.entries {
+            match best {
+                Some((_, bq)) if q <= bq => {}
+                _ => best = Some((a, q)),
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Greedy action restricted to `allowed`, reading absent actions as
+    /// 0.0 (exactly like a dense row would); ties keep the *earliest*
+    /// entry in `allowed`'s iteration order — the same deterministic
+    /// tie-break as [`crate::QTable::greedy_among`]. `None` when
+    /// `allowed` yields nothing.
+    pub fn greedy_among(&self, allowed: impl Iterator<Item = u32>) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for a in allowed {
+            let q = self.get(a);
+            match best {
+                Some((_, bq)) if q <= bq => {}
+                _ => best = Some((a, q)),
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// `V = max_a Q(a)` over the stored entries (`None` when empty).
+    pub fn v(&self) -> Option<f64> {
+        self.entries.iter().map(|&(_, q)| q).reduce(f64::max)
+    }
+
+    /// The stored `(action, value)` pairs, ascending by action id.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Drop every entry (a new round's candidate set starts fresh).
+    /// Capacity is retained, so a per-round clear never reallocates.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_actions_read_zero() {
+        let row = SparseQRow::new(4);
+        assert_eq!(row.get(7), 0.0);
+        assert!(!row.contains(7));
+        assert!(row.is_empty());
+        assert_eq!(row.greedy(), None);
+        assert_eq!(row.v(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_is_rejected() {
+        let _ = SparseQRow::new(0);
+    }
+
+    #[test]
+    fn set_returns_dense_style_deltas() {
+        let mut row = SparseQRow::new(4);
+        assert_eq!(row.set(3, 5.0), 5.0);
+        assert_eq!(row.get(3), 5.0);
+        assert_eq!(row.set(3, 3.0), 2.0);
+        assert_eq!(row.set(1, -1.0), 1.0);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn entries_stay_sorted_by_action() {
+        let mut row = SparseQRow::new(8);
+        for a in [9u32, 2, 5, 0, 7] {
+            row.set(a, a as f64);
+        }
+        let actions: Vec<u32> = row.iter().map(|(a, _)| a).collect();
+        assert_eq!(actions, vec![0, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn greedy_ties_break_low_like_dense() {
+        let mut row = SparseQRow::new(4);
+        row.set(2, 7.0);
+        row.set(1, 7.0);
+        row.set(3, 1.0);
+        assert_eq!(row.greedy(), Some(1));
+        assert_eq!(row.v(), Some(7.0));
+    }
+
+    #[test]
+    fn greedy_among_reads_absent_as_zero() {
+        let mut row = SparseQRow::new(4);
+        row.set(2, -3.0);
+        // Action 5 is absent (0.0) and beats the stored -3.0.
+        assert_eq!(row.greedy_among([2, 5].into_iter()), Some(5));
+        // Tie between two absent actions: first in iteration order wins,
+        // mirroring the dense QTable::greedy_among tie-break.
+        assert_eq!(row.greedy_among([8, 4].into_iter()), Some(8));
+        assert_eq!(row.greedy_among(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn full_row_evicts_the_weakest_entry() {
+        let mut row = SparseQRow::new(3);
+        row.set(1, 5.0);
+        row.set(2, 1.0);
+        row.set(3, 9.0);
+        // Full: writing action 7 must evict action 2 (smallest value).
+        row.set(7, 4.0);
+        assert_eq!(row.len(), 3);
+        assert!(!row.contains(2));
+        assert_eq!(row.get(7), 4.0);
+        assert_eq!(row.greedy(), Some(3), "argmax survives eviction");
+    }
+
+    #[test]
+    fn eviction_ties_break_toward_high_action() {
+        let mut row = SparseQRow::new(2);
+        row.set(4, 1.0);
+        row.set(9, 1.0);
+        row.set(0, 2.0);
+        // 4 and 9 tied for weakest: 9 (the higher id) goes.
+        assert!(row.contains(4));
+        assert!(!row.contains(9));
+        assert!(row.contains(0));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_budget() {
+        let mut row = SparseQRow::new(2);
+        row.set(1, 1.0);
+        row.set(2, 2.0);
+        row.clear();
+        assert!(row.is_empty());
+        assert_eq!(row.budget(), 2);
+        assert_eq!(row.set(5, 3.0), 3.0);
+        assert_eq!(row.greedy(), Some(5));
+    }
+}

@@ -19,6 +19,8 @@
 //! Module map:
 //!
 //! * [`node`] — node identity, role, position, battery,
+//! * [`arena`] — struct-of-arrays node storage with `NodeRef`/`NodeMut`
+//!   views (the hot-path layout behind [`network::Network`]),
 //! * [`network`] — the deployment (nodes + BS + radio/link models),
 //! * [`packet`] — packets and routing targets,
 //! * [`traffic`] — Poisson arrival-time generation,
@@ -30,6 +32,7 @@
 //!   module with an explicit `MergePlan`/`MergeOutcome` API),
 //! * [`trace`] — opt-in per-round JSON traces for external plotting.
 
+pub mod arena;
 pub(crate) mod merge;
 pub mod metrics;
 pub mod network;
@@ -41,6 +44,7 @@ pub mod sim;
 pub mod trace;
 pub mod traffic;
 
+pub use arena::{NodeArena, NodeMut, NodeRef};
 pub use metrics::{RoundMetrics, SimReport};
 pub use network::{Network, NetworkBuilder};
 pub use node::{Node, NodeId, Role};

@@ -6,19 +6,25 @@
 //! power-plant dataset), and [`Network`] exposes the aggregate quantities
 //! the algorithms read: average residual energy (Eq. 1–2), mean distance to
 //! the BS (`d_toBS`, Theorem 1), and per-node accessors.
+//!
+//! Node state lives in a struct-of-arrays [`NodeArena`]; `node`/`node_mut`
+//! hand out [`NodeRef`]/[`NodeMut`] views that read like the old
+//! array-of-structs [`Node`], which survives as the builder/serde snapshot
+//! type.
 
+use crate::arena::{NodeArena, NodeMut, NodeRef};
 use crate::node::{Node, NodeId, Role};
 use qlec_geom::sample::uniform_in_aabb;
 use qlec_geom::{Aabb, Vec3};
 use qlec_radio::link::AnyLink;
 use qlec_radio::RadioModel;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A sensor-network deployment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
-    nodes: Vec<Node>,
+    arena: NodeArena,
     bs_pos: Vec3,
     bounds: Aabb,
     pub radio: RadioModel,
@@ -26,39 +32,45 @@ pub struct Network {
 }
 
 impl Network {
-    /// All nodes, indexable by [`NodeId::index`].
+    /// Immutable views of all nodes in id order.
     #[inline]
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
-    }
-
-    /// Mutable access to all nodes.
-    #[inline]
-    pub fn nodes_mut(&mut self) -> &mut [Node] {
-        &mut self.nodes
+    pub fn iter(&self) -> impl Iterator<Item = NodeRef<'_>> {
+        self.arena.iter()
     }
 
     /// One node by id.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        self.arena.get(id.index())
     }
 
     /// One node by id, mutable.
     #[inline]
-    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.index()]
+    pub fn node_mut(&mut self, id: NodeId) -> NodeMut<'_> {
+        self.arena.get_mut(id.index())
+    }
+
+    /// The struct-of-arrays storage (column access for hot loops).
+    #[inline]
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Mutable struct-of-arrays storage.
+    #[inline]
+    pub fn arena_mut(&mut self) -> &mut NodeArena {
+        &mut self.arena
     }
 
     /// Number of nodes `N`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     /// Whether the deployment is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.arena.is_empty()
     }
 
     /// Base-station (sink) position.
@@ -80,58 +92,64 @@ impl Network {
 
     /// Ids of all nodes.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.arena.len() as u32).map(NodeId)
     }
 
     /// Ids of nodes that can still participate.
     pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.id)
+        (0..self.arena.len())
+            .filter(|&i| self.arena.is_alive(i))
+            .map(|i| NodeId(i as u32))
     }
 
     /// Number of alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_alive()).count()
+        (0..self.arena.len())
+            .filter(|&i| self.arena.is_alive(i))
+            .count()
     }
 
     /// Euclidean distance between two nodes.
     #[inline]
     pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
-        self.node(a).pos.dist(self.node(b).pos)
+        let pos = self.arena.positions();
+        pos[a.index()].dist(pos[b.index()])
     }
 
     /// Euclidean distance from a node to the base station.
     #[inline]
     pub fn dist_to_bs(&self, id: NodeId) -> f64 {
-        self.node(id).pos.dist(self.bs_pos)
+        self.arena.positions()[id.index()].dist(self.bs_pos)
     }
 
     /// Mean node→BS distance over all nodes — the `d_toBS` approximation
     /// Theorem 1 uses (following \[1\]: "d_toBS can be approximated by the
     /// average distance between the nodes and BS").
     pub fn mean_dist_to_bs(&self) -> f64 {
-        if self.nodes.is_empty() {
+        if self.arena.is_empty() {
             return 0.0;
         }
-        self.nodes
+        self.arena
+            .positions()
             .iter()
-            .map(|n| n.pos.dist(self.bs_pos))
+            .map(|p| p.dist(self.bs_pos))
             .sum::<f64>()
-            / self.nodes.len() as f64
+            / self.arena.len() as f64
     }
 
     /// Sum of residual energies over all nodes.
     pub fn total_residual(&self) -> f64 {
-        self.nodes.iter().map(|n| n.residual()).sum()
+        self.arena.batteries().iter().map(|b| b.residual()).sum()
     }
 
     /// Sum of initial energies (`E_initial` of Eq. 2 is this total).
     pub fn total_initial(&self) -> f64 {
-        self.nodes.iter().map(|n| n.battery.initial()).sum()
+        self.arena.batteries().iter().map(|b| b.initial()).sum()
     }
 
     /// Total energy consumed so far (the Fig. 3(b) quantity).
     pub fn total_consumed(&self) -> f64 {
-        self.nodes.iter().map(|n| n.battery.consumed()).sum()
+        self.arena.batteries().iter().map(|b| b.consumed()).sum()
     }
 
     /// *Actual* average residual energy per node at the current instant —
@@ -139,38 +157,73 @@ impl Network {
     /// either; the `deec_improved` module exposes both so the estimate's
     /// effect is testable.
     pub fn mean_residual(&self) -> f64 {
-        if self.nodes.is_empty() {
+        if self.arena.is_empty() {
             return 0.0;
         }
-        self.total_residual() / self.nodes.len() as f64
+        self.total_residual() / self.arena.len() as f64
     }
 
     /// Node positions in id order (for building spatial indexes).
     pub fn positions(&self) -> Vec<Vec3> {
-        self.nodes.iter().map(|n| n.pos).collect()
+        self.arena.positions().to_vec()
     }
 
     /// Node positions in id order, without allocating — feed this to
     /// [`qlec_geom::UniformGrid::build`] instead of [`Network::positions`]
     /// when the `Vec` copy is not needed.
     pub fn iter_positions(&self) -> impl Iterator<Item = Vec3> + '_ {
-        self.nodes.iter().map(|n| n.pos)
+        self.arena.positions().iter().copied()
     }
 
-    /// Reset every node's role to member (start of a round).
+    /// Reset every node's role to member (start of a round). One sweep
+    /// over the role column — the other node fields stay cold.
     pub fn reset_roles(&mut self) {
-        for n in &mut self.nodes {
-            n.role = Role::Member;
-        }
+        self.arena.roles_mut().fill(Role::Member);
     }
 
     /// The minimum residual energy over all nodes (`None` when empty) —
     /// the death-line comparison reads this.
     pub fn min_residual(&self) -> Option<f64> {
-        self.nodes
+        self.arena
+            .batteries()
             .iter()
-            .map(|n| n.residual())
+            .map(|b| b.residual())
             .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
+// Hand-written serde keeping the pre-SoA wire shape: a `nodes` array of
+// snapshot records plus the scalar fields, so stored deployments are
+// layout-agnostic.
+impl Serialize for Network {
+    fn to_value(&self) -> Value {
+        let nodes: Vec<Node> = (0..self.arena.len())
+            .map(|i| self.arena.snapshot(i))
+            .collect();
+        Value::Object(vec![
+            ("nodes".to_string(), nodes.to_value()),
+            ("bs_pos".to_string(), self.bs_pos.to_value()),
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("radio".to_string(), self.radio.to_value()),
+            ("link".to_string(), self.link.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Network {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::missing_field("Network", name))
+        };
+        let nodes: Vec<Node> = Deserialize::from_value(field("nodes")?)?;
+        Ok(Network {
+            arena: NodeArena::from_nodes(nodes),
+            bs_pos: Deserialize::from_value(field("bs_pos")?)?,
+            bounds: Deserialize::from_value(field("bounds")?)?,
+            radio: Deserialize::from_value(field("radio")?)?,
+            link: Deserialize::from_value(field("link")?)?,
+        })
     }
 }
 
@@ -216,6 +269,16 @@ impl NetworkBuilder {
         self
     }
 
+    fn assemble(self, nodes: Vec<Node>, bounds: Aabb) -> Network {
+        Network {
+            arena: NodeArena::from_nodes(nodes),
+            bs_pos: self.bs_pos.unwrap_or_else(|| bounds.center()),
+            bounds,
+            radio: self.radio,
+            link: self.link,
+        }
+    }
+
     /// The paper's canonical deployment: `n` nodes uniform in `[0, m]³`,
     /// all with `initial_energy` joules, BS at the cube centre (unless
     /// overridden).
@@ -236,13 +299,7 @@ impl NetworkBuilder {
                 )
             })
             .collect();
-        Network {
-            nodes,
-            bs_pos: self.bs_pos.unwrap_or_else(|| bounds.center()),
-            bounds,
-            radio: self.radio,
-            link: self.link,
-        }
+        self.assemble(nodes, bounds)
     }
 
     /// A *two-tier heterogeneous* deployment in the DEEC tradition
@@ -280,13 +337,7 @@ impl NetworkBuilder {
                 Node::new(NodeId(i as u32), uniform_in_aabb(rng, &bounds), energy)
             })
             .collect();
-        Network {
-            nodes,
-            bs_pos: self.bs_pos.unwrap_or_else(|| bounds.center()),
-            bounds,
-            radio: self.radio,
-            link: self.link,
-        }
+        self.assemble(nodes, bounds)
     }
 
     /// Arbitrary deployment from `(position, initial_energy)` pairs — the
@@ -304,13 +355,7 @@ impl NetworkBuilder {
             .enumerate()
             .map(|(i, &(pos, e))| Node::new(NodeId(i as u32), pos, e))
             .collect();
-        Network {
-            nodes,
-            bs_pos: self.bs_pos.unwrap_or_else(|| bounds.center()),
-            bounds,
-            radio: self.radio,
-            link: self.link,
-        }
+        self.assemble(nodes, bounds)
     }
 }
 
@@ -336,7 +381,7 @@ mod tests {
         assert_eq!(net.total_residual(), 500.0);
         assert_eq!(net.total_consumed(), 0.0);
         assert_eq!(net.alive_count(), 100);
-        for n in net.nodes() {
+        for n in net.iter() {
             assert!(net.bounds().contains(n.pos));
         }
     }
@@ -408,7 +453,7 @@ mod tests {
         let mut net = paper_network();
         net.node_mut(NodeId(1)).promote_to_head(0);
         net.reset_roles();
-        assert!(net.nodes().iter().all(|n| n.role == Role::Member));
+        assert!(net.iter().all(|n| n.role == Role::Member));
         // Rotation bookkeeping survives the reset.
         assert_eq!(net.node(NodeId(1)).last_head_round, Some(0));
     }
@@ -425,12 +470,10 @@ mod tests {
         let net = NetworkBuilder::new().heterogeneous_cube(&mut rng, 100, 200.0, 5.0, 0.2, 1.0);
         assert_eq!(net.len(), 100);
         let advanced = net
-            .nodes()
             .iter()
             .filter(|n| (n.battery.initial() - 10.0).abs() < 1e-12)
             .count();
         let normal = net
-            .nodes()
             .iter()
             .filter(|n| (n.battery.initial() - 5.0).abs() < 1e-12)
             .count();
@@ -444,7 +487,7 @@ mod tests {
     fn heterogeneous_zero_fraction_is_homogeneous() {
         let mut rng = StdRng::seed_from_u64(10);
         let net = NetworkBuilder::new().heterogeneous_cube(&mut rng, 50, 200.0, 5.0, 0.0, 3.0);
-        assert!(net.nodes().iter().all(|n| n.battery.initial() == 5.0));
+        assert!(net.iter().all(|n| n.battery.initial() == 5.0));
     }
 
     #[test]
@@ -452,5 +495,24 @@ mod tests {
     fn heterogeneous_rejects_bad_fraction() {
         let mut rng = StdRng::seed_from_u64(11);
         NetworkBuilder::new().heterogeneous_cube(&mut rng, 10, 200.0, 5.0, 1.5, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_node_state() {
+        let mut net = paper_network();
+        net.node_mut(NodeId(7)).promote_to_head(4);
+        net.node_mut(NodeId(7)).battery.consume(1.25);
+        *net.node_mut(NodeId(9)).online = false;
+        let v = net.to_value();
+        let back = Network::from_value(&v).expect("round trip");
+        assert_eq!(back.len(), net.len());
+        assert_eq!(back.node(NodeId(7)).last_head_round, Some(4));
+        assert_eq!(
+            back.node(NodeId(7)).residual(),
+            net.node(NodeId(7)).residual()
+        );
+        assert!(!back.node(NodeId(9)).online);
+        assert_eq!(back.bs_pos(), net.bs_pos());
+        assert_eq!(back.total_residual(), net.total_residual());
     }
 }

@@ -366,9 +366,10 @@ impl Simulator {
 
         let consumption_rates = self
             .net
-            .nodes()
+            .arena()
+            .batteries()
             .iter()
-            .map(|n| n.battery.consumption_rate())
+            .map(|b| b.consumption_rate())
             .collect();
 
         SimReport {
@@ -408,12 +409,12 @@ impl Simulator {
         let mut faults = self.faults.take();
         let injected = if let Some(driver) = faults.as_mut() {
             let directives = driver.begin_round(round);
-            for node in self.net.nodes_mut() {
-                node.online = true;
+            for i in 0..self.net.len() {
+                *self.net.node_mut(NodeId(i as u32)).online = true;
             }
             for &id in &directives.offline {
                 if (id as usize) < self.net.len() {
-                    self.net.node_mut(NodeId(id)).online = false;
+                    *self.net.node_mut(NodeId(id)).online = false;
                 }
             }
             for &(id, joules) in &directives.drains {
@@ -450,7 +451,7 @@ impl Simulator {
             }
             self.scratch
                 .alive_before
-                .extend(self.net.nodes().iter().map(|n| n.is_alive()));
+                .extend(self.net.iter().map(|n| n.is_alive()));
         }
         self.net.reset_roles();
         let election_span = self.obs.span_start();
@@ -907,7 +908,7 @@ impl Simulator {
         };
         if self.obs.is_active() {
             for (i, was_alive) in self.scratch.alive_before.iter().enumerate() {
-                if *was_alive && !self.net.nodes()[i].is_alive() {
+                if *was_alive && !self.net.arena().is_alive(i) {
                     self.obs.emit(Event::NodeDied {
                         round,
                         node: i as u32,
@@ -919,7 +920,7 @@ impl Simulator {
                 alive: metrics.alive_end,
                 energy_j: energy_consumed,
                 heads: heads.iter().map(|h| h.0).collect(),
-                residuals_j: self.net.nodes().iter().map(|n| n.residual()).collect(),
+                residuals_j: self.net.iter().map(|n| n.residual()).collect(),
             });
         }
         self.faults = faults;

@@ -141,7 +141,7 @@ impl<P: Protocol> Protocol for TraceRecorder<P> {
         self.trace.rounds.push(RoundSnapshot {
             round,
             heads: std::mem::take(&mut self.pending_heads),
-            residuals: net.nodes().iter().map(|n| n.residual()).collect(),
+            residuals: net.iter().map(|n| n.residual()).collect(),
             alive: net.alive_count(),
         });
     }

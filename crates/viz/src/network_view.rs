@@ -80,7 +80,7 @@ pub fn render_consumption_map(net: &Network, rates: &[f64], style: &MapStyle) ->
     let mut order: Vec<usize> = (0..net.len()).collect();
     order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
     for i in order {
-        let pos = net.nodes()[i].pos;
+        let pos = net.arena().positions()[i];
         let t = rates[i] / max_rate;
         svg.circle(
             px(pos.x),

@@ -54,13 +54,15 @@ fn main() {
     println!(
         "deployment: bounds {:?}, heterogeneous batteries {:.2}–{:.0} J",
         net.bounds().extent(),
-        net.nodes()
+        net.arena()
+            .batteries()
             .iter()
-            .map(|n| n.battery.initial())
+            .map(|b| b.initial())
             .fold(f64::INFINITY, f64::min),
-        net.nodes()
+        net.arena()
+            .batteries()
             .iter()
-            .map(|n| n.battery.initial())
+            .map(|b| b.initial())
             .fold(0.0f64, f64::max),
     );
 

@@ -31,12 +31,10 @@ fn full_scale_dataset_roundtrip_and_deploy() {
     assert!(net.bounds().volume() > 0.0);
     // Heterogeneous initial energy spanning orders of magnitude.
     let min = net
-        .nodes()
         .iter()
         .map(|n| n.battery.initial())
         .fold(f64::INFINITY, f64::min);
     let max = net
-        .nodes()
         .iter()
         .map(|n| n.battery.initial())
         .fold(0.0f64, f64::max);

@@ -222,6 +222,44 @@ fn same_plan_and_seed_streams_are_byte_identical() {
     }
 }
 
+/// A full-run base-station outage delivers *nothing*: the run has no
+/// delivered packet to take a latency from, so `mean_latency()` must be
+/// `None` — never a fake `0.0` — while conservation still closes (every
+/// generated packet drops somewhere). This is the ground truth behind
+/// the CLI's `n/a (nothing delivered)` rendering and the bench
+/// harness's JSON `null` latency cell.
+#[test]
+fn full_blackout_run_reports_no_latency_not_zero() {
+    let rounds = 4u32;
+    let plan = FaultPlan::named(
+        "total-blackout",
+        vec![FaultEvent::BsOutage {
+            from_round: 0,
+            to_round: rounds - 1,
+        }],
+    );
+    let mut protocol = QlecProtocol::builder().k(4).total_rounds(rounds).build();
+    let mut rng = StdRng::seed_from_u64(0xB1AC);
+    let report = Simulator::builder(net(0xB1AC, 40, AnyLink::Ideal(IdealLink)))
+        .config(cfg(rounds, 3.0))
+        .faults(FaultDriver::new(plan).unwrap())
+        .build()
+        .run(&mut protocol, &mut rng);
+
+    assert!(report.totals.generated > 0, "traffic was still generated");
+    assert_eq!(
+        report.totals.delivered, 0,
+        "blackout must block every delivery"
+    );
+    assert!(report.totals.is_conserved(), "{:?}", report.totals);
+    assert_eq!(
+        report.mean_latency(),
+        None,
+        "zero deliveries must report no latency, not 0.0"
+    );
+    assert_eq!(report.pdr(), 0.0);
+}
+
 /// A base-station outage window suppresses all deliveries for exactly its
 /// duration; traffic resumes untouched afterwards.
 #[test]

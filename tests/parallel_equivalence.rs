@@ -8,7 +8,7 @@
 //! paper scale (N = 100) and the pruned large-N configuration
 //! (N = 1000, auto candidate pruning active).
 
-use qlec::core::params::HeadIndexMode;
+use qlec::core::params::{HeadIndexMode, QRowsMode};
 use qlec::core::QlecProtocol;
 use qlec::net::trace::TraceRecorder;
 use qlec::net::{FaultDriver, FaultEvent, FaultPlan, NetworkBuilder, SimConfig, Simulator};
@@ -37,12 +37,14 @@ impl Write for SharedBuf {
 
 /// Stream-shaping options for [`run_once_with`]: which events-mode
 /// filter the sink applies, whether the sink sits behind the async
-/// (block-backpressure) pipeline, and an optional fault plan to replay.
+/// (block-backpressure) pipeline, an optional fault plan to replay, and
+/// which Q-row diagnostic layout the protocol records into.
 #[derive(Clone)]
 struct RunOpts {
     events_mode: EventsMode,
     async_sink: bool,
     faults: Option<FaultPlan>,
+    q_rows: QRowsMode,
 }
 
 impl Default for RunOpts {
@@ -51,6 +53,7 @@ impl Default for RunOpts {
             events_mode: EventsMode::Full,
             async_sink: false,
             faults: None,
+            q_rows: QRowsMode::default(),
         }
     }
 }
@@ -113,6 +116,7 @@ fn run_once_with(
     let builder = QlecProtocol::builder()
         .k(k)
         .head_index(head_index)
+        .q_rows(opts.q_rows)
         .observer(obs.clone());
     let mut sim = Simulator::builder(net).config(cfg).observers(obs.clone());
     if let Some(plan) = &opts.faults {
@@ -204,6 +208,69 @@ fn assert_index_mode_invariant(n: usize, k: usize, rounds: u32, lambda: f64) {
     }
 }
 
+/// Assert that the Q-row diagnostic layout (dense oracle vs sparse
+/// budgeted rows) never leaks into behavior: the `QRowStore` is
+/// write-only with respect to routing decisions, so dense and sparse
+/// runs must produce byte-identical event streams and reports at every
+/// thread count. Both layouts also run against each other's thread
+/// counts, so a layout × fan-out interaction can't hide.
+fn assert_q_rows_invariant(n: usize, k: usize, rounds: u32, lambda: f64) {
+    let run = |threads: usize, q_rows: QRowsMode| {
+        run_once_with(
+            n,
+            k,
+            rounds,
+            lambda,
+            threads,
+            HeadIndexMode::default(),
+            false,
+            RunOpts {
+                q_rows,
+                ..RunOpts::default()
+            },
+        )
+    };
+    let (base_stream, base_report) = run(1, QRowsMode::Dense);
+    let events = read_events(&base_stream).expect("baseline stream parses");
+    let packets = events
+        .iter()
+        .filter(|e| matches!(e, Event::PacketOutcome { .. }))
+        .count();
+    assert!(packets > 100, "baseline must carry real traffic: {packets}");
+    for threads in [1, 2] {
+        for q_rows in [QRowsMode::Dense, QRowsMode::Sparse] {
+            let (stream, report) = run(threads, q_rows);
+            assert!(
+                stream == base_stream,
+                "event stream diverged at q_rows = {}, threads = {threads} (N = {n})",
+                q_rows.label()
+            );
+            assert_eq!(
+                report,
+                base_report,
+                "report diverged at q_rows = {}, threads = {threads} (N = {n})",
+                q_rows.label()
+            );
+        }
+    }
+}
+
+/// Paper scale: the dense oracle easily fits (100·101 entries), so this
+/// locks sparse-vs-dense byte identity on the unpruned candidate path.
+#[test]
+fn q_rows_layouts_agree_at_n100() {
+    assert_q_rows_invariant(100, 5, 8, 1.0);
+}
+
+/// Large-N configuration: k = 50 activates the Theorem-1 candidate
+/// budget, so the sparse rows run at their eviction boundary while the
+/// dense oracle (1000·1001 entries, still under the cap) records the
+/// same values — streams must not diverge.
+#[test]
+fn q_rows_layouts_agree_at_n1000() {
+    assert_q_rows_invariant(1000, 50, 3, 5.0);
+}
+
 /// Paper scale, saturated traffic (λ = 1 exercises queue refusals and
 /// the merge-time live retargeting), planner path.
 #[test]
@@ -274,6 +341,7 @@ fn aggregate_stream_under_faults_is_sink_and_thread_invariant() {
                     events_mode: EventsMode::Aggregate,
                     async_sink,
                     faults: Some(plan.clone()),
+                    ..RunOpts::default()
                 },
             );
             match &base {
