@@ -15,7 +15,7 @@
 //!     [--head-index incremental,rebuild] [--q-rows sparse,dense] \
 //!     [--lambda 5] [--seed 42] \
 //!     [--events-sink sync,async] [--out BENCH_scale.json] [--append] \
-//!     [--validate] [--compare BASE.json] [--gate-thread-scaling 1.3]`
+//!     [--validate] [--compare BASE.json] [--gate-thread-scaling 1.6]`
 //!
 //! `--events-sink` re-runs each point once per named pipeline with a
 //! full-mode events stream (into the bit bucket) and records what that
@@ -23,13 +23,16 @@
 //! async pipeline's hot-thread win over the synchronous sink.
 //!
 //! When the sweep includes a `threads = 1` point alongside multi-thread
-//! points at the same (N, candidates, head-index, rounds) coordinates,
+//! points at the same (N, candidates, head-index, q-rows, rounds, λ)
+//! coordinates,
 //! the artifact gains `thread_scaling` summary rows: headline pkt/s
 //! speedup plus per-phase wall speedups against the single-threaded
 //! baseline. `--gate-thread-scaling FLOOR` turns those rows into a CI
-//! gate — every multi-thread point must reach FLOOR × the threads = 1
-//! throughput, and a sweep with nothing to compare is an error, not a
-//! silent pass.
+//! gate — every multi-thread point at N ≥ 10 000 must reach FLOOR ×
+//! the threads = 1 throughput (smaller points warn instead of failing:
+//! tiny rounds oversubscribe the workers, see
+//! [`SCALING_GATE_MIN_N`]), and a sweep with nothing to gate is an
+//! error, not a silent pass.
 
 use qlec_bench::{print_table, write_json, PhaseWall, ProtocolKind, RunSpec};
 use qlec_core::params::{CandidatePolicy, HeadIndexMode, QRowsMode, QlecParams};
@@ -67,7 +70,18 @@ use std::time::Instant;
 /// point with `n ≥ 100 000` fails when its fresh peak RSS grows more
 /// than 25 % past the baseline's (skipped when either side lacks the
 /// counter).
-const SCALE_SCHEMA: &str = "qlec-bench-scale/v6";
+/// v7: every run now records its own `lambda` (so one artifact can mix
+/// congestion levels; `lambda` joins the `--compare` and
+/// thread-scaling matching keys), plus the reservation-merge counters
+/// `merge_clean_commits` / `merge_residue` and the derived
+/// `residue_fraction` (a number on sharded-merge runs, `null` on
+/// sequential runs, which never classify). `--compare` gates
+/// `residue_fraction` as a regression: a matched point whose fresh
+/// fraction grows more than [`RESIDUE_TOLERANCE`] (absolute) past the
+/// baseline's fails, and `--gate-thread-scaling` now applies its floor
+/// only to rows with `n ≥` [`SCALING_GATE_MIN_N`] (smaller rows warn —
+/// see the gate's docs for why small-N inversion is expected).
+const SCALE_SCHEMA: &str = "qlec-bench-scale/v7";
 
 /// `--compare` fails on a `packets_per_sec` drop of more than this
 /// fraction below the baseline at any matching point.
@@ -85,6 +99,24 @@ const RSS_TOLERANCE: f64 = 0.25;
 /// high-water mark is dominated by allocator noise and (within one
 /// sweep) by whatever larger size ran first, not by per-node state.
 const RSS_GATE_MIN_N: usize = 100_000;
+
+/// `--compare` fails when a matched point's `residue_fraction` grows
+/// more than this (absolute) past the baseline's. The fraction is a
+/// property of the workload (at saturated λ most refusals genuinely
+/// need the sequential walk), so the gate is a regression bound on the
+/// *classifier* — proven-clean packets silently falling back into the
+/// residue — not an absolute target. Skipped when either side's
+/// fraction is null (sequential runs never classify).
+const RESIDUE_TOLERANCE: f64 = 0.05;
+
+/// Smallest `n` the `--gate-thread-scaling` floor applies to. Below
+/// this the per-round fan-out is too small to amortize worker wakeups:
+/// at N = 100 a round plans ~100 member packets, so four workers spend
+/// more time parking and unparking than planning, and the v6 baseline
+/// measured threads = 4 *slower* than threads = 2 (614k vs 766k
+/// pkt/s). That inversion is expected oversubscription, not a
+/// regression — small-N rows get a warning, never a gate failure.
+const SCALING_GATE_MIN_N: u64 = 10_000;
 
 /// One (size, threads, head-index mode) point of the sweep.
 #[derive(Debug)]
@@ -107,6 +139,10 @@ struct ScaleRun {
     head_index: String,
     /// Decision-Q diagnostic row layout (`sparse` or `dense`).
     q_rows: String,
+    /// Traffic congestion level λ this run was generated under. v7:
+    /// per-row, so one artifact can carry rows at several congestion
+    /// levels; part of the `--compare` and thread-scaling keys.
+    lambda: f64,
     /// End-to-end wall time of the run, seconds.
     wall_s: f64,
     /// Packets generated over the whole run.
@@ -137,6 +173,12 @@ struct ScaleRun {
     merge_shards: u64,
     /// Packets in the largest single commit group — shard imbalance.
     merge_shard_max: u64,
+    /// Packets the reservation pre-pass proved clean (committed with
+    /// asserts, no uncertainty). 0 on the sequential merge path.
+    merge_clean_commits: u64,
+    /// Packets the pre-pass could not prove clean — the sequential
+    /// residue walk's workload. 0 on the sequential merge path.
+    merge_residue: u64,
     /// Round-latency quantiles (ns) over the run's rounds.
     round_p50_ns: f64,
     round_p90_ns: f64,
@@ -187,6 +229,15 @@ impl Serialize for EventsPipelineRow {
     }
 }
 
+impl ScaleRun {
+    /// Residue share of the classified packets, `None` when the run
+    /// never ran the reservation pre-pass (sequential merge path).
+    fn residue_fraction(&self) -> Option<f64> {
+        let total = self.merge_clean_commits + self.merge_residue;
+        (total > 0).then(|| self.merge_residue as f64 / total as f64)
+    }
+}
+
 // Hand-rolled so `peak_rss_bytes: None` drops the field entirely
 // instead of writing `null` (the derive cannot skip fields).
 impl Serialize for ScaleRun {
@@ -203,6 +254,7 @@ impl Serialize for ScaleRun {
             ("candidates".to_string(), self.candidates.to_value()),
             ("head_index".to_string(), self.head_index.to_value()),
             ("q_rows".to_string(), self.q_rows.to_value()),
+            ("lambda".to_string(), self.lambda.to_value()),
             ("wall_s".to_string(), self.wall_s.to_value()),
             ("packets".to_string(), self.packets.to_value()),
             (
@@ -229,6 +281,21 @@ impl Serialize for ScaleRun {
         fields.push((
             "merge_shard_max".to_string(),
             self.merge_shard_max.to_value(),
+        ));
+        fields.push((
+            "merge_clean_commits".to_string(),
+            self.merge_clean_commits.to_value(),
+        ));
+        fields.push(("merge_residue".to_string(), self.merge_residue.to_value()));
+        // Sequential runs never classify: an explicit null, so every v7
+        // row carries the key and `--compare` can tell "not measured"
+        // from "measured zero".
+        fields.push((
+            "residue_fraction".to_string(),
+            match self.residue_fraction() {
+                Some(f) => f.to_value(),
+                None => serde_json::Value::Null,
+            },
         ));
         fields.push(("round_p50_ns".to_string(), self.round_p50_ns.to_value()));
         fields.push(("round_p90_ns".to_string(), self.round_p90_ns.to_value()));
@@ -290,6 +357,10 @@ fn thread_scaling_rows(runs: &[serde_json::Value]) -> Vec<serde_json::Value> {
             r["candidates"].as_str().map(str::to_string),
             r["head_index"].as_str().map(str::to_string),
             r["q_rows"].as_str().map(str::to_string),
+            // v7: λ is a per-row coordinate — a λ = 20 demo row must
+            // never borrow a λ = 5 single-thread baseline. Bits, so the
+            // key stays Eq.
+            r["lambda"].as_f64().map(f64::to_bits),
             r["rounds"].as_u64(),
         )
     };
@@ -340,6 +411,7 @@ fn thread_scaling_rows(runs: &[serde_json::Value]) -> Vec<serde_json::Value> {
             ),
             ("candidates".to_string(), run["candidates"].clone()),
             ("head_index".to_string(), run["head_index"].clone()),
+            ("lambda".to_string(), run["lambda"].clone()),
             ("packets_per_sec".to_string(), pps.to_value()),
             ("baseline_packets_per_sec".to_string(), base_pps.to_value()),
             ("speedup".to_string(), (pps / base_pps).to_value()),
@@ -349,11 +421,19 @@ fn thread_scaling_rows(runs: &[serde_json::Value]) -> Vec<serde_json::Value> {
     rows
 }
 
-/// `--gate-thread-scaling`: every multi-thread point must reach
-/// `floor` × its single-threaded pkt/s. `Ok` carries one message per
-/// failing point (empty = gate passes); `Err` means the sweep produced
-/// nothing to gate, which would otherwise pass vacuously.
-fn gate_thread_scaling(rows: &[serde_json::Value], floor: f64) -> Result<Vec<String>, String> {
+/// `--gate-thread-scaling`: every multi-thread point at `n ≥`
+/// [`SCALING_GATE_MIN_N`] must reach `floor` × its single-threaded
+/// pkt/s. Smaller points only *warn* when they miss the floor — below
+/// ~10k nodes the per-round fan-out cannot amortize worker wakeups, so
+/// oversubscription inversion (more threads, fewer pkt/s) is expected,
+/// not a regression. `Ok` carries `(failures, warnings)` (empty
+/// failures = gate passes); `Err` means the sweep produced no gateable
+/// point at all, which would otherwise pass vacuously.
+#[allow(clippy::type_complexity)]
+fn gate_thread_scaling(
+    rows: &[serde_json::Value],
+    floor: f64,
+) -> Result<(Vec<String>, Vec<String>), String> {
     if rows.is_empty() {
         return Err(
             "nothing to gate: the sweep needs a threads = 1 point and a multi-thread point \
@@ -361,20 +441,42 @@ fn gate_thread_scaling(rows: &[serde_json::Value], floor: f64) -> Result<Vec<Str
                 .into(),
         );
     }
-    Ok(rows
+    if !rows
         .iter()
-        .filter(|row| row["speedup"].as_f64().unwrap_or(0.0) < floor)
-        .map(|row| {
-            format!(
-                "N={} threads={}: {:.2}x pkt/s vs threads=1 ({:.0} vs {:.0}), below the {floor:.2}x floor",
-                row["n"].as_u64().unwrap_or(0),
-                row["threads"].as_u64().unwrap_or(0),
-                row["speedup"].as_f64().unwrap_or(0.0),
-                row["packets_per_sec"].as_f64().unwrap_or(0.0),
-                row["baseline_packets_per_sec"].as_f64().unwrap_or(0.0),
-            )
-        })
-        .collect())
+        .any(|row| row["n"].as_u64().unwrap_or(0) >= SCALING_GATE_MIN_N)
+    {
+        return Err(format!(
+            "nothing to gate: the floor only applies at N >= {SCALING_GATE_MIN_N} (smaller \
+             sweeps oversubscribe and only warn); add a size at or above it"
+        ));
+    }
+    let describe = |row: &serde_json::Value, verdict: &str| {
+        format!(
+            "N={} threads={}: {:.2}x pkt/s vs threads=1 ({:.0} vs {:.0}), {verdict} the \
+             {floor:.2}x floor",
+            row["n"].as_u64().unwrap_or(0),
+            row["threads"].as_u64().unwrap_or(0),
+            row["speedup"].as_f64().unwrap_or(0.0),
+            row["packets_per_sec"].as_f64().unwrap_or(0.0),
+            row["baseline_packets_per_sec"].as_f64().unwrap_or(0.0),
+        )
+    };
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    for row in rows {
+        if row["speedup"].as_f64().unwrap_or(0.0) >= floor {
+            continue;
+        }
+        if row["n"].as_u64().unwrap_or(0) >= SCALING_GATE_MIN_N {
+            failures.push(describe(row, "below"));
+        } else {
+            warnings.push(describe(
+                row,
+                "below (expected small-N oversubscription, not gated by)",
+            ));
+        }
+    }
+    Ok((failures, warnings))
 }
 
 /// The artifact spelling of a candidate policy (also the `--candidates`
@@ -463,6 +565,7 @@ fn run_size(
         candidates: policy_label(candidates),
         head_index: head_index.label().to_string(),
         q_rows: q_rows.label().to_string(),
+        lambda,
         wall_s,
         packets: report.totals.generated,
         packets_per_sec: report.totals.generated as f64 / wall_s.max(1e-9),
@@ -475,6 +578,8 @@ fn run_size(
         merge_retargets: counter("merge.retargets"),
         merge_shards: counter("merge.shards"),
         merge_shard_max: counter("merge.shard_max"),
+        merge_clean_commits: counter("merge.clean_commits"),
+        merge_residue: counter("merge.residue"),
         round_p50_ns: profile.round_latency.p50_ns,
         round_p90_ns: profile.round_latency.p90_ns,
         round_p99_ns: profile.round_latency.p99_ns,
@@ -600,6 +705,7 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "n",
             "threads",
             "threads_resolved",
+            "lambda",
             "packets_per_sec",
             "baseline_packets_per_sec",
             "speedup",
@@ -627,6 +733,7 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "rounds",
             "threads",
             "threads_resolved",
+            "lambda",
             "wall_s",
             "packets",
             "packets_per_sec",
@@ -636,12 +743,24 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
             "merge_retargets",
             "merge_shards",
             "merge_shard_max",
+            "merge_clean_commits",
+            "merge_residue",
             "round_p50_ns",
             "round_p90_ns",
             "round_p99_ns",
         ] {
             if run[key].as_f64().is_none() {
                 return Err(format!("runs[{i}] missing numeric field {key:?}"));
+            }
+        }
+        // v7: the key must be present — a number on sharded-merge runs,
+        // an explicit null on sequential ones (which never classify).
+        match run.get("residue_fraction") {
+            Some(rf) if rf.is_null() || rf.as_f64().is_some() => {}
+            _ => {
+                return Err(format!(
+                    "runs[{i}].residue_fraction must be a number or null"
+                ))
             }
         }
         // "auto" resolves to a concrete worker count before the first
@@ -753,13 +872,16 @@ fn validate_scale_json(text: &str) -> Result<(), String> {
 /// Compare a fresh sweep against a committed baseline artifact.
 ///
 /// Points are matched on `(n, threads, candidates, head_index, q_rows,
-/// rounds)`; `Ok` carries one message per matched point whose
+/// lambda, rounds)`; `Ok` carries one message per matched point whose
 /// `packets_per_sec` fell more than [`REGRESSION_TOLERANCE`] below the
-/// baseline, or — at `n ≥` [`RSS_GATE_MIN_N`], when both sides carry
-/// the counter — whose `peak_rss_bytes` grew more than
-/// [`RSS_TOLERANCE`] past it (empty = gate passes). `Err` means the
-/// comparison itself is impossible — unreadable or schema-stale
-/// baseline, or no point in common.
+/// baseline, whose `residue_fraction` grew more than
+/// [`RESIDUE_TOLERANCE`] (absolute) past it (both sides must carry a
+/// measured fraction — sequential runs' `null` skips the gate), or —
+/// at `n ≥` [`RSS_GATE_MIN_N`], when both sides carry the counter —
+/// whose `peak_rss_bytes` grew more than [`RSS_TOLERANCE`] past it
+/// (empty = gate passes). `Err` means the comparison itself is
+/// impossible — unreadable or schema-stale baseline, or no point in
+/// common.
 fn compare_against_baseline(
     fresh: &[ScaleRun],
     baseline_text: &str,
@@ -779,6 +901,7 @@ fn compare_against_baseline(
                 && b["candidates"].as_str() == Some(run.candidates.as_str())
                 && b["head_index"].as_str() == Some(run.head_index.as_str())
                 && b["q_rows"].as_str() == Some(run.q_rows.as_str())
+                && b["lambda"].as_f64().map(f64::to_bits) == Some(run.lambda.to_bits())
                 && b["rounds"].as_u64() == Some(run.rounds as u64)
         }) else {
             continue;
@@ -800,6 +923,26 @@ fn compare_against_baseline(
                 (1.0 - REGRESSION_TOLERANCE) * 100.0,
                 floor,
             ));
+        }
+        if let (Some(fresh_rf), Some(base_rf)) =
+            (run.residue_fraction(), b["residue_fraction"].as_f64())
+        {
+            if fresh_rf > base_rf + RESIDUE_TOLERANCE {
+                regressions.push(format!(
+                    "N={} threads={} candidates={} head-index={} q-rows={} lambda={}: residue \
+                     fraction {:.3} vs baseline {:.3} (above the +{:.2} absolute ceiling — \
+                     proven-clean packets are falling back into the residue)",
+                    run.n,
+                    run.threads,
+                    run.candidates,
+                    run.head_index,
+                    run.q_rows,
+                    run.lambda,
+                    fresh_rf,
+                    base_rf,
+                    RESIDUE_TOLERANCE,
+                ));
+            }
         }
         if run.n >= RSS_GATE_MIN_N {
             if let (Some(rss), Some(base_rss)) = (run.peak_rss_bytes, b["peak_rss_bytes"].as_u64())
@@ -825,8 +968,8 @@ fn compare_against_baseline(
     }
     if matched == 0 {
         return Err(
-            "no (n, threads, candidates, head_index, q_rows, rounds) point in common with the \
-             baseline"
+            "no (n, threads, candidates, head_index, q_rows, lambda, rounds) point in common \
+             with the baseline"
                 .into(),
         );
     }
@@ -1069,14 +1212,18 @@ fn main() {
 
     if let Some(floor) = gate_floor {
         match gate_thread_scaling(&scaling, floor) {
-            Ok(failures) if failures.is_empty() => {
-                println!("[thread-scaling gate passes at {floor:.2}x]");
-            }
-            Ok(failures) => {
-                for f in &failures {
-                    eprintln!("error: thread scaling: {f}");
+            Ok((failures, warnings)) => {
+                for w in &warnings {
+                    eprintln!("warning: thread scaling: {w}");
                 }
-                std::process::exit(1);
+                if failures.is_empty() {
+                    println!("[thread-scaling gate passes at {floor:.2}x]");
+                } else {
+                    for f in &failures {
+                        eprintln!("error: thread scaling: {f}");
+                    }
+                    std::process::exit(1);
+                }
             }
             Err(e) => die(&e),
         }
@@ -1240,12 +1387,18 @@ mod tests {
         assert!(compare_against_baseline(fresh, &baseline(pps * 1.2))
             .unwrap()
             .is_empty());
-        // No matching point (threads, head-index mode, or q-rows layout
-        // differ) → a hard error, not a silent pass.
+        // No matching point (threads, head-index mode, q-rows layout,
+        // or — v7 — λ differ) → a hard error, not a silent pass.
+        let other_lambda = {
+            let mut r = tiny_run(1, HeadIndexMode::Incremental);
+            r.lambda = 9.0;
+            r
+        };
         for other_run in [
             tiny_run(2, HeadIndexMode::Incremental),
             tiny_run(1, HeadIndexMode::Rebuild),
             tiny_run_q(1, HeadIndexMode::Incremental, QRowsMode::Dense),
+            other_lambda,
         ] {
             let other = serde_json::to_string(&ScaleReport {
                 schema: SCALE_SCHEMA.to_string(),
@@ -1470,6 +1623,95 @@ mod tests {
         validate_scale_json(&render(&|_| {})).expect("untouched row validates");
     }
 
+    #[test]
+    fn validator_enforces_v7_fields() {
+        let base = tiny_run(1, HeadIndexMode::Incremental);
+        let render = |mutate: &dyn Fn(&mut Fields)| {
+            let mut fields = match base.to_value() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("runs serialize to objects"),
+            };
+            mutate(&mut fields);
+            let report = ScaleReportValue {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![serde_json::Value::Object(fields)],
+            };
+            serde_json::to_string(&report).unwrap()
+        };
+        // Every v7 row carries its own λ and the reservation counters.
+        for missing in ["lambda", "merge_clean_commits", "merge_residue"] {
+            let text = render(&|fields| fields.retain(|(k, _)| k != missing));
+            let err = validate_scale_json(&text).unwrap_err();
+            assert!(err.contains(missing), "{missing}: {err}");
+        }
+        // residue_fraction must be present — number or explicit null,
+        // never a missing key or a string.
+        let absent = render(&|fields| fields.retain(|(k, _)| k != "residue_fraction"));
+        let err = validate_scale_json(&absent).unwrap_err();
+        assert!(err.contains("residue_fraction"), "{err}");
+        let stringy = render(&|fields| {
+            fields.retain(|(k, _)| k != "residue_fraction");
+            fields.push(("residue_fraction".into(), "0.7".to_value()));
+        });
+        let err = validate_scale_json(&stringy).unwrap_err();
+        assert!(err.contains("residue_fraction"), "{err}");
+        // A sequential run's null fraction validates.
+        validate_scale_json(&render(&|_| {})).expect("null residue_fraction validates");
+    }
+
+    /// The v7 residue gate: a matched point whose residue fraction
+    /// grows more than the absolute tolerance past the baseline fails;
+    /// growth within it passes, and a null on either side (sequential
+    /// runs never classify) skips the gate.
+    #[test]
+    fn compare_gates_residue_fraction_growth() {
+        let mut run = tiny_run(1, HeadIndexMode::Incremental);
+        run.merge_clean_commits = 25;
+        run.merge_residue = 75;
+        assert_eq!(run.residue_fraction(), Some(0.75));
+        let baseline = |clean: u64, residue: u64| {
+            let mut base_run = tiny_run(1, HeadIndexMode::Incremental);
+            base_run.merge_clean_commits = clean;
+            base_run.merge_residue = residue;
+            serde_json::to_string(&ScaleReport {
+                schema: SCALE_SCHEMA.to_string(),
+                lambda: 8.0,
+                seed: 7,
+                thread_scaling: Vec::new(),
+                runs: vec![base_run],
+            })
+            .unwrap()
+        };
+        let fresh = std::slice::from_ref(&run);
+        // Identical fraction: passes.
+        assert!(compare_against_baseline(fresh, &baseline(25, 75))
+            .unwrap()
+            .is_empty());
+        // +3 points of residue (0.72 -> 0.75): inside the 0.05 ceiling.
+        assert!(compare_against_baseline(fresh, &baseline(28, 72))
+            .unwrap()
+            .is_empty());
+        // Baseline 0.60: fresh 0.75 is 15 points worse — gate fires.
+        let msgs = compare_against_baseline(fresh, &baseline(40, 60)).unwrap();
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("residue fraction"), "{}", msgs[0]);
+        // A sequential baseline (null fraction) cannot gate — skip.
+        assert!(compare_against_baseline(fresh, &baseline(0, 0))
+            .unwrap()
+            .is_empty());
+        // And a sequential fresh run is never gated either.
+        let seq = tiny_run(1, HeadIndexMode::Incremental);
+        assert_eq!(seq.residue_fraction(), None);
+        assert!(
+            compare_against_baseline(std::slice::from_ref(&seq), &baseline(40, 60))
+                .unwrap()
+                .is_empty()
+        );
+    }
+
     /// The v6 peak-RSS gate: at `n ≥ 100 000` a matched point whose
     /// fresh RSS grew more than 25 % past the baseline fails; growth
     /// within tolerance, a small-`n` point, or a baseline without the
@@ -1573,20 +1815,53 @@ mod tests {
         // nothing (a rebuild-mode run has different coordinates).
         let orphan = tiny_run(2, HeadIndexMode::Rebuild);
         assert!(thread_scaling_rows(&[base.to_value(), orphan.to_value()]).is_empty());
-        // The gate: passes under the measured speedup, fails above it,
-        // and refuses to pass vacuously on an empty summary.
-        assert_eq!(
-            gate_thread_scaling(&rows, 1.5).unwrap(),
-            Vec::<String>::new()
+        // v7: λ is part of the pairing key — a baseline at a different
+        // congestion level is no baseline at all.
+        let other_lambda = run_size(
+            30,
+            2,
+            CandidatePolicy::Fixed(4),
+            HeadIndexMode::Incremental,
+            QRowsMode::Sparse,
+            2,
+            9.0,
+            7,
         );
-        let failures = gate_thread_scaling(&rows, 2.5).unwrap();
+        assert!(thread_scaling_rows(&[base.to_value(), other_lambda.to_value()]).is_empty());
+        // The gate refuses to pass vacuously on an empty summary, and —
+        // v7 — on a summary with no row at the N >= 10k gate floor.
+        assert!(gate_thread_scaling(&[], 1.3).is_err());
+        let err = gate_thread_scaling(&rows, 1.5).unwrap_err();
+        assert!(err.contains("10000"), "{err}");
+        // At gateable N the floor fails points below it and passes
+        // points above; a small-N point missing the floor only warns.
+        let resize = |row: &serde_json::Value, n: u64| {
+            let mut fields = match row.clone() {
+                serde_json::Value::Object(fields) => fields,
+                _ => unreachable!("scaling rows serialize to objects"),
+            };
+            fields.retain(|(k, _)| k != "n");
+            fields.push(("n".into(), n.to_value()));
+            serde_json::Value::Object(fields)
+        };
+        let gated: Vec<serde_json::Value> = rows.iter().map(|r| resize(r, 10_000)).collect();
+        let (failures, warnings) = gate_thread_scaling(&gated, 1.5).unwrap();
+        assert_eq!(failures, Vec::<String>::new());
+        assert_eq!(warnings, Vec::<String>::new());
+        let (failures, warnings) = gate_thread_scaling(&gated, 2.5).unwrap();
         assert_eq!(failures.len(), 1);
         assert!(
             failures[0].contains("below the 2.50x floor"),
             "{}",
             failures[0]
         );
-        assert!(gate_thread_scaling(&[], 1.3).is_err());
+        assert!(warnings.is_empty());
+        // Mixed sweep: the small point warns, the large one gates.
+        let mixed: Vec<serde_json::Value> = vec![resize(&rows[0], 100), resize(&rows[0], 10_000)];
+        let (failures, warnings) = gate_thread_scaling(&mixed, 2.5).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("oversubscription"), "{}", warnings[0]);
     }
 
     #[test]

@@ -67,9 +67,10 @@ NOTES:
   --sink sync; async:drop sheds events when the queue fills (counted
   in the profile's sink.dropped, never valid for determinism diffs).
   --profile FILE writes a qlec-profile/v1 JSON report (per-phase
-  per-thread busy/wall, merge conflict/retarget counters, p50/p90/p99
-  round latency, thread utilization) and appends the same table to the
-  text output. Profiling never changes the event stream.
+  per-thread busy/wall, merge conflict/retarget/clean-commit/residue
+  counters, p50/p90/p99 round latency, thread utilization) and appends
+  the rendered table — including the derived merge.residue_fraction —
+  to the text output. Profiling never changes the event stream.
   --threads T fans the round engine's hot phases over T workers
   (auto = every core; 0 is rejected). Pure throughput knob: any T
   produces byte-identical events and reports.
@@ -1240,6 +1241,18 @@ mod artifact_tests {
                 .any(|c| c["name"].as_str() == Some("merge.retargets")),
             "{text}"
         );
+        // threads=2 runs the sharded merge, so the reservation pre-pass
+        // counters must be present alongside the conflict counters.
+        for name in ["merge.clean_commits", "merge.residue"] {
+            assert!(
+                v["counters"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .any(|c| c["name"].as_str() == Some(name)),
+                "missing {name} in {text}"
+            );
+        }
         assert_eq!(v["utilization"].as_array().unwrap().len(), 2);
         let _ = std::fs::remove_file(profile_path);
     }

@@ -45,6 +45,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use arena::{NodeArena, NodeMut, NodeRef};
+pub use merge::MergeOutcome;
 pub use metrics::{RoundMetrics, SimReport};
 pub use network::{Network, NetworkBuilder};
 pub use node::{Node, NodeId, Role};

@@ -8,31 +8,69 @@
 //! API ([`MergePlan`] in, [`MergeOutcome`] out) with two entry points:
 //!
 //! * [`commit_sequential`] — the reference path (`threads = 1`): one
-//!   ordered walk over the round's events.
-//! * [`commit_sharded`] — the pool path (`threads > 1`): a parallel
-//!   pre-pass first groups the round's packet plans by terminal head
-//!   (the *commit shards* — disjoint per-head groups whose clean
-//!   commits touch only their own head's battery and queue, sized for
-//!   the profiler's `merge.shards` / `merge.shard_max` counters), then
-//!   the same ordered walk applies each group's packets with per-head
-//!   battery/queue guards and doubles as the sequential fixup pass for
-//!   the conflicted residue: dead-head retargets and refused-queue
-//!   re-decisions, which draw from the master RNG and therefore must
-//!   happen in exact global `(time, node)` order.
+//!   ordered walk over the round's events, nothing else. This is the
+//!   golden oracle every other path must match byte-for-byte.
+//! * [`commit_sharded`] — the pool path (`threads > 1`): a two-phase
+//!   *reservation merge*. A parallel pre-pass ([`reserve`]) shards the
+//!   round by target head and, per shard, replays that head's battery
+//!   drain and queue occupancy against only its own shard's events in
+//!   arrival order, producing a per-event verdict buffer. A sequential
+//!   frontier sweep then promotes the longest provable prefix of those
+//!   verdicts to **proven-clean** reservations; the ordered walk
+//!   interleaves the buffered verdicts with the sequential residue by
+//!   global `(time, node)` key.
+//!
+//! # The residue taxonomy
+//!
+//! A planned packet ends in one of four merge-time fates; only the last
+//! needs the master RNG:
+//!
+//! * **clean accept** — the terminal hop's head is alive at reception
+//!   and its queue accepts. No RNG.
+//! * **clean refusal** — the terminal hop is refused (dead head, full
+//!   queue, or deadline miss) *and* the plan already spent the whole
+//!   retry budget, so the refusal is terminal. No RNG. (A refusal does
+//!   not change a queue's accept-state for later offers, so clean
+//!   refusals do not taint the shard replay.)
+//! * **local resolution** — the plan never reaches a live head: a BS
+//!   delivery, link-failure exhaustion, or the sender's own planned
+//!   battery death. No RNG, no shared state beyond the sender.
+//! * **live retarget residue** — a refusal with retry budget left. The
+//!   packet re-enters `choose_target` against the live network and every
+//!   hop samples the *master* RNG, so it must run in exact global order.
+//!
+//! The measured N=10k saturated profile (λ=5, see `DESIGN.md`) puts
+//! ~96% of member packets in the residue: the clean frontier closes at
+//! the round's first live retarget, and under saturation that happens
+//! early — the conflicts that close it split ~85% queue-full, ~15%
+//! deadline, ~0% dead-head. That fraction is a property of the workload
+//! (Q-routing herds all planners onto the same frozen value table while
+//! the queues saturate), not of the merge — an uncongested λ=20 run at
+//! the same N classifies 93% clean (residue fraction 0.07). The profiler's
+//! `merge.clean_commits` / `merge.residue` counters and the scale
+//! bench's `residue_fraction` report it honestly, and `--compare` gates
+//! it as a regression (+0.05 absolute) rather than an absolute target.
+//!
+//! # Confluence and byte-identity
 //!
 //! Both entry points run the *same* walk function, so the event stream,
 //! every battery draw, and every RNG consumption are byte-identical
-//! between them by construction — that is the determinism contract the
-//! `tests/parallel_equivalence.rs` byte-diffs lock at every thread
-//! count. Clean commits of disjoint heads are confluent (they touch
-//! disjoint state), so applying them inside the ordered walk is
-//! observationally identical to committing the groups concurrently and
-//! fixing up afterwards; keeping them in the walk is what makes the
-//! identity a structural property instead of a proof obligation. The
-//! measured N=10k profile (see `DESIGN.md`) shows ~⅔ of packets enter
-//! the live-retarget residue, so the `threads > 1` speedup comes from
-//! the plan fan-out and the cached `Send-Data` retarget kernel, with
-//! the shard pre-pass running off the walk on the worker pool.
+//! between them by construction. Clean commits of disjoint heads are
+//! confluent — they touch disjoint state (their own head's battery and
+//! queue, plus the sender-local ledger the planner already fixed) — so
+//! the per-shard buffered replay computes exactly the verdicts the
+//! ordered walk will observe, as long as every event before a packet's
+//! reservation is itself clean. That is what the frontier sweep
+//! enforces: a reservation is only issued while *all* preceding member
+//! packets are proven clean (the first unproven packet closes the
+//! frontier for the rest of the round), so within the reserved prefix
+//! no live continuation has perturbed any battery or queue behind the
+//! replay's back. The classifier is a conservative under-approximation;
+//! the walk `assert!`s every reservation against the live outcome, so a
+//! classifier bug can only fail loudly — it cannot bend the byte
+//! stream, because the walk's behaviour never branches on a
+//! reservation. `tests/parallel_equivalence.rs` locks the identity at
+//! every thread count, with and without fault plans.
 
 use crate::metrics::{EnergyBreakdown, PacketCounters};
 use crate::network::Network;
@@ -50,7 +88,7 @@ use rayon::prelude::*;
 
 /// Terminal failure cause of a member packet, attributed to its final
 /// attempt.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum FailCause {
     Dead,
     Link,
@@ -82,6 +120,31 @@ pub(crate) enum PlannedAttempt {
 /// battery, since the live trajectory only ever drains more).
 pub(crate) type PacketPlan = Vec<PlannedAttempt>;
 
+/// Classifier-facing metadata for one planned packet, computed by the
+/// stage-1 planner alongside the attempt list. It captures the only
+/// facts the reservation pre-pass needs: whether the plan touches a
+/// head at all, when the terminal reception lands, and whether a
+/// merge-time refusal would still have retry budget (and therefore
+/// request master-RNG draws).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PacketMeta {
+    /// Empty plan: the sender was already dead at the arrival time.
+    Skip,
+    /// The plan resolves on sender-local state only — a BS delivery,
+    /// link-failure exhaustion, or the sender's own planned battery
+    /// death. No head, no queue, no master RNG.
+    Local,
+    /// The plan's terminal hop lands on head `h`, offered to its queue
+    /// at `offer_time`. `exhausted` means the plan already spent the
+    /// whole retry budget, so a merge-time refusal is terminal rather
+    /// than a live-retarget continuation.
+    Candidate {
+        h: NodeId,
+        offer_time: f64,
+        exhausted: bool,
+    },
+}
+
 /// One member node's stage-1 state for the current round.
 pub(crate) struct PlannedNode {
     pub(crate) src: NodeId,
@@ -89,6 +152,8 @@ pub(crate) struct PlannedNode {
     pub(crate) arrivals: Vec<f64>,
     /// One plan per arrival, same order.
     pub(crate) packets: Vec<PacketPlan>,
+    /// One classifier record per arrival, same order.
+    pub(crate) meta: Vec<PacketMeta>,
     /// The planner's scratch, absorbed into the protocol after the merge.
     pub(crate) scratch: Option<PlanScratch>,
     /// Merge read position into `packets`.
@@ -135,7 +200,8 @@ pub(crate) struct MergePlan<'a> {
     pub(crate) plan_index: &'a [i32],
     /// node index → this round's queue slot (`-1` = not a head).
     pub(crate) head_slot: &'a [i32],
-    /// This round's elected heads, in election order.
+    /// This round's elected heads, in election order (slot `s` belongs
+    /// to `heads[s]`).
     pub(crate) heads: &'a [NodeId],
     pub(crate) round: u32,
     pub(crate) cfg: &'a SimConfig,
@@ -162,12 +228,18 @@ pub(crate) struct MergeState<'a, P: Protocol + ?Sized> {
     pub(crate) next_packet_id: &'a mut u64,
 }
 
-/// What one round's merge did, for the profiler and the equivalence
-/// tests: how often a plan ran into merge-time reality, how many packets
-/// entered the live-retargeting continuation, and (sharded path only)
-/// the shape of the per-head commit groups.
+/// What one round's merge did, for the profiler, the scale bench, and
+/// the equivalence tests: how often a plan ran into merge-time reality
+/// (split by cause), how many packets entered the live-retargeting
+/// continuation, how many the reservation pre-pass proved clean, and
+/// the shape of the per-head commit shards.
+///
+/// `conflicts`/`retargets` and the cause split are walk-observed and
+/// thread-invariant; `clean_commits`/`residue`/`shards` describe the
+/// reservation pre-pass, which only runs on the pool path (they stay 0
+/// on the `threads = 1` reference path).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct MergeOutcome {
+pub struct MergeOutcome {
     /// Planned hops refused by live state: a head dead at reception or
     /// a queue verdict the plan could not know.
     pub(crate) conflicts: u64,
@@ -178,6 +250,388 @@ pub(crate) struct MergeOutcome {
     pub(crate) shards: u64,
     /// Packet count of the largest commit shard (sharded path only).
     pub(crate) largest_shard: u64,
+    /// Conflicts whose cause was a head dead at reception.
+    pub(crate) conflict_dead_head: u64,
+    /// Conflicts whose cause was a full queue.
+    pub(crate) conflict_queue_full: u64,
+    /// Conflicts whose cause was the fusion deadline.
+    pub(crate) conflict_deadline: u64,
+    /// Member packets the reservation pre-pass proved clean (sharded
+    /// path only).
+    pub(crate) clean_commits: u64,
+    /// Member packets left to the live walk: the frontier-closing packet
+    /// and everything after it (sharded path only).
+    pub(crate) residue: u64,
+}
+
+impl MergeOutcome {
+    /// Planned hops refused by live merge state (dead head at reception
+    /// or a queue verdict stage 1 could not know).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Packets that entered the master-RNG live-retarget continuation.
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
+    /// Conflicts caused by a head dead at reception.
+    pub fn conflict_dead_head(&self) -> u64 {
+        self.conflict_dead_head
+    }
+
+    /// Conflicts caused by a full head queue.
+    pub fn conflict_queue_full(&self) -> u64 {
+        self.conflict_queue_full
+    }
+
+    /// Conflicts caused by the end-of-round fusion deadline.
+    pub fn conflict_deadline(&self) -> u64 {
+        self.conflict_deadline
+    }
+
+    /// Distinct per-head commit shards (pool path only; 0 sequentially).
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Packet count of the largest commit shard (pool path only).
+    pub fn largest_shard(&self) -> u64 {
+        self.largest_shard
+    }
+
+    /// Member packets the reservation pre-pass proved clean (pool path
+    /// only; 0 sequentially).
+    pub fn clean_commits(&self) -> u64 {
+        self.clean_commits
+    }
+
+    /// Member packets left to the live walk (pool path only).
+    pub fn residue(&self) -> u64 {
+        self.residue
+    }
+
+    /// Fraction of classified member packets the pre-pass could *not*
+    /// prove clean: `residue / (clean_commits + residue)`. `None` when
+    /// the reservation pre-pass did not run (sequential path) or saw no
+    /// member packets.
+    pub fn residue_fraction(&self) -> Option<f64> {
+        let classified = self.clean_commits + self.residue;
+        (classified > 0).then(|| self.residue as f64 / classified as f64)
+    }
+
+    /// Fold another round's outcome into a running total. Counters sum;
+    /// `largest_shard` keeps the maximum over rounds.
+    pub(crate) fn accumulate(&mut self, other: &MergeOutcome) {
+        self.conflicts += other.conflicts;
+        self.retargets += other.retargets;
+        self.shards += other.shards;
+        self.largest_shard = self.largest_shard.max(other.largest_shard);
+        self.conflict_dead_head += other.conflict_dead_head;
+        self.conflict_queue_full += other.conflict_queue_full;
+        self.conflict_deadline += other.conflict_deadline;
+        self.clean_commits += other.clean_commits;
+        self.residue += other.residue;
+    }
+}
+
+/// Walk-observed counters, identical on both commit paths.
+#[derive(Default)]
+struct WalkStats {
+    conflicts: u64,
+    retargets: u64,
+    conflict_dead_head: u64,
+    conflict_queue_full: u64,
+    conflict_deadline: u64,
+}
+
+/// Why a proven-clean terminal refusal was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RefuseCause {
+    DeadHead,
+    Full,
+    Deadline,
+}
+
+/// The reservation issued for one event by the pre-pass. Everything but
+/// `Live` is proven clean: the walk must observe exactly this outcome,
+/// and must not touch the master RNG for the packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Reserved {
+    /// No reservation: run live (residue, own-gen, or past the frontier).
+    Live,
+    /// Proven clean on sender-local state alone.
+    Local,
+    /// Proven clean: the terminal hop's queue accepts.
+    Accept,
+    /// Proven clean: the terminal hop is refused and the retry budget is
+    /// spent, so the refusal is terminal.
+    Refused(RefuseCause),
+}
+
+/// Output of the reservation pre-pass: one [`Reserved`] per event plus
+/// the round's classification and shard-shape counters.
+pub(crate) struct Reservation {
+    /// Per-event reservation, aligned with `MergePlan::events`.
+    classes: Vec<Reserved>,
+    clean: u64,
+    residue: u64,
+    shards: u64,
+    largest_shard: u64,
+}
+
+/// Event kind resolved from the plan metadata, in event order.
+#[derive(Clone, Copy)]
+enum EvKind {
+    /// A head's own sensing packet (replayed in-shard, committed live).
+    OwnGen,
+    /// Dead-sender packet: empty plan, generates nothing.
+    Skip,
+    /// Sender-local resolution.
+    Local,
+    /// Terminal hop onto a head's queue slot (verdicts arrive keyed by
+    /// event index from the shard replay).
+    Cand { exhausted: bool },
+}
+
+/// One shard-replay input: an event on this head's queue slot.
+enum SlotEntry {
+    /// The head's own sensing packet, offered at its arrival time.
+    OwnGen { t: f64 },
+    /// A member packet's terminal hop, offered at `offer_time`.
+    Cand { event_idx: u32, offer_time: f64 },
+}
+
+/// Shard-replay verdict for one candidate offer.
+#[derive(Clone, Copy)]
+enum SlotVerdict {
+    Accept,
+    DeadHead,
+    Full,
+    Deadline,
+}
+
+/// The reservation pre-pass of the two-phase merge.
+///
+/// 1. **Group** (sequential, O(events)): resolve each event against its
+///    plan metadata and bucket head-bound work per queue slot, in event
+///    order.
+/// 2. **Shard replay** (pool-parallel, one task per queue slot): replay
+///    the slot's own-gen offers and candidate receptions in arrival
+///    order against a clone of the head's (freshly reset) queue and a
+///    local copy of its battery ledger — the same `consume` clamping
+///    and aliveness rule the walk applies — producing a verdict buffer
+///    per shard.
+/// 3. **Frontier sweep** (sequential, O(events)): issue reservations
+///    for the longest prefix in which every member packet is proven
+///    clean. The first packet that is not provably clean (an unproven
+///    refusal with retry budget left) closes the frontier: it and
+///    everything after it stay `Live`, because its master-RNG
+///    continuation may perturb batteries and queues behind the replay's
+///    back.
+///
+/// The verdicts of a shard's prefix depend only on earlier events of
+/// the *same* shard (a queue refusal does not change accept-state, and
+/// heads gain no energy mid-round), so per-shard replay is exact for
+/// every event the sweep ends up reserving — the confluence argument in
+/// the module docs.
+fn reserve(
+    pool: &rayon::ThreadPool,
+    plan: &MergePlan<'_>,
+    planned: &[PlannedNode],
+    net: &Network,
+    queues: &[ChQueue],
+) -> Reservation {
+    let n_events = plan.events.len();
+    let n_slots = queues.len();
+
+    // Step 1: group. Separate cursors — `PlannedNode::cursor` belongs to
+    // the walk.
+    let mut kinds: Vec<EvKind> = Vec::with_capacity(n_events);
+    let mut slots: Vec<Vec<SlotEntry>> = Vec::new();
+    slots.resize_with(n_slots, Vec::new);
+    let mut cand_counts = vec![0u64; n_slots];
+    let mut cursors = vec![0usize; planned.len()];
+    for (idx, &(time, src)) in plan.events.iter().enumerate() {
+        let pi = plan.plan_index[src.index()];
+        if pi < 0 {
+            let s = plan.head_slot[src.index()];
+            debug_assert!(s >= 0, "unplanned generator must be a head");
+            if s >= 0 {
+                slots[s as usize].push(SlotEntry::OwnGen { t: time });
+            }
+            kinds.push(EvKind::OwnGen);
+            continue;
+        }
+        let pn = &planned[pi as usize];
+        let k = cursors[pi as usize];
+        cursors[pi as usize] += 1;
+        kinds.push(match pn.meta[k] {
+            PacketMeta::Skip => EvKind::Skip,
+            PacketMeta::Local => EvKind::Local,
+            PacketMeta::Candidate {
+                h,
+                offer_time,
+                exhausted,
+            } => {
+                let s = plan.head_slot[h.index()];
+                debug_assert!(s >= 0, "terminal hop onto a non-head");
+                if s < 0 {
+                    // Defensive: an unmappable candidate gets no verdict,
+                    // so the sweep treats it as frontier-closing residue.
+                    EvKind::Cand { exhausted: false }
+                } else {
+                    slots[s as usize].push(SlotEntry::Cand {
+                        event_idx: idx as u32,
+                        offer_time,
+                    });
+                    cand_counts[s as usize] += 1;
+                    EvKind::Cand { exhausted }
+                }
+            }
+        });
+    }
+
+    // Step 2: per-shard replay on the pool. The closure touches only
+    // `Sync` data (slot buckets, the frozen network, the reset queues) —
+    // `PlannedNode` holds a `Send`-only `PlanScratch` and stays out.
+    let rx_e = net.radio.rx_energy(plan.cfg.packet_bits);
+    let bits = plan.cfg.packet_bits;
+    // The vendored pool exposes map/collect only, so the slot index is
+    // zipped into the job list instead of an `enumerate` adapter.
+    let slot_jobs: Vec<(usize, &[SlotEntry])> = slots
+        .iter()
+        .enumerate()
+        .map(|(s, entries)| (s, entries.as_slice()))
+        .collect();
+    let verdicts_by_slot: Vec<Vec<(u32, SlotVerdict)>> = pool.install(|| {
+        slot_jobs
+            .par_iter()
+            .map(|&(s, entries)| {
+                let head = plan.heads[s];
+                let hn = net.node(head);
+                // Mid-round a head's `online` flag is frozen; only its
+                // battery evolves (receptions drain it, nothing refills
+                // it), so aliveness reduces to `alive0 && residual > 0`.
+                let alive0 = hn.is_alive();
+                let mut residual = hn.battery.residual();
+                let mut q = queues[s].clone();
+                let mut out = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    match *entry {
+                        SlotEntry::OwnGen { t } => {
+                            if alive0 && residual > 0.0 {
+                                // Queue verdicts depend on offer times and
+                                // queue state only, never on packet fields,
+                                // so a placeholder id is safe here.
+                                let pkt = Packet {
+                                    id: 0,
+                                    src: head,
+                                    created_at: t,
+                                    bits,
+                                };
+                                let _ = q.offer(pkt, t);
+                            }
+                        }
+                        SlotEntry::Cand {
+                            event_idx,
+                            offer_time,
+                        } => {
+                            let v = if !(alive0 && residual > 0.0) {
+                                SlotVerdict::DeadHead
+                            } else {
+                                // Reception drains the head even when the
+                                // queue then refuses — same clamping as
+                                // `Battery::consume`.
+                                residual -= rx_e.min(residual);
+                                let pkt = Packet {
+                                    id: 0,
+                                    src: head,
+                                    created_at: offer_time,
+                                    bits,
+                                };
+                                match q.offer(pkt, offer_time) {
+                                    Offer::Accepted { .. } => SlotVerdict::Accept,
+                                    Offer::Dropped(QueueDrop::Full) => SlotVerdict::Full,
+                                    Offer::Dropped(QueueDrop::Deadline) => SlotVerdict::Deadline,
+                                }
+                            };
+                            out.push((event_idx, v));
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    });
+    let mut verdict_at: Vec<Option<SlotVerdict>> = vec![None; n_events];
+    for shard in &verdicts_by_slot {
+        for &(idx, v) in shard {
+            verdict_at[idx as usize] = Some(v);
+        }
+    }
+
+    // Step 3: frontier sweep.
+    let mut classes = vec![Reserved::Live; n_events];
+    let mut clean = 0u64;
+    let mut residue = 0u64;
+    let mut open = true;
+    for (idx, kind) in kinds.iter().enumerate() {
+        if !open {
+            // Past the frontier nothing is classified; everything that
+            // could be a live member packet counts as residue. (`Skip`
+            // is plan-derived, so dead-sender packets stay excluded even
+            // here; post-frontier battery divergence can only kill more
+            // senders, making `residue` a safe upper bound on the
+            // packets the walk actually replays live.)
+            if !matches!(kind, EvKind::OwnGen | EvKind::Skip) {
+                residue += 1;
+            }
+            continue;
+        }
+        match *kind {
+            // Own-gen packets commit live either way; the shard replay
+            // mirrored their queue effect, so they do not close the
+            // frontier. Skips generate nothing.
+            EvKind::OwnGen | EvKind::Skip => {}
+            EvKind::Local => {
+                classes[idx] = Reserved::Local;
+                clean += 1;
+            }
+            EvKind::Cand { exhausted } => match verdict_at[idx] {
+                Some(SlotVerdict::Accept) => {
+                    classes[idx] = Reserved::Accept;
+                    clean += 1;
+                }
+                Some(v) if exhausted => {
+                    classes[idx] = Reserved::Refused(match v {
+                        SlotVerdict::DeadHead => RefuseCause::DeadHead,
+                        SlotVerdict::Full => RefuseCause::Full,
+                        SlotVerdict::Deadline => RefuseCause::Deadline,
+                        SlotVerdict::Accept => unreachable!("accept handled above"),
+                    });
+                    clean += 1;
+                }
+                // A refusal with retry budget left — the live-retarget
+                // residue — or a candidate with no verdict (defensive):
+                // the continuation draws the master RNG and may change
+                // any battery or queue, so the frontier closes here.
+                _ => {
+                    residue += 1;
+                    open = false;
+                }
+            },
+        }
+    }
+
+    Reservation {
+        classes,
+        clean,
+        residue,
+        shards: cand_counts.iter().filter(|&&c| c > 0).count() as u64,
+        largest_shard: cand_counts.iter().copied().max().unwrap_or(0),
+    }
 }
 
 /// The reference merge (`threads = 1`): one ordered walk, nothing else.
@@ -186,79 +640,43 @@ pub(crate) fn commit_sequential<P: Protocol + ?Sized>(
     planned: &mut [PlannedNode],
     st: &mut MergeState<'_, P>,
 ) -> MergeOutcome {
-    let (conflicts, retargets) = walk(plan, planned, st);
+    let stats = walk(plan, planned, st, None);
     MergeOutcome {
-        conflicts,
-        retargets,
-        shards: 0,
-        largest_shard: 0,
+        conflicts: stats.conflicts,
+        retargets: stats.retargets,
+        conflict_dead_head: stats.conflict_dead_head,
+        conflict_queue_full: stats.conflict_queue_full,
+        conflict_deadline: stats.conflict_deadline,
+        ..MergeOutcome::default()
     }
 }
 
-/// The pool merge (`threads > 1`): group the round's packet plans by
-/// terminal head on the worker pool, then run the same ordered walk the
-/// reference path runs — clean per-head commits and the conflicted
-/// residue's fixup in one pass, byte-identical by construction.
+/// The pool merge (`threads > 1`): the two-phase reservation merge. The
+/// parallel pre-pass ([`reserve`]) buffers per-shard verdicts and issues
+/// proven-clean reservations for the longest provable prefix; the same
+/// ordered walk the reference path runs then interleaves the buffered
+/// verdicts with the residue's master-RNG re-decisions in global
+/// `(time, node)` order — byte-identical by construction, with every
+/// reservation asserted against the live outcome.
 pub(crate) fn commit_sharded<P: Protocol + ?Sized>(
     pool: &rayon::ThreadPool,
     plan: &MergePlan<'_>,
     planned: &mut [PlannedNode],
     st: &mut MergeState<'_, P>,
 ) -> MergeOutcome {
-    // `PlannedNode` holds a `PlanScratch` (`Send`, not `Sync`), so the
-    // fan-out iterates the Sync packet slices, mirroring the plan stage.
-    let jobs: Vec<&[PacketPlan]> = planned.iter().map(|pn| pn.packets.as_slice()).collect();
-    let counts = shard_counts(pool, &jobs, plan.head_slot, plan.heads.len());
-    drop(jobs);
-    let shards = counts.iter().filter(|&&c| c > 0).count() as u64;
-    let largest_shard = counts.iter().copied().max().unwrap_or(0);
-    let (conflicts, retargets) = walk(plan, planned, st);
+    let resv = reserve(pool, plan, planned, st.net, st.queues);
+    let stats = walk(plan, planned, st, Some(&resv));
     MergeOutcome {
-        conflicts,
-        retargets,
-        shards,
-        largest_shard,
+        conflicts: stats.conflicts,
+        retargets: stats.retargets,
+        shards: resv.shards,
+        largest_shard: resv.largest_shard,
+        conflict_dead_head: stats.conflict_dead_head,
+        conflict_queue_full: stats.conflict_queue_full,
+        conflict_deadline: stats.conflict_deadline,
+        clean_commits: resv.clean,
+        residue: resv.residue,
     }
-}
-
-/// The pool-parallel shard pre-pass: group the round's packet plans by
-/// the head their terminal hop lands on, returning the per-queue-slot
-/// packet count. Packets whose plan ends at the BS or in failure belong
-/// to no shard — they never touch a head's battery or queue when
-/// committed clean.
-fn shard_counts(
-    pool: &rayon::ThreadPool,
-    jobs: &[&[PacketPlan]],
-    head_slot: &[i32],
-    n_slots: usize,
-) -> Vec<u64> {
-    // Workers decode each node's plans into its terminal queue slots;
-    // the per-slot totals fold up on the caller thread (the vendored
-    // pool exposes map/collect, not a parallel reduce).
-    let per_node: Vec<Vec<u32>> = pool.install(|| {
-        jobs.par_iter()
-            .map(|packets| {
-                packets
-                    .iter()
-                    .filter_map(|p| match p.last() {
-                        Some(PlannedAttempt::ToHead { h, .. }) => {
-                            let slot = head_slot[h.index()];
-                            debug_assert!(slot >= 0, "terminal hop onto a non-head");
-                            (slot >= 0).then_some(slot as u32)
-                        }
-                        _ => None,
-                    })
-                    .collect()
-            })
-            .collect()
-    });
-    let mut counts = vec![0u64; n_slots];
-    for slots in &per_node {
-        for &s in slots {
-            counts[s as usize] += 1;
-        }
-    }
-    counts
 }
 
 /// The ordered commit walk, shared verbatim by both entry points.
@@ -271,20 +689,27 @@ fn shard_counts(
 /// died mid-merge is a link drop, and a refused queue offer is terminal;
 /// both push the packet into the live continuation, which re-decides
 /// against the live network with the master RNG (the MDP's self-loop
-/// semantics). Returns `(conflicts, retargets)`.
+/// semantics).
+///
+/// When a [`Reservation`] is supplied, each reserved packet's live
+/// outcome is `assert!`ed against its buffered verdict — the contract
+/// that a proven-clean packet resolves exactly as the pre-pass replayed
+/// it and never reaches the master RNG. The walk's behaviour does not
+/// branch on reservations, so a classifier bug fails loudly instead of
+/// bending the byte stream.
 fn walk<P: Protocol + ?Sized>(
     plan: &MergePlan<'_>,
     planned: &mut [PlannedNode],
     st: &mut MergeState<'_, P>,
-) -> (u64, u64) {
+    resv: Option<&Reservation>,
+) -> WalkStats {
     let cfg = plan.cfg;
     let round = plan.round;
     let link = st.net.link;
     let radio = st.net.radio;
-    let mut merge_conflicts: u64 = 0;
-    let mut merge_retargets: u64 = 0;
+    let mut stats = WalkStats::default();
 
-    for &(time, src) in plan.events {
+    for (ev_idx, &(time, src)) in plan.events.iter().enumerate() {
         let pi = plan.plan_index[src.index()];
         if pi < 0 {
             // A head's own sensing packet: checked and queued live —
@@ -410,7 +835,8 @@ fn walk<P: Protocol + ?Sized>(
                     if !st.net.node(h).is_alive() || h_slot < 0 {
                         // The head ran dry earlier in the merge: the
                         // planned hop lands on a dead radio.
-                        merge_conflicts += 1;
+                        stats.conflicts += 1;
+                        stats.conflict_dead_head += 1;
                         fail = FailCause::Link;
                         st.protocol.on_hop_result(src, target, false);
                     } else {
@@ -431,10 +857,16 @@ fn walk<P: Protocol + ?Sized>(
                                 // A planned hop refused by the live
                                 // queue state — stage 1 could not
                                 // have known.
-                                merge_conflicts += 1;
+                                stats.conflicts += 1;
                                 fail = match reason {
-                                    QueueDrop::Full => FailCause::QueueFull,
-                                    QueueDrop::Deadline => FailCause::Deadline,
+                                    QueueDrop::Full => {
+                                        stats.conflict_queue_full += 1;
+                                        FailCause::QueueFull
+                                    }
+                                    QueueDrop::Deadline => {
+                                        stats.conflict_deadline += 1;
+                                        FailCause::Deadline
+                                    }
                                 };
                                 st.protocol.on_hop_result(src, target, false);
                             }
@@ -448,6 +880,51 @@ fn walk<P: Protocol + ?Sized>(
             }
         }
 
+        // Reservation soundness contract: a proven-clean packet must
+        // have resolved exactly as the pre-pass replayed it, and must
+        // not reach the master-RNG continuation below. The classifier is
+        // a conservative under-approximation and the walk never branches
+        // on it, so a violation here is a loud classifier bug — never a
+        // byte divergence.
+        if let Some(r) = resv {
+            match r.classes[ev_idx] {
+                Reserved::Live => {}
+                Reserved::Accept => {
+                    assert!(
+                        resolved,
+                        "reserved-accept packet did not resolve (round {round}, src {src})"
+                    );
+                }
+                Reserved::Refused(cause) => {
+                    let expected = match cause {
+                        RefuseCause::DeadHead => FailCause::Link,
+                        RefuseCause::Full => FailCause::QueueFull,
+                        RefuseCause::Deadline => FailCause::Deadline,
+                    };
+                    assert!(
+                        !resolved && attempt > cfg.member_retries && fail == expected,
+                        "reserved-refusal mismatch (round {round}, src {src}): \
+                         resolved={resolved} attempt={attempt} fail={fail:?} expected={expected:?}"
+                    );
+                }
+                Reserved::Local => {
+                    // Locally-resolved plans either deliver, die, or
+                    // exhaust the budget; the only other exit (a planned
+                    // battery death to exactly 0.0 with budget left)
+                    // fails the continuation's aliveness check before
+                    // any RNG draw.
+                    assert!(
+                        resolved
+                            || fail == FailCause::Dead
+                            || attempt > cfg.member_retries
+                            || !st.net.node(src).is_alive(),
+                        "reserved-local packet would reach the RNG continuation \
+                         (round {round}, src {src})"
+                    );
+                }
+            }
+        }
+
         // Live continuation: the plan ended on a contingency stage 1
         // could not resolve — a queue refusal or a head that died
         // mid-merge. The remaining retries re-decide against the
@@ -456,7 +933,7 @@ fn walk<P: Protocol + ?Sized>(
         // identical at every thread count.
         if !resolved && !matches!(fail, FailCause::Dead) {
             if attempt <= cfg.member_retries {
-                merge_retargets += 1;
+                stats.retargets += 1;
             }
             while attempt <= cfg.member_retries {
                 if !st.net.node(src).is_alive() {
@@ -578,7 +1055,7 @@ fn walk<P: Protocol + ?Sized>(
         }
     }
 
-    (merge_conflicts, merge_retargets)
+    stats
 }
 
 #[cfg(test)]
@@ -650,7 +1127,9 @@ mod tests {
     /// The two commit paths produce identical reports and identical
     /// event streams — the structural byte-identity the module
     /// guarantees, checked end to end through the round engine (the
-    /// only place `commit_sharded` is reachable from).
+    /// only place `commit_sharded` is reachable from). The pool runs
+    /// with the reservation asserts live, so this also exercises the
+    /// classifier's soundness contract on real traffic.
     #[test]
     fn sharded_commit_matches_sequential_commit() {
         let (seq_stream, seq_report) = run_observed(1);
@@ -668,40 +1147,169 @@ mod tests {
         }
     }
 
-    /// The sharded pre-pass groups packets by their *terminal* head —
-    /// BS deliveries and all-failed plans belong to no shard.
-    #[test]
-    fn shard_counts_group_by_terminal_head() {
-        let mut head_slot = vec![-1i32; 4];
-        head_slot[0] = 0;
-        head_slot[1] = 1;
-        let mk = |h: u32| -> PacketPlan {
-            vec![
-                PlannedAttempt::Failed {
-                    target: Target::Bs,
-                    e: 0.1,
-                },
-                PlannedAttempt::ToHead {
-                    h: NodeId(h),
-                    e: 0.1,
-                },
-            ]
-        };
-        let node_a = vec![mk(0), mk(1)];
-        let node_b = vec![
-            vec![PlannedAttempt::DeliveredBs { e: 0.1 }],
-            mk(1),
-            vec![PlannedAttempt::Failed {
-                target: Target::Head(NodeId(0)),
-                e: 0.1,
-            }],
-        ];
-        let jobs: Vec<&[PacketPlan]> = vec![&node_a, &node_b];
-        let pool = rayon::ThreadPoolBuilder::new()
+    fn test_pool() -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
             .num_threads(2)
             .build()
-            .expect("test pool");
-        let counts = shard_counts(&pool, &jobs, &head_slot, 2);
-        assert_eq!(counts, vec![1, 2]);
+            .expect("test pool")
+    }
+
+    /// Hand-built round for `reserve`: two heads (one of them drained
+    /// flat), one member with a crafted plan sequence. Verifies the
+    /// clean classes (accept, local, exhausted refusals incl. dead
+    /// head), the frontier closing at the first unproven refusal, and
+    /// the shard-shape counters.
+    #[test]
+    fn reservation_classifies_and_closes_frontier() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = NetworkBuilder::new()
+            .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)))
+            .uniform_cube(&mut rng, 4, 200.0, 5.0);
+        // Node 3 is an elected-then-drained head: alive at election,
+        // dead by merge time.
+        let drained = net.node(NodeId(3)).battery.residual();
+        net.node_mut(NodeId(3)).battery.consume(drained);
+
+        let mut cfg = SimConfig::paper(1.0);
+        // Tiny queue + long service: the second offer onto slot 0 is
+        // refused Full.
+        cfg.queue_capacity = 1;
+        cfg.service_time = 1000.0;
+        let heads = [NodeId(0), NodeId(3)];
+        let mut head_slot = vec![-1i32; net.len()];
+        head_slot[0] = 0;
+        head_slot[3] = 1;
+        // Member node 1 sends six packets; node 2 stays out of the round.
+        let mut plan_index = vec![-1i32; net.len()];
+        plan_index[1] = 0;
+        let e = 0.001;
+        let meta = vec![
+            // t=0.0: accepted by slot 0.
+            PacketMeta::Candidate {
+                h: NodeId(0),
+                offer_time: 0.5,
+                exhausted: false,
+            },
+            // t=1.0: local resolution (BS delivery).
+            PacketMeta::Local,
+            // t=2.0: dead-head refusal with the budget spent — clean.
+            PacketMeta::Candidate {
+                h: NodeId(3),
+                offer_time: 3.5,
+                exhausted: true,
+            },
+            // t=3.0: full-queue refusal with the budget spent — clean.
+            PacketMeta::Candidate {
+                h: NodeId(0),
+                offer_time: 4.5,
+                exhausted: true,
+            },
+            // t=4.0: full-queue refusal with budget left — closes the
+            // frontier.
+            PacketMeta::Candidate {
+                h: NodeId(0),
+                offer_time: 4.5,
+                exhausted: false,
+            },
+            // t=5.0: would be clean, but the frontier is closed.
+            PacketMeta::Local,
+        ];
+        let to_head = |h: u32| -> PacketPlan { vec![PlannedAttempt::ToHead { h: NodeId(h), e }] };
+        let planned = vec![PlannedNode {
+            src: NodeId(1),
+            arrivals: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            packets: vec![
+                to_head(0),
+                vec![PlannedAttempt::DeliveredBs { e }],
+                to_head(3),
+                to_head(0),
+                to_head(0),
+                vec![PlannedAttempt::DeliveredBs { e }],
+            ],
+            meta,
+            scratch: None,
+            cursor: 0,
+        }];
+        let events: Vec<(f64, NodeId)> = (0..6).map(|i| (i as f64, NodeId(1))).collect();
+        let queues = vec![
+            ChQueue::new(cfg.queue_capacity, cfg.service_time, 1e9),
+            ChQueue::new(cfg.queue_capacity, cfg.service_time, 1e9),
+        ];
+        let plan = MergePlan {
+            events: &events,
+            plan_index: &plan_index,
+            head_slot: &head_slot,
+            heads: &heads,
+            round: 0,
+            cfg: &cfg,
+        };
+        let resv = reserve(&test_pool(), &plan, &planned, &net, &queues);
+        assert_eq!(
+            resv.classes,
+            vec![
+                Reserved::Accept,
+                Reserved::Local,
+                Reserved::Refused(RefuseCause::DeadHead),
+                Reserved::Refused(RefuseCause::Full),
+                Reserved::Live,
+                Reserved::Live,
+            ]
+        );
+        assert_eq!(resv.clean, 4);
+        assert_eq!(resv.residue, 2);
+        // Slot 0 saw three candidates, slot 1 one; both shards non-empty.
+        assert_eq!(resv.shards, 2);
+        assert_eq!(resv.largest_shard, 3);
+    }
+
+    /// A head's own-gen packets participate in its shard replay: they
+    /// occupy the queue ahead of later candidate offers, flipping the
+    /// candidate's verdict to a refusal.
+    #[test]
+    fn own_gen_occupancy_feeds_candidate_verdicts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = NetworkBuilder::new()
+            .link(AnyLink::DistanceLoss(DistanceLossLink::for_cube(200.0)))
+            .uniform_cube(&mut rng, 2, 200.0, 5.0);
+        let mut cfg = SimConfig::paper(1.0);
+        cfg.queue_capacity = 1;
+        cfg.service_time = 1000.0;
+        let heads = [NodeId(0)];
+        let mut head_slot = vec![-1i32; net.len()];
+        head_slot[0] = 0;
+        let mut plan_index = vec![-1i32; net.len()];
+        plan_index[1] = 0;
+        let planned = vec![PlannedNode {
+            src: NodeId(1),
+            arrivals: vec![1.0],
+            packets: vec![vec![PlannedAttempt::ToHead {
+                h: NodeId(0),
+                e: 0.001,
+            }]],
+            meta: vec![PacketMeta::Candidate {
+                h: NodeId(0),
+                offer_time: 1.5,
+                exhausted: true,
+            }],
+            scratch: None,
+            cursor: 0,
+        }];
+        // The head's own packet arrives first and fills the 1-slot queue.
+        let events = vec![(0.0, NodeId(0)), (1.0, NodeId(1))];
+        let queues = vec![ChQueue::new(cfg.queue_capacity, cfg.service_time, 1e9)];
+        let plan = MergePlan {
+            events: &events,
+            plan_index: &plan_index,
+            head_slot: &head_slot,
+            heads: &heads,
+            round: 0,
+            cfg: &cfg,
+        };
+        let resv = reserve(&test_pool(), &plan, &planned, &net, &queues);
+        assert_eq!(
+            resv.classes,
+            vec![Reserved::Live, Reserved::Refused(RefuseCause::Full)]
+        );
+        assert_eq!((resv.clean, resv.residue), (1, 0));
     }
 }

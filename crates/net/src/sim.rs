@@ -23,7 +23,8 @@
 //! across protocols, does not.
 
 use crate::merge::{
-    self, sample_hop, MergePlan, MergeState, PacketPlan, PlannedAttempt, PlannedNode,
+    self, sample_hop, MergeOutcome, MergePlan, MergeState, PacketMeta, PacketPlan, PlannedAttempt,
+    PlannedNode,
 };
 use crate::metrics::{EnergyBreakdown, LifespanInfo, PacketCounters, RoundMetrics, SimReport};
 use crate::network::Network;
@@ -178,6 +179,9 @@ pub struct Simulator {
     /// Root of the per-(round, node) RNG stream derivation, drawn once
     /// from the caller's RNG at the start of [`Simulator::run`].
     stream_seed: u64,
+    /// Whole-run merge totals, accumulated round by round — returned by
+    /// [`Simulator::run_with_outcome`].
+    merge_totals: MergeOutcome,
 }
 
 /// Fluent assembly of a [`Simulator`] — network, configuration, faults,
@@ -257,6 +261,7 @@ impl SimBuilder {
             scratch: RoundScratch::default(),
             pool: None,
             stream_seed: 0,
+            merge_totals: MergeOutcome::default(),
         };
         if let Some(mut driver) = self.faults {
             driver.bind(&sim.net.positions());
@@ -305,11 +310,20 @@ impl Simulator {
     }
 
     /// Run the full simulation, consuming the simulator.
-    pub fn run<P: Protocol + ?Sized>(
+    pub fn run<P: Protocol + ?Sized>(self, protocol: &mut P, rng: &mut dyn RngCore) -> SimReport {
+        self.run_with_outcome(protocol, rng).0
+    }
+
+    /// Run the full simulation and also return the whole-run
+    /// [`MergeOutcome`] totals: merge conflicts and retargets split by
+    /// cause (thread-invariant), plus the reservation pre-pass's
+    /// clean-commit/residue classification and shard shape (pool path
+    /// only — zero when `threads = 1`).
+    pub fn run_with_outcome<P: Protocol + ?Sized>(
         mut self,
         protocol: &mut P,
         rng: &mut dyn RngCore,
-    ) -> SimReport {
+    ) -> (SimReport, MergeOutcome) {
         let threads = if self.cfg.threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
@@ -372,7 +386,7 @@ impl Simulator {
             .map(|b| b.consumption_rate())
             .collect();
 
-        SimReport {
+        let report = SimReport {
             protocol: protocol.name().to_string(),
             rounds: rounds_out,
             totals,
@@ -381,7 +395,8 @@ impl Simulator {
             consumption_rates,
             horizon: self.cfg.rounds,
             threads,
-        }
+        };
+        (report, self.merge_totals)
     }
 
     /// Execute one round; returns its metrics and latency accumulator.
@@ -528,6 +543,7 @@ impl Simulator {
                         src: id,
                         arrivals,
                         packets: Vec::new(),
+                        meta: Vec::new(),
                         scratch: None,
                         cursor: 0,
                     });
@@ -598,7 +614,7 @@ impl Simulator {
                         planner,
                         scratch: planner.begin_node(net, src),
                     };
-                    let packets = plan_member_packets(
+                    let (packets, meta) = plan_member_packets(
                         net,
                         &cfg,
                         faults_ref,
@@ -614,9 +630,10 @@ impl Simulator {
                         (Some(p), Some(t0)) => p.now_ns().saturating_sub(t0),
                         _ => 0,
                     };
-                    (packets, t.scratch, busy_ns)
+                    (packets, meta, t.scratch, busy_ns)
                 };
-                let results: Vec<(Vec<PacketPlan>, PlanScratch, u64)> = match self.pool.as_ref() {
+                type PlanJob = (Vec<PacketPlan>, Vec<PacketMeta>, PlanScratch, u64);
+                let results: Vec<PlanJob> = match self.pool.as_ref() {
                     Some(pool) if jobs.len() > 1 => {
                         pool.install(|| jobs.par_iter().map(&plan_one).collect())
                     }
@@ -635,12 +652,13 @@ impl Simulator {
                         _ => 1,
                     };
                     let chunk_len = n_jobs.div_ceil(workers.max(1)).max(1);
-                    for (i, (_, _, busy_ns)) in results.iter().enumerate() {
+                    for (i, (_, _, _, busy_ns)) in results.iter().enumerate() {
                         p.record_busy("transmission/plan", i / chunk_len, *busy_ns);
                     }
                 }
-                for (pn, (packets, scratch, _)) in planned.iter_mut().zip(results) {
+                for (pn, (packets, meta, scratch, _)) in planned.iter_mut().zip(results) {
                     pn.packets = packets;
+                    pn.meta = meta;
                     pn.scratch = Some(scratch);
                 }
             } else {
@@ -648,7 +666,7 @@ impl Simulator {
                     let mut t = ChooseTargeter {
                         protocol: &mut *protocol,
                     };
-                    pn.packets = plan_member_packets(
+                    let (packets, meta) = plan_member_packets(
                         net,
                         &cfg,
                         faults_ref,
@@ -660,6 +678,8 @@ impl Simulator {
                         &pn.arrivals,
                         &mut t,
                     );
+                    pn.packets = packets;
+                    pn.meta = meta;
                 }
             }
         }
@@ -708,15 +728,22 @@ impl Simulator {
             }
         };
 
+        self.merge_totals.accumulate(&outcome);
+
         if let (Some(p), Some(t0)) = (&prof, merge_t0) {
             let dt = p.now_ns().saturating_sub(t0);
             p.record_wall("transmission/merge", dt);
             p.record_busy("transmission/merge", 0, dt);
             p.inc("merge.conflicts", outcome.conflicts);
             p.inc("merge.retargets", outcome.retargets);
+            p.inc("merge.conflict_dead_head", outcome.conflict_dead_head);
+            p.inc("merge.conflict_queue_full", outcome.conflict_queue_full);
+            p.inc("merge.conflict_deadline", outcome.conflict_deadline);
             if self.pool.is_some() {
                 p.inc("merge.shards", outcome.shards);
                 p.inc("merge.shard_max", outcome.largest_shard);
+                p.inc("merge.clean_commits", outcome.clean_commits);
+                p.inc("merge.residue", outcome.residue);
             }
         }
 
@@ -1010,6 +1037,12 @@ impl<P: Protocol + ?Sized> PlanTargeter for ChooseTargeter<'_, P> {
 /// at merge time. Target choices draw from the node's PROTOCOL stream
 /// and radio samples from its LINK stream, making the plan independent
 /// of scheduling and thread count.
+///
+/// Alongside each plan it emits the [`PacketMeta`] record the merge's
+/// reservation pre-pass classifies against: the terminal kind, the
+/// terminal reception time (computed with the walk's exact float
+/// expressions), and whether a merge-time refusal would still have
+/// retry budget.
 #[allow(clippy::too_many_arguments)]
 fn plan_member_packets(
     net: &Network,
@@ -1022,19 +1055,21 @@ fn plan_member_packets(
     src: NodeId,
     arrivals: &[f64],
     targeter: &mut dyn PlanTargeter,
-) -> Vec<PacketPlan> {
+) -> (Vec<PacketPlan>, Vec<PacketMeta>) {
     let link = net.link;
     let radio = net.radio;
     let mut prng = StreamRng::for_node(stream_seed, round, src.0, stream_tag::PROTOCOL);
     let mut lrng = StreamRng::for_node(stream_seed, round, src.0, stream_tag::LINK);
     let mut residual = net.node(src).battery.residual();
     let mut packets = Vec::with_capacity(arrivals.len());
-    for _ in arrivals {
+    let mut meta = Vec::with_capacity(arrivals.len());
+    for &time in arrivals {
         // Mid-round, a member's `is_alive` reduces to battery state: the
         // `online` flag cannot change within a round, and it was online
         // when it generated this arrival.
         if residual <= 0.0 {
             packets.push(Vec::new());
+            meta.push(PacketMeta::Skip);
             continue;
         }
         targeter.begin_packet(src);
@@ -1087,9 +1122,26 @@ fn plan_member_packets(
                 break;
             }
         }
+        meta.push(match attempts.last() {
+            None => PacketMeta::Skip,
+            Some(PlannedAttempt::ToHead { h, .. }) => {
+                // The walk offers at `attempt_time + hop_delay` with
+                // `attempt_time = time + attempt * hop_delay` — replicate
+                // the expressions exactly so the reservation replay's
+                // offer times are bit-identical.
+                let a = (attempts.len() - 1) as u32;
+                let attempt_time = time + a as f64 * cfg.hop_delay;
+                PacketMeta::Candidate {
+                    h: *h,
+                    offer_time: attempt_time + cfg.hop_delay,
+                    exhausted: attempts.len() as u32 > cfg.member_retries,
+                }
+            }
+            Some(_) => PacketMeta::Local,
+        });
         packets.push(attempts);
     }
-    packets
+    (packets, meta)
 }
 
 #[cfg(test)]

@@ -278,6 +278,26 @@ fn ms(ns: u64) -> f64 {
 }
 
 impl ProfileReport {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Fraction of reservation-classified member packets the merge's
+    /// pre-pass could *not* prove clean:
+    /// `merge.residue / (merge.clean_commits + merge.residue)`.
+    /// `None` when the reservation pre-pass never ran (sequential
+    /// merge) or classified nothing.
+    pub fn residue_fraction(&self) -> Option<f64> {
+        let clean = self.counter("merge.clean_commits").unwrap_or(0);
+        let residue = self.counter("merge.residue").unwrap_or(0);
+        let classified = clean + residue;
+        (classified > 0).then(|| residue as f64 / classified as f64)
+    }
+
     /// Render the hierarchical phase tree, counters, and the
     /// thread-utilization table as fixed-width text.
     pub fn render(&self) -> String {
@@ -322,6 +342,13 @@ impl ProfileReport {
             let _ = writeln!(out, "counters:");
             for c in &self.counters {
                 let _ = writeln!(out, "  {:<30} {}", c.name, c.value);
+            }
+            if let Some(f) = self.residue_fraction() {
+                // Derived from merge.residue / (merge.clean_commits +
+                // merge.residue) — rendered beside the raw merge
+                // counters rather than stored, so the counter map stays
+                // integral.
+                let _ = writeln!(out, "  {:<30} {f:.3}", "merge.residue_fraction");
             }
         }
         let _ = writeln!(out, "thread utilization (busy / total wall):");
@@ -441,6 +468,27 @@ mod tests {
         assert!(text.contains("merge.retargets"), "{text}");
         assert!(text.contains("thread utilization"), "{text}");
         assert!(text.contains("t1"), "{text}");
+    }
+
+    #[test]
+    fn residue_fraction_derives_from_merge_counters() {
+        let (_, prof) = manual();
+        prof.inc("merge.clean_commits", 30);
+        prof.inc("merge.residue", 70);
+        let report = prof.report();
+        assert_eq!(report.counter("merge.residue"), Some(70));
+        assert_eq!(report.counter("nope"), None);
+        assert_eq!(report.residue_fraction(), Some(0.7));
+        let text = report.render();
+        assert!(text.contains("merge.residue_fraction"), "{text}");
+        assert!(text.contains("0.700"), "{text}");
+
+        // Sequential merges never classify: no derived line.
+        let (_, seq) = manual();
+        seq.inc("merge.conflicts", 5);
+        let report = seq.report();
+        assert_eq!(report.residue_fraction(), None);
+        assert!(!report.render().contains("residue_fraction"));
     }
 
     #[test]
